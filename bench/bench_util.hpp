@@ -1,0 +1,71 @@
+#pragma once
+// Shared plumbing for the figure/table bench binaries: the full repetition
+// protocol, row formatting, and CSV output next to the binary.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "magus/common/table.hpp"
+#include "magus/exp/evaluation.hpp"
+#include "magus/wl/catalog.hpp"
+
+namespace magus::bench {
+
+/// Where bench binaries drop their CSV twins.
+inline std::string out_dir() {
+  const char* env = std::getenv("MAGUS_BENCH_OUT");
+  std::string dir = env ? env : "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "==============================================================\n";
+}
+
+/// Fig. 4 protocol: evaluate every app on `system` and print the paper's
+/// three metrics for MAGUS and UPS against the default baseline.
+inline void run_fig4(const sim::SystemSpec& system, const std::vector<std::string>& apps,
+                     int gpu_scale, const std::string& csv_name) {
+  exp::EvalSpec spec;
+  spec.repeat.repetitions = 7;
+  spec.gpu_workload_scale = gpu_scale;
+
+  common::TextTable table({"app", "magus loss%", "magus pwr-sav%", "magus energy-sav%",
+                           "ups loss%", "ups pwr-sav%", "ups energy-sav%"});
+  common::CsvWriter csv(out_dir() + "/" + csv_name);
+  csv.write_row({"app", "magus_perf_loss_pct", "magus_cpu_power_saving_pct",
+                 "magus_energy_saving_pct", "ups_perf_loss_pct",
+                 "ups_cpu_power_saving_pct", "ups_energy_saving_pct",
+                 "baseline_runtime_s", "baseline_total_energy_j"});
+
+  double best_energy = 0.0;
+  double worst_loss = 0.0;
+  for (const auto& app : apps) {
+    const auto ev = exp::evaluate_app(system, app, spec);
+    const auto& m = ev.magus_vs_base;
+    const auto& u = ev.ups_vs_base;
+    using common::TextTable;
+    table.add_row({app, TextTable::num(m.perf_loss_pct), TextTable::num(m.cpu_power_saving_pct),
+                   TextTable::num(m.energy_saving_pct), TextTable::num(u.perf_loss_pct),
+                   TextTable::num(u.cpu_power_saving_pct), TextTable::num(u.energy_saving_pct)});
+    csv.write_row_numeric({m.perf_loss_pct, m.cpu_power_saving_pct, m.energy_saving_pct,
+                           u.perf_loss_pct, u.cpu_power_saving_pct, u.energy_saving_pct,
+                           ev.baseline.runtime_s, ev.baseline.total_energy_j()});
+    best_energy = std::max(best_energy, m.energy_saving_pct);
+    worst_loss = std::max(worst_loss, m.perf_loss_pct);
+  }
+  table.print(std::cout);
+  std::cout << "\nMAGUS: max energy saving " << common::TextTable::num(best_energy)
+            << " % (paper: up to 27 %), worst perf loss "
+            << common::TextTable::num(worst_loss) << " % (paper bound: < 5 %, "
+            << "multi-GPU MD apps up to ~7 %)\n"
+            << "CSV: " << out_dir() << "/" << csv_name << "\n";
+}
+
+}  // namespace magus::bench

@@ -1,0 +1,13 @@
+// Figure 4a: end-to-end performance on Intel+A100 -- per application:
+// performance loss, CPU power saving, and total energy saving for MAGUS and
+// UPS against the default uncore setting.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace magus;
+  bench::banner("Fig. 4a -- end-to-end performance, Intel+A100 (single GPU)",
+                "per-app perf loss / power saving / energy saving, MAGUS & UPS");
+  bench::run_fig4(sim::intel_a100(), wl::apps_for_a100(), 1, "fig04a_a100.csv");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 7: threshold sensitivity analysis. Sweep inc/dec/high-frequency
+// thresholds (fixing two, varying the third, ~40 combinations), plot the
+// (runtime, energy) cloud, and mark the Pareto frontier. The paper's common
+// set {inc 300, dec 500, hf 0.4} must land on or near the frontier for every
+// representative application.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace magus;
+  bench::banner("Fig. 7 -- Pareto frontiers of energy vs runtime over thresholds",
+                "40-combination sweep on two representative applications");
+
+  common::CsvWriter csv(bench::out_dir() + "/fig07_sensitivity.csv");
+  csv.write_row({"app", "inc", "dec", "hf", "runtime_s", "energy_j", "on_front",
+                 "recommended"});
+
+  for (const std::string app : {"kmeans", "srad"}) {
+    exp::SweepSpec spec;
+    spec.repeat.repetitions = 3;
+    const auto points = exp::sensitivity_sweep(sim::intel_a100(), app, spec);
+
+    std::cout << "\napplication: " << app << " (" << points.size()
+              << " threshold combinations)\n";
+    common::TextTable table(
+        {"inc", "dec", "hf", "runtime (s)", "energy (kJ)", "pareto", "recommended"});
+    std::vector<exp::ParetoPoint> pp;
+    std::size_t rec_idx = points.size();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      table.add_row({common::TextTable::num(p.inc_threshold, 0),
+                     common::TextTable::num(p.dec_threshold, 0),
+                     common::TextTable::num(p.high_freq_threshold, 1),
+                     common::TextTable::num(p.runtime_s),
+                     common::TextTable::num(p.energy_j / 1000.0),
+                     p.on_front ? "*" : "", p.is_recommended ? "<-- paper set" : ""});
+      csv.write_row({app, common::TextTable::num(p.inc_threshold, 0),
+                     common::TextTable::num(p.dec_threshold, 0),
+                     common::TextTable::num(p.high_freq_threshold, 2),
+                     common::TextTable::num(p.runtime_s, 4),
+                     common::TextTable::num(p.energy_j, 2), p.on_front ? "1" : "0",
+                     p.is_recommended ? "1" : "0"});
+      pp.push_back({p.runtime_s, p.energy_j, i, p.on_front});
+      if (p.is_recommended) rec_idx = i;
+    }
+    table.print(std::cout);
+    if (rec_idx < points.size()) {
+      std::cout << "Recommended set {inc 300, dec 500, hf 0.4}: normalised distance "
+                   "to frontier = "
+                << common::TextTable::num(exp::distance_to_front(pp, rec_idx), 3)
+                << " (paper: on or close to the frontier for all apps)\n";
+    }
+  }
+  std::cout << "CSV: " << bench::out_dir() << "/fig07_sensitivity.csv\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks for the hot paths: the per-cycle cost of
+// MAGUS's decision logic (which must be negligible next to the 0.1 s PCM
+// sweep), the UPS counter sweep, MSR codec operations, and the simulator's
+// tick rate (which bounds how fast the figure benches run).
+
+#include <benchmark/benchmark.h>
+
+#include "magus/baseline/ups.hpp"
+#include "magus/core/mdfs.hpp"
+#include "magus/core/runtime.hpp"
+#include "magus/hw/msr.hpp"
+#include "magus/sim/engine.hpp"
+#include "magus/wl/catalog.hpp"
+
+namespace {
+
+using namespace magus;
+
+void BM_PredictTrend(benchmark::State& state) {
+  common::FixedWindow<double> w(2);
+  w.push(12'000.0);
+  w.push(95'000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::predict_trend(w, 2, 200.0, 500.0));
+  }
+}
+BENCHMARK(BM_PredictTrend);
+
+void BM_HighFreqDetect(benchmark::State& state) {
+  common::FixedWindow<int> w(10, 0);
+  for (int i = 0; i < 5; ++i) w.push(i % 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_high_frequency(w, 0.4));
+  }
+}
+BENCHMARK(BM_HighFreqDetect);
+
+void BM_MdfsDecisionRound(benchmark::State& state) {
+  core::MdfsController ctl(core::MagusConfig{}, 0.8, 2.2);
+  double t = 0.3;
+  double v = 10'000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl.on_throughput(t, v));
+    t += 0.3;
+    v = (v < 50'000.0) ? 120'000.0 : 10'000.0;  // keep both branches hot
+  }
+}
+BENCHMARK(BM_MdfsDecisionRound);
+
+void BM_Msr620Codec(benchmark::State& state) {
+  std::uint64_t raw = 0x0816;
+  for (auto _ : state) {
+    auto limit = hw::UncoreRatioLimit::decode(raw);
+    limit.max_ratio = (limit.max_ratio == 22) ? 8 : 22;
+    raw = limit.encode(raw);
+    benchmark::DoNotOptimize(raw);
+  }
+}
+BENCHMARK(BM_Msr620Codec);
+
+void BM_MagusSampleOnSim(benchmark::State& state) {
+  sim::SimEngine engine(sim::intel_a100(), wl::make_workload("unet"));
+  const hw::UncoreFreqLadder ladder(0.8, 2.2);
+  core::MagusRuntime magus(engine.mem_counter(), engine.msr(), ladder);
+  magus.on_start(0.0);
+  double t = 0.3;
+  for (auto _ : state) {
+    // Advance the node a little so the counter moves, then take one sample.
+    engine.node().tick(t, 0.002, {50'000.0, 0.5, 0.2, 0.8}, 0.0);
+    magus.on_sample(t);
+    t += 0.3;
+  }
+}
+BENCHMARK(BM_MagusSampleOnSim);
+
+void BM_UpsSweepOnSim(benchmark::State& state) {
+  sim::SimEngine engine(sim::intel_a100(), wl::make_workload("unet"));
+  const hw::UncoreFreqLadder ladder(0.8, 2.2);
+  baseline::UpsController ups(engine.energy_counter(), engine.core_counters(),
+                              engine.msr(), ladder);
+  ups.on_start(0.0);
+  double t = 0.5;
+  for (auto _ : state) {
+    engine.node().tick(t, 0.002, {50'000.0, 0.5, 0.2, 0.8}, 0.0);
+    ups.on_sample(t);  // 160 core-counter reads + DRAM energy per call
+    t += 0.5;
+  }
+}
+BENCHMARK(BM_UpsSweepOnSim);
+
+void BM_SimEngineTick(benchmark::State& state) {
+  sim::NodeModel node(sim::intel_a100(), 1);
+  const sim::WorkSlice slice{80'000.0, 0.6, 0.2, 0.9};
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.tick(t, 0.002, slice, 0.0));
+    t += 0.002;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimEngineTick);
+
+void BM_FullUnetSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.record_traces = false;
+    sim::SimEngine engine(sim::intel_a100(), wl::make_workload("unet"), cfg);
+    benchmark::DoNotOptimize(engine.run());
+  }
+}
+BENCHMARK(BM_FullUnetSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

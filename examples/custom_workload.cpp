@@ -1,0 +1,72 @@
+// Bring your own workload: model an application's memory dynamics with the
+// pattern library, run it under MAGUS, and inspect the decision log to see
+// exactly when the runtime predicted a trend, when it detected
+// high-frequency fluctuation, and what it programmed into MSR 0x620.
+//
+// Demonstrates: ProgramBuilder + patterns, direct MagusRuntime wiring
+// against a SimEngine (the same wiring works against the Linux backends on
+// a real Xeon node), and the MdfsController decision log.
+
+#include <iostream>
+
+#include "magus/common/table.hpp"
+#include "magus/core/runtime.hpp"
+#include "magus/sim/engine.hpp"
+#include "magus/wl/patterns.hpp"
+
+int main() {
+  using namespace magus;
+  namespace pat = wl::patterns;
+
+  // A made-up pipeline: staging ramp, steady compute, a violent shuffle
+  // phase (sub-second oscillation), then a long drain.
+  wl::ProgramBuilder builder("my_pipeline");
+  for (const auto& p : pat::ramp(4, 2.0, 10'000.0, 80'000.0, 0.6, 0.6)) builder.add(p);
+  builder.add(pat::steady("compute", 6.0, 15'000.0, 0.2, 0.15, 0.9));
+  for (const auto& p : pat::telegraph(4.0, 0.5, 110'000.0, 20'000.0, 0.8, 0.8)) {
+    builder.add(p);
+  }
+  builder.add(pat::steady("drain", 6.0, 9'000.0, 0.15, 0.1, 0.5));
+  const wl::PhaseProgram program = builder.build();
+  program.validate();
+
+  sim::SimEngine engine(sim::intel_a100(), program);
+  const hw::UncoreFreqLadder ladder(0.8, 2.2);
+  core::MagusConfig cfg;  // paper defaults
+  core::MagusRuntime magus(engine.mem_counter(), engine.msr(), ladder, cfg);
+
+  sim::PolicyHook hook;
+  hook.name = magus.name();
+  hook.period_s = magus.period_s();
+  hook.on_start = [&](double t) { magus.on_start(t); };
+  hook.on_sample = [&](double t) { magus.on_sample(t); };
+  const sim::SimResult result = engine.run(hook);
+
+  std::cout << "workload '" << program.name() << "': " << program.size()
+            << " phases, nominal " << program.nominal_duration_s() << " s\n"
+            << "completed in " << common::TextTable::num(result.duration_s, 2)
+            << " s with " << result.invocations << " monitoring cycles\n\n";
+
+  common::TextTable table({"t (s)", "throughput (GB/s)", "derivative", "prediction",
+                           "high-freq", "programmed (GHz)"});
+  for (const auto& rec : magus.controller().log()) {
+    if (rec.warmup || (!rec.target_ghz && rec.prediction == core::Trend::kStable)) {
+      continue;  // show only the interesting rounds
+    }
+    const char* pred = rec.prediction == core::Trend::kIncrease   ? "increase"
+                       : rec.prediction == core::Trend::kDecrease ? "decrease"
+                                                                  : "stable";
+    table.add_row({common::TextTable::num(rec.t, 1),
+                   common::TextTable::num(rec.throughput_mbps / 1000.0, 1),
+                   common::TextTable::num(rec.derivative, 0), pred,
+                   rec.high_freq ? "yes" : "no",
+                   rec.target_ghz ? common::TextTable::num(*rec.target_ghz, 1) : "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the log: the ramp's rising derivative lifts the uncore\n"
+               "before the heavy phase peaks; the telegraph segment trips the\n"
+               "high-frequency detector (locked at 2.2 GHz); the drain's falling\n"
+               "edge drops the uncore to 0.8 GHz for the quiet tail.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: run one GPU-dominant workload (UNet training) on a simulated
+// Intel+A100 node under four uncore policies and compare the paper's three
+// metrics. This is the 5-minute tour of the public API:
+//
+//   wl::make_workload("unet")     -> a phase program
+//   sim::intel_a100()             -> a system preset
+//   exp::run_policy(...)          -> one simulation
+//   exp::compare(...)             -> perf loss / power saving / energy saving
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "magus/common/table.hpp"
+#include "magus/exp/evaluation.hpp"
+#include "magus/wl/catalog.hpp"
+
+int main() {
+  using namespace magus;
+
+  const sim::SystemSpec system = sim::intel_a100();
+  const wl::PhaseProgram unet = wl::make_workload("unet");
+
+  std::cout << "System: " << system.cpu.model << " + " << system.gpu.model << "\n"
+            << "Uncore range: " << system.cpu.uncore_min_ghz << " - "
+            << system.cpu.uncore_max_ghz << " GHz\n"
+            << "Workload: " << unet.name() << " (" << unet.size() << " phases, nominal "
+            << unet.nominal_duration_s() << " s)\n\n";
+
+  exp::RunOptions opts;
+  opts.engine.record_traces = false;
+
+  const exp::RunOutput base = exp::run_policy(system, unet, exp::PolicyKind::kDefault, opts);
+  const exp::RunOutput umin = exp::run_policy(system, unet, exp::PolicyKind::kStaticMin, opts);
+  const exp::RunOutput magus = exp::run_policy(system, unet, exp::PolicyKind::kMagus, opts);
+  const exp::RunOutput ups = exp::run_policy(system, unet, exp::PolicyKind::kUps, opts);
+
+  common::TextTable table({"policy", "runtime (s)", "avg CPU power (W)", "CPU energy (kJ)",
+                           "GPU energy (kJ)", "total energy (kJ)"});
+  auto add = [&table](const exp::RunOutput& out) {
+    const auto& r = out.result;
+    table.add_row({r.policy_name, common::TextTable::num(r.duration_s, 1),
+                   common::TextTable::num(r.avg_cpu_power_w(), 1),
+                   common::TextTable::num(r.cpu_energy_j() / 1000.0, 2),
+                   common::TextTable::num(r.gpu_energy_j / 1000.0, 2),
+                   common::TextTable::num(r.total_energy_j() / 1000.0, 2)});
+  };
+  add(base);
+  add(umin);
+  add(magus);
+  add(ups);
+  table.print(std::cout);
+
+  const exp::Comparison cmp =
+      exp::compare(exp::to_aggregate(magus.result), exp::to_aggregate(base.result));
+  std::cout << "\nMAGUS vs default: perf loss " << common::TextTable::num(cmp.perf_loss_pct, 2)
+            << " %, CPU power saving " << common::TextTable::num(cmp.cpu_power_saving_pct, 2)
+            << " %, energy saving " << common::TextTable::num(cmp.energy_saving_pct, 2)
+            << " %\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Threshold tuning for a new workload: sweep MAGUS's three thresholds over
+// a grid, extract the Pareto frontier of (runtime, energy), and check where
+// the paper's recommended set lands. This is the Fig. 7 methodology exposed
+// as an API a site operator can run against their own workload mix.
+
+#include <iostream>
+
+#include "magus/common/table.hpp"
+#include "magus/exp/evaluation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace magus;
+
+  const std::string app = argc > 1 ? argv[1] : "lammps";
+
+  exp::SweepSpec spec;
+  spec.repeat.repetitions = 3;
+  std::cout << "sweeping MAGUS thresholds for '" << app << "' on intel_a100...\n";
+  const auto points = exp::sensitivity_sweep(sim::intel_a100(), app, spec);
+
+  common::TextTable table({"inc", "dec", "high-freq", "runtime (s)", "energy (kJ)",
+                           "pareto-optimal"});
+  int on_front = 0;
+  for (const auto& p : points) {
+    if (p.on_front) ++on_front;
+    table.add_row({common::TextTable::num(p.inc_threshold, 0),
+                   common::TextTable::num(p.dec_threshold, 0),
+                   common::TextTable::num(p.high_freq_threshold, 1),
+                   common::TextTable::num(p.runtime_s),
+                   common::TextTable::num(p.energy_j / 1000.0),
+                   std::string(p.on_front ? "*" : "") +
+                       (p.is_recommended ? "  <-- paper default" : "")});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n" << on_front << " of " << points.size()
+            << " combinations are Pareto-optimal.\n"
+            << "If the paper's default set is not on your frontier, pick the\n"
+            << "frontier point matching your site's energy/runtime priority and\n"
+            << "pass it via core::MagusConfig.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+#pragma once
+// DUF-style baseline (Andre, Dulong, Guermouche, Trahay 2022 -- cited by the
+// paper as the prior dynamic uncore-frequency approach, refs [5]/[6]).
+//
+// DUF watches memory *bandwidth utilisation* (delivered throughput relative
+// to the capacity the current uncore frequency can serve) and walks the
+// ladder gradually: utilisation below a low-water mark means the uncore is
+// over-provisioned (step down); above a high-water mark means the workload
+// is bandwidth-hungry (return to max). Like MAGUS it reads one aggregated
+// throughput counter; unlike MAGUS it has neither trend prediction nor
+// high-frequency detection, so it reacts a step at a time and chases
+// oscillation.
+
+#include "magus/core/policy.hpp"
+#include "magus/hw/counters.hpp"
+#include "magus/hw/uncore_freq.hpp"
+
+namespace magus::baseline {
+
+struct DufConfig {
+  double period_s = 0.2;
+  double low_util = 0.40;   ///< below: step the uncore down one ratio
+  double high_util = 0.80;  ///< above: jump back to max
+  /// Capacity model: deliverable MB/s per GHz of uncore (the controller's
+  /// internal estimate; DUF calibrates this once per platform).
+  double capacity_mbps_per_ghz = 72'000.0;
+  bool scaling_enabled = true;
+};
+
+class DufController final : public core::IPolicy {
+ public:
+  DufController(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevice& msr,
+                const hw::UncoreFreqLadder& ladder, DufConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "duf"; }
+  [[nodiscard]] double period_s() const override { return cfg_.period_s; }
+
+  void on_start(double now) override;
+  void on_sample(double now) override;
+
+  [[nodiscard]] double current_target_ghz() const noexcept { return target_ghz_; }
+  [[nodiscard]] double last_utilization() const noexcept { return last_util_; }
+
+ private:
+  hw::IMemThroughputCounter& mem_counter_;
+  hw::UncoreFreqController uncore_;
+  DufConfig cfg_;
+  bool primed_ = false;
+  double prev_mb_ = 0.0;
+  double prev_t_ = 0.0;
+  double target_ghz_;
+  double last_util_ = 0.0;
+};
+
+}  // namespace magus::baseline

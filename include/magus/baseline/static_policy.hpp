@@ -1,0 +1,47 @@
+#pragma once
+// Trivial comparison policies.
+//
+// DefaultPolicy is the paper's baseline: no runtime at all -- uncore scaling
+// is left to the stock firmware (which only reacts near TDP; the simulator's
+// FirmwareGovernor reproduces that). StaticUncorePolicy pins the uncore once
+// at launch; its min/max instantiations are the two ends of Fig. 2.
+
+#include "magus/core/policy.hpp"
+#include "magus/hw/uncore_freq.hpp"
+
+namespace magus::baseline {
+
+/// Stock vendor behaviour: does nothing from software.
+class DefaultPolicy final : public core::IPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "default"; }
+  [[nodiscard]] double period_s() const override { return 0.2; }
+  void on_sample(double now) override { (void)now; }
+};
+
+/// Pin the uncore max limit to a fixed frequency for the whole run.
+class StaticUncorePolicy final : public core::IPolicy {
+ public:
+  StaticUncorePolicy(hw::IMsrDevice& msr, const hw::UncoreFreqLadder& ladder,
+                     double target_ghz)
+      : uncore_(msr, ladder), target_ghz_(ladder.clamp_ghz(target_ghz)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "static_" + std::to_string(target_ghz_);
+  }
+  [[nodiscard]] double period_s() const override { return 0.2; }
+
+  void on_start(double now) override {
+    (void)now;
+    uncore_.set_max_ghz_all(target_ghz_);
+  }
+  void on_sample(double now) override { (void)now; }
+
+  [[nodiscard]] double target_ghz() const noexcept { return target_ghz_; }
+
+ private:
+  hw::UncoreFreqController uncore_;
+  double target_ghz_;
+};
+
+}  // namespace magus::baseline

@@ -1,0 +1,39 @@
+#pragma once
+// Error taxonomy for the hardware layer.
+//
+// Backends that talk to real devices (/dev/cpu/*/msr, powercap sysfs) can
+// fail at runtime for reasons the caller must distinguish: the capability is
+// simply absent (fall back / skip), or present but misbehaving (hard error).
+
+#include <stdexcept>
+#include <string>
+
+namespace magus::common {
+
+/// Base class for all MAGUS errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The requested hardware capability does not exist on this machine
+/// (no msr module, no powercap, no GPU...). Callers typically probe first
+/// and treat this as "skip", not "fail".
+class CapabilityError : public Error {
+ public:
+  explicit CapabilityError(const std::string& what) : Error(what) {}
+};
+
+/// The capability exists but an access failed (EPERM, short read, ...).
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid configuration supplied by the user.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace magus::common

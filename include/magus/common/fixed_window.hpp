@@ -1,0 +1,79 @@
+#pragma once
+// FixedWindow<T>: a fixed-capacity FIFO sliding window.
+//
+// This is the data structure behind the paper's `mem_throughput_ls` and
+// `uncore_tune_ls` queues (Algorithm 3): pushing into a full window evicts
+// the oldest element, so the window always holds the most recent N samples
+// once warmed up.
+
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace magus::common {
+
+template <typename T>
+class FixedWindow {
+ public:
+  explicit FixedWindow(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) throw std::invalid_argument("FixedWindow capacity must be > 0");
+    data_.reserve(capacity_);
+  }
+
+  /// Construct pre-filled with `capacity` copies of `fill` (the paper seeds
+  /// `uncore_tune_ls` with 10 zeros before MDFS engages).
+  FixedWindow(std::size_t capacity, const T& fill) : FixedWindow(capacity) {
+    data_.assign(capacity_, fill);
+  }
+
+  /// Append a sample; evicts the oldest sample when full.
+  void push(const T& v) {
+    if (data_.size() == capacity_) {
+      data_.erase(data_.begin());
+    }
+    data_.push_back(v);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool full() const noexcept { return data_.size() == capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] const T& oldest() const {
+    if (data_.empty()) throw std::out_of_range("FixedWindow::oldest on empty window");
+    return data_.front();
+  }
+  [[nodiscard]] const T& newest() const {
+    if (data_.empty()) throw std::out_of_range("FixedWindow::newest on empty window");
+    return data_.back();
+  }
+
+  /// Element access, index 0 == oldest.
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  [[nodiscard]] T sum() const { return std::accumulate(data_.begin(), data_.end(), T{}); }
+
+  [[nodiscard]] double mean() const {
+    if (data_.empty()) return 0.0;
+    return static_cast<double>(sum()) / static_cast<double>(data_.size());
+  }
+
+  void clear() noexcept { data_.clear(); }
+
+  /// Reset to `capacity` copies of `fill`.
+  void fill(const T& v) { data_.assign(capacity_, v); }
+
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> data_;
+};
+
+}  // namespace magus::common

@@ -1,0 +1,53 @@
+#pragma once
+// Descriptive statistics and the repetition protocol's outlier filter.
+//
+// The paper repeats every experiment >= 5 times, removes outliers, and
+// averages the rest (section 6). `mean_without_outliers` implements that with
+// a standard 1.5*IQR fence.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace magus::common {
+
+/// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Linear-interpolated percentile, p in [0, 100]. Empty input -> 0.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Values within [Q1 - k*IQR, Q3 + k*IQR]; k defaults to the Tukey fence 1.5.
+[[nodiscard]] std::vector<double> iqr_filter(std::span<const double> xs, double k = 1.5);
+
+/// Mean after IQR outlier removal -- the paper's repetition estimator.
+[[nodiscard]] double mean_without_outliers(std::span<const double> xs, double k = 1.5);
+
+/// Pearson correlation; 0 if either side is degenerate.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace magus::common

@@ -1,0 +1,54 @@
+#pragma once
+// Plain-text and CSV table rendering for bench binaries.
+//
+// Every bench target prints the same rows/series the paper's table or figure
+// reports; TextTable keeps the console output aligned, CsvWriter emits a
+// machine-readable copy alongside.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace magus::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row_numeric(const std::vector<double>& cells, int precision = 6);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RFC-4180-ish escaping for a single CSV cell.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace magus::common

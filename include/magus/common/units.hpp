@@ -1,0 +1,51 @@
+#pragma once
+// Physical-unit helpers used throughout MAGUS.
+//
+// All quantities are carried as `double` in canonical SI-ish units:
+//   time        seconds
+//   frequency   GHz   (uncore/core/SM clocks are naturally expressed in GHz)
+//   power       watts
+//   energy      joules
+//   throughput  MB/s  (the paper's thresholds -- inc 200 / dec 500 -- are
+//                      expressed against throughput in MB/s, so MB/s is the
+//                      canonical unit for memory traffic)
+//
+// The named functions below exist so call sites read like the paper text
+// instead of carrying bare magic constants around.
+
+namespace magus::common {
+
+/// Uncore ratio granularity on Intel: 1 ratio step == 100 MHz.
+inline constexpr double kGHzPerUncoreRatio = 0.1;
+
+/// Convert an MSR 0x620-style ratio (100 MHz units) to GHz.
+[[nodiscard]] constexpr double ratio_to_ghz(unsigned ratio) noexcept {
+  return static_cast<double>(ratio) * kGHzPerUncoreRatio;
+}
+
+/// Convert GHz to the nearest uncore ratio (100 MHz units).
+[[nodiscard]] constexpr unsigned ghz_to_ratio(double ghz) noexcept {
+  const double r = ghz / kGHzPerUncoreRatio;
+  return r <= 0.0 ? 0u : static_cast<unsigned>(r + 0.5);
+}
+
+[[nodiscard]] constexpr double mbps_to_gbps(double mbps) noexcept { return mbps / 1000.0; }
+[[nodiscard]] constexpr double gbps_to_mbps(double gbps) noexcept { return gbps * 1000.0; }
+
+[[nodiscard]] constexpr double joules(double watts, double seconds) noexcept {
+  return watts * seconds;
+}
+
+[[nodiscard]] constexpr double watt_hours(double j) noexcept { return j / 3600.0; }
+
+[[nodiscard]] constexpr double percent(double part, double whole) noexcept {
+  return whole == 0.0 ? 0.0 : 100.0 * part / whole;
+}
+
+/// Relative change of `candidate` versus `reference`, in percent.
+/// Positive means candidate is larger.
+[[nodiscard]] constexpr double percent_change(double candidate, double reference) noexcept {
+  return reference == 0.0 ? 0.0 : 100.0 * (candidate - reference) / reference;
+}
+
+}  // namespace magus::common

@@ -1,0 +1,72 @@
+#pragma once
+// MAGUS configuration with the paper's recommended defaults (section 3.3):
+// inc_threshold 200, dec_threshold 500, high_freq_threshold 0.4, a 0.2 s
+// monitoring period, and a 10-cycle (2.0 s) warm-up during which throughput
+// is collected but no tuning occurs.
+
+#include "magus/common/error.hpp"
+
+namespace magus::core {
+
+struct MagusConfig {
+  /// Trend thresholds against the windowed first derivative of memory
+  /// throughput (MB/s per window-length unit). `dec_threshold` is a
+  /// magnitude: a decrease triggers when d < -dec_threshold. The asymmetry
+  /// (500 vs 200) makes down-scaling deliberately more conservative than
+  /// up-scaling.
+  double inc_threshold = 200.0;
+  double dec_threshold = 500.0;
+
+  /// Fraction of tuning events in the decision window that flags
+  /// high-frequency status (Algorithm 2).
+  double high_freq_threshold = 0.4;
+
+  /// Window length L for the derivative (Algorithm 1), in samples. The
+  /// paper leaves L unspecified; L=2 (adjacent-sample derivative) keeps one
+  /// throughput step to one tuning event, which is what lets Algorithm 2
+  /// separate genuine high-frequency fluctuation from isolated bursts.
+  int direv_length = 2;
+
+  /// Length of the uncore_tune_ls decision window (Algorithm 3 seeds it
+  /// with this many zeros).
+  int tune_window = 10;
+
+  /// Monitoring cycles before MDFS engages (10 cycles x 0.2 s = 2.0 s).
+  int warmup_cycles = 10;
+
+  /// Monitoring period between invocations.
+  double period_s = 0.2;
+
+  /// When false, the runtime monitors and logs decisions but never writes
+  /// MSR 0x620 -- the paper's Table 2 overhead-measurement protocol
+  /// ("excluding uncore scaling").
+  bool scaling_enabled = true;
+
+  /// Ablation switch: disable Algorithm 2 entirely (prediction-only MAGUS).
+  /// Used by bench/ablation_high_freq to quantify what the detector buys on
+  /// fluctuation-heavy workloads like SRAD.
+  bool high_freq_detection_enabled = true;
+
+  void validate() const {
+    if (inc_threshold < 0.0 || dec_threshold < 0.0) {
+      throw common::ConfigError("MagusConfig: thresholds must be non-negative");
+    }
+    if (high_freq_threshold < 0.0 || high_freq_threshold > 1.0) {
+      throw common::ConfigError("MagusConfig: high_freq_threshold must be in [0,1]");
+    }
+    if (direv_length < 2) {
+      throw common::ConfigError("MagusConfig: direv_length must be >= 2");
+    }
+    if (tune_window < 1) {
+      throw common::ConfigError("MagusConfig: tune_window must be >= 1");
+    }
+    if (warmup_cycles < 0) {
+      throw common::ConfigError("MagusConfig: warmup_cycles must be >= 0");
+    }
+    if (period_s <= 0.0) {
+      throw common::ConfigError("MagusConfig: period_s must be positive");
+    }
+  }
+};
+
+}  // namespace magus::core

@@ -1,0 +1,20 @@
+#pragma once
+// Algorithm 2: high-frequency phase-change detection.
+//
+// When the rate of (would-be) tuning events in the recent decision window
+// exceeds a threshold, the workload's memory throughput is fluctuating too
+// fast for scaling to keep up; MAGUS then pins the uncore at max until the
+// fluctuation subsides, trading a little power for stable bandwidth.
+
+#include "magus/common/fixed_window.hpp"
+
+namespace magus::core {
+
+/// Fraction of 1-flags in the tune-event window.
+[[nodiscard]] double tune_event_rate(const common::FixedWindow<int>& tune_events);
+
+/// Algorithm 2 verbatim: rate >= threshold -> high-frequency status.
+[[nodiscard]] bool detect_high_frequency(const common::FixedWindow<int>& tune_events,
+                                         double threshold);
+
+}  // namespace magus::core

@@ -1,0 +1,76 @@
+#pragma once
+// Algorithm 3: Memory-throughput-based Dynamic uncore Frequency Scaling.
+//
+// Pure decision logic, decoupled from hardware access: feed it throughput
+// samples, it returns uncore max-frequency targets. Faithful to the paper's
+// pseudocode, including the quirks:
+//   * 10-cycle warm-up: samples are collected, uncore stays at max,
+//     uncore_tune_ls starts as 10 zeros;
+//   * high-frequency detection runs BEFORE this round's prediction and uses
+//     the tune-event history only;
+//   * during high-frequency status the prediction still runs and its
+//     would-be tuning events are still logged (they inform future
+//     detection), but the executed decision is "max";
+//   * a tune event is logged when the prediction would CHANGE the uncore
+//     frequency ("whether a potential uncore frequency scaling event should
+//     occur", section 3.2) -- repeated increase predictions while already at
+//     max are not scaling events;
+//   * when high-frequency status clears, the detection phase "approves and
+//     executes the temporary decision made in the prediction phase"
+//     (section 3.3): the pending prediction-phase target is applied.
+
+#include <optional>
+#include <vector>
+
+#include "magus/common/fixed_window.hpp"
+#include "magus/core/config.hpp"
+#include "magus/core/high_freq.hpp"
+#include "magus/core/predictor.hpp"
+
+namespace magus::core {
+
+/// What the controller decided in one round (for logs, tests, figures).
+struct DecisionRecord {
+  double t = 0.0;
+  double throughput_mbps = 0.0;
+  double derivative = 0.0;
+  Trend prediction = Trend::kStable;
+  bool high_freq = false;
+  bool warmup = false;
+  /// Frequency target issued this round; empty when unchanged.
+  std::optional<double> target_ghz;
+};
+
+class MdfsController {
+ public:
+  MdfsController(const MagusConfig& cfg, double uncore_min_ghz, double uncore_max_ghz);
+
+  /// Feed one throughput sample (MB/s) observed at time `t`.
+  /// Returns the uncore max-frequency to program, or nullopt to leave it.
+  std::optional<double> on_throughput(double t, double mbps);
+
+  [[nodiscard]] bool high_freq_status() const noexcept { return high_freq_status_; }
+  [[nodiscard]] bool warmed_up() const noexcept { return samples_seen_ >= cfg_.warmup_cycles; }
+  [[nodiscard]] const std::vector<DecisionRecord>& log() const noexcept { return log_; }
+
+  /// Last issued target (max at start).
+  [[nodiscard]] double current_target_ghz() const noexcept { return current_target_ghz_; }
+
+  /// The prediction phase's temporary decision -- the frequency MAGUS would
+  /// run at if no high-frequency override were active.
+  [[nodiscard]] double temporary_target_ghz() const noexcept { return temporary_target_ghz_; }
+
+ private:
+  MagusConfig cfg_;
+  double min_ghz_;
+  double max_ghz_;
+  common::FixedWindow<double> mem_window_;
+  common::FixedWindow<int> tune_events_;
+  bool high_freq_status_ = false;
+  int samples_seen_ = 0;
+  double current_target_ghz_;
+  double temporary_target_ghz_;
+  std::vector<DecisionRecord> log_;
+};
+
+}  // namespace magus::core

@@ -1,0 +1,29 @@
+#pragma once
+// Runtime policy interface.
+//
+// A policy is a periodic background process that reads hardware counters and
+// (optionally) rewrites uncore frequency limits. MAGUS, the UPS baseline,
+// and the static policies all implement this; the experiment layer binds a
+// policy to either the simulator or the Linux backends.
+
+#include <string>
+
+namespace magus::core {
+
+class IPolicy {
+ public:
+  virtual ~IPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Monitoring period between invocations (seconds).
+  [[nodiscard]] virtual double period_s() const = 0;
+
+  /// Called once when the application launches.
+  virtual void on_start(double now) { (void)now; }
+
+  /// Called every monitoring period.
+  virtual void on_sample(double now) = 0;
+};
+
+}  // namespace magus::core

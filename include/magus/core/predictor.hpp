@@ -1,0 +1,30 @@
+#pragma once
+// Algorithm 1: memory-throughput trend prediction.
+//
+// The first derivative of the throughput history over a fixed window
+// anticipates near-future demand: a steep rise means a burst is building
+// (raise the uncore before it peaks), a steep fall means the burst is over
+// (drop the uncore to its floor).
+
+#include "magus/common/fixed_window.hpp"
+
+namespace magus::core {
+
+enum class Trend : int {
+  kDecrease = -1,
+  kStable = 0,
+  kIncrease = 1,
+};
+
+/// Windowed first derivative: d = (x[n] - x[0]) / L over the FIFO window.
+/// Returns 0 for windows with fewer than 2 samples.
+[[nodiscard]] double throughput_derivative(const common::FixedWindow<double>& window,
+                                           int window_length);
+
+/// Algorithm 1 verbatim: compare the derivative against the thresholds.
+/// `dec_threshold` is a magnitude (trigger when d < -dec_threshold).
+[[nodiscard]] Trend predict_trend(const common::FixedWindow<double>& window,
+                                  int window_length, double inc_threshold,
+                                  double dec_threshold);
+
+}  // namespace magus::core

@@ -1,0 +1,50 @@
+#pragma once
+// MagusRuntime: the deployable MAGUS policy.
+//
+// Binds the MDFS controller (Algorithm 3) to hardware: one PCM-style
+// memory-throughput read per monitoring cycle in, MSR 0x620 max-ratio
+// writes out. This is the entire per-cycle hardware footprint -- the reason
+// MAGUS's overheads undercut per-core-counter methods (paper Table 2).
+
+#include <memory>
+
+#include "magus/core/config.hpp"
+#include "magus/core/mdfs.hpp"
+#include "magus/core/policy.hpp"
+#include "magus/hw/counters.hpp"
+#include "magus/hw/uncore_freq.hpp"
+
+namespace magus::core {
+
+class MagusRuntime final : public IPolicy {
+ public:
+  MagusRuntime(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevice& msr,
+               const hw::UncoreFreqLadder& ladder, MagusConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "magus"; }
+  [[nodiscard]] double period_s() const override { return cfg_.period_s; }
+
+  /// Sets the uncore to max (the paper's initial condition) and primes the
+  /// throughput counter.
+  void on_start(double now) override;
+
+  void on_sample(double now) override;
+
+  [[nodiscard]] const MdfsController& controller() const noexcept { return *mdfs_; }
+  [[nodiscard]] const MagusConfig& config() const noexcept { return cfg_; }
+
+  /// Last computed throughput (MB/s), for diagnostics.
+  [[nodiscard]] double last_throughput_mbps() const noexcept { return last_mbps_; }
+
+ private:
+  hw::IMemThroughputCounter& mem_counter_;
+  hw::UncoreFreqController uncore_;
+  MagusConfig cfg_;
+  std::unique_ptr<MdfsController> mdfs_;
+  bool primed_ = false;
+  double prev_mb_ = 0.0;
+  double prev_t_ = 0.0;
+  double last_mbps_ = 0.0;
+};
+
+}  // namespace magus::core

@@ -1,0 +1,52 @@
+#pragma once
+// Single-run experiment wiring: system preset x workload x policy -> result.
+//
+// This is the only place that binds policies to the simulator backends;
+// benches and tests go through here so every figure uses identical wiring.
+
+#include <string>
+
+#include "magus/baseline/duf.hpp"
+#include "magus/baseline/ups.hpp"
+#include "magus/core/config.hpp"
+#include "magus/sim/engine.hpp"
+#include "magus/sim/system_preset.hpp"
+#include "magus/trace/recorder.hpp"
+#include "magus/wl/phase.hpp"
+
+namespace magus::exp {
+
+enum class PolicyKind {
+  kDefault,    ///< stock firmware only (the paper's baseline)
+  kStaticMin,  ///< uncore pinned at ladder min (Fig. 2 right)
+  kStaticMax,  ///< uncore pinned at ladder max (Fig. 2 left)
+  kStatic,     ///< uncore pinned at RunOptions::static_ghz
+  kMagus,      ///< the paper's contribution
+  kUps,        ///< UPScavenger baseline
+  kDuf,        ///< DUF-style bandwidth-utilisation baseline (Andre et al. '22)
+};
+
+[[nodiscard]] const char* policy_name(PolicyKind kind) noexcept;
+
+struct RunOptions {
+  sim::EngineConfig engine;
+  core::MagusConfig magus;
+  baseline::UpsConfig ups;
+  baseline::DufConfig duf;
+  double static_ghz = 0.0;  ///< used by PolicyKind::kStatic
+};
+
+struct RunOutput {
+  sim::SimResult result;
+  trace::TraceRecorder traces;
+};
+
+/// Run one workload under one policy on one system.
+[[nodiscard]] RunOutput run_policy(const sim::SystemSpec& system,
+                                   const wl::PhaseProgram& workload, PolicyKind kind,
+                                   const RunOptions& opts = {});
+
+/// The Table 2 protocol workload: an (almost) idle node for `duration_s`.
+[[nodiscard]] wl::PhaseProgram idle_workload(double duration_s);
+
+}  // namespace magus::exp

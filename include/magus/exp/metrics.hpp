@@ -1,0 +1,41 @@
+#pragma once
+// The paper's three evaluation metrics (section 5):
+//   Performance Loss  -- % runtime increase vs baseline
+//   Power Saving      -- % reduction of average CPU (package + DRAM) power
+//   Energy Saving     -- % reduction of total energy (CPU + DRAM + GPU board)
+
+#include "magus/sim/engine.hpp"
+
+namespace magus::exp {
+
+/// Aggregated (across repetitions) scalar outcomes of one configuration.
+struct AggregateResult {
+  double runtime_s = 0.0;
+  double pkg_energy_j = 0.0;
+  double dram_energy_j = 0.0;
+  double gpu_energy_j = 0.0;
+  double avg_cpu_power_w = 0.0;  ///< package + DRAM
+  double avg_gpu_power_w = 0.0;
+  double avg_invocation_s = 0.0;
+  int reps_used = 0;
+  int reps_total = 0;
+
+  [[nodiscard]] double cpu_energy_j() const noexcept { return pkg_energy_j + dram_energy_j; }
+  [[nodiscard]] double total_energy_j() const noexcept {
+    return cpu_energy_j() + gpu_energy_j;
+  }
+};
+
+struct Comparison {
+  double perf_loss_pct = 0.0;         ///< positive = candidate slower
+  double cpu_power_saving_pct = 0.0;  ///< positive = candidate uses less CPU power
+  double energy_saving_pct = 0.0;     ///< positive = candidate uses less total energy
+};
+
+[[nodiscard]] Comparison compare(const AggregateResult& candidate,
+                                 const AggregateResult& baseline) noexcept;
+
+/// Collapse one simulation result into the aggregate shape (single rep).
+[[nodiscard]] AggregateResult to_aggregate(const sim::SimResult& r) noexcept;
+
+}  // namespace magus::exp

@@ -1,0 +1,26 @@
+#pragma once
+// Pareto-frontier extraction for the threshold sensitivity analysis
+// (paper Fig. 7): points are (runtime, energy), both minimised.
+
+#include <cstddef>
+#include <vector>
+
+namespace magus::exp {
+
+struct ParetoPoint {
+  double x = 0.0;  ///< runtime (s)
+  double y = 0.0;  ///< energy (J)
+  std::size_t index = 0;
+  bool on_front = false;
+};
+
+/// Mark the non-dominated subset (minimising both coordinates).
+/// Stable with respect to the input order; ties are kept on the front.
+void mark_pareto_front(std::vector<ParetoPoint>& points);
+
+/// Distance from a point to the nearest front member in normalised
+/// coordinates (for "on or close to the Pareto frontier" statements).
+[[nodiscard]] double distance_to_front(const std::vector<ParetoPoint>& points,
+                                       std::size_t index);
+
+}  // namespace magus::exp

@@ -1,0 +1,26 @@
+#pragma once
+// The repetition protocol (paper section 6): every experiment runs >= 5
+// times with per-repetition workload jitter and a distinct noise seed;
+// outliers are removed with an IQR fence and the remainder averaged.
+
+#include <cstdint>
+
+#include "magus/exp/experiment.hpp"
+#include "magus/exp/metrics.hpp"
+#include "magus/wl/jitter.hpp"
+
+namespace magus::exp {
+
+struct RepeatSpec {
+  int repetitions = 7;
+  std::uint64_t seed = 2025;
+  wl::JitterConfig jitter;
+};
+
+/// Run `workload` under `kind` with the repetition protocol.
+[[nodiscard]] AggregateResult run_repeated(const sim::SystemSpec& system,
+                                           const wl::PhaseProgram& workload,
+                                           PolicyKind kind, const RepeatSpec& spec,
+                                           const RunOptions& opts = {});
+
+}  // namespace magus::exp

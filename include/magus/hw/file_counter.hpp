@@ -1,0 +1,33 @@
+#pragma once
+// File-backed memory-throughput counter.
+//
+// On hosts without direct PCM access, site telemetry (a PCM exporter,
+// Prometheus node agent, vendor daemon) can publish the cumulative DRAM
+// traffic (in MB) to a file; the MAGUS daemon polls it through this adapter.
+// The file holds a single number and is rewritten atomically by the
+// producer.
+
+#include <string>
+
+#include "magus/hw/counters.hpp"
+
+namespace magus::hw {
+
+class FileMemThroughputCounter final : public IMemThroughputCounter {
+ public:
+  /// `path` must exist at construction (probe semantics: a missing file is
+  /// a CapabilityError, so callers can fall back).
+  explicit FileMemThroughputCounter(std::string path);
+
+  /// Reads the current cumulative MB value. A malformed or vanished file
+  /// raises common::DeviceError; values are clamped to be non-decreasing
+  /// (a producer restart must not yield negative throughput).
+  [[nodiscard]] double total_mb() override;
+
+ private:
+  std::string path_;
+  double last_value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace magus::hw

@@ -1,0 +1,48 @@
+#pragma once
+// RAPL fixed-point codecs and wraparound-safe energy accumulation.
+//
+// Real RAPL energy-status MSRs are 32-bit counters in units of
+// 1 / 2^ESU joules (ESU from MSR 0x606) that wrap every few minutes under
+// load; any runtime that integrates energy must handle the wrap. The
+// simulator produces already-converted joules, but the Linux backend and the
+// codec tests exercise the real encoding.
+
+#include <cstdint>
+
+namespace magus::hw {
+
+/// Decoded MSR_RAPL_POWER_UNIT (0x606).
+struct RaplUnits {
+  unsigned power_unit_raw = 3;    ///< bits 3:0, P = 1/2^x W
+  unsigned energy_unit_raw = 14;  ///< bits 12:8, E = 1/2^x J (14 -> 61 uJ, typical)
+  unsigned time_unit_raw = 10;    ///< bits 19:16, T = 1/2^x s
+
+  [[nodiscard]] static RaplUnits decode(std::uint64_t raw) noexcept;
+  [[nodiscard]] std::uint64_t encode() const noexcept;
+
+  [[nodiscard]] double watts_per_lsb() const noexcept;
+  [[nodiscard]] double joules_per_lsb() const noexcept;
+  [[nodiscard]] double seconds_per_lsb() const noexcept;
+
+  bool operator==(const RaplUnits&) const = default;
+};
+
+/// Converts a stream of raw 32-bit energy-status readings into monotonically
+/// increasing joules, handling counter wraparound.
+class EnergyAccumulator {
+ public:
+  explicit EnergyAccumulator(RaplUnits units) noexcept : units_(units) {}
+
+  /// Feed the next raw ENERGY_STATUS reading; returns total joules so far.
+  double update(std::uint32_t raw_reading) noexcept;
+
+  [[nodiscard]] double total_joules() const noexcept { return total_j_; }
+
+ private:
+  RaplUnits units_;
+  bool primed_ = false;
+  std::uint32_t last_raw_ = 0;
+  double total_j_ = 0.0;
+};
+
+}  // namespace magus::hw

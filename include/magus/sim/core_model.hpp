@@ -1,0 +1,45 @@
+#pragma once
+// Core domain: the stock per-core DVFS governor (cores *do* adapt to load,
+// unlike the uncore -- paper Fig. 1a) plus the core power model and the
+// fixed-counter state (instructions / cycles) the UPS baseline reads.
+
+#include <cstdint>
+#include <vector>
+
+#include "magus/sim/system_preset.hpp"
+
+namespace magus::sim {
+
+class CoreModel {
+ public:
+  explicit CoreModel(const CpuSpec& spec);
+
+  /// Advance one tick: `util` in [0,1] is average active-core utilisation,
+  /// `ipc_eff` the effective instructions-per-cycle after memory stalls.
+  void tick(double dt, double util, double ipc_eff);
+
+  /// Governor-driven average core frequency (GHz).
+  [[nodiscard]] double freq_ghz() const noexcept { return freq_ghz_; }
+
+  /// Display frequency of a representative core (adds per-core spread, used
+  /// by the Fig. 1 trace channels).
+  [[nodiscard]] double display_freq_ghz(int core, double now) const noexcept;
+
+  /// Core (non-uncore) power per socket at the current operating point.
+  [[nodiscard]] double power_w(double util) const noexcept;
+
+  /// Cumulative fixed counters for core `c` (node-wide indexing).
+  [[nodiscard]] std::uint64_t instructions_retired(int core) const;
+  [[nodiscard]] std::uint64_t cycles_unhalted(int core) const;
+  [[nodiscard]] int core_count() const noexcept { return spec_.total_cores(); }
+
+ private:
+  CpuSpec spec_;
+  double freq_ghz_;
+  double cycles_ = 0.0;        ///< per-core cumulative unhalted cycles
+  double instructions_ = 0.0;  ///< per-core cumulative retired instructions
+  static constexpr double kGovernorTau = 0.15;  ///< governor smoothing (s)
+  static constexpr double kBaseIpc = 1.6;
+};
+
+}  // namespace magus::sim

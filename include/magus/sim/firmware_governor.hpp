@@ -1,0 +1,29 @@
+#pragma once
+// Stock Intel firmware behaviour: the uncore frequency is lowered ONLY when
+// CPU package power approaches TDP (Andre et al. '22, validated by the
+// paper's Fig. 1). This governor reproduces that: below the back-off point
+// the firmware cap rides at ladder max regardless of workload, which is the
+// power-waste mechanism MAGUS exists to fix.
+
+#include "magus/sim/system_preset.hpp"
+
+namespace magus::sim {
+
+class FirmwareGovernor {
+ public:
+  FirmwareGovernor(const CpuSpec& spec, double backoff_frac);
+
+  /// Evaluate with the current per-socket package power; returns the
+  /// firmware uncore cap in GHz.
+  double update(double dt, double pkg_power_w_per_socket);
+
+  [[nodiscard]] double cap_ghz() const noexcept { return cap_ghz_; }
+
+ private:
+  CpuSpec spec_;
+  double threshold_w_;
+  double cap_ghz_;
+  double hold_s_ = 0.0;  ///< dwell before raising the cap back up
+};
+
+}  // namespace magus::sim

@@ -1,0 +1,40 @@
+#pragma once
+// GPU board model: SM-clock governor (adapts to load, Fig. 1b) and board
+// power including the idle floor that dominates the multi-GPU energy
+// economics in Fig. 4c.
+
+#include "magus/sim/system_preset.hpp"
+
+namespace magus::sim {
+
+class GpuModel {
+ public:
+  explicit GpuModel(const GpuSpec& spec);
+
+  /// Advance one tick with the *effective* utilisation (workload utilisation
+  /// divided by the node stretch factor: a starved host pipeline stalls the
+  /// device).
+  void tick(double dt, double util_effective);
+
+  [[nodiscard]] double clock_ghz() const noexcept { return clock_ghz_; }
+
+  /// Board power (all `count` boards summed).
+  [[nodiscard]] double power_w() const noexcept { return power_w_; }
+
+  /// Cumulative board energy in joules (all boards).
+  [[nodiscard]] double energy_j() const noexcept { return energy_j_; }
+
+  [[nodiscard]] int count() const noexcept { return spec_.count; }
+
+  /// Per-board power (power_w() / count).
+  [[nodiscard]] double board_power_w() const noexcept;
+
+ private:
+  GpuSpec spec_;
+  double clock_ghz_;
+  double power_w_;
+  double energy_j_ = 0.0;
+  static constexpr double kGovernorTau = 0.08;
+};
+
+}  // namespace magus::sim

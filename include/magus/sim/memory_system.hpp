@@ -1,0 +1,20 @@
+#pragma once
+// Memory service model: given a demand and the uncore-dependent capacity,
+// compute delivered throughput and the progress stretch factor.
+//
+// A phase with memory-bound fraction m and demand D against capacity C runs
+// at rate 1 / ((1-m) + m * max(1, D/C)) -- the roofline-style slowdown that
+// turns aggressive uncore scaling into the 21 % UNet runtime hit of Fig. 2.
+
+namespace magus::sim {
+
+struct MemoryService {
+  double delivered_mbps = 0.0;  ///< instantaneous delivered traffic
+  double stretch = 1.0;         ///< >= 1: progress slowdown factor
+  double utilization = 0.0;     ///< delivered / capacity, in [0,1]
+};
+
+[[nodiscard]] MemoryService service_memory(double demand_mbps, double capacity_mbps,
+                                           double mem_bound_frac) noexcept;
+
+}  // namespace magus::sim

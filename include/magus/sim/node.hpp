@@ -1,0 +1,88 @@
+#pragma once
+// NodeModel: the whole heterogeneous node -- sockets (core + uncore + DRAM),
+// GPUs, the stock firmware governor, and the cumulative counters the hw
+// backends expose to runtimes.
+
+#include <cstdint>
+#include <vector>
+
+#include "magus/common/rng.hpp"
+#include "magus/sim/core_model.hpp"
+#include "magus/sim/firmware_governor.hpp"
+#include "magus/sim/gpu_model.hpp"
+#include "magus/sim/memory_system.hpp"
+#include "magus/sim/system_preset.hpp"
+#include "magus/sim/uncore_model.hpp"
+
+namespace magus::sim {
+
+/// Instantaneous workload requirements for one tick.
+struct WorkSlice {
+  double demand_mbps = 0.0;     ///< node-wide DRAM traffic demand
+  double mem_bound_frac = 0.0;  ///< progress fraction gated on memory
+  double cpu_util = 0.0;
+  double gpu_util = 0.0;
+};
+
+/// Results of one tick, consumed by the engine for progress + tracing.
+struct TickOutput {
+  double progress_rate = 1.0;  ///< d(progress)/dt, <= 1 when stretched
+  double delivered_mbps = 0.0;
+  double pkg_power_w = 0.0;   ///< all sockets
+  double dram_power_w = 0.0;  ///< all sockets
+  double gpu_power_w = 0.0;   ///< all boards
+  double uncore_freq_ghz = 0.0;
+  double stretch = 1.0;
+};
+
+class NodeModel {
+ public:
+  NodeModel(SystemSpec spec, std::uint64_t noise_seed);
+
+  /// Advance the node by dt under `slice`; `monitor_extra_w` is the power of
+  /// an actively executing monitoring runtime (lands on socket 0).
+  TickOutput tick(double now, double dt, const WorkSlice& slice, double monitor_extra_w);
+
+  [[nodiscard]] const SystemSpec& spec() const noexcept { return spec_; }
+
+  // --- state the hw backends expose ---------------------------------------
+  [[nodiscard]] int socket_count() const noexcept { return spec_.cpu.sockets; }
+  [[nodiscard]] UncoreModel& uncore(int socket) { return uncores_[socket]; }
+  [[nodiscard]] const UncoreModel& uncore(int socket) const { return uncores_[socket]; }
+  [[nodiscard]] CoreModel& cores() noexcept { return cores_; }
+  [[nodiscard]] const CoreModel& cores() const noexcept { return cores_; }
+  [[nodiscard]] GpuModel& gpu() noexcept { return gpu_; }
+  [[nodiscard]] const GpuModel& gpu() const noexcept { return gpu_; }
+
+  /// Cumulative DRAM traffic (MB) -- what the PCM-style counter reports.
+  [[nodiscard]] double total_traffic_mb() const noexcept { return traffic_mb_; }
+
+  [[nodiscard]] double pkg_energy_j(int socket) const { return pkg_energy_j_[socket]; }
+  [[nodiscard]] double dram_energy_j(int socket) const { return dram_energy_j_[socket]; }
+  [[nodiscard]] double total_pkg_energy_j() const noexcept;
+  [[nodiscard]] double total_dram_energy_j() const noexcept;
+
+  /// Node-wide deliverable bandwidth at current uncore frequencies.
+  [[nodiscard]] double capacity_mbps() const noexcept;
+
+  [[nodiscard]] const TickOutput& last() const noexcept { return last_; }
+
+ private:
+  SystemSpec spec_;
+  std::vector<UncoreModel> uncores_;
+  std::vector<FirmwareGovernor> firmware_;
+  CoreModel cores_;
+  GpuModel gpu_;
+  common::Rng noise_;
+  double traffic_mb_ = 0.0;
+  std::vector<double> pkg_energy_j_;
+  std::vector<double> dram_energy_j_;
+  std::vector<double> last_socket_pkg_w_;
+  TickOutput last_;
+  /// Relative measurement/transport noise on delivered traffic.
+  static constexpr double kTrafficNoiseRel = 0.002;
+  /// OS + housekeeping DRAM traffic always present (MB/s).
+  static constexpr double kBackgroundTrafficMbps = 300.0;
+};
+
+}  // namespace magus::sim

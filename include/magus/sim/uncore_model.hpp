@@ -1,0 +1,50 @@
+#pragma once
+// Per-socket uncore domain: frequency state machine, power curve, and the
+// bandwidth-capacity curve that couples uncore frequency to deliverable
+// memory throughput.
+
+#include "magus/hw/uncore_freq.hpp"
+#include "magus/sim/system_preset.hpp"
+
+namespace magus::sim {
+
+class UncoreModel {
+ public:
+  explicit UncoreModel(const CpuSpec& spec);
+
+  /// Policy-programmed max ratio limit (what MSR 0x620 writes set).
+  void set_policy_limit_ghz(double ghz);
+  [[nodiscard]] double policy_limit_ghz() const noexcept { return policy_limit_ghz_; }
+
+  /// Firmware cap applied on top of the policy limit (TDP back-off).
+  void set_firmware_cap_ghz(double ghz);
+  [[nodiscard]] double firmware_cap_ghz() const noexcept { return firmware_cap_ghz_; }
+
+  /// Advance the frequency state machine: the effective frequency slews
+  /// toward min(policy limit, firmware cap) with a short transition time.
+  void tick(double dt);
+
+  /// Effective uncore frequency right now.
+  [[nodiscard]] double freq_ghz() const noexcept { return freq_ghz_; }
+
+  /// Deliverable DRAM bandwidth at the current frequency (per socket, MB/s).
+  [[nodiscard]] double capacity_mbps() const noexcept;
+  [[nodiscard]] double capacity_mbps_at(double freq_ghz) const noexcept;
+
+  /// Uncore power at the current frequency and a given utilisation in [0,1].
+  [[nodiscard]] double power_w(double utilization) const noexcept;
+
+  [[nodiscard]] const hw::UncoreFreqLadder& ladder() const noexcept { return ladder_; }
+
+ private:
+  CpuSpec spec_;
+  hw::UncoreFreqLadder ladder_;
+  double policy_limit_ghz_;
+  double firmware_cap_ghz_;
+  double freq_ghz_;
+  /// Uncore frequency transitions complete within ~10 ms (MSR writes are
+  /// near-instant; PLL relock and traffic draining dominate).
+  static constexpr double kSlewGhzPerS = 150.0;
+};
+
+}  // namespace magus::sim

@@ -1,0 +1,55 @@
+#pragma once
+// Burst analysis for prediction-accuracy evaluation (paper section 6.3 /
+// Table 1): binarise a throughput trace against a threshold, extract burst
+// intervals, and compare two runs with the Jaccard index.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "magus/trace/time_series.hpp"
+
+namespace magus::trace {
+
+/// Half-open burst interval in seconds.
+struct Interval {
+  double begin;
+  double end;
+  [[nodiscard]] double length() const noexcept { return end - begin; }
+};
+
+/// Binarise uniform samples: 1 where value > threshold.
+[[nodiscard]] std::vector<std::uint8_t> binarize(const std::vector<double>& xs,
+                                                 double threshold);
+
+/// Binarise a time series on a uniform dt grid.
+[[nodiscard]] std::vector<std::uint8_t> binarize(const TimeSeries& ts, double dt,
+                                                 double threshold);
+
+/// Contiguous 1-runs of a binary sequence, as time intervals (grid step dt).
+[[nodiscard]] std::vector<Interval> burst_intervals(const std::vector<std::uint8_t>& bits,
+                                                    double dt);
+
+/// Jaccard index of two binary sequences: |A and B| / |A or B|.
+/// Sequences of different length are compared over the shorter prefix with
+/// the longer tail counted into the union (a missed/extra burst hurts).
+/// Both-empty (no bursts anywhere) -> 1.0 by convention.
+[[nodiscard]] double jaccard(const std::vector<std::uint8_t>& a,
+                             const std::vector<std::uint8_t>& b);
+
+/// Jaccard index of burst occupancy between two traces.
+///
+/// The two runs may have different durations (a policy that slows the
+/// application stretches its trace). Following the paper we compare burst
+/// *intervals* on a normalised time axis: each trace is resampled to
+/// `bins` equal-width bins over its own duration before binarisation, so
+/// bursts align by application progress rather than wall-clock.
+[[nodiscard]] double burst_jaccard(const TimeSeries& a, const TimeSeries& b,
+                                   double threshold, std::size_t bins = 400);
+
+/// Absolute threshold used to call a sample part of a "burst": a fraction of
+/// the reference trace's peak value (default: half of peak).
+[[nodiscard]] double default_burst_threshold(const TimeSeries& reference,
+                                             double fraction = 0.5);
+
+}  // namespace magus::trace

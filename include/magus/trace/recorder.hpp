@@ -1,0 +1,47 @@
+#pragma once
+// TraceRecorder: named channels of TimeSeries filled during a simulation or
+// live run; the single artifact every experiment and bench consumes.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "magus/trace/time_series.hpp"
+
+namespace magus::trace {
+
+/// Canonical channel names written by the simulator / experiment runner.
+namespace channel {
+inline constexpr const char* kMemThroughput = "mem_throughput_mbps";
+inline constexpr const char* kMemDemand = "mem_demand_mbps";
+inline constexpr const char* kUncoreFreq = "uncore_freq_ghz";
+inline constexpr const char* kCoreFreq = "core_freq_ghz";
+inline constexpr const char* kGpuClock = "gpu_clock_ghz";
+inline constexpr const char* kPkgPower = "cpu_pkg_power_w";
+inline constexpr const char* kDramPower = "dram_power_w";
+inline constexpr const char* kGpuPower = "gpu_power_w";
+inline constexpr const char* kTotalPower = "total_power_w";
+}  // namespace channel
+
+class TraceRecorder {
+ public:
+  /// Append a sample to a channel (creates the channel on first use).
+  void record(const std::string& name, double t, double v);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Throws std::out_of_range if the channel does not exist.
+  [[nodiscard]] const TimeSeries& series(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> channels() const;
+
+  /// Dump all channels to CSV: time column per channel pair.
+  void write_csv(const std::string& path) const;
+
+  void clear() noexcept { channels_.clear(); }
+
+ private:
+  std::map<std::string, TimeSeries> channels_;
+};
+
+}  // namespace magus::trace

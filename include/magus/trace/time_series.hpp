@@ -1,0 +1,60 @@
+#pragma once
+// TimeSeries: an append-only sampled signal (t, v) with the reductions the
+// evaluation needs: time-weighted averages (power), trapezoidal integrals
+// (energy), window slicing, and uniform resampling (burst binarisation).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace magus::trace {
+
+struct Sample {
+  double t;  ///< seconds since trace start
+  double v;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Append a sample; `t` must be >= the last timestamp (monotone).
+  void add(double t, double v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  [[nodiscard]] std::span<const Sample> samples() const noexcept { return samples_; }
+
+  [[nodiscard]] double start_time() const;
+  [[nodiscard]] double end_time() const;
+  [[nodiscard]] double duration() const;
+
+  /// Piecewise-constant (sample-and-hold) value at time t; clamps at the ends.
+  [[nodiscard]] double value_at(double t) const;
+
+  /// Time-weighted mean over [t0, t1] under sample-and-hold semantics.
+  /// With default arguments covers the whole trace.
+  [[nodiscard]] double time_weighted_mean(double t0 = -1.0, double t1 = -1.0) const;
+
+  /// Integral of the sample-and-hold signal over its full span
+  /// (power trace [W] -> energy [J]).
+  [[nodiscard]] double integral() const;
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+
+  /// Resample to a uniform grid with step dt covering [start, end); sample-and-hold.
+  [[nodiscard]] std::vector<double> resample(double dt) const;
+
+  /// Values only (for stats helpers).
+  [[nodiscard]] std::vector<double> values() const;
+
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace magus::trace

@@ -1,0 +1,62 @@
+#pragma once
+// Catalog of modelled applications.
+//
+// One preset per application the paper evaluates (section 5): the Altis
+// GPU benchmark suite (levels 1 and 2), ECP proxy applications, the two
+// molecular-dynamics packages, and the MLPerf training workloads. Each
+// preset is a PhaseProgram whose memory dynamics follow the qualitative
+// behaviour the paper reports for that application (burst cadence,
+// high-frequency oscillation, init-time bursts, steady demand, ...).
+//
+// Demand levels are expressed against the Intel+A100 preset's memory
+// capacity (~160 GB/s at max uncore, ~84 GB/s at min); see
+// sim/system_preset.hpp.
+
+#include <string>
+#include <vector>
+
+#include "magus/common/rng.hpp"
+#include "magus/wl/phase.hpp"
+
+namespace magus::wl {
+
+enum class Suite {
+  kAltisL1,   ///< Altis level-1 kernels
+  kAltisL2,   ///< Altis level-2 kernels
+  kEcpProxy,  ///< ECP proxy applications
+  kMdApp,     ///< LAMMPS / GROMACS
+  kMlPerf,    ///< MLPerf HPC training workloads
+};
+
+[[nodiscard]] const char* suite_name(Suite s) noexcept;
+
+struct AppInfo {
+  std::string name;
+  Suite suite;
+  bool sycl_available = false;   ///< part of Altis-SYCL (runs on Intel+Max1550)
+  bool multi_gpu = false;        ///< evaluated on Intel+4A100 (Fig. 4c)
+  bool in_table1 = false;        ///< appears in the paper's Table 1
+};
+
+/// All modelled applications, in the paper's listing order.
+[[nodiscard]] const std::vector<AppInfo>& app_catalog();
+
+/// Lookup by name; throws common::ConfigError for unknown names.
+[[nodiscard]] const AppInfo& app_info(const std::string& name);
+
+/// Build the nominal (un-jittered) phase program for an application.
+/// Throws common::ConfigError for unknown names.
+[[nodiscard]] PhaseProgram make_workload(const std::string& name);
+
+/// Convenience: names filtered by predicate flags.
+[[nodiscard]] std::vector<std::string> apps_for_a100();      ///< Fig. 4a set
+[[nodiscard]] std::vector<std::string> apps_for_max1550();   ///< Fig. 4b set (SYCL)
+[[nodiscard]] std::vector<std::string> apps_for_4a100();     ///< Fig. 4c set
+[[nodiscard]] std::vector<std::string> apps_for_table1();    ///< Table 1 set
+
+/// Scale a workload for an n-GPU run: data movement grows with GPU count
+/// (gradient exchange, larger aggregate input pipelines) while nominal
+/// duration stays fixed (the paper runs larger global batches).
+[[nodiscard]] PhaseProgram scale_for_gpus(const PhaseProgram& p, int gpu_count);
+
+}  // namespace magus::wl

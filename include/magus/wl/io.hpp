@@ -1,0 +1,27 @@
+#pragma once
+// Phase-program file format: load and save workloads as CSV so users can
+// model their own applications without recompiling.
+//
+//   # comment lines and blank lines are ignored
+//   label,duration_s,mem_demand_mbps,mem_bound_frac,cpu_util,gpu_util
+//   stage_in,0.5,82000,0.7,0.2,0.4
+//   compute,6.0,12000,0.2,0.1,0.9
+//
+// A header row is optional (detected by a non-numeric duration field).
+
+#include <string>
+
+#include "magus/wl/phase.hpp"
+
+namespace magus::wl {
+
+/// Parse a program from a CSV file. `name` defaults to the file stem.
+/// Throws common::ConfigError on malformed rows or invalid phases.
+[[nodiscard]] PhaseProgram load_program_csv(const std::string& path,
+                                            const std::string& name = "");
+
+/// Write a program to CSV (with header); round-trips through
+/// load_program_csv.
+void save_program_csv(const PhaseProgram& program, const std::string& path);
+
+}  // namespace magus::wl

@@ -1,0 +1,22 @@
+#pragma once
+// Per-repetition stochastic jitter.
+//
+// Real systems never reproduce a run exactly; the paper repeats every
+// experiment >= 5 times and averages after outlier removal. `apply_jitter`
+// perturbs phase durations and demands with a seeded RNG so repetitions
+// differ but remain bit-reproducible for a given seed.
+
+#include "magus/common/rng.hpp"
+#include "magus/wl/phase.hpp"
+
+namespace magus::wl {
+
+struct JitterConfig {
+  double duration_rel = 0.02;  ///< relative stddev on phase durations
+  double demand_rel = 0.03;    ///< relative stddev on memory demand
+};
+
+[[nodiscard]] PhaseProgram apply_jitter(const PhaseProgram& program, common::Rng& rng,
+                                        const JitterConfig& cfg = {});
+
+}  // namespace magus::wl

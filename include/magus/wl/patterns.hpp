@@ -1,0 +1,43 @@
+#pragma once
+// Reusable memory-dynamics building blocks.
+//
+// The paper's challenge taxonomy (section 2) distinguishes slow phase
+// alternation, sharp bursts, ramps, and millisecond-scale oscillation.
+// These helpers generate phase lists for each of those shapes so app
+// presets (catalog.cpp) read declaratively.
+
+#include <vector>
+
+#include "magus/wl/phase.hpp"
+
+namespace magus::wl::patterns {
+
+/// Two-level square wave: `cycles` repetitions of (hi, lo) phases.
+[[nodiscard]] std::vector<Phase> square_wave(int cycles, double hi_s, double hi_mbps,
+                                             double lo_s, double lo_mbps,
+                                             double mem_bound_hi, double gpu_util);
+
+/// Burst train with a leading ramp edge: (ramp -> burst -> quiet) * cycles.
+/// The ramp edge is what Algorithm 1's derivative latches onto before the
+/// burst peaks -- it makes trend *prediction* (not just detection) matter.
+[[nodiscard]] std::vector<Phase> burst_train(int cycles, double ramp_s, double burst_s,
+                                             double burst_mbps, double quiet_s,
+                                             double quiet_mbps, double mem_bound,
+                                             double gpu_util);
+
+/// Linear demand ramp from `from_mbps` to `to_mbps` over `steps` phases.
+[[nodiscard]] std::vector<Phase> ramp(int steps, double total_s, double from_mbps,
+                                      double to_mbps, double mem_bound, double gpu_util);
+
+/// Fast random-telegraph oscillation between two demand levels with period
+/// `period_s` (< the high-frequency detection window), sustained for
+/// `total_s`. This is the SRAD-style pattern that must trip Algorithm 2.
+[[nodiscard]] std::vector<Phase> telegraph(double total_s, double period_s, double hi_mbps,
+                                           double lo_mbps, double mem_bound,
+                                           double gpu_util);
+
+/// Constant phase.
+[[nodiscard]] Phase steady(const char* label, double duration_s, double mbps,
+                           double mem_bound, double cpu_util, double gpu_util);
+
+}  // namespace magus::wl::patterns

@@ -1,0 +1,70 @@
+#pragma once
+// Workload phase model.
+//
+// MAGUS observes applications exclusively through their memory-throughput
+// signal over time, so a workload is modelled as a sequence of *phases*:
+// intervals with a given DRAM traffic demand, a memory-bound fraction (how
+// much of the phase's progress stalls when the uncore cannot deliver the
+// demanded bandwidth), and CPU/GPU utilisation levels that drive the power
+// models. Phase programs with the right throughput dynamics exercise the
+// identical control paths as the paper's real applications (see DESIGN.md
+// section 2 for the substitution argument).
+
+#include <string>
+#include <vector>
+
+namespace magus::wl {
+
+struct Phase {
+  std::string label;         ///< free-form, for trace debugging
+  double duration_s = 0.0;   ///< nominal duration at full memory service
+  double mem_demand_mbps = 0.0;  ///< DRAM traffic demand (reads+writes)
+  double mem_bound_frac = 0.0;   ///< in [0,1]: progress fraction gated on memory
+  double cpu_util = 0.0;         ///< in [0,1]: host core activity
+  double gpu_util = 0.0;         ///< in [0,1]: device activity
+
+  [[nodiscard]] bool valid() const noexcept;
+};
+
+class PhaseProgram {
+ public:
+  PhaseProgram() = default;
+  PhaseProgram(std::string name, std::vector<Phase> phases);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept { return phases_; }
+  [[nodiscard]] bool empty() const noexcept { return phases_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return phases_.size(); }
+
+  /// Sum of nominal phase durations (the ideal, never-stalled runtime).
+  [[nodiscard]] double nominal_duration_s() const noexcept;
+
+  /// Peak memory demand across phases.
+  [[nodiscard]] double peak_demand_mbps() const noexcept;
+
+  /// Throws common::ConfigError if any phase is invalid.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Phase> phases_;
+};
+
+/// Incremental builder with loop support.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+  ProgramBuilder& add(Phase p);
+
+  /// Append `body` `count` times (training-iteration loops).
+  ProgramBuilder& repeat(int count, const std::vector<Phase>& body);
+
+  [[nodiscard]] PhaseProgram build() const;
+
+ private:
+  std::string name_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace magus::wl

@@ -1,0 +1,54 @@
+#include "magus/baseline/duf.hpp"
+
+#include <algorithm>
+
+namespace magus::baseline {
+
+DufController::DufController(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevice& msr,
+                             const hw::UncoreFreqLadder& ladder, DufConfig cfg)
+    : mem_counter_(mem_counter),
+      uncore_(msr, ladder),
+      cfg_(cfg),
+      target_ghz_(ladder.max_ghz()) {}
+
+void DufController::on_start(double now) {
+  if (cfg_.scaling_enabled) {
+    uncore_.set_max_ghz_all(uncore_.ladder().max_ghz());
+  }
+  prev_mb_ = mem_counter_.total_mb();
+  prev_t_ = now;
+  primed_ = true;
+}
+
+void DufController::on_sample(double now) {
+  const double mb = mem_counter_.total_mb();
+  if (!primed_) {
+    prev_mb_ = mb;
+    prev_t_ = now;
+    primed_ = true;
+    return;
+  }
+  const double dt = now - prev_t_;
+  if (dt <= 0.0) return;
+  const double throughput = (mb - prev_mb_) / dt;
+  prev_mb_ = mb;
+  prev_t_ = now;
+
+  // Utilisation relative to what the *current* target can deliver.
+  const double capacity = std::max(1.0, cfg_.capacity_mbps_per_ghz * target_ghz_);
+  last_util_ = throughput / capacity;
+
+  const auto& ladder = uncore_.ladder();
+  double next = target_ghz_;
+  if (last_util_ > cfg_.high_util) {
+    next = ladder.max_ghz();  // bandwidth-starved: give it everything
+  } else if (last_util_ < cfg_.low_util) {
+    next = ladder.step_down(target_ghz_);  // over-provisioned: creep down
+  }
+  if (next != target_ghz_) {
+    target_ghz_ = next;
+    if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_ghz_);
+  }
+}
+
+}  // namespace magus::baseline

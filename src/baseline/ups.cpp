@@ -1,0 +1,92 @@
+#include "magus/baseline/ups.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace magus::baseline {
+
+UpsController::UpsController(hw::IEnergyCounter& energy, hw::ICoreCounters& cores,
+                             hw::IMsrDevice& msr, const hw::UncoreFreqLadder& ladder,
+                             UpsConfig cfg)
+    : energy_(energy),
+      cores_(cores),
+      uncore_(msr, ladder),
+      cfg_(cfg),
+      target_ghz_(ladder.max_ghz()) {}
+
+UpsController::Snapshot UpsController::sweep() {
+  Snapshot s;
+  for (int sock = 0; sock < energy_.socket_count(); ++sock) {
+    s.dram_j += energy_.dram_energy_j(sock);
+  }
+  // The expensive part: two MSR reads for every core in the node.
+  for (int c = 0; c < cores_.core_count(); ++c) {
+    s.instructions += cores_.instructions_retired(c);
+    s.cycles += cores_.cycles_unhalted(c);
+  }
+  return s;
+}
+
+void UpsController::on_start(double now) {
+  if (cfg_.scaling_enabled) {
+    uncore_.set_max_ghz_all(uncore_.ladder().max_ghz());
+    target_ghz_ = uncore_.ladder().max_ghz();
+  }
+  prev_ = sweep();
+  prev_t_ = now;
+  primed_ = true;
+}
+
+void UpsController::on_sample(double now) {
+  const Snapshot cur = sweep();
+  if (!primed_) {
+    prev_ = cur;
+    prev_t_ = now;
+    primed_ = true;
+    return;
+  }
+  const double dt = now - prev_t_;
+  if (dt <= 0.0) return;
+
+  last_dram_w_ = (cur.dram_j - prev_.dram_j) / dt;
+  const auto dcycles = static_cast<double>(cur.cycles - prev_.cycles);
+  const auto dinst = static_cast<double>(cur.instructions - prev_.instructions);
+  last_ipc_ = dcycles > 0.0 ? dinst / dcycles : 0.0;
+  prev_ = cur;
+  prev_t_ = now;
+
+  const auto& ladder = uncore_.ladder();
+
+  // Phase-boundary detection on DRAM power.
+  const bool phase_change =
+      phase_ref_dram_w_ < 0.0 ||
+      std::abs(last_dram_w_ - phase_ref_dram_w_) >
+          cfg_.dram_phase_rel * std::max(phase_ref_dram_w_, 1.0);
+  if (phase_change) {
+    ++phase_changes_;
+    phase_ref_dram_w_ = last_dram_w_;
+    phase_best_ipc_ = last_ipc_;
+    target_ghz_ = ladder.max_ghz();
+    if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_ghz_);
+    return;
+  }
+
+  phase_best_ipc_ = std::max(phase_best_ipc_, last_ipc_);
+
+  // Within a phase: scavenge downward while IPC holds, back off when it slips.
+  if (last_ipc_ >= cfg_.ipc_guard * phase_best_ipc_) {
+    const double next = ladder.step_down(target_ghz_);
+    if (next != target_ghz_) {
+      target_ghz_ = next;
+      if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_ghz_);
+    }
+  } else {
+    const double next = ladder.step_up(target_ghz_);
+    if (next != target_ghz_) {
+      target_ghz_ = next;
+      if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_ghz_);
+    }
+  }
+}
+
+}  // namespace magus::baseline

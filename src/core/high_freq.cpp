@@ -1,0 +1,14 @@
+#include "magus/core/high_freq.hpp"
+
+namespace magus::core {
+
+double tune_event_rate(const common::FixedWindow<int>& tune_events) {
+  if (tune_events.empty()) return 0.0;
+  return static_cast<double>(tune_events.sum()) / static_cast<double>(tune_events.size());
+}
+
+bool detect_high_frequency(const common::FixedWindow<int>& tune_events, double threshold) {
+  return tune_event_rate(tune_events) >= threshold;
+}
+
+}  // namespace magus::core

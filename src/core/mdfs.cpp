@@ -1,0 +1,81 @@
+#include "magus/core/mdfs.hpp"
+
+namespace magus::core {
+
+MdfsController::MdfsController(const MagusConfig& cfg, double uncore_min_ghz,
+                               double uncore_max_ghz)
+    : cfg_(cfg),
+      min_ghz_(uncore_min_ghz),
+      max_ghz_(uncore_max_ghz),
+      mem_window_(static_cast<std::size_t>(cfg.direv_length)),
+      tune_events_(static_cast<std::size_t>(cfg.tune_window), 0),
+      current_target_ghz_(uncore_max_ghz),
+      temporary_target_ghz_(uncore_max_ghz) {
+  cfg_.validate();
+  if (min_ghz_ >= max_ghz_) {
+    throw common::ConfigError("MdfsController: min must be below max");
+  }
+}
+
+std::optional<double> MdfsController::on_throughput(double t, double mbps) {
+  mem_window_.push(mbps);
+  ++samples_seen_;
+
+  DecisionRecord rec;
+  rec.t = t;
+  rec.throughput_mbps = mbps;
+  rec.derivative = throughput_derivative(mem_window_, cfg_.direv_length);
+
+  // Warm-up: collect history only; the uncore was set to max at start.
+  if (samples_seen_ <= cfg_.warmup_cycles) {
+    rec.warmup = true;
+    log_.push_back(rec);
+    return std::nullopt;
+  }
+
+  std::optional<double> executed;
+
+  // Algorithm 3 lines 9-15: detection first, over the existing tune history.
+  const bool was_high_freq = high_freq_status_;
+  if (cfg_.high_freq_detection_enabled &&
+      detect_high_frequency(tune_events_, cfg_.high_freq_threshold)) {
+    high_freq_status_ = true;
+    executed = max_ghz_;  // pinned at max every round while status holds
+  } else {
+    high_freq_status_ = false;
+    if (was_high_freq) {
+      // Leaving high-frequency status: the detection phase approves and
+      // executes the prediction phase's pending temporary decision (3.3).
+      executed = temporary_target_ghz_;
+    }
+  }
+  rec.high_freq = high_freq_status_;
+
+  // Lines 16-30: prediction. A tune event is logged when the prediction
+  // would *change* the uncore frequency; the temporary decision advances
+  // even while the high-frequency override suppresses execution.
+  rec.prediction =
+      predict_trend(mem_window_, cfg_.direv_length, cfg_.inc_threshold, cfg_.dec_threshold);
+  switch (rec.prediction) {
+    case Trend::kIncrease:
+      tune_events_.push(temporary_target_ghz_ != max_ghz_ ? 1 : 0);
+      temporary_target_ghz_ = max_ghz_;
+      if (!high_freq_status_) executed = max_ghz_;
+      break;
+    case Trend::kDecrease:
+      tune_events_.push(temporary_target_ghz_ != min_ghz_ ? 1 : 0);
+      temporary_target_ghz_ = min_ghz_;
+      if (!high_freq_status_) executed = min_ghz_;
+      break;
+    case Trend::kStable:
+      tune_events_.push(0);
+      break;
+  }
+
+  if (executed) current_target_ghz_ = *executed;
+  rec.target_ghz = executed;
+  log_.push_back(rec);
+  return executed;
+}
+
+}  // namespace magus::core

@@ -1,0 +1,41 @@
+#include "magus/core/runtime.hpp"
+
+namespace magus::core {
+
+MagusRuntime::MagusRuntime(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevice& msr,
+                           const hw::UncoreFreqLadder& ladder, MagusConfig cfg)
+    : mem_counter_(mem_counter), uncore_(msr, ladder), cfg_(cfg) {
+  cfg_.validate();
+  mdfs_ = std::make_unique<MdfsController>(cfg_, ladder.min_ghz(), ladder.max_ghz());
+}
+
+void MagusRuntime::on_start(double now) {
+  if (cfg_.scaling_enabled) {
+    uncore_.set_max_ghz_all(uncore_.ladder().max_ghz());
+  }
+  prev_mb_ = mem_counter_.total_mb();
+  prev_t_ = now;
+  primed_ = true;
+}
+
+void MagusRuntime::on_sample(double now) {
+  const double mb = mem_counter_.total_mb();
+  if (!primed_) {
+    prev_mb_ = mb;
+    prev_t_ = now;
+    primed_ = true;
+    return;
+  }
+  const double dt = now - prev_t_;
+  if (dt <= 0.0) return;
+  last_mbps_ = (mb - prev_mb_) / dt;
+  prev_mb_ = mb;
+  prev_t_ = now;
+
+  const std::optional<double> target = mdfs_->on_throughput(now, last_mbps_);
+  if (target && cfg_.scaling_enabled) {
+    uncore_.set_max_ghz_all(*target);
+  }
+}
+
+}  // namespace magus::core

@@ -1,0 +1,131 @@
+#include "magus/exp/evaluation.hpp"
+
+#include <cmath>
+
+#include "magus/trace/burst.hpp"
+#include "magus/wl/catalog.hpp"
+
+namespace magus::exp {
+
+AppEvaluation evaluate_app(const sim::SystemSpec& system, const std::string& app,
+                           const EvalSpec& spec) {
+  wl::PhaseProgram program = wl::make_workload(app);
+  if (spec.gpu_workload_scale > 1) {
+    program = wl::scale_for_gpus(program, spec.gpu_workload_scale);
+  }
+  AppEvaluation eval;
+  eval.app = app;
+  eval.baseline =
+      run_repeated(system, program, PolicyKind::kDefault, spec.repeat, spec.options);
+  eval.magus = run_repeated(system, program, PolicyKind::kMagus, spec.repeat, spec.options);
+  eval.ups = run_repeated(system, program, PolicyKind::kUps, spec.repeat, spec.options);
+  eval.magus_vs_base = compare(eval.magus, eval.baseline);
+  eval.ups_vs_base = compare(eval.ups, eval.baseline);
+  return eval;
+}
+
+JaccardResult jaccard_for_app(const sim::SystemSpec& system, const std::string& app,
+                              const RunOptions& opts, double threshold_fraction) {
+  const wl::PhaseProgram program = wl::make_workload(app);
+
+  RunOptions trace_opts = opts;
+  trace_opts.engine.record_traces = true;
+
+  const RunOutput base = run_policy(system, program, PolicyKind::kStaticMax, trace_opts);
+  const RunOutput magus = run_policy(system, program, PolicyKind::kMagus, trace_opts);
+
+  const auto& base_ts = base.traces.series(trace::channel::kMemThroughput);
+  const auto& magus_ts = magus.traces.series(trace::channel::kMemThroughput);
+
+  JaccardResult out;
+  out.app = app;
+  out.threshold_mbps = trace::default_burst_threshold(base_ts, threshold_fraction);
+  out.jaccard = trace::burst_jaccard(base_ts, magus_ts, out.threshold_mbps);
+  return out;
+}
+
+std::vector<SweepPoint> sensitivity_sweep(const sim::SystemSpec& system,
+                                          const std::string& app, const SweepSpec& spec) {
+  const wl::PhaseProgram program = wl::make_workload(app);
+
+  std::vector<SweepPoint> points;
+  auto run_combo = [&](double inc, double dec, double hf) {
+    // Skip duplicates of the base combination across the three axes.
+    for (const auto& p : points) {
+      if (p.inc_threshold == inc && p.dec_threshold == dec &&
+          p.high_freq_threshold == hf) {
+        return;
+      }
+    }
+    RunOptions opts;
+    opts.magus.inc_threshold = inc;
+    opts.magus.dec_threshold = dec;
+    opts.magus.high_freq_threshold = hf;
+    const AggregateResult agg =
+        run_repeated(system, program, PolicyKind::kMagus, spec.repeat, opts);
+    SweepPoint pt;
+    pt.inc_threshold = inc;
+    pt.dec_threshold = dec;
+    pt.high_freq_threshold = hf;
+    pt.runtime_s = agg.runtime_s;
+    pt.energy_j = agg.total_energy_j();
+    pt.is_recommended =
+        inc == spec.base_inc && dec == spec.base_dec && hf == spec.base_hf;
+    points.push_back(pt);
+  };
+
+  // Fix two thresholds at the base values and vary the third (paper 6.4),
+  // then add the full cross of the coarse grids to reach ~40 combinations.
+  for (double inc : spec.inc_values) run_combo(inc, spec.base_dec, spec.base_hf);
+  for (double dec : spec.dec_values) run_combo(spec.base_inc, dec, spec.base_hf);
+  for (double hf : spec.hf_values) run_combo(spec.base_inc, spec.base_dec, hf);
+  for (double inc : spec.inc_values) {
+    for (double dec : spec.dec_values) {
+      run_combo(inc, dec, spec.base_hf);
+    }
+  }
+  for (double hf : spec.hf_values) {
+    for (double inc : spec.inc_values) {
+      run_combo(inc, spec.base_dec, hf);
+    }
+  }
+
+  std::vector<ParetoPoint> pp(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    pp[i] = {points[i].runtime_s, points[i].energy_j, i, false};
+  }
+  mark_pareto_front(pp);
+  for (std::size_t i = 0; i < points.size(); ++i) points[i].on_front = pp[i].on_front;
+  return points;
+}
+
+OverheadResult measure_overhead(const sim::SystemSpec& system, double idle_duration_s,
+                                std::uint64_t seed) {
+  const wl::PhaseProgram idle = idle_workload(idle_duration_s);
+
+  RunOptions opts;
+  opts.engine.seed = seed;
+  opts.engine.record_traces = false;
+  // Table 2 protocol: monitoring + phase detection only, no uncore scaling.
+  opts.magus.scaling_enabled = false;
+  opts.ups.scaling_enabled = false;
+
+  const RunOutput base = run_policy(system, idle, PolicyKind::kDefault, opts);
+  const RunOutput magus = run_policy(system, idle, PolicyKind::kMagus, opts);
+  const RunOutput ups = run_policy(system, idle, PolicyKind::kUps, opts);
+
+  auto cpu_power = [](const sim::SimResult& r) { return r.avg_cpu_power_w(); };
+
+  OverheadResult out;
+  out.system = system.name;
+  out.idle_power_w = cpu_power(base.result);
+  out.magus_power_overhead_pct =
+      100.0 * (cpu_power(magus.result) - out.idle_power_w) / out.idle_power_w;
+  out.ups_power_overhead_pct =
+      100.0 * (cpu_power(ups.result) - out.idle_power_w) / out.idle_power_w;
+  out.magus_invocation_s = magus.result.avg_invocation_s();
+  out.ups_invocation_s = ups.result.avg_invocation_s();
+  return out;
+}
+
+}  // namespace magus::exp

@@ -1,0 +1,88 @@
+#include "magus/exp/experiment.hpp"
+
+#include <memory>
+
+#include "magus/baseline/static_policy.hpp"
+#include "magus/common/error.hpp"
+#include "magus/core/runtime.hpp"
+
+namespace magus::exp {
+
+const char* policy_name(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kDefault: return "default";
+    case PolicyKind::kStaticMin: return "static_min";
+    case PolicyKind::kStaticMax: return "static_max";
+    case PolicyKind::kStatic: return "static";
+    case PolicyKind::kMagus: return "magus";
+    case PolicyKind::kUps: return "ups";
+    case PolicyKind::kDuf: return "duf";
+  }
+  return "?";
+}
+
+RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& workload,
+                     PolicyKind kind, const RunOptions& opts) {
+  sim::SimEngine engine(system, workload, opts.engine);
+  const hw::UncoreFreqLadder ladder(system.cpu.uncore_min_ghz, system.cpu.uncore_max_ghz);
+
+  std::unique_ptr<core::IPolicy> policy;
+  switch (kind) {
+    case PolicyKind::kDefault:
+      policy = std::make_unique<baseline::DefaultPolicy>();
+      break;
+    case PolicyKind::kStaticMin:
+      policy = std::make_unique<baseline::StaticUncorePolicy>(engine.msr(), ladder,
+                                                              ladder.min_ghz());
+      break;
+    case PolicyKind::kStaticMax:
+      policy = std::make_unique<baseline::StaticUncorePolicy>(engine.msr(), ladder,
+                                                              ladder.max_ghz());
+      break;
+    case PolicyKind::kStatic:
+      if (opts.static_ghz <= 0.0) {
+        throw common::ConfigError("run_policy: kStatic requires static_ghz");
+      }
+      policy = std::make_unique<baseline::StaticUncorePolicy>(engine.msr(), ladder,
+                                                              opts.static_ghz);
+      break;
+    case PolicyKind::kMagus:
+      policy = std::make_unique<core::MagusRuntime>(engine.mem_counter(), engine.msr(),
+                                                    ladder, opts.magus);
+      break;
+    case PolicyKind::kUps:
+      policy = std::make_unique<baseline::UpsController>(engine.energy_counter(),
+                                                         engine.core_counters(),
+                                                         engine.msr(), ladder, opts.ups);
+      break;
+    case PolicyKind::kDuf:
+      policy = std::make_unique<baseline::DufController>(engine.mem_counter(),
+                                                         engine.msr(), ladder, opts.duf);
+      break;
+  }
+
+  sim::PolicyHook hook;
+  hook.name = policy->name();
+  hook.period_s = policy->period_s();
+  // Default and static policies do nothing per sample; skip the callback so
+  // the engine charges them zero monitoring overhead (they are not runtimes).
+  const bool is_runtime = (kind == PolicyKind::kMagus || kind == PolicyKind::kUps ||
+                           kind == PolicyKind::kDuf);
+  hook.on_start = [&policy](double now) { policy->on_start(now); };
+  if (is_runtime) {
+    hook.on_sample = [&policy](double now) { policy->on_sample(now); };
+  }
+
+  RunOutput out;
+  out.result = engine.run(hook);
+  out.traces = engine.recorder();
+  return out;
+}
+
+wl::PhaseProgram idle_workload(double duration_s) {
+  // Background daemons only: negligible DRAM traffic, a whisper of CPU.
+  wl::Phase idle{"idle", duration_s, 50.0, 0.0, 0.02, 0.0};
+  return wl::PhaseProgram("idle", {idle});
+}
+
+}  // namespace magus::exp

@@ -1,0 +1,46 @@
+#include "magus/exp/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace magus::exp {
+
+void mark_pareto_front(std::vector<ParetoPoint>& points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const bool leq = points[j].x <= points[i].x && points[j].y <= points[i].y;
+      const bool strict = points[j].x < points[i].x || points[j].y < points[i].y;
+      if (leq && strict) dominated = true;
+    }
+    points[i].on_front = !dominated;
+  }
+}
+
+double distance_to_front(const std::vector<ParetoPoint>& points, std::size_t index) {
+  if (index >= points.size()) return std::numeric_limits<double>::infinity();
+  double min_x = std::numeric_limits<double>::max(), max_x = std::numeric_limits<double>::lowest();
+  double min_y = min_x, max_y = max_x;
+  for (const auto& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span_x = std::max(max_x - min_x, 1e-12);
+  const double span_y = std::max(max_y - min_y, 1e-12);
+  const auto& q = points[index];
+  if (q.on_front) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    if (!p.on_front) continue;
+    const double dx = (p.x - q.x) / span_x;
+    const double dy = (p.y - q.y) / span_y;
+    best = std::min(best, std::sqrt(dx * dx + dy * dy));
+  }
+  return best;
+}
+
+}  // namespace magus::exp

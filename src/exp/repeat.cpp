@@ -1,0 +1,48 @@
+#include "magus/exp/repeat.hpp"
+
+#include <vector>
+
+#include "magus/common/error.hpp"
+#include "magus/common/stats.hpp"
+#include "magus/wl/jitter.hpp"
+
+namespace magus::exp {
+
+AggregateResult run_repeated(const sim::SystemSpec& system, const wl::PhaseProgram& workload,
+                             PolicyKind kind, const RepeatSpec& spec,
+                             const RunOptions& opts) {
+  if (spec.repetitions < 1) throw common::ConfigError("run_repeated: repetitions < 1");
+
+  std::vector<double> runtime, pkg_j, dram_j, gpu_j, cpu_w, gpu_w, invoc;
+  common::Rng master(spec.seed);
+
+  for (int rep = 0; rep < spec.repetitions; ++rep) {
+    common::Rng rep_rng = master.fork(static_cast<std::uint64_t>(rep));
+    const wl::PhaseProgram jittered = wl::apply_jitter(workload, rep_rng, spec.jitter);
+    RunOptions rep_opts = opts;
+    rep_opts.engine.seed = spec.seed * 1000003ull + static_cast<std::uint64_t>(rep);
+    rep_opts.engine.record_traces = false;  // scalar metrics only; traces cost memory
+    const RunOutput out = run_policy(system, jittered, kind, rep_opts);
+    runtime.push_back(out.result.duration_s);
+    pkg_j.push_back(out.result.pkg_energy_j);
+    dram_j.push_back(out.result.dram_energy_j);
+    gpu_j.push_back(out.result.gpu_energy_j);
+    cpu_w.push_back(out.result.avg_cpu_power_w());
+    gpu_w.push_back(out.result.avg_gpu_power_w);
+    invoc.push_back(out.result.avg_invocation_s());
+  }
+
+  AggregateResult agg;
+  agg.runtime_s = common::mean_without_outliers(runtime);
+  agg.pkg_energy_j = common::mean_without_outliers(pkg_j);
+  agg.dram_energy_j = common::mean_without_outliers(dram_j);
+  agg.gpu_energy_j = common::mean_without_outliers(gpu_j);
+  agg.avg_cpu_power_w = common::mean_without_outliers(cpu_w);
+  agg.avg_gpu_power_w = common::mean_without_outliers(gpu_w);
+  agg.avg_invocation_s = common::mean_without_outliers(invoc);
+  agg.reps_total = spec.repetitions;
+  agg.reps_used = static_cast<int>(common::iqr_filter(runtime).size());
+  return agg;
+}
+
+}  // namespace magus::exp

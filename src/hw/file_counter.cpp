@@ -1,0 +1,38 @@
+#include "magus/hw/file_counter.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "magus/common/error.hpp"
+
+namespace magus::hw {
+
+FileMemThroughputCounter::FileMemThroughputCounter(std::string path)
+    : path_(std::move(path)) {
+  if (!std::filesystem::exists(path_)) {
+    throw common::CapabilityError("FileMemThroughputCounter: no such file: " + path_);
+  }
+}
+
+double FileMemThroughputCounter::total_mb() {
+  std::ifstream is(path_);
+  if (!is) {
+    throw common::DeviceError("FileMemThroughputCounter: cannot read " + path_);
+  }
+  double value = 0.0;
+  if (!(is >> value)) {
+    throw common::DeviceError("FileMemThroughputCounter: malformed content in " + path_);
+  }
+  // Producer restarts reset the counter; keep the reported value monotone by
+  // folding the reset into the running offset.
+  if (!primed_) {
+    primed_ = true;
+    last_value_ = value;
+    return value;
+  }
+  if (value < last_value_) value = last_value_;
+  last_value_ = value;
+  return value;
+}
+
+}  // namespace magus::hw

@@ -1,0 +1,29 @@
+#include "magus/hw/msr.hpp"
+
+#include "magus/common/units.hpp"
+
+namespace magus::hw {
+
+namespace {
+constexpr std::uint64_t kMaxRatioMask = 0x7Full;         // bits 6:0
+constexpr std::uint64_t kMinRatioMask = 0x7Full << 8;    // bits 14:8
+}  // namespace
+
+UncoreRatioLimit UncoreRatioLimit::decode(std::uint64_t raw) noexcept {
+  UncoreRatioLimit v;
+  v.max_ratio = static_cast<unsigned>(raw & kMaxRatioMask);
+  v.min_ratio = static_cast<unsigned>((raw & kMinRatioMask) >> 8);
+  return v;
+}
+
+std::uint64_t UncoreRatioLimit::encode(std::uint64_t previous_raw) const noexcept {
+  std::uint64_t raw = previous_raw & ~(kMaxRatioMask | kMinRatioMask);
+  raw |= static_cast<std::uint64_t>(max_ratio) & kMaxRatioMask;
+  raw |= (static_cast<std::uint64_t>(min_ratio) << 8) & kMinRatioMask;
+  return raw;
+}
+
+double UncoreRatioLimit::max_ghz() const noexcept { return common::ratio_to_ghz(max_ratio); }
+double UncoreRatioLimit::min_ghz() const noexcept { return common::ratio_to_ghz(min_ratio); }
+
+}  // namespace magus::hw

@@ -1,0 +1,46 @@
+#include "magus/hw/rapl.hpp"
+
+#include <cmath>
+
+namespace magus::hw {
+
+RaplUnits RaplUnits::decode(std::uint64_t raw) noexcept {
+  RaplUnits u;
+  u.power_unit_raw = static_cast<unsigned>(raw & 0xF);
+  u.energy_unit_raw = static_cast<unsigned>((raw >> 8) & 0x1F);
+  u.time_unit_raw = static_cast<unsigned>((raw >> 16) & 0xF);
+  return u;
+}
+
+std::uint64_t RaplUnits::encode() const noexcept {
+  return (static_cast<std::uint64_t>(power_unit_raw) & 0xF) |
+         ((static_cast<std::uint64_t>(energy_unit_raw) & 0x1F) << 8) |
+         ((static_cast<std::uint64_t>(time_unit_raw) & 0xF) << 16);
+}
+
+double RaplUnits::watts_per_lsb() const noexcept {
+  return 1.0 / static_cast<double>(1ull << power_unit_raw);
+}
+
+double RaplUnits::joules_per_lsb() const noexcept {
+  return 1.0 / static_cast<double>(1ull << energy_unit_raw);
+}
+
+double RaplUnits::seconds_per_lsb() const noexcept {
+  return 1.0 / static_cast<double>(1ull << time_unit_raw);
+}
+
+double EnergyAccumulator::update(std::uint32_t raw_reading) noexcept {
+  if (!primed_) {
+    primed_ = true;
+    last_raw_ = raw_reading;
+    return total_j_;
+  }
+  // Unsigned subtraction handles a single wrap correctly.
+  const std::uint32_t delta = raw_reading - last_raw_;
+  last_raw_ = raw_reading;
+  total_j_ += static_cast<double>(delta) * units_.joules_per_lsb();
+  return total_j_;
+}
+
+}  // namespace magus::hw

@@ -1,0 +1,118 @@
+#include "magus/sim/backends.hpp"
+
+#include <string>
+
+#include "magus/common/error.hpp"
+#include "magus/common/units.hpp"
+#include "magus/hw/rapl.hpp"
+
+namespace magus::sim {
+
+namespace {
+/// Typical server RAPL units: energy LSB = 1/2^14 J (61 uJ).
+const hw::RaplUnits kSimRaplUnits{3, 14, 10};
+
+std::uint64_t to_energy_status(double joules) {
+  // 32-bit wrapping counter, exactly like MSR 0x611/0x619.
+  const double lsb = kSimRaplUnits.joules_per_lsb();
+  const auto ticks = static_cast<std::uint64_t>(joules / lsb);
+  return ticks & 0xFFFFFFFFull;
+}
+}  // namespace
+
+SimMsrDevice::SimMsrDevice(NodeModel& node, AccessMeter& meter)
+    : node_(node), meter_(meter) {
+  raw_0x620_.resize(node_.socket_count());
+  for (int s = 0; s < node_.socket_count(); ++s) {
+    const auto& ladder = node_.uncore(s).ladder();
+    hw::UncoreRatioLimit limit;
+    limit.max_ratio = ladder.max_ratio();
+    limit.min_ratio = ladder.min_ratio();
+    raw_0x620_[s] = limit.encode();
+  }
+}
+
+int SimMsrDevice::socket_count() const { return node_.socket_count(); }
+
+std::uint64_t SimMsrDevice::read(int socket, std::uint32_t reg) {
+  if (socket < 0 || socket >= socket_count()) {
+    throw common::ConfigError("SimMsrDevice: socket out of range");
+  }
+  ++meter_.msr_reads;
+  switch (reg) {
+    case hw::msr::kUncoreRatioLimit:
+      return raw_0x620_[socket];
+    case hw::msr::kUncorePerfStatus:
+      return common::ghz_to_ratio(node_.uncore(socket).freq_ghz());
+    case hw::msr::kRaplPowerUnit:
+      return kSimRaplUnits.encode();
+    case hw::msr::kPkgEnergyStatus:
+      return to_energy_status(node_.pkg_energy_j(socket));
+    case hw::msr::kDramEnergyStatus:
+      return to_energy_status(node_.dram_energy_j(socket));
+    default:
+      throw common::DeviceError("SimMsrDevice: unsupported MSR read 0x" +
+                                std::to_string(reg));
+  }
+}
+
+void SimMsrDevice::write(int socket, std::uint32_t reg, std::uint64_t value) {
+  if (socket < 0 || socket >= socket_count()) {
+    throw common::ConfigError("SimMsrDevice: socket out of range");
+  }
+  ++meter_.msr_writes;
+  if (reg != hw::msr::kUncoreRatioLimit) {
+    throw common::DeviceError("SimMsrDevice: unsupported MSR write 0x" +
+                              std::to_string(reg));
+  }
+  raw_0x620_[socket] = value;
+  const auto limit = hw::UncoreRatioLimit::decode(value);
+  node_.uncore(socket).set_policy_limit_ghz(limit.max_ghz());
+}
+
+double SimMemThroughputCounter::total_mb() {
+  ++meter_.pcm_reads;
+  return node_.total_traffic_mb();
+}
+
+int SimEnergyCounter::socket_count() const { return node_.socket_count(); }
+
+double SimEnergyCounter::pkg_energy_j(int socket) {
+  ++meter_.msr_reads;
+  return node_.pkg_energy_j(socket);
+}
+
+double SimEnergyCounter::dram_energy_j(int socket) {
+  ++meter_.msr_reads;
+  return node_.dram_energy_j(socket);
+}
+
+int SimGpuPowerSensor::gpu_count() const { return node_.gpu().count(); }
+
+double SimGpuPowerSensor::power_w(int gpu) {
+  if (gpu < 0 || gpu >= gpu_count()) {
+    throw common::ConfigError("SimGpuPowerSensor: gpu out of range");
+  }
+  return node_.gpu().board_power_w();
+}
+
+double SimGpuPowerSensor::energy_j(int gpu) {
+  if (gpu < 0 || gpu >= gpu_count()) {
+    throw common::ConfigError("SimGpuPowerSensor: gpu out of range");
+  }
+  return node_.gpu().energy_j() / node_.gpu().count();
+}
+
+int SimCoreCounters::core_count() const { return node_.cores().core_count(); }
+
+std::uint64_t SimCoreCounters::instructions_retired(int core) {
+  ++meter_.msr_reads;
+  return node_.cores().instructions_retired(core);
+}
+
+std::uint64_t SimCoreCounters::cycles_unhalted(int core) {
+  ++meter_.msr_reads;
+  return node_.cores().cycles_unhalted(core);
+}
+
+}  // namespace magus::sim

@@ -1,0 +1,134 @@
+#include "magus/sim/engine.hpp"
+
+#include <algorithm>
+
+#include "magus/common/error.hpp"
+
+namespace magus::sim {
+
+namespace {
+
+/// Walks a PhaseProgram in "phase seconds": progress advances at the node's
+/// progress rate, so memory starvation stretches wall-clock automatically.
+class ProgramExecutor {
+ public:
+  explicit ProgramExecutor(const wl::PhaseProgram& program) : program_(program) {}
+
+  [[nodiscard]] bool done() const noexcept { return index_ >= program_.size(); }
+
+  [[nodiscard]] WorkSlice slice() const {
+    const auto& p = program_.phases()[index_];
+    return {p.mem_demand_mbps, p.mem_bound_frac, p.cpu_util, p.gpu_util};
+  }
+
+  void advance(double progress_dt) {
+    progress_ += progress_dt;
+    while (!done() && progress_ >= program_.phases()[index_].duration_s) {
+      progress_ -= program_.phases()[index_].duration_s;
+      ++index_;
+    }
+  }
+
+ private:
+  const wl::PhaseProgram& program_;
+  std::size_t index_ = 0;
+  double progress_ = 0.0;
+};
+
+}  // namespace
+
+SimEngine::SimEngine(SystemSpec spec, wl::PhaseProgram program, EngineConfig cfg)
+    : spec_(std::move(spec)),
+      program_(std::move(program)),
+      cfg_(cfg),
+      node_(spec_, cfg.seed) {
+  program_.validate();
+  if (cfg_.tick_s <= 0.0 || cfg_.record_dt_s <= 0.0) {
+    throw common::ConfigError("SimEngine: non-positive tick or record step");
+  }
+  msr_ = std::make_unique<SimMsrDevice>(node_, meter_);
+  mem_counter_ = std::make_unique<SimMemThroughputCounter>(node_, meter_);
+  energy_counter_ = std::make_unique<SimEnergyCounter>(node_, meter_);
+  gpu_sensor_ = std::make_unique<SimGpuPowerSensor>(node_);
+  core_counters_ = std::make_unique<SimCoreCounters>(node_, meter_);
+}
+
+SimResult SimEngine::run(const PolicyHook& policy) {
+  SimResult result;
+  result.policy_name = policy.name;
+
+  const double max_sim =
+      cfg_.max_sim_s > 0.0 ? cfg_.max_sim_s : 4.0 * program_.nominal_duration_s() + 30.0;
+  const CpuSpec& cpu = spec_.cpu;
+
+  ProgramExecutor executor(program_);
+
+  if (policy.on_start) policy.on_start(0.0);
+
+  double t = 0.0;
+  double next_sample_t = policy.on_sample ? policy.period_s : -1.0;
+  double monitor_busy_until = 0.0;
+  double monitor_power_w = 0.0;
+  double next_record_t = 0.0;
+
+  while (!executor.done() && t < max_sim) {
+    const double dt = cfg_.tick_s;
+    const WorkSlice slice = executor.slice();
+    const double extra_w = (t < monitor_busy_until) ? monitor_power_w : 0.0;
+    const TickOutput out = node_.tick(t, dt, slice, extra_w);
+    executor.advance(dt * out.progress_rate);
+
+    if (cfg_.record_traces && t >= next_record_t) {
+      recorder_.record(trace::channel::kMemThroughput, t, out.delivered_mbps);
+      recorder_.record(trace::channel::kMemDemand, t, slice.demand_mbps);
+      recorder_.record(trace::channel::kUncoreFreq, t, out.uncore_freq_ghz);
+      recorder_.record(trace::channel::kPkgPower, t, out.pkg_power_w);
+      recorder_.record(trace::channel::kDramPower, t, out.dram_power_w);
+      recorder_.record(trace::channel::kGpuPower, t, out.gpu_power_w);
+      recorder_.record(trace::channel::kGpuClock, t, node_.gpu().clock_ghz());
+      recorder_.record(trace::channel::kTotalPower, t,
+                       out.pkg_power_w + out.dram_power_w + out.gpu_power_w);
+      for (int c = 0; c < cfg_.display_cores; ++c) {
+        recorder_.record(std::string(trace::channel::kCoreFreq) + "_" + std::to_string(c),
+                         t, node_.cores().display_freq_ghz(c, t));
+      }
+      next_record_t = t + cfg_.record_dt_s;
+    }
+
+    t += dt;
+
+    if (policy.on_sample && next_sample_t >= 0.0 && t >= next_sample_t) {
+      const AccessMeter before = meter_;
+      policy.on_sample(t);
+      const auto msr_delta =
+          (meter_.msr_reads - before.msr_reads) + (meter_.msr_writes - before.msr_writes);
+      const auto pcm_delta = meter_.pcm_reads - before.pcm_reads;
+      const double cost = static_cast<double>(msr_delta) * cpu.msr_read_latency_s +
+                          static_cast<double>(pcm_delta) * cpu.pcm_read_latency_s;
+      const double equiv_reads = static_cast<double>(msr_delta) +
+                                 cpu.pcm_equivalent_reads * static_cast<double>(pcm_delta);
+      monitor_power_w = cpu.monitor_base_power_w + cpu.monitor_per_read_power_w * equiv_reads;
+      monitor_busy_until = t + cost;
+      ++result.invocations;
+      result.total_invocation_s += cost;
+      // Next monitoring cycle starts `period` after this invocation returns
+      // (paper section 6.5: 0.1 s invocation + 0.2 s period = 0.3 s cadence).
+      next_sample_t = t + cost + policy.period_s;
+    }
+  }
+
+  result.completed = executor.done();
+  result.duration_s = t;
+  result.pkg_energy_j = node_.total_pkg_energy_j();
+  result.dram_energy_j = node_.total_dram_energy_j();
+  result.gpu_energy_j = node_.gpu().energy_j();
+  if (t > 0.0) {
+    result.avg_pkg_power_w = result.pkg_energy_j / t;
+    result.avg_dram_power_w = result.dram_energy_j / t;
+    result.avg_gpu_power_w = result.gpu_energy_j / t;
+  }
+  result.accesses = meter_;
+  return result;
+}
+
+}  // namespace magus::sim

@@ -1,0 +1,28 @@
+#include "magus/sim/firmware_governor.hpp"
+
+#include <algorithm>
+
+namespace magus::sim {
+
+FirmwareGovernor::FirmwareGovernor(const CpuSpec& spec, double backoff_frac)
+    : spec_(spec),
+      threshold_w_(spec.tdp_w * backoff_frac),
+      cap_ghz_(spec.uncore_max_ghz) {}
+
+double FirmwareGovernor::update(double dt, double pkg_power_w_per_socket) {
+  constexpr double kStepGhz = 0.1;
+  constexpr double kRaiseDwellS = 0.05;
+  if (pkg_power_w_per_socket > threshold_w_) {
+    cap_ghz_ = std::max(spec_.uncore_min_ghz, cap_ghz_ - kStepGhz);
+    hold_s_ = kRaiseDwellS;
+  } else {
+    hold_s_ -= dt;
+    if (hold_s_ <= 0.0 && cap_ghz_ < spec_.uncore_max_ghz) {
+      cap_ghz_ = std::min(spec_.uncore_max_ghz, cap_ghz_ + kStepGhz);
+      hold_s_ = kRaiseDwellS;
+    }
+  }
+  return cap_ghz_;
+}
+
+}  // namespace magus::sim

@@ -1,0 +1,100 @@
+#include "magus/sim/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace magus::sim {
+
+NodeModel::NodeModel(SystemSpec spec, std::uint64_t noise_seed)
+    : spec_(std::move(spec)),
+      cores_(spec_.cpu),
+      gpu_(spec_.gpu),
+      noise_(noise_seed) {
+  uncores_.reserve(spec_.cpu.sockets);
+  firmware_.reserve(spec_.cpu.sockets);
+  for (int s = 0; s < spec_.cpu.sockets; ++s) {
+    uncores_.emplace_back(spec_.cpu);
+    firmware_.emplace_back(spec_.cpu, spec_.tdp_backoff_frac);
+  }
+  pkg_energy_j_.assign(spec_.cpu.sockets, 0.0);
+  dram_energy_j_.assign(spec_.cpu.sockets, 0.0);
+  last_socket_pkg_w_.assign(spec_.cpu.sockets, 0.0);
+}
+
+double NodeModel::capacity_mbps() const noexcept {
+  double cap = 0.0;
+  for (const auto& u : uncores_) cap += u.capacity_mbps();
+  return cap;
+}
+
+double NodeModel::total_pkg_energy_j() const noexcept {
+  double e = 0.0;
+  for (double j : pkg_energy_j_) e += j;
+  return e;
+}
+
+double NodeModel::total_dram_energy_j() const noexcept {
+  double e = 0.0;
+  for (double j : dram_energy_j_) e += j;
+  return e;
+}
+
+TickOutput NodeModel::tick(double now, double dt, const WorkSlice& slice,
+                           double monitor_extra_w) {
+  // 1. Firmware governor per socket (stock TDP-coupled uncore behaviour),
+  //    using the previous tick's power (sensor delay is ~1 tick anyway).
+  for (int s = 0; s < socket_count(); ++s) {
+    uncores_[s].set_firmware_cap_ghz(firmware_[s].update(dt, last_socket_pkg_w_[s]));
+    uncores_[s].tick(dt);
+  }
+
+  // 2. Memory service against the combined capacity.
+  const double demand = slice.demand_mbps + kBackgroundTrafficMbps;
+  const double capacity = capacity_mbps();
+  const MemoryService mem = service_memory(demand, capacity, slice.mem_bound_frac);
+
+  // 3. Core + GPU domains. Memory stalls depress effective IPC and the
+  //    device's achieved utilisation alike.
+  const double ipc_eff = 1.6 / mem.stretch;
+  cores_.tick(dt, slice.cpu_util, ipc_eff);
+  gpu_.tick(dt, slice.gpu_util / mem.stretch);
+
+  // 4. Power + energy. The workload splits evenly across sockets; a running
+  //    monitor executes on socket 0.
+  const double delivered_noisy =
+      std::max(0.0, mem.delivered_mbps * noise_.jitter(kTrafficNoiseRel));
+  traffic_mb_ += delivered_noisy * dt;
+
+  double pkg_total = 0.0;
+  double dram_total = 0.0;
+  const double bw_frac_per_socket =
+      spec_.cpu.peak_mem_bw_mbps > 0.0
+          ? std::clamp(mem.delivered_mbps / static_cast<double>(socket_count()) /
+                           spec_.cpu.peak_mem_bw_mbps,
+                       0.0, 1.0)
+          : 0.0;
+  for (int s = 0; s < socket_count(); ++s) {
+    const double core_w = cores_.power_w(slice.cpu_util);
+    const double uncore_w = uncores_[s].power_w(mem.utilization);
+    const double monitor_w = (s == 0) ? monitor_extra_w : 0.0;
+    const double pkg_w = core_w + uncore_w + monitor_w;
+    const double dram_w = spec_.cpu.dram_idle_w + spec_.cpu.dram_dyn_w * bw_frac_per_socket;
+    pkg_energy_j_[s] += pkg_w * dt;
+    dram_energy_j_[s] += dram_w * dt;
+    last_socket_pkg_w_[s] = pkg_w;
+    pkg_total += pkg_w;
+    dram_total += dram_w;
+  }
+
+  last_.progress_rate = 1.0 / mem.stretch;
+  last_.delivered_mbps = delivered_noisy;
+  last_.pkg_power_w = pkg_total;
+  last_.dram_power_w = dram_total;
+  last_.gpu_power_w = gpu_.power_w();
+  last_.uncore_freq_ghz = uncores_.front().freq_ghz();
+  last_.stretch = mem.stretch;
+  (void)now;
+  return last_;
+}
+
+}  // namespace magus::sim

@@ -1,0 +1,119 @@
+#include "magus/sim/system_preset.hpp"
+
+#include "magus/common/error.hpp"
+
+namespace magus::sim {
+
+SystemSpec intel_a100() {
+  SystemSpec s;
+  s.name = "intel_a100";
+  s.cpu.model = "Intel Xeon Platinum 8380";
+  s.cpu.sockets = 2;
+  s.cpu.cores_per_socket = 40;
+  s.cpu.tdp_w = 270.0;
+  s.cpu.uncore_min_ghz = 0.8;
+  s.cpu.uncore_max_ghz = 2.2;
+  // Uncore power on Ice Lake SP is dominated by the fabric/LLC clock, only
+  // weakly by traffic: high utilisation floor, strong f^2 term. Calibrated
+  // to Fig. 2's ~82 W package delta and 200 W -> 120 W swing under UNet.
+  s.cpu.uncore_k1_w_per_ghz = 2.0;
+  s.cpu.uncore_k2_w_per_ghz2 = 12.5;
+  s.cpu.uncore_util_floor = 0.70;
+  s.cpu.monitor_base_power_w = 2.5;
+  s.cpu.monitor_per_read_power_w = 0.08;
+  s.cpu.pcm_equivalent_reads = 48.0;
+  s.gpu.model = "NVIDIA A100-40GB";
+  s.gpu.count = 1;
+  s.gpu.idle_w = 30.0;
+  s.gpu.peak_w = 400.0;
+  s.gpu.base_clock_ghz = 0.765;
+  s.gpu.max_clock_ghz = 1.410;
+  return s;
+}
+
+SystemSpec intel_4a100() {
+  SystemSpec s = intel_a100();
+  s.name = "intel_4a100";
+  s.gpu.model = "NVIDIA A100-80GB (PCIe)";
+  s.gpu.count = 4;
+  s.gpu.idle_w = 50.0;   // 4 boards ~= 200 W idle floor (paper section 6.1)
+  s.gpu.peak_w = 300.0;  // PCIe board power limit
+  return s;
+}
+
+SystemSpec intel_max1550() {
+  SystemSpec s;
+  s.name = "intel_max1550";
+  s.cpu.model = "Intel Xeon CPU Max 9462";
+  s.cpu.sockets = 2;
+  s.cpu.cores_per_socket = 32;
+  s.cpu.tdp_w = 350.0;
+  s.cpu.uncore_min_ghz = 0.8;
+  s.cpu.uncore_max_ghz = 2.5;
+  s.cpu.core_idle_w = 42.0;
+  s.cpu.core_dyn_w = 150.0;
+  // Sapphire Rapids Max: tiled uncore + HBM controllers; a slightly steeper
+  // frequency-power curve and higher bandwidth headroom.
+  s.cpu.uncore_leak_w = 7.0;
+  s.cpu.uncore_k1_w_per_ghz = 2.5;
+  s.cpu.uncore_k2_w_per_ghz2 = 9.0;
+  s.cpu.uncore_util_floor = 0.70;
+  s.cpu.peak_mem_bw_mbps = 95'000.0;
+  s.cpu.bw_floor_frac = 0.30;
+  // Reading per-core MSRs across compute tiles is slower; PCM-equivalent
+  // telemetry also sweeps HBM controllers.
+  s.cpu.msr_read_latency_s = 0.0024;
+  s.cpu.pcm_read_latency_s = 0.1;
+  s.cpu.monitor_base_power_w = 2.5;
+  s.cpu.monitor_per_read_power_w = 0.182;
+  s.cpu.pcm_equivalent_reads = 22.0;
+  s.gpu.model = "Intel Data Center GPU Max 1550";
+  s.gpu.count = 1;
+  s.gpu.idle_w = 100.0;
+  s.gpu.peak_w = 600.0;
+  s.gpu.base_clock_ghz = 0.9;
+  s.gpu.max_clock_ghz = 1.6;
+  return s;
+}
+
+SystemSpec amd_mi250() {
+  SystemSpec s;
+  s.name = "amd_mi250";
+  s.cpu.model = "AMD EPYC 7A53 (Infinity Fabric domain)";
+  s.cpu.sockets = 1;
+  s.cpu.cores_per_socket = 64;
+  s.cpu.tdp_w = 280.0;
+  // FCLK ladder: 1.2-2.0 GHz in 100 MHz steps (amd_hsmp-style control).
+  s.cpu.uncore_min_ghz = 1.2;
+  s.cpu.uncore_max_ghz = 2.0;
+  s.cpu.core_min_ghz = 1.5;
+  s.cpu.core_max_ghz = 3.5;
+  s.cpu.core_idle_w = 45.0;
+  s.cpu.core_dyn_w = 140.0;
+  // The fabric+SoC domain draws a large, weakly traffic-dependent share.
+  s.cpu.uncore_leak_w = 12.0;
+  s.cpu.uncore_k1_w_per_ghz = 4.0;
+  s.cpu.uncore_k2_w_per_ghz2 = 14.0;
+  s.cpu.uncore_util_floor = 0.72;
+  s.cpu.peak_mem_bw_mbps = 190'000.0;  // 8ch DDR4-3200, single socket
+  s.cpu.bw_floor_frac = 0.45;          // fabric floor keeps more bandwidth alive
+  s.cpu.msr_read_latency_s = 0.0021;   // hsmp mailbox round-trips
+  s.cpu.pcm_read_latency_s = 0.09;     // DF perf-counter sweep
+  s.gpu.model = "AMD Instinct MI250X";
+  s.gpu.count = 1;
+  s.gpu.idle_w = 90.0;
+  s.gpu.peak_w = 560.0;
+  s.gpu.base_clock_ghz = 0.8;
+  s.gpu.max_clock_ghz = 1.7;
+  return s;
+}
+
+SystemSpec system_by_name(const std::string& name) {
+  if (name == "intel_a100") return intel_a100();
+  if (name == "intel_4a100") return intel_4a100();
+  if (name == "intel_max1550") return intel_max1550();
+  if (name == "amd_mi250") return amd_mi250();
+  throw common::ConfigError("unknown system preset '" + name + "'");
+}
+
+}  // namespace magus::sim

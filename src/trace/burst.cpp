@@ -1,0 +1,72 @@
+#include "magus/trace/burst.hpp"
+
+#include <algorithm>
+
+namespace magus::trace {
+
+std::vector<std::uint8_t> binarize(const std::vector<double>& xs, double threshold) {
+  std::vector<std::uint8_t> bits(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) bits[i] = xs[i] > threshold ? 1 : 0;
+  return bits;
+}
+
+std::vector<std::uint8_t> binarize(const TimeSeries& ts, double dt, double threshold) {
+  return binarize(ts.resample(dt), threshold);
+}
+
+std::vector<Interval> burst_intervals(const std::vector<std::uint8_t>& bits, double dt) {
+  std::vector<Interval> out;
+  std::size_t i = 0;
+  while (i < bits.size()) {
+    if (bits[i]) {
+      const std::size_t begin = i;
+      while (i < bits.size() && bits[i]) ++i;
+      out.push_back({static_cast<double>(begin) * dt, static_cast<double>(i) * dt});
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+double jaccard(const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t inter = 0;
+  std::size_t uni = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool va = a[i] != 0;
+    const bool vb = b[i] != 0;
+    inter += (va && vb) ? 1 : 0;
+    uni += (va || vb) ? 1 : 0;
+  }
+  // Tail of the longer sequence counts into the union only.
+  const auto& longer = a.size() > b.size() ? a : b;
+  for (std::size_t i = n; i < longer.size(); ++i) {
+    uni += longer[i] ? 1 : 0;
+  }
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double burst_jaccard(const TimeSeries& a, const TimeSeries& b, double threshold,
+                     std::size_t bins) {
+  if (a.empty() || b.empty() || bins == 0) return 0.0;
+  auto sample_normalised = [bins, threshold](const TimeSeries& ts) {
+    std::vector<std::uint8_t> bits(bins);
+    const double t0 = ts.start_time();
+    const double span = ts.duration();
+    for (std::size_t i = 0; i < bins; ++i) {
+      const double frac = (static_cast<double>(i) + 0.5) / static_cast<double>(bins);
+      bits[i] = ts.value_at(t0 + frac * span) > threshold ? 1 : 0;
+    }
+    return bits;
+  };
+  return jaccard(sample_normalised(a), sample_normalised(b));
+}
+
+double default_burst_threshold(const TimeSeries& reference, double fraction) {
+  if (reference.empty()) return 0.0;
+  return fraction * reference.max_value();
+}
+
+}  // namespace magus::trace

@@ -1,0 +1,42 @@
+#include "magus/trace/recorder.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace magus::trace {
+
+void TraceRecorder::record(const std::string& name, double t, double v) {
+  channels_[name].add(t, v);
+}
+
+bool TraceRecorder::has(const std::string& name) const {
+  return channels_.find(name) != channels_.end();
+}
+
+const TimeSeries& TraceRecorder::series(const std::string& name) const {
+  auto it = channels_.find(name);
+  if (it == channels_.end()) {
+    throw std::out_of_range("TraceRecorder: no channel '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> TraceRecorder::channels() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, ts] : channels_) names.push_back(name);
+  return names;
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("TraceRecorder: cannot open " + path);
+  os << "channel,t,v\n";
+  for (const auto& [name, ts] : channels_) {
+    for (const auto& s : ts.samples()) {
+      os << name << ',' << s.t << ',' << s.v << '\n';
+    }
+  }
+}
+
+}  // namespace magus::trace

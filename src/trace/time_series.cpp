@@ -1,0 +1,99 @@
+#include "magus/trace/time_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace magus::trace {
+
+void TimeSeries::add(double t, double v) {
+  if (!samples_.empty() && t < samples_.back().t) {
+    throw std::invalid_argument("TimeSeries::add: non-monotone timestamp");
+  }
+  samples_.push_back({t, v});
+}
+
+double TimeSeries::start_time() const {
+  if (samples_.empty()) throw std::out_of_range("TimeSeries: empty");
+  return samples_.front().t;
+}
+
+double TimeSeries::end_time() const {
+  if (samples_.empty()) throw std::out_of_range("TimeSeries: empty");
+  return samples_.back().t;
+}
+
+double TimeSeries::duration() const { return end_time() - start_time(); }
+
+double TimeSeries::value_at(double t) const {
+  if (samples_.empty()) throw std::out_of_range("TimeSeries: empty");
+  if (t <= samples_.front().t) return samples_.front().v;
+  if (t >= samples_.back().t) return samples_.back().v;
+  // First sample with time > t; the value held is from the one before it.
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), t,
+                             [](double lhs, const Sample& s) { return lhs < s.t; });
+  return std::prev(it)->v;
+}
+
+double TimeSeries::time_weighted_mean(double t0, double t1) const {
+  if (samples_.empty()) return 0.0;
+  if (t0 < 0.0) t0 = start_time();
+  if (t1 < 0.0) t1 = end_time();
+  if (t1 <= t0) return value_at(t0);
+  double acc = 0.0;
+  double prev_t = t0;
+  double prev_v = value_at(t0);
+  for (const auto& s : samples_) {
+    if (s.t <= t0) continue;
+    if (s.t >= t1) break;
+    acc += prev_v * (s.t - prev_t);
+    prev_t = s.t;
+    prev_v = s.v;
+  }
+  acc += prev_v * (t1 - prev_t);
+  return acc / (t1 - t0);
+}
+
+double TimeSeries::integral() const {
+  if (samples_.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    acc += samples_[i - 1].v * (samples_[i].t - samples_[i - 1].t);
+  }
+  return acc;
+}
+
+double TimeSeries::min_value() const {
+  if (samples_.empty()) throw std::out_of_range("TimeSeries: empty");
+  double m = samples_.front().v;
+  for (const auto& s : samples_) m = std::min(m, s.v);
+  return m;
+}
+
+double TimeSeries::max_value() const {
+  if (samples_.empty()) throw std::out_of_range("TimeSeries: empty");
+  double m = samples_.front().v;
+  for (const auto& s : samples_) m = std::max(m, s.v);
+  return m;
+}
+
+std::vector<double> TimeSeries::resample(double dt) const {
+  if (samples_.empty() || dt <= 0.0) return {};
+  std::vector<double> out;
+  const double t0 = start_time();
+  const double t1 = end_time();
+  out.reserve(static_cast<std::size_t>((t1 - t0) / dt) + 1);
+  for (double t = t0; t < t1; t += dt) {
+    out.push_back(value_at(t));
+  }
+  if (out.empty()) out.push_back(samples_.front().v);
+  return out;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.v);
+  return out;
+}
+
+}  // namespace magus::trace

@@ -1,0 +1,391 @@
+#include "magus/wl/catalog.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "magus/common/error.hpp"
+#include "magus/wl/patterns.hpp"
+
+namespace magus::wl {
+
+using patterns::burst_train;
+using patterns::ramp;
+using patterns::square_wave;
+using patterns::steady;
+using patterns::telegraph;
+
+const char* suite_name(Suite s) noexcept {
+  switch (s) {
+    case Suite::kAltisL1: return "altis_l1";
+    case Suite::kAltisL2: return "altis_l2";
+    case Suite::kEcpProxy: return "ecp_proxy";
+    case Suite::kMdApp: return "md_app";
+    case Suite::kMlPerf: return "mlperf";
+  }
+  return "?";
+}
+
+const std::vector<AppInfo>& app_catalog() {
+  static const std::vector<AppInfo> catalog = {
+      // name                  suite              sycl   multi  table1
+      {"bfs",                  Suite::kAltisL1,   true,  false, true},
+      {"gemm",                 Suite::kAltisL1,   true,  false, true},
+      {"pathfinder",           Suite::kAltisL1,   true,  false, true},
+      {"sort",                 Suite::kAltisL1,   true,  false, true},
+      {"cfd",                  Suite::kAltisL2,   true,  false, true},
+      {"cfd_double",           Suite::kAltisL2,   false, false, true},
+      {"fdtd2d",               Suite::kAltisL2,   true,  false, true},
+      {"kmeans",               Suite::kAltisL2,   true,  false, true},
+      {"lavamd",               Suite::kAltisL2,   true,  false, true},
+      {"nw",                   Suite::kAltisL2,   true,  false, true},
+      {"particlefilter_float", Suite::kAltisL2,   false, false, true},
+      {"particlefilter_naive", Suite::kAltisL2,   false, false, false},
+      {"raytracing",           Suite::kAltisL2,   true,  false, true},
+      {"srad",                 Suite::kAltisL2,   false, false, false},
+      {"where",                Suite::kAltisL2,   true,  false, true},
+      {"miniGAN",              Suite::kEcpProxy,  false, false, true},
+      {"cradl",                Suite::kEcpProxy,  false, false, false},
+      {"laghos",               Suite::kEcpProxy,  false, false, true},
+      {"sw4lite",              Suite::kEcpProxy,  false, false, true},
+      {"lammps",               Suite::kMdApp,     false, true,  true},
+      {"gromacs",              Suite::kMdApp,     false, true,  true},
+      {"unet",                 Suite::kMlPerf,    false, true,  true},
+      {"resnet50",             Suite::kMlPerf,    false, true,  true},
+      {"bert_large",           Suite::kMlPerf,    false, true,  true},
+  };
+  return catalog;
+}
+
+const AppInfo& app_info(const std::string& name) {
+  for (const auto& info : app_catalog()) {
+    if (info.name == name) return info;
+  }
+  throw common::ConfigError("unknown application '" + name + "'");
+}
+
+namespace {
+
+void append(std::vector<Phase>& dst, const std::vector<Phase>& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// ---- Altis level 1 --------------------------------------------------------
+
+PhaseProgram make_bfs() {
+  // Frontier expansions: well-separated long bursts over a quiet baseline.
+  // Mostly uncore-idle -> among the highest CPU power savings (Fig. 4a).
+  ProgramBuilder b("bfs");
+  b.repeat(3, burst_train(1, 0.3, 0.9, 95'000.0, 3.6, 8'000.0, 0.75, 0.35));
+  return b.build();
+}
+
+PhaseProgram make_gemm() {
+  // One H2D staging burst, then long compute-bound tiles with little DRAM
+  // traffic. The single early burst is what dents its Table 1 Jaccard.
+  ProgramBuilder b("gemm");
+  b.add(steady("h2d_stage", 0.55, 112'000.0, 0.85, 0.25, 0.45));
+  b.add(steady("tiles_warm", 2.85, 6'000.0, 0.10, 0.08, 0.97));
+  b.add(steady("reload_a", 0.45, 125'000.0, 0.85, 0.20, 0.60));
+  b.add(steady("tiles_mid", 2.6, 6'000.0, 0.10, 0.08, 0.97));
+  b.add(steady("reload_b", 0.45, 125'000.0, 0.85, 0.20, 0.60));
+  b.add(steady("tiles_late", 2.4, 6'000.0, 0.10, 0.08, 0.97));
+  b.add(steady("reload_c", 0.4, 125'000.0, 0.85, 0.20, 0.60));
+  b.add(steady("tiles_end", 3.6, 6'000.0, 0.10, 0.08, 0.97));
+  return b.build();
+}
+
+PhaseProgram make_pathfinder() {
+  // Dynamic-programming sweeps: short bursts, long quiet stretches.
+  ProgramBuilder b("pathfinder");
+  b.add(steady("warm", 2.0, 7'000.0, 0.15, 0.10, 0.15));
+  b.repeat(2, burst_train(1, 0.3, 0.7, 90'000.0, 4.4, 7'000.0, 0.70, 0.15));
+  return b.build();
+}
+
+PhaseProgram make_sort() {
+  // Radix passes: periodic medium bursts every ~3.5 s (tracked, not locked).
+  ProgramBuilder b("sort");
+  b.repeat(4, burst_train(1, 0.3, 1.0, 80'000.0, 3.2, 15'000.0, 0.70, 0.50));
+  return b.build();
+}
+
+// ---- Altis level 2 --------------------------------------------------------
+
+PhaseProgram make_cfd(bool double_precision) {
+  if (!double_precision) {
+    // Slow solver alternation: flux computation vs state update.
+    ProgramBuilder b("cfd");
+    b.repeat(5, square_wave(1, 1.5, 70'000.0, 3.0, 18'000.0, 0.70, 0.80));
+    return b.build();
+  }
+  // Double precision: bursty setup (before MAGUS's warm-up completes), then
+  // a heavier steady state -> lower Table 1 Jaccard, like the paper's 0.63.
+  ProgramBuilder b("cfd_double");
+  std::vector<Phase> phases = telegraph(1.5, 0.5, 85'000.0, 10'000.0, 0.75, 0.70);
+  append(phases, {steady("assemble", 1.4, 12'000.0, 0.20, 0.12, 0.70),
+                  steady("factor_a", 0.5, 125'000.0, 0.85, 0.18, 0.70),
+                  steady("back_sub_a", 1.7, 12'000.0, 0.20, 0.12, 0.80),
+                  steady("factor_b", 0.45, 125'000.0, 0.85, 0.18, 0.70),
+                  steady("back_sub_b", 1.6, 12'000.0, 0.20, 0.12, 0.80),
+                  steady("factor_c", 0.4, 125'000.0, 0.85, 0.18, 0.70),
+                  steady("solve", 8.0, 42'000.0, 0.50, 0.15, 0.85)});
+  for (auto& p : phases) b.add(p);
+  return b.build();
+}
+
+PhaseProgram make_fdtd2d() {
+  // Multiple brief bursts during initialisation (inside MAGUS's 2 s warm-up)
+  // followed by moderate stencil sweeps with occasional short spikes. The
+  // init bursts are the paper's stated cause of fdtd2d's 0.40 Jaccard.
+  ProgramBuilder b("fdtd2d");
+  for (const auto& p : telegraph(1.8, 0.3, 85'000.0, 8'000.0, 0.75, 0.55)) b.add(p);
+  b.add(steady("stencil_warm", 1.6, 30'000.0, 0.45, 0.12, 0.85));
+  b.repeat(5, std::vector<Phase>{steady("field_swap", 0.35, 125'000.0, 0.85, 0.15, 0.80),
+                                 steady("stencil", 2.0, 25'000.0, 0.40, 0.12, 0.85)});
+  return b.build();
+}
+
+PhaseProgram make_kmeans() {
+  // Assignment/update iterations: bursts every ~2.7 s.
+  ProgramBuilder b("kmeans");
+  b.repeat(6, burst_train(1, 0.25, 0.6, 85'000.0, 3.0, 12'000.0, 0.70, 0.75));
+  return b.build();
+}
+
+PhaseProgram make_lavamd() {
+  // Neighbour-box kernel: steady medium demand with mild periodic swells.
+  ProgramBuilder b("lavamd");
+  b.repeat(4, std::vector<Phase>{steady("boxes", 3.4, 46'000.0, 0.50, 0.12, 0.88),
+                                 steady("swell", 0.9, 68'000.0, 0.60, 0.15, 0.88)});
+  return b.build();
+}
+
+PhaseProgram make_nw() {
+  // Needleman-Wunsch: low diagonal-wavefront traffic, two staging bursts.
+  ProgramBuilder b("nw");
+  b.add(steady("stage_in", 0.5, 82'000.0, 0.70, 0.20, 0.40));
+  b.add(steady("wavefront_a", 2.6, 12'000.0, 0.30, 0.10, 0.55));
+  b.add(steady("block_refill", 0.6, 82'000.0, 0.70, 0.18, 0.40));
+  b.add(steady("wavefront_b", 5.9, 12'000.0, 0.30, 0.10, 0.55));
+  b.add(steady("stage_out", 0.4, 78'000.0, 0.70, 0.18, 0.40));
+  return b.build();
+}
+
+PhaseProgram make_particlefilter(bool naive) {
+  if (naive) {
+    // The naive variant keeps the uncore busy nearly all the time -> among
+    // the smallest savings in Fig. 4a.
+    ProgramBuilder b("particlefilter_naive");
+    b.repeat(3, std::vector<Phase>{steady("resample_loop", 3.6, 118'000.0, 0.85, 0.20, 0.75),
+                                   steady("estimate_lull", 0.5, 30'000.0, 0.25, 0.12, 0.75)});
+    return b.build();
+  }
+  // Float variant: bursty start (likelihood tables), then light tracking.
+  ProgramBuilder b("particlefilter_float");
+  for (const auto& p : telegraph(3.6, 0.4, 90'000.0, 9'000.0, 0.75, 0.60)) b.add(p);
+  b.add(steady("track_a", 2.8, 10'000.0, 0.20, 0.10, 0.45));
+  b.add(steady("likelihood_a", 0.45, 125'000.0, 0.85, 0.18, 0.55));
+  b.add(steady("track_b", 3.0, 10'000.0, 0.20, 0.10, 0.45));
+  b.add(steady("likelihood_b", 0.4, 125'000.0, 0.85, 0.18, 0.55));
+  b.add(steady("track_c", 2.6, 10'000.0, 0.20, 0.10, 0.45));
+  return b.build();
+}
+
+PhaseProgram make_raytracing() {
+  // Mostly compute-bound shading with occasional BVH refit bursts.
+  ProgramBuilder b("raytracing");
+  b.repeat(3, std::vector<Phase>{steady("bvh_refit", 0.8, 122'000.0, 0.80, 0.18, 0.70),
+                                 steady("shade", 3.6, 9'000.0, 0.15, 0.10, 0.92)});
+  return b.build();
+}
+
+PhaseProgram make_srad() {
+  // The paper's case-study app (Figs. 5-6): around 5 s the demand first
+  // exceeds what min-uncore can deliver; 10-12.5 s and after ~17 s the
+  // demand oscillates at sub-second periods (high-frequency status). The
+  // calm window in between is where adaptive scaling pays off.
+  ProgramBuilder b("srad");
+  b.add(steady("warm_lo", 1.0, 20'000.0, 0.20, 0.10, 0.80));      // 0-5 s
+  b.add(steady("plateau_hi", 2.0, 100'000.0, 0.80, 0.15, 0.80));
+  b.add(steady("plateau_lo", 2.0, 20'000.0, 0.20, 0.10, 0.80));
+  b.repeat(2, std::vector<Phase>{                                  // 5-10 s
+      steady("diffuse_burst", 0.9, 120'000.0, 0.80, 0.15, 0.80),
+      steady("diffuse_calc", 1.6, 25'000.0, 0.25, 0.10, 0.80)});
+  for (const auto& p : telegraph(2.5, 0.5, 130'000.0, 25'000.0, 0.85, 0.80)) b.add(p);  // 10-12.5
+  b.add(steady("calm", 4.5, 20'000.0, 0.20, 0.10, 0.80));          // 12.5-17 s
+  for (const auto& p : telegraph(12.0, 0.5, 130'000.0, 25'000.0, 0.85, 0.80)) b.add(p);  // 17-29
+  return b.build();
+}
+
+PhaseProgram make_where() {
+  // Database-style select: light scan traffic plus one result materialise.
+  ProgramBuilder b("where");
+  b.add(steady("scan_a", 2.8, 9'000.0, 0.20, 0.10, 0.35));
+  b.add(steady("hash_build", 0.6, 76'000.0, 0.70, 0.20, 0.40));
+  b.add(steady("scan_b", 4.7, 9'000.0, 0.20, 0.10, 0.35));
+  b.add(steady("materialise", 0.6, 76'000.0, 0.70, 0.20, 0.40));
+  return b.build();
+}
+
+// ---- ECP proxy apps -------------------------------------------------------
+
+PhaseProgram make_minigan() {
+  // GAN training: per-iteration input-pipeline burst then dense compute.
+  ProgramBuilder b("miniGAN");
+  b.repeat(6, burst_train(1, 0.3, 0.5, 92'000.0, 3.4, 14'000.0, 0.80, 0.90));
+  return b.build();
+}
+
+PhaseProgram make_cradl() {
+  // Surrogate-model training with adaptive sampling: demand ramps as the
+  // active-learning loop refines, with a bursty re-sampling stage.
+  ProgramBuilder b("cradl");
+  for (const auto& p : ramp(6, 3.0, 20'000.0, 90'000.0, 0.60, 0.70)) b.add(p);
+  b.add(steady("train", 5.0, 35'000.0, 0.45, 0.15, 0.90));
+  for (const auto& p : telegraph(1.6, 0.8, 88'000.0, 18'000.0, 0.70, 0.70)) b.add(p);
+  b.add(steady("finalise", 3.0, 15'000.0, 0.20, 0.10, 0.85));
+  return b.build();
+}
+
+PhaseProgram make_laghos() {
+  // High-order hydrodynamics: long, steady, moderately CPU-involved.
+  ProgramBuilder b("laghos");
+  b.add(steady("mesh_setup", 2.8, 14'000.0, 0.25, 0.30, 0.30));
+  b.add(steady("state_init", 0.7, 85'000.0, 0.70, 0.30, 0.40));
+  b.add(steady("lagrange_steps", 14.0, 30'000.0, 0.40, 0.35, 0.55));
+  return b.build();
+}
+
+PhaseProgram make_sw4lite() {
+  // Seismic wave propagation: demand swells and recedes with the wavefield.
+  ProgramBuilder b("sw4lite");
+  for (const auto& p : ramp(10, 3.5, 15'000.0, 95'000.0, 0.60, 0.80)) b.add(p);
+  for (const auto& p : ramp(10, 3.5, 95'000.0, 15'000.0, 0.60, 0.80)) b.add(p);
+  for (const auto& p : ramp(8, 3.0, 15'000.0, 80'000.0, 0.55, 0.80)) b.add(p);
+  return b.build();
+}
+
+// ---- MD applications ------------------------------------------------------
+
+PhaseProgram make_lammps() {
+  // Pair forces on GPU with periodic neighbour-list rebuilds on the host.
+  ProgramBuilder b("lammps");
+  b.repeat(6, burst_train(1, 0.25, 0.5, 85'000.0, 3.5, 22'000.0, 0.60, 0.85));
+  return b.build();
+}
+
+PhaseProgram make_gromacs() {
+  // PME/force decomposition alternates at ~1.7 s period -- just below the
+  // high-frequency lock, so MAGUS keeps retuning: large CPU power savings
+  // with a visible (but bounded) performance cost, as in Fig. 4c.
+  ProgramBuilder b("gromacs");
+  b.repeat(8, square_wave(1, 1.2, 130'000.0, 2.8, 16'000.0, 0.85, 0.80));
+  return b.build();
+}
+
+// ---- MLPerf training ------------------------------------------------------
+
+PhaseProgram make_unet() {
+  // The paper's running example (Figs. 1-2): ~47 s of training iterations;
+  // each iteration stages a batch (throughput burst) then computes.
+  ProgramBuilder b("unet");
+  b.repeat(10, burst_train(1, 0.25, 1.05, 152'000.0, 3.2, 12'000.0, 0.90, 0.95));
+  return b.build();
+}
+
+PhaseProgram make_resnet50() {
+  ProgramBuilder b("resnet50");
+  b.repeat(12, burst_train(1, 0.2, 0.6, 125'000.0, 3.2, 15'000.0, 0.85, 0.97));
+  return b.build();
+}
+
+PhaseProgram make_bert() {
+  // Large attention blocks: long compute segments, sparse optimizer bursts.
+  ProgramBuilder b("bert_large");
+  b.repeat(6, std::vector<Phase>{steady("opt_step", 1.0, 122'000.0, 0.85, 0.20, 0.85),
+                                 steady("attention", 4.5, 10'000.0, 0.15, 0.10, 0.98)});
+  return b.build();
+}
+
+}  // namespace
+
+PhaseProgram make_workload(const std::string& name) {
+  static const std::map<std::string, PhaseProgram (*)()> factories = {
+      {"bfs", [] { return make_bfs(); }},
+      {"gemm", [] { return make_gemm(); }},
+      {"pathfinder", [] { return make_pathfinder(); }},
+      {"sort", [] { return make_sort(); }},
+      {"cfd", [] { return make_cfd(false); }},
+      {"cfd_double", [] { return make_cfd(true); }},
+      {"fdtd2d", [] { return make_fdtd2d(); }},
+      {"kmeans", [] { return make_kmeans(); }},
+      {"lavamd", [] { return make_lavamd(); }},
+      {"nw", [] { return make_nw(); }},
+      {"particlefilter_float", [] { return make_particlefilter(false); }},
+      {"particlefilter_naive", [] { return make_particlefilter(true); }},
+      {"raytracing", [] { return make_raytracing(); }},
+      {"srad", [] { return make_srad(); }},
+      {"where", [] { return make_where(); }},
+      {"miniGAN", [] { return make_minigan(); }},
+      {"cradl", [] { return make_cradl(); }},
+      {"laghos", [] { return make_laghos(); }},
+      {"sw4lite", [] { return make_sw4lite(); }},
+      {"lammps", [] { return make_lammps(); }},
+      {"gromacs", [] { return make_gromacs(); }},
+      {"unet", [] { return make_unet(); }},
+      {"resnet50", [] { return make_resnet50(); }},
+      {"bert_large", [] { return make_bert(); }},
+  };
+  auto it = factories.find(name);
+  if (it == factories.end()) {
+    throw common::ConfigError("make_workload: unknown application '" + name + "'");
+  }
+  PhaseProgram p = it->second();
+  p.validate();
+  return p;
+}
+
+std::vector<std::string> apps_for_a100() {
+  std::vector<std::string> names;
+  for (const auto& info : app_catalog()) names.push_back(info.name);
+  return names;
+}
+
+std::vector<std::string> apps_for_max1550() {
+  std::vector<std::string> names;
+  for (const auto& info : app_catalog()) {
+    if (info.sycl_available) names.push_back(info.name);
+  }
+  return names;
+}
+
+std::vector<std::string> apps_for_4a100() {
+  std::vector<std::string> names;
+  for (const auto& info : app_catalog()) {
+    if (info.multi_gpu) names.push_back(info.name);
+  }
+  return names;
+}
+
+std::vector<std::string> apps_for_table1() {
+  std::vector<std::string> names;
+  for (const auto& info : app_catalog()) {
+    if (info.in_table1) names.push_back(info.name);
+  }
+  return names;
+}
+
+PhaseProgram scale_for_gpus(const PhaseProgram& p, int gpu_count) {
+  if (gpu_count <= 1) return p;
+  // Host-side data movement grows sub-linearly with GPU count: gradient
+  // all-reduce and input pipelines share the same uncore.
+  const double demand_scale = 1.0 + 0.22 * static_cast<double>(gpu_count - 1);
+  std::vector<Phase> phases = p.phases();
+  for (auto& ph : phases) {
+    ph.mem_demand_mbps *= demand_scale;
+    ph.cpu_util = std::min(1.0, ph.cpu_util * (1.0 + 0.15 * (gpu_count - 1)));
+  }
+  return PhaseProgram(p.name(), std::move(phases));
+}
+
+}  // namespace magus::wl

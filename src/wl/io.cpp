@@ -1,0 +1,88 @@
+#include "magus/wl/io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "magus/common/error.hpp"
+
+namespace magus::wl {
+
+namespace {
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+PhaseProgram load_program_csv(const std::string& path, const std::string& name) {
+  std::ifstream is(path);
+  if (!is) throw common::ConfigError("load_program_csv: cannot open " + path);
+
+  std::vector<Phase> phases;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto cells = split_csv_row(line);
+    if (cells.size() != 6) {
+      throw common::ConfigError("load_program_csv: " + path + ":" +
+                                std::to_string(lineno) + ": expected 6 columns, got " +
+                                std::to_string(cells.size()));
+    }
+    Phase p;
+    p.label = cells[0];
+    double fields[5];
+    bool numeric = true;
+    for (int i = 0; i < 5; ++i) numeric &= parse_double(cells[i + 1], fields[i]);
+    if (!numeric) {
+      // Tolerate a single header row.
+      if (phases.empty()) continue;
+      throw common::ConfigError("load_program_csv: " + path + ":" +
+                                std::to_string(lineno) + ": non-numeric field");
+    }
+    p.duration_s = fields[0];
+    p.mem_demand_mbps = fields[1];
+    p.mem_bound_frac = fields[2];
+    p.cpu_util = fields[3];
+    p.gpu_util = fields[4];
+    phases.push_back(std::move(p));
+  }
+
+  const std::string program_name =
+      name.empty() ? std::filesystem::path(path).stem().string() : name;
+  PhaseProgram program(program_name, std::move(phases));
+  program.validate();
+  return program;
+}
+
+void save_program_csv(const PhaseProgram& program, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw common::ConfigError("save_program_csv: cannot open " + path);
+  os.precision(17);  // lossless double round-trip
+  os << "label,duration_s,mem_demand_mbps,mem_bound_frac,cpu_util,gpu_util\n";
+  for (const auto& p : program.phases()) {
+    os << p.label << ',' << p.duration_s << ',' << p.mem_demand_mbps << ','
+       << p.mem_bound_frac << ',' << p.cpu_util << ',' << p.gpu_util << '\n';
+  }
+}
+
+}  // namespace magus::wl

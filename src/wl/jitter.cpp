@@ -1,0 +1,15 @@
+#include "magus/wl/jitter.hpp"
+
+namespace magus::wl {
+
+PhaseProgram apply_jitter(const PhaseProgram& program, common::Rng& rng,
+                          const JitterConfig& cfg) {
+  std::vector<Phase> phases = program.phases();
+  for (auto& p : phases) {
+    p.duration_s *= rng.jitter(cfg.duration_rel);
+    p.mem_demand_mbps *= rng.jitter(cfg.demand_rel);
+  }
+  return PhaseProgram(program.name(), std::move(phases));
+}
+
+}  // namespace magus::wl

@@ -1,0 +1,64 @@
+#include "magus/wl/patterns.hpp"
+
+namespace magus::wl::patterns {
+
+std::vector<Phase> square_wave(int cycles, double hi_s, double hi_mbps, double lo_s,
+                               double lo_mbps, double mem_bound_hi, double gpu_util) {
+  std::vector<Phase> out;
+  out.reserve(static_cast<std::size_t>(cycles) * 2);
+  for (int i = 0; i < cycles; ++i) {
+    out.push_back({"sq_hi", hi_s, hi_mbps, mem_bound_hi, 0.15, gpu_util});
+    out.push_back({"sq_lo", lo_s, lo_mbps, 0.15, 0.10, gpu_util});
+  }
+  return out;
+}
+
+std::vector<Phase> burst_train(int cycles, double ramp_s, double burst_s, double burst_mbps,
+                               double quiet_s, double quiet_mbps, double mem_bound,
+                               double gpu_util) {
+  std::vector<Phase> out;
+  out.reserve(static_cast<std::size_t>(cycles) * 3);
+  for (int i = 0; i < cycles; ++i) {
+    // Rising edge at roughly half the burst level: triggers the predictor
+    // before the expensive part arrives.
+    out.push_back({"ramp", ramp_s, 0.5 * burst_mbps, 0.4 * mem_bound, 0.20, gpu_util});
+    out.push_back({"burst", burst_s, burst_mbps, mem_bound, 0.25, gpu_util});
+    out.push_back({"quiet", quiet_s, quiet_mbps, 0.15, 0.10, gpu_util});
+  }
+  return out;
+}
+
+std::vector<Phase> ramp(int steps, double total_s, double from_mbps, double to_mbps,
+                        double mem_bound, double gpu_util) {
+  std::vector<Phase> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  const double dt = total_s / steps;
+  for (int i = 0; i < steps; ++i) {
+    const double frac = steps == 1 ? 1.0 : static_cast<double>(i) / (steps - 1);
+    const double mbps = from_mbps + frac * (to_mbps - from_mbps);
+    out.push_back({"ramp_step", dt, mbps, mem_bound, 0.15, gpu_util});
+  }
+  return out;
+}
+
+std::vector<Phase> telegraph(double total_s, double period_s, double hi_mbps, double lo_mbps,
+                             double mem_bound, double gpu_util) {
+  std::vector<Phase> out;
+  const double half = period_s / 2.0;
+  double t = 0.0;
+  bool hi = true;
+  while (t + half <= total_s + 1e-9) {
+    out.push_back({hi ? "tg_hi" : "tg_lo", half, hi ? hi_mbps : lo_mbps,
+                   hi ? mem_bound : 0.2, 0.15, gpu_util});
+    t += half;
+    hi = !hi;
+  }
+  return out;
+}
+
+Phase steady(const char* label, double duration_s, double mbps, double mem_bound,
+             double cpu_util, double gpu_util) {
+  return {label, duration_s, mbps, mem_bound, cpu_util, gpu_util};
+}
+
+}  // namespace magus::wl::patterns

@@ -1,0 +1,54 @@
+#include "magus/wl/phase.hpp"
+
+#include <algorithm>
+
+#include "magus/common/error.hpp"
+
+namespace magus::wl {
+
+bool Phase::valid() const noexcept {
+  return duration_s > 0.0 && mem_demand_mbps >= 0.0 && mem_bound_frac >= 0.0 &&
+         mem_bound_frac <= 1.0 && cpu_util >= 0.0 && cpu_util <= 1.0 && gpu_util >= 0.0 &&
+         gpu_util <= 1.0;
+}
+
+PhaseProgram::PhaseProgram(std::string name, std::vector<Phase> phases)
+    : name_(std::move(name)), phases_(std::move(phases)) {}
+
+double PhaseProgram::nominal_duration_s() const noexcept {
+  double total = 0.0;
+  for (const auto& p : phases_) total += p.duration_s;
+  return total;
+}
+
+double PhaseProgram::peak_demand_mbps() const noexcept {
+  double peak = 0.0;
+  for (const auto& p : phases_) peak = std::max(peak, p.mem_demand_mbps);
+  return peak;
+}
+
+void PhaseProgram::validate() const {
+  if (phases_.empty()) throw common::ConfigError("PhaseProgram '" + name_ + "': empty");
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (!phases_[i].valid()) {
+      throw common::ConfigError("PhaseProgram '" + name_ + "': invalid phase #" +
+                                std::to_string(i) + " ('" + phases_[i].label + "')");
+    }
+  }
+}
+
+ProgramBuilder& ProgramBuilder::add(Phase p) {
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::repeat(int count, const std::vector<Phase>& body) {
+  for (int i = 0; i < count; ++i) {
+    phases_.insert(phases_.end(), body.begin(), body.end());
+  }
+  return *this;
+}
+
+PhaseProgram ProgramBuilder::build() const { return PhaseProgram(name_, phases_); }
+
+}  // namespace magus::wl

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "magus/common/error.hpp"
+#include "magus/common/log.hpp"
+
+namespace mc = magus::common;
+
+TEST(Log, LevelRoundTrips) {
+  const auto prev = mc::log_level();
+  mc::set_log_level(mc::LogLevel::kDebug);
+  EXPECT_EQ(mc::log_level(), mc::LogLevel::kDebug);
+  mc::set_log_level(mc::LogLevel::kOff);
+  EXPECT_EQ(mc::log_level(), mc::LogLevel::kOff);
+  mc::set_log_level(prev);
+}
+
+TEST(Log, SuppressedLevelsDoNotFormat) {
+  const auto prev = mc::log_level();
+  mc::set_log_level(mc::LogLevel::kOff);
+  // Must not crash or emit; the formatting lambda below would throw if run.
+  mc::log_debug("never", 1, 2.5, "formatted");
+  mc::log_error("also suppressed at kOff");
+  mc::set_log_level(prev);
+  SUCCEED();
+}
+
+TEST(ErrorTaxonomy, HierarchyIsCatchable) {
+  // Callers must be able to separate "facility absent" from "access failed".
+  try {
+    throw mc::CapabilityError("no msr module");
+  } catch (const mc::Error& e) {
+    EXPECT_STREQ(e.what(), "no msr module");
+  }
+  try {
+    throw mc::DeviceError("short read");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "short read");
+  }
+  EXPECT_THROW(throw mc::ConfigError("bad"), mc::Error);
+}
+
+TEST(ErrorTaxonomy, TypesAreDistinct) {
+  bool caught_capability = false;
+  try {
+    throw mc::CapabilityError("x");
+  } catch (const mc::DeviceError&) {
+    FAIL() << "CapabilityError must not be a DeviceError";
+  } catch (const mc::CapabilityError&) {
+    caught_capability = true;
+  }
+  EXPECT_TRUE(caught_capability);
+}

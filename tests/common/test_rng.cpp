@@ -1,0 +1,97 @@
+// Deterministic RNG: repetition seeds must be reproducible bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include "magus/common/rng.hpp"
+
+namespace mc = magus::common;
+
+TEST(Rng, DeterministicForSameSeed) {
+  mc::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  mc::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  mc::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  mc::Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 6.5);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  mc::Rng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  mc::Rng rng(12);
+  double acc = 0.0, acc2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    acc += x;
+    acc2 += x * x;
+  }
+  const double mean = acc / n;
+  const double var = acc2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, JitterIsClampedToThreeSigma) {
+  mc::Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double j = rng.jitter(0.05);
+    EXPECT_GE(j, 1.0 - 0.15);
+    EXPECT_LE(j, 1.0 + 0.15);
+  }
+}
+
+TEST(Rng, JitterZeroRelIsIdentity) {
+  mc::Rng rng(14);
+  EXPECT_DOUBLE_EQ(rng.jitter(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rng.jitter(-1.0), 1.0);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  mc::Rng base(7);
+  mc::Rng c0 = base.fork(0);
+  mc::Rng c1 = base.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c0.next_u64() == c1.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  mc::Rng a(7), b(7);
+  mc::Rng fa = a.fork(3);
+  mc::Rng fb = b.fork(3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, UniformIndexBounds) {
+  mc::Rng rng(15);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(7), 7u);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+}

@@ -1,0 +1,135 @@
+// Statistics underpin the repetition protocol (>= 5 runs, IQR outlier
+// removal, mean) -- section 6 of the paper.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "magus/common/rng.hpp"
+#include "magus/common/stats.hpp"
+
+namespace mc = magus::common;
+
+TEST(RunningStats, EmptyIsZero) {
+  mc::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  mc::RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  mc::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  mc::Rng rng(7);
+  mc::RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mc::mean(xs), 1e-9);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mc::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mc::percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(mc::percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(mc::median(xs), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(mc::percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(mc::percentile(xs, 75.0), 7.5);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(mc::percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(mc::percentile(xs, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(mc::percentile(xs, 110.0), 2.0);
+}
+
+TEST(IqrFilter, KeepsCleanData) {
+  std::vector<double> xs{10.0, 10.1, 9.9, 10.2, 9.8, 10.0};
+  EXPECT_EQ(mc::iqr_filter(xs).size(), xs.size());
+}
+
+TEST(IqrFilter, DropsGrossOutlier) {
+  std::vector<double> xs{10.0, 10.1, 9.9, 10.2, 9.8, 42.0};
+  const auto kept = mc::iqr_filter(xs);
+  EXPECT_EQ(kept.size(), xs.size() - 1);
+  for (double x : kept) EXPECT_LT(x, 20.0);
+}
+
+TEST(IqrFilter, SmallSamplesPassThrough) {
+  std::vector<double> xs{1.0, 100.0, 2.0};
+  EXPECT_EQ(mc::iqr_filter(xs).size(), 3u);  // too few points to fence
+}
+
+TEST(MeanWithoutOutliers, RepetitionProtocol) {
+  // The paper's estimator: a wild repetition must not shift the average.
+  std::vector<double> clean{47.0, 47.5, 46.8, 47.2, 47.1, 46.9, 47.3};
+  std::vector<double> dirty = clean;
+  dirty.push_back(95.0);  // one run hit by node interference
+  EXPECT_NEAR(mc::mean_without_outliers(dirty), mc::mean(clean), 0.2);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(mc::pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(mc::pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputsReturnZero) {
+  std::vector<double> flat{1.0, 1.0, 1.0};
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mc::pearson(flat, xs), 0.0);
+  EXPECT_DOUBLE_EQ(mc::pearson(xs, std::vector<double>{1.0}), 0.0);
+}
+
+// Property sweep: the IQR filter never removes more than half the data for
+// unimodal noise and the filtered mean stays within one stddev of the true
+// mean.
+class IqrProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IqrProperty, FilteredMeanStable) {
+  mc::Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.normal(100.0, 5.0));
+  const auto kept = mc::iqr_filter(xs);
+  EXPECT_GE(kept.size(), xs.size() / 2);
+  EXPECT_NEAR(mc::mean(kept), 100.0, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IqrProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "magus/common/table.hpp"
+
+namespace mc = magus::common;
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(mc::TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  mc::TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(TextTable, PrintsAlignedColumns) {
+  mc::TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer_name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(mc::TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(mc::TextTable::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(mc::TextTable::num(2.0, 0), "2");
+}
+
+TEST(CsvEscape, PassesPlainCells) {
+  EXPECT_EQ(mc::csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesSpecialCharacters) {
+  EXPECT_EQ(mc::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(mc::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(mc::csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/magus_csv_test.csv";
+  {
+    mc::CsvWriter csv(path);
+    csv.write_row({"app", "metric"});
+    csv.write_row({"unet", "27%"});
+    csv.write_row_numeric({1.5, 2.25});
+  }
+  std::ifstream is(path);
+  std::string l1, l2, l3;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  std::getline(is, l3);
+  EXPECT_EQ(l1, "app,metric");
+  EXPECT_EQ(l2, "unet,27%");
+  EXPECT_EQ(l3, "1.5,2.25");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(mc::CsvWriter("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}

@@ -1,0 +1,55 @@
+// Unit conversions, especially the 100 MHz uncore-ratio granularity used by
+// MSR 0x620.
+
+#include <gtest/gtest.h>
+
+#include "magus/common/units.hpp"
+
+namespace mc = magus::common;
+
+TEST(Units, RatioToGhz) {
+  EXPECT_DOUBLE_EQ(mc::ratio_to_ghz(22), 2.2);
+  EXPECT_DOUBLE_EQ(mc::ratio_to_ghz(8), 0.8);
+  EXPECT_DOUBLE_EQ(mc::ratio_to_ghz(0), 0.0);
+}
+
+TEST(Units, GhzToRatioRoundsToNearest) {
+  EXPECT_EQ(mc::ghz_to_ratio(2.2), 22u);
+  EXPECT_EQ(mc::ghz_to_ratio(2.24), 22u);
+  EXPECT_EQ(mc::ghz_to_ratio(2.26), 23u);
+  EXPECT_EQ(mc::ghz_to_ratio(0.0), 0u);
+  EXPECT_EQ(mc::ghz_to_ratio(-1.0), 0u);
+}
+
+// Property: round-trip through the ratio encoding is exact for every
+// frequency the ladder can express.
+class RatioRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RatioRoundTrip, Exact) {
+  const unsigned ratio = GetParam();
+  EXPECT_EQ(mc::ghz_to_ratio(mc::ratio_to_ghz(ratio)), ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLadderRatios, RatioRoundTrip,
+                         ::testing::Range(0u, 64u));
+
+TEST(Units, ThroughputConversions) {
+  EXPECT_DOUBLE_EQ(mc::mbps_to_gbps(160000.0), 160.0);
+  EXPECT_DOUBLE_EQ(mc::gbps_to_mbps(1.5), 1500.0);
+}
+
+TEST(Units, EnergyHelpers) {
+  EXPECT_DOUBLE_EQ(mc::joules(100.0, 10.0), 1000.0);
+  EXPECT_DOUBLE_EQ(mc::watt_hours(3600.0), 1.0);
+}
+
+TEST(Units, Percent) {
+  EXPECT_DOUBLE_EQ(mc::percent(1.0, 4.0), 25.0);
+  EXPECT_DOUBLE_EQ(mc::percent(1.0, 0.0), 0.0);
+}
+
+TEST(Units, PercentChangeSigns) {
+  EXPECT_DOUBLE_EQ(mc::percent_change(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(mc::percent_change(90.0, 100.0), -10.0);
+  EXPECT_DOUBLE_EQ(mc::percent_change(1.0, 0.0), 0.0);
+}

@@ -1,0 +1,60 @@
+// Algorithm 2: tune-event rate against the high-frequency threshold.
+
+#include <gtest/gtest.h>
+
+#include "magus/core/high_freq.hpp"
+
+namespace mc = magus::core;
+using magus::common::FixedWindow;
+
+namespace {
+FixedWindow<int> events(std::initializer_list<int> xs) {
+  FixedWindow<int> w(xs.size());
+  for (int x : xs) w.push(x);
+  return w;
+}
+}  // namespace
+
+TEST(TuneEventRate, FractionOfOnes) {
+  EXPECT_DOUBLE_EQ(mc::tune_event_rate(events({1, 0, 1, 0, 1, 0, 0, 0, 0, 0})), 0.3);
+  EXPECT_DOUBLE_EQ(mc::tune_event_rate(events({0, 0, 0, 0})), 0.0);
+  EXPECT_DOUBLE_EQ(mc::tune_event_rate(events({1, 1})), 1.0);
+}
+
+TEST(TuneEventRate, EmptyWindowIsZero) {
+  FixedWindow<int> w(10);
+  EXPECT_DOUBLE_EQ(mc::tune_event_rate(w), 0.0);
+}
+
+TEST(HighFreqDetect, ThresholdIsInclusive) {
+  // Paper: rate >= threshold -> high frequency. 4 of 10 at 0.4 triggers.
+  EXPECT_TRUE(mc::detect_high_frequency(events({1, 1, 1, 1, 0, 0, 0, 0, 0, 0}), 0.4));
+  EXPECT_FALSE(mc::detect_high_frequency(events({1, 1, 1, 0, 0, 0, 0, 0, 0, 0}), 0.4));
+}
+
+TEST(HighFreqDetect, PaperSeedWindowIsQuiet) {
+  // uncore_tune_ls is seeded with 10 zeros: never high-frequency at start.
+  FixedWindow<int> w(10, 0);
+  EXPECT_FALSE(mc::detect_high_frequency(w, 0.4));
+}
+
+TEST(HighFreqDetect, ZeroThresholdAlwaysTriggers) {
+  EXPECT_TRUE(mc::detect_high_frequency(events({0, 0, 0}), 0.0));
+}
+
+// Property: detection is monotone -- adding a 1 never turns a triggered
+// window quiet; raising the threshold never triggers a quiet window.
+class HighFreqSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HighFreqSweep, MonotoneInOnes) {
+  const int ones = GetParam();
+  FixedWindow<int> w(10, 0);
+  for (int i = 0; i < ones; ++i) w.push(1);
+  const bool fired = mc::detect_high_frequency(w, 0.4);
+  EXPECT_EQ(fired, ones >= 4);
+  if (fired) {
+    EXPECT_FALSE(mc::detect_high_frequency(w, 1.01));  // stricter threshold
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OnesCount, HighFreqSweep, ::testing::Range(0, 11));

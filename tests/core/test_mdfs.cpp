@@ -1,0 +1,200 @@
+// Algorithm 3 end-to-end decision behaviour, on synthetic throughput
+// streams: warm-up, burst tracking, high-frequency lock, and the
+// approve-on-unlock rule.
+
+#include <gtest/gtest.h>
+
+#include "magus/common/rng.hpp"
+#include "magus/core/mdfs.hpp"
+
+namespace mc = magus::core;
+
+namespace {
+mc::MagusConfig cfg_defaults() { return mc::MagusConfig{}; }
+
+constexpr double kMin = 0.8;
+constexpr double kMax = 2.2;
+constexpr double kLo = 12'000.0;   // quiet throughput
+constexpr double kHi = 120'000.0;  // burst throughput
+
+mc::MdfsController make_ctl(mc::MagusConfig cfg = cfg_defaults()) {
+  return mc::MdfsController(cfg, kMin, kMax);
+}
+
+/// Feed `n` samples of value `v` starting at time t0 (0.3 s cadence).
+double feed(mc::MdfsController& ctl, double& t, int n, double v) {
+  double last = -1.0;
+  for (int i = 0; i < n; ++i) {
+    const auto d = ctl.on_throughput(t, v);
+    if (d) last = *d;
+    t += 0.3;
+  }
+  return last;
+}
+}  // namespace
+
+TEST(Mdfs, RejectsInvalidConfig) {
+  mc::MagusConfig bad;
+  bad.direv_length = 1;
+  EXPECT_THROW(mc::MdfsController(bad, kMin, kMax), magus::common::ConfigError);
+  EXPECT_THROW(mc::MdfsController(cfg_defaults(), 2.2, 0.8),
+               magus::common::ConfigError);
+}
+
+TEST(Mdfs, WarmupIssuesNoDecisions) {
+  auto ctl = make_ctl();
+  double t = 0.3;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(ctl.on_throughput(t, kHi).has_value());
+    t += 0.3;
+  }
+  EXPECT_TRUE(ctl.warmed_up());
+  EXPECT_EQ(ctl.log().size(), 10u);
+  for (const auto& rec : ctl.log()) EXPECT_TRUE(rec.warmup);
+  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMax);  // initial condition
+}
+
+TEST(Mdfs, FallingEdgeScalesToMin) {
+  auto ctl = make_ctl();
+  double t = 0.3;
+  feed(ctl, t, 12, kHi);  // warm-up + settle
+  const double d = feed(ctl, t, 2, kLo);
+  EXPECT_DOUBLE_EQ(d, kMin);
+  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMin);
+}
+
+TEST(Mdfs, RisingEdgeScalesToMax) {
+  auto ctl = make_ctl();
+  double t = 0.3;
+  feed(ctl, t, 12, kHi);
+  feed(ctl, t, 4, kLo);  // now at min
+  const double d = feed(ctl, t, 2, kHi);
+  EXPECT_DOUBLE_EQ(d, kMax);
+}
+
+TEST(Mdfs, StableThroughputLeavesFrequencyAlone) {
+  auto ctl = make_ctl();
+  double t = 0.3;
+  feed(ctl, t, 12, kHi);
+  feed(ctl, t, 2, kLo);  // down
+  // A long stable stretch: no further decisions.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(ctl.on_throughput(t, kLo + (i % 2)).has_value());
+    t += 0.3;
+  }
+  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMin);
+}
+
+TEST(Mdfs, RepeatedRisesLogOnlyOneScalingEvent) {
+  // Section 3.2: uncore_tune_ls records *scaling events* -- a second
+  // increase prediction while already heading to max is not an event.
+  auto ctl = make_ctl();
+  double t = 0.3;
+  feed(ctl, t, 12, kLo);
+  // Stair of rising values: every sample predicts increase.
+  feed(ctl, t, 1, 50'000.0);
+  feed(ctl, t, 1, 90'000.0);
+  feed(ctl, t, 1, 130'000.0);
+  int events = 0;
+  for (const auto& rec : ctl.log()) {
+    if (!rec.warmup && rec.prediction == mc::Trend::kIncrease) ++events;
+  }
+  EXPECT_GE(events, 3);
+  EXPECT_FALSE(ctl.high_freq_status());  // 1 scaling event, not 3
+}
+
+TEST(Mdfs, TelegraphSignalTripsHighFrequencyLock) {
+  auto ctl = make_ctl();
+  double t = 0.3;
+  feed(ctl, t, 10, kLo);  // warm-up
+  // Alternate every sample: a scaling event per round.
+  for (int i = 0; i < 8; ++i) {
+    (void)ctl.on_throughput(t, i % 2 ? kLo : kHi);
+    t += 0.3;
+  }
+  EXPECT_TRUE(ctl.high_freq_status());
+  // While locked, the executed target every round is max.
+  const auto d = ctl.on_throughput(t, kHi);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, kMax);
+}
+
+TEST(Mdfs, PredictionsStillLoggedDuringLock) {
+  // Section 3.2: during high-frequency status the prediction phase keeps
+  // running and logging potential scaling events.
+  auto ctl = make_ctl();
+  double t = 0.3;
+  feed(ctl, t, 10, kLo);
+  for (int i = 0; i < 20; ++i) {
+    (void)ctl.on_throughput(t, i % 2 ? kLo : kHi);
+    t += 0.3;
+  }
+  ASSERT_TRUE(ctl.high_freq_status());
+  int locked_predictions = 0;
+  for (const auto& rec : ctl.log()) {
+    if (rec.high_freq && rec.prediction != mc::Trend::kStable) ++locked_predictions;
+  }
+  EXPECT_GT(locked_predictions, 5);
+}
+
+TEST(Mdfs, UnlockExecutesTemporaryDecision) {
+  // Section 3.3: when high-frequency status clears, the pending temporary
+  // decision is approved and executed.
+  auto ctl = make_ctl();
+  double t = 0.3;
+  feed(ctl, t, 10, kLo);
+  // Trip the lock with alternation ending on a falling edge.
+  for (int i = 0; i < 9; ++i) {
+    (void)ctl.on_throughput(t, i % 2 ? kLo : kHi);
+    t += 0.3;
+  }
+  ASSERT_TRUE(ctl.high_freq_status());
+  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMax);
+  // Calm stretch: the lock decays; on unlock the temporary target (min,
+  // from the last decrease prediction) must be executed.
+  double last_exec = -1.0;
+  for (int i = 0; i < 12 && ctl.high_freq_status(); ++i) {
+    const auto d = ctl.on_throughput(t, kLo);
+    if (d) last_exec = *d;
+    t += 0.3;
+  }
+  EXPECT_FALSE(ctl.high_freq_status());
+  EXPECT_DOUBLE_EQ(ctl.temporary_target_ghz(), kMin);
+  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMin);
+  EXPECT_DOUBLE_EQ(last_exec, kMin);
+}
+
+TEST(Mdfs, DecisionLogCarriesDerivatives) {
+  auto ctl = make_ctl();
+  double t = 0.3;
+  feed(ctl, t, 11, kLo);
+  feed(ctl, t, 1, kHi);
+  const auto& rec = ctl.log().back();
+  EXPECT_GT(rec.derivative, 0.0);
+  EXPECT_EQ(rec.prediction, mc::Trend::kIncrease);
+  EXPECT_DOUBLE_EQ(rec.throughput_mbps, kHi);
+}
+
+// Property: whatever the input stream, every executed target is one of the
+// two bounds (MAGUS scales directly to the edge, section 6.1), and targets
+// only appear after warm-up.
+class MdfsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MdfsFuzz, TargetsAlwaysAtLadderBounds) {
+  magus::common::Rng rng(GetParam());
+  auto ctl = make_ctl();
+  double t = 0.3;
+  int n = 0;
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.uniform(0.0, 150'000.0);
+    const auto d = ctl.on_throughput(t, v);
+    ++n;
+    if (d) {
+      EXPECT_GE(n, 11);
+      EXPECT_TRUE(*d == kMin || *d == kMax) << *d;
+    }
+    t += 0.3;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MdfsFuzz, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

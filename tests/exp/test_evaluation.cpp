@@ -1,0 +1,82 @@
+// Evaluation-layer consistency: the functions the bench binaries wrap.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "magus/exp/evaluation.hpp"
+#include "magus/wl/catalog.hpp"
+
+namespace me = magus::exp;
+
+TEST(Evaluation, AppEvaluationFieldsConsistent) {
+  me::EvalSpec spec;
+  spec.repeat.repetitions = 2;
+  const auto ev = me::evaluate_app(magus::sim::intel_a100(), "bfs", spec);
+  EXPECT_EQ(ev.app, "bfs");
+  // The comparisons must equal compare() applied to the raw aggregates.
+  const auto m = me::compare(ev.magus, ev.baseline);
+  EXPECT_DOUBLE_EQ(ev.magus_vs_base.energy_saving_pct, m.energy_saving_pct);
+  const auto u = me::compare(ev.ups, ev.baseline);
+  EXPECT_DOUBLE_EQ(ev.ups_vs_base.perf_loss_pct, u.perf_loss_pct);
+}
+
+TEST(Evaluation, JaccardInUnitInterval) {
+  const auto r = me::jaccard_for_app(magus::sim::intel_a100(), "lavamd");
+  EXPECT_GE(r.jaccard, 0.0);
+  EXPECT_LE(r.jaccard, 1.0);
+  EXPECT_GT(r.threshold_mbps, 0.0);
+  EXPECT_EQ(r.app, "lavamd");
+}
+
+TEST(Evaluation, JaccardThresholdFractionMatters) {
+  // A stricter burst threshold can only expose more mismatch.
+  const auto loose = me::jaccard_for_app(magus::sim::intel_a100(), "gemm", {}, 0.3);
+  const auto strict = me::jaccard_for_app(magus::sim::intel_a100(), "gemm", {}, 0.7);
+  EXPECT_GT(loose.threshold_mbps, 0.0);
+  EXPECT_GT(strict.threshold_mbps, loose.threshold_mbps);
+  EXPECT_GE(loose.jaccard, strict.jaccard - 0.05);
+}
+
+TEST(Evaluation, SensitivitySweepHasNoDuplicateCombos) {
+  me::SweepSpec spec;
+  spec.repeat.repetitions = 1;
+  const auto points = me::sensitivity_sweep(magus::sim::intel_a100(), "bfs", spec);
+  std::set<std::tuple<double, double, double>> combos;
+  for (const auto& p : points) {
+    const auto key =
+        std::make_tuple(p.inc_threshold, p.dec_threshold, p.high_freq_threshold);
+    EXPECT_TRUE(combos.insert(key).second) << "duplicate combination";
+  }
+  // The paper's sweep has ~40 combinations.
+  EXPECT_GE(points.size(), 30u);
+  EXPECT_LE(points.size(), 50u);
+}
+
+TEST(Evaluation, SweepMarksExactlyOneRecommendedSet) {
+  me::SweepSpec spec;
+  spec.repeat.repetitions = 1;
+  const auto points = me::sensitivity_sweep(magus::sim::intel_a100(), "bfs", spec);
+  int recommended = 0;
+  int on_front = 0;
+  for (const auto& p : points) {
+    recommended += p.is_recommended ? 1 : 0;
+    on_front += p.on_front ? 1 : 0;
+  }
+  EXPECT_EQ(recommended, 1);
+  EXPECT_GE(on_front, 1);
+}
+
+TEST(Evaluation, OverheadDeterministicForSeed) {
+  const auto a = me::measure_overhead(magus::sim::intel_a100(), 30.0, 5);
+  const auto b = me::measure_overhead(magus::sim::intel_a100(), 30.0, 5);
+  EXPECT_DOUBLE_EQ(a.magus_power_overhead_pct, b.magus_power_overhead_pct);
+  EXPECT_DOUBLE_EQ(a.ups_invocation_s, b.ups_invocation_s);
+}
+
+TEST(Evaluation, OverheadPositiveForBothRuntimes) {
+  const auto r = me::measure_overhead(magus::sim::intel_a100(), 30.0);
+  EXPECT_GT(r.magus_power_overhead_pct, 0.0);
+  EXPECT_GT(r.ups_power_overhead_pct, r.magus_power_overhead_pct);
+  EXPECT_GT(r.idle_power_w, 0.0);
+}

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "magus/common/error.hpp"
+#include "magus/exp/experiment.hpp"
+#include "magus/wl/catalog.hpp"
+
+namespace me = magus::exp;
+
+TEST(Experiment, PolicyNamesStable) {
+  EXPECT_STREQ(me::policy_name(me::PolicyKind::kDefault), "default");
+  EXPECT_STREQ(me::policy_name(me::PolicyKind::kMagus), "magus");
+  EXPECT_STREQ(me::policy_name(me::PolicyKind::kUps), "ups");
+  EXPECT_STREQ(me::policy_name(me::PolicyKind::kStaticMin), "static_min");
+}
+
+TEST(Experiment, StaticKindRequiresFrequency) {
+  EXPECT_THROW((void)me::run_policy(magus::sim::intel_a100(),
+                                    magus::wl::make_workload("bfs"),
+                                    me::PolicyKind::kStatic),
+               magus::common::ConfigError);
+}
+
+TEST(Experiment, StaticKindHonoursFrequency) {
+  me::RunOptions opts;
+  opts.static_ghz = 1.4;
+  opts.engine.record_traces = true;
+  const auto out = me::run_policy(magus::sim::intel_a100(),
+                                  magus::wl::make_workload("bfs"),
+                                  me::PolicyKind::kStatic, opts);
+  const auto& freq = out.traces.series(magus::trace::channel::kUncoreFreq);
+  EXPECT_NEAR(freq.value_at(freq.end_time()), 1.4, 1e-6);
+}
+
+TEST(Experiment, DefaultPolicyHasNoMonitoringCost) {
+  const auto out = me::run_policy(magus::sim::intel_a100(),
+                                  magus::wl::make_workload("bfs"),
+                                  me::PolicyKind::kDefault);
+  EXPECT_EQ(out.result.invocations, 0ull);
+  EXPECT_EQ(out.result.accesses.pcm_reads, 0ull);
+}
+
+TEST(Experiment, MagusAndUpsAreRuntimes) {
+  const auto magus_out = me::run_policy(magus::sim::intel_a100(),
+                                        magus::wl::make_workload("bfs"),
+                                        me::PolicyKind::kMagus);
+  EXPECT_GT(magus_out.result.invocations, 10ull);
+  EXPECT_EQ(magus_out.result.policy_name, "magus");
+
+  const auto ups_out = me::run_policy(magus::sim::intel_a100(),
+                                      magus::wl::make_workload("bfs"),
+                                      me::PolicyKind::kUps);
+  EXPECT_GT(ups_out.result.invocations, 10ull);
+  // UPS's per-core sweep makes each invocation ~3x longer.
+  EXPECT_GT(ups_out.result.avg_invocation_s(),
+            2.0 * magus_out.result.avg_invocation_s());
+}
+
+TEST(Experiment, IdleWorkloadShape) {
+  const auto idle = me::idle_workload(60.0);
+  EXPECT_NO_THROW(idle.validate());
+  EXPECT_DOUBLE_EQ(idle.nominal_duration_s(), 60.0);
+  EXPECT_LT(idle.peak_demand_mbps(), 1'000.0);
+  EXPECT_DOUBLE_EQ(idle.phases()[0].gpu_util, 0.0);
+}
+
+TEST(Experiment, TracesReturnedWhenRequested) {
+  me::RunOptions opts;
+  opts.engine.record_traces = true;
+  const auto out = me::run_policy(magus::sim::intel_a100(),
+                                  magus::wl::make_workload("bfs"),
+                                  me::PolicyKind::kMagus, opts);
+  EXPECT_TRUE(out.traces.has(magus::trace::channel::kMemThroughput));
+  EXPECT_TRUE(out.traces.has(magus::trace::channel::kUncoreFreq));
+}

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "magus/exp/metrics.hpp"
+
+namespace me = magus::exp;
+
+namespace {
+me::AggregateResult make_result(double runtime, double cpu_w, double pkg_j,
+                                double dram_j, double gpu_j) {
+  me::AggregateResult r;
+  r.runtime_s = runtime;
+  r.avg_cpu_power_w = cpu_w;
+  r.pkg_energy_j = pkg_j;
+  r.dram_energy_j = dram_j;
+  r.gpu_energy_j = gpu_j;
+  return r;
+}
+}  // namespace
+
+TEST(Metrics, EnergyComposition) {
+  const auto r = make_result(10.0, 200.0, 1500.0, 300.0, 2000.0);
+  EXPECT_DOUBLE_EQ(r.cpu_energy_j(), 1800.0);
+  EXPECT_DOUBLE_EQ(r.total_energy_j(), 3800.0);
+}
+
+TEST(Metrics, CompareSignConventions) {
+  const auto base = make_result(100.0, 220.0, 20'000.0, 2'000.0, 16'000.0);
+  const auto cand = make_result(103.0, 170.0, 16'000.0, 1'600.0, 16'400.0);
+  const auto c = me::compare(cand, base);
+  // Candidate is 3% slower -> positive perf loss.
+  EXPECT_NEAR(c.perf_loss_pct, 3.0, 1e-9);
+  // Candidate uses less CPU power -> positive power saving.
+  EXPECT_NEAR(c.cpu_power_saving_pct, 100.0 * 50.0 / 220.0, 1e-9);
+  // Total energy 38000 -> 34000: positive energy saving.
+  EXPECT_NEAR(c.energy_saving_pct, 100.0 * 4000.0 / 38'000.0, 1e-9);
+}
+
+TEST(Metrics, IdenticalResultsCompareToZero) {
+  const auto r = make_result(10.0, 100.0, 900.0, 100.0, 500.0);
+  const auto c = me::compare(r, r);
+  EXPECT_DOUBLE_EQ(c.perf_loss_pct, 0.0);
+  EXPECT_DOUBLE_EQ(c.cpu_power_saving_pct, 0.0);
+  EXPECT_DOUBLE_EQ(c.energy_saving_pct, 0.0);
+}
+
+TEST(Metrics, RegressionShowsNegativeSaving) {
+  // UPS on Intel+Max1550 (paper 6.1): overhead can exceed the savings.
+  const auto base = make_result(10.0, 100.0, 900.0, 100.0, 500.0);
+  const auto worse = make_result(10.0, 108.0, 972.0, 108.0, 500.0);
+  const auto c = me::compare(worse, base);
+  EXPECT_LT(c.energy_saving_pct, 0.0);
+  EXPECT_LT(c.cpu_power_saving_pct, 0.0);
+}
+
+TEST(Metrics, ToAggregateCopiesAllFields) {
+  magus::sim::SimResult s;
+  s.duration_s = 12.0;
+  s.pkg_energy_j = 2400.0;
+  s.dram_energy_j = 240.0;
+  s.gpu_energy_j = 3600.0;
+  s.avg_pkg_power_w = 200.0;
+  s.avg_dram_power_w = 20.0;
+  s.avg_gpu_power_w = 300.0;
+  s.invocations = 40;
+  s.total_invocation_s = 4.0;
+  const auto a = me::to_aggregate(s);
+  EXPECT_DOUBLE_EQ(a.runtime_s, 12.0);
+  EXPECT_DOUBLE_EQ(a.avg_cpu_power_w, 220.0);
+  EXPECT_DOUBLE_EQ(a.total_energy_j(), 6240.0);
+  EXPECT_DOUBLE_EQ(a.avg_invocation_s, 0.1);
+  EXPECT_EQ(a.reps_used, 1);
+}

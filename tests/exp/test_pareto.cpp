@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "magus/common/rng.hpp"
+#include "magus/exp/pareto.hpp"
+
+namespace me = magus::exp;
+
+namespace {
+std::vector<me::ParetoPoint> points(std::initializer_list<std::pair<double, double>> xs) {
+  std::vector<me::ParetoPoint> out;
+  std::size_t i = 0;
+  for (const auto& [x, y] : xs) out.push_back({x, y, i++, false});
+  return out;
+}
+}  // namespace
+
+TEST(Pareto, SinglePointIsOnFront) {
+  auto ps = points({{1.0, 1.0}});
+  me::mark_pareto_front(ps);
+  EXPECT_TRUE(ps[0].on_front);
+}
+
+TEST(Pareto, DominatedPointExcluded) {
+  auto ps = points({{1.0, 1.0}, {2.0, 2.0}});
+  me::mark_pareto_front(ps);
+  EXPECT_TRUE(ps[0].on_front);
+  EXPECT_FALSE(ps[1].on_front);
+}
+
+TEST(Pareto, TradeOffCurveAllOnFront) {
+  auto ps = points({{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}});
+  me::mark_pareto_front(ps);
+  for (const auto& p : ps) EXPECT_TRUE(p.on_front);
+}
+
+TEST(Pareto, DuplicatePointsBothKept) {
+  auto ps = points({{1.0, 1.0}, {1.0, 1.0}});
+  me::mark_pareto_front(ps);
+  EXPECT_TRUE(ps[0].on_front);
+  EXPECT_TRUE(ps[1].on_front);
+}
+
+TEST(Pareto, MixedSet) {
+  auto ps = points({{1.0, 5.0}, {2.0, 3.0}, {3.0, 4.0}, {4.0, 1.0}, {2.5, 3.0}});
+  me::mark_pareto_front(ps);
+  EXPECT_TRUE(ps[0].on_front);
+  EXPECT_TRUE(ps[1].on_front);
+  EXPECT_FALSE(ps[2].on_front);  // dominated by (2,3)
+  EXPECT_TRUE(ps[3].on_front);
+  EXPECT_FALSE(ps[4].on_front);  // dominated by (2,3)
+}
+
+TEST(Pareto, DistanceZeroOnFront) {
+  auto ps = points({{1.0, 2.0}, {2.0, 1.0}, {2.0, 2.0}});
+  me::mark_pareto_front(ps);
+  EXPECT_DOUBLE_EQ(me::distance_to_front(ps, 0), 0.0);
+  EXPECT_GT(me::distance_to_front(ps, 2), 0.0);
+  EXPECT_LE(me::distance_to_front(ps, 2), 1.5);
+}
+
+TEST(Pareto, DistanceOutOfRangeIsInfinite) {
+  auto ps = points({{1.0, 1.0}});
+  me::mark_pareto_front(ps);
+  EXPECT_TRUE(std::isinf(me::distance_to_front(ps, 7)));
+}
+
+// Property: the front is never empty and no front member dominates another.
+class ParetoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParetoFuzz, FrontIsMutuallyNonDominated) {
+  magus::common::Rng rng(GetParam());
+  std::vector<me::ParetoPoint> ps;
+  for (std::size_t i = 0; i < 40; ++i) {
+    ps.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0), i, false});
+  }
+  me::mark_pareto_front(ps);
+  int on_front = 0;
+  for (const auto& a : ps) {
+    if (!a.on_front) continue;
+    ++on_front;
+    for (const auto& b : ps) {
+      if (!b.on_front || &a == &b) continue;
+      const bool dominates =
+          b.x <= a.x && b.y <= a.y && (b.x < a.x || b.y < a.y);
+      EXPECT_FALSE(dominates);
+    }
+  }
+  EXPECT_GE(on_front, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoFuzz, ::testing::Values(11, 22, 33, 44, 55));

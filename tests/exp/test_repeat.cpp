@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "magus/common/error.hpp"
+#include "magus/exp/repeat.hpp"
+#include "magus/wl/catalog.hpp"
+
+namespace me = magus::exp;
+
+TEST(Repeat, RejectsZeroRepetitions) {
+  me::RepeatSpec spec;
+  spec.repetitions = 0;
+  EXPECT_THROW((void)me::run_repeated(magus::sim::intel_a100(),
+                                      magus::wl::make_workload("bfs"),
+                                      me::PolicyKind::kDefault, spec),
+               magus::common::ConfigError);
+}
+
+TEST(Repeat, AggregatesAcrossJitteredRuns) {
+  me::RepeatSpec spec;
+  spec.repetitions = 5;
+  const auto agg = me::run_repeated(magus::sim::intel_a100(),
+                                    magus::wl::make_workload("bfs"),
+                                    me::PolicyKind::kDefault, spec);
+  EXPECT_EQ(agg.reps_total, 5);
+  EXPECT_GE(agg.reps_used, 3);
+  EXPECT_LE(agg.reps_used, 5);
+  const double nominal = magus::wl::make_workload("bfs").nominal_duration_s();
+  EXPECT_NEAR(agg.runtime_s, nominal, 0.1 * nominal);
+  EXPECT_GT(agg.total_energy_j(), 0.0);
+}
+
+TEST(Repeat, DeterministicForSameSeed) {
+  me::RepeatSpec spec;
+  spec.repetitions = 3;
+  spec.seed = 77;
+  const auto a = me::run_repeated(magus::sim::intel_a100(),
+                                  magus::wl::make_workload("bfs"),
+                                  me::PolicyKind::kMagus, spec);
+  const auto b = me::run_repeated(magus::sim::intel_a100(),
+                                  magus::wl::make_workload("bfs"),
+                                  me::PolicyKind::kMagus, spec);
+  EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_DOUBLE_EQ(a.total_energy_j(), b.total_energy_j());
+}
+
+TEST(Repeat, DifferentSeedsProduceDifferentRuns) {
+  me::RepeatSpec a_spec;
+  a_spec.repetitions = 2;
+  a_spec.seed = 1;
+  me::RepeatSpec b_spec = a_spec;
+  b_spec.seed = 2;
+  const auto a = me::run_repeated(magus::sim::intel_a100(),
+                                  magus::wl::make_workload("bfs"),
+                                  me::PolicyKind::kDefault, a_spec);
+  const auto b = me::run_repeated(magus::sim::intel_a100(),
+                                  magus::wl::make_workload("bfs"),
+                                  me::PolicyKind::kDefault, b_spec);
+  EXPECT_NE(a.runtime_s, b.runtime_s);
+}

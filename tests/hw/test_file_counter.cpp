@@ -1,0 +1,62 @@
+// File-backed throughput counter (the daemon's bring-your-own-telemetry
+// input).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "magus/common/error.hpp"
+#include "magus/hw/file_counter.hpp"
+
+namespace mh = magus::hw;
+
+namespace {
+std::string write_value(const char* name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream os(path);
+  os << content;
+  return path;
+}
+}  // namespace
+
+TEST(FileCounter, MissingFileIsCapabilityError) {
+  EXPECT_THROW(mh::FileMemThroughputCounter("/no/such/file"),
+               magus::common::CapabilityError);
+}
+
+TEST(FileCounter, ReadsCumulativeValue) {
+  const auto path = write_value("ctr_reads.txt", "12345.5\n");
+  mh::FileMemThroughputCounter ctr(path);
+  EXPECT_DOUBLE_EQ(ctr.total_mb(), 12345.5);
+  write_value("ctr_reads.txt", "12400.0\n");
+  EXPECT_DOUBLE_EQ(ctr.total_mb(), 12400.0);
+  std::remove(path.c_str());
+}
+
+TEST(FileCounter, MalformedContentIsDeviceError) {
+  const auto path = write_value("ctr_bad.txt", "not-a-number\n");
+  mh::FileMemThroughputCounter ctr(path);
+  EXPECT_THROW((void)ctr.total_mb(), magus::common::DeviceError);
+  std::remove(path.c_str());
+}
+
+TEST(FileCounter, VanishedFileIsDeviceError) {
+  const auto path = write_value("ctr_gone.txt", "1\n");
+  mh::FileMemThroughputCounter ctr(path);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)ctr.total_mb(), magus::common::DeviceError);
+}
+
+TEST(FileCounter, ProducerRestartStaysMonotone) {
+  // A PCM-exporter restart resets its counter; the adapter must never report
+  // a value lower than before (negative throughput would confuse Alg. 1).
+  const auto path = write_value("ctr_restart.txt", "50000\n");
+  mh::FileMemThroughputCounter ctr(path);
+  EXPECT_DOUBLE_EQ(ctr.total_mb(), 50000.0);
+  write_value("ctr_restart.txt", "120\n");  // restart
+  EXPECT_DOUBLE_EQ(ctr.total_mb(), 50000.0);
+  write_value("ctr_restart.txt", "60000\n");
+  EXPECT_DOUBLE_EQ(ctr.total_mb(), 60000.0);
+  std::remove(path.c_str());
+}

@@ -1,0 +1,73 @@
+// MSR 0x620 codec: bits 6:0 max ratio, bits 14:8 min ratio, reserved bits
+// preserved -- exactly what `wrmsr -p <socket> 0x620 ...` manipulates in the
+// paper's section 4.
+
+#include <gtest/gtest.h>
+
+#include "magus/hw/msr.hpp"
+
+namespace mh = magus::hw;
+
+TEST(UncoreRatioLimit, DecodeKnownValue) {
+  // max ratio 22 (2.2 GHz), min ratio 8 (0.8 GHz): 0x0816.
+  const auto v = mh::UncoreRatioLimit::decode(0x0816);
+  EXPECT_EQ(v.max_ratio, 22u);
+  EXPECT_EQ(v.min_ratio, 8u);
+  EXPECT_DOUBLE_EQ(v.max_ghz(), 2.2);
+  EXPECT_DOUBLE_EQ(v.min_ghz(), 0.8);
+}
+
+TEST(UncoreRatioLimit, EncodeKnownValue) {
+  mh::UncoreRatioLimit v;
+  v.max_ratio = 15;  // 1.5 GHz
+  v.min_ratio = 8;
+  EXPECT_EQ(v.encode(), 0x080Full);
+}
+
+TEST(UncoreRatioLimit, EncodePreservesReservedBits) {
+  // Firmware may park state in reserved bits; a max-ratio rewrite must not
+  // clobber it (the paper's MAGUS writes only the max field).
+  const std::uint64_t reserved = 0xDEAD0000'00C08000ull;  // outside both fields
+  mh::UncoreRatioLimit v;
+  v.max_ratio = 12;
+  v.min_ratio = 10;
+  const std::uint64_t raw = v.encode(reserved | 0x0816);
+  EXPECT_EQ(raw & ~0x7F7Full, reserved);
+  const auto back = mh::UncoreRatioLimit::decode(raw);
+  EXPECT_EQ(back.max_ratio, 12u);
+  EXPECT_EQ(back.min_ratio, 10u);
+}
+
+TEST(UncoreRatioLimit, FieldsMaskTo7Bits) {
+  mh::UncoreRatioLimit v;
+  v.max_ratio = 0xFFu;  // overflows the 7-bit field
+  v.min_ratio = 0x80u;
+  const auto raw = v.encode();
+  const auto back = mh::UncoreRatioLimit::decode(raw);
+  EXPECT_EQ(back.max_ratio, 0x7Fu);
+  EXPECT_EQ(back.min_ratio, 0x00u);
+}
+
+// Property: encode/decode round-trips for every (max, min) pair on the
+// Ice Lake and Sapphire Rapids ladders.
+class MsrRoundTrip : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(MsrRoundTrip, Exact) {
+  const auto [max_r, min_r] = GetParam();
+  mh::UncoreRatioLimit v;
+  v.max_ratio = max_r;
+  v.min_ratio = min_r;
+  const auto back = mh::UncoreRatioLimit::decode(v.encode());
+  EXPECT_EQ(back, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(LadderPairs, MsrRoundTrip,
+                         ::testing::Combine(::testing::Values(8u, 12u, 15u, 22u, 25u),
+                                            ::testing::Values(8u, 10u, 22u)));
+
+TEST(MsrConstants, PaperRegisters) {
+  EXPECT_EQ(mh::msr::kUncoreRatioLimit, 0x620u);
+  EXPECT_EQ(mh::msr::kRaplPowerUnit, 0x606u);
+  EXPECT_EQ(mh::msr::kPkgEnergyStatus, 0x611u);
+  EXPECT_EQ(mh::msr::kDramEnergyStatus, 0x619u);
+}

@@ -1,0 +1,71 @@
+// RAPL fixed-point units and the 32-bit energy-counter wraparound that any
+// long-running power monitor must survive.
+
+#include <gtest/gtest.h>
+
+#include "magus/hw/rapl.hpp"
+
+namespace mh = magus::hw;
+
+TEST(RaplUnits, DecodeTypicalServerValue) {
+  // ESU=14 -> 61.04 uJ, PSU=3 -> 0.125 W, TSU=10 -> ~0.977 ms.
+  const auto u = mh::RaplUnits::decode(0x000A0E03);
+  EXPECT_EQ(u.power_unit_raw, 3u);
+  EXPECT_EQ(u.energy_unit_raw, 14u);
+  EXPECT_EQ(u.time_unit_raw, 10u);
+  EXPECT_NEAR(u.joules_per_lsb(), 6.103515625e-5, 1e-12);
+  EXPECT_DOUBLE_EQ(u.watts_per_lsb(), 0.125);
+  EXPECT_NEAR(u.seconds_per_lsb(), 1.0 / 1024.0, 1e-12);
+}
+
+TEST(RaplUnits, EncodeDecodeRoundTrip) {
+  mh::RaplUnits u{3, 14, 10};
+  EXPECT_EQ(mh::RaplUnits::decode(u.encode()), u);
+}
+
+class RaplUnitSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RaplUnitSweep, EnergyLsbIsPowerOfTwoFraction) {
+  mh::RaplUnits u{3, GetParam(), 10};
+  EXPECT_DOUBLE_EQ(u.joules_per_lsb() * static_cast<double>(1ull << GetParam()), 1.0);
+  EXPECT_EQ(mh::RaplUnits::decode(u.encode()).energy_unit_raw, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(EnergyUnits, RaplUnitSweep,
+                         ::testing::Values(10u, 12u, 14u, 16u, 18u));
+
+TEST(EnergyAccumulator, FirstReadingPrimes) {
+  mh::EnergyAccumulator acc(mh::RaplUnits{3, 14, 10});
+  EXPECT_DOUBLE_EQ(acc.update(1000), 0.0);
+}
+
+TEST(EnergyAccumulator, AccumulatesDeltas) {
+  const mh::RaplUnits u{3, 14, 10};
+  mh::EnergyAccumulator acc(u);
+  acc.update(0);
+  const double j = acc.update(16384);  // 16384 * 1/2^14 J = 1 J
+  EXPECT_NEAR(j, 1.0, 1e-9);
+}
+
+TEST(EnergyAccumulator, SurvivesWraparound) {
+  const mh::RaplUnits u{3, 14, 10};
+  mh::EnergyAccumulator acc(u);
+  acc.update(0xFFFFF000u);
+  acc.update(0x00000400u);  // wrapped: delta = 0x1400 = 5120 ticks
+  EXPECT_NEAR(acc.total_joules(), 5120.0 / 16384.0, 1e-9);
+}
+
+TEST(EnergyAccumulator, MonotoneAcrossManyWraps) {
+  const mh::RaplUnits u{3, 14, 10};
+  mh::EnergyAccumulator acc(u);
+  std::uint32_t raw = 0;
+  double last = acc.update(raw);
+  for (int i = 0; i < 1000; ++i) {
+    raw += 0x01000000u;  // wraps every 256 updates
+    const double now = acc.update(raw);
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  // 1000 * 2^24 ticks * 2^-14 J/tick = 1000 * 1024 J.
+  EXPECT_NEAR(last, 1000.0 * 1024.0, 1e-6);
+}

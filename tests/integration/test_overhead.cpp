@@ -1,0 +1,53 @@
+// Table 2 protocol: idle-node overheads of MAGUS vs UPS on both systems.
+
+#include <gtest/gtest.h>
+
+#include "magus/exp/evaluation.hpp"
+
+namespace me = magus::exp;
+
+namespace {
+me::OverheadResult measure(const magus::sim::SystemSpec& system) {
+  return me::measure_overhead(system, 60.0);
+}
+}  // namespace
+
+TEST(Overhead, MagusWithinPaperBandOnA100) {
+  const auto r = measure(magus::sim::intel_a100());
+  // Paper: 1.1% power, ~0.1 s invocation.
+  EXPECT_GT(r.magus_power_overhead_pct, 0.3);
+  EXPECT_LT(r.magus_power_overhead_pct, 2.0);
+  EXPECT_NEAR(r.magus_invocation_s, 0.1, 0.02);
+}
+
+TEST(Overhead, UpsCostlierThanMagusOnA100) {
+  const auto r = measure(magus::sim::intel_a100());
+  // Paper: UPS 4.9% power, ~0.3 s invocation.
+  EXPECT_GT(r.ups_power_overhead_pct, 2.5 * r.magus_power_overhead_pct);
+  EXPECT_GT(r.ups_invocation_s, 0.25);
+  EXPECT_LT(r.ups_invocation_s, 0.36);
+}
+
+TEST(Overhead, UpsWorstOnMax1550) {
+  // Paper: UPS overhead grows from 4.9% (A100 node) to 7.9% (Max node).
+  const auto a100 = measure(magus::sim::intel_a100());
+  const auto max1550 = measure(magus::sim::intel_max1550());
+  EXPECT_GT(max1550.ups_power_overhead_pct, a100.ups_power_overhead_pct);
+  EXPECT_GT(max1550.ups_power_overhead_pct, 4.0);
+  // MAGUS stays around 1% everywhere.
+  EXPECT_LT(max1550.magus_power_overhead_pct, 2.0);
+}
+
+TEST(Overhead, InvocationGapComesFromCounterCounts) {
+  // The structural claim behind Table 2: one PCM sweep vs 160+ MSR reads.
+  const auto r = measure(magus::sim::intel_a100());
+  EXPECT_GT(r.ups_invocation_s / r.magus_invocation_s, 2.0);
+}
+
+TEST(Overhead, ScalingDisabledDuringMeasurement) {
+  // The protocol excludes uncore scaling: baseline idle power must match a
+  // max-uncore idle node (no one scaled anything down).
+  const auto r = measure(magus::sim::intel_a100());
+  EXPECT_GT(r.idle_power_w, 100.0);  // uncore at max, not at min
+  EXPECT_EQ(r.system, "intel_a100");
+}

@@ -1,0 +1,109 @@
+// The simulator-backed hw interfaces: MSR semantics (0x620 writes steer the
+// uncore), counter units, and access metering (the basis of Table 2).
+
+#include <gtest/gtest.h>
+
+#include "magus/common/error.hpp"
+#include "magus/hw/rapl.hpp"
+#include "magus/sim/backends.hpp"
+
+namespace ms = magus::sim;
+namespace mh = magus::hw;
+
+namespace {
+struct Rig {
+  ms::NodeModel node{ms::intel_a100(), 1};
+  ms::AccessMeter meter;
+  ms::SimMsrDevice msr{node, meter};
+  ms::SimMemThroughputCounter mem{node, meter};
+  ms::SimEnergyCounter energy{node, meter};
+  ms::SimGpuPowerSensor gpu{node};
+  ms::SimCoreCounters cores{node, meter};
+};
+}  // namespace
+
+TEST(SimMsrDevice, InitialUncoreLimitMatchesLadder) {
+  Rig rig;
+  const auto limit = mh::UncoreRatioLimit::decode(
+      rig.msr.read(0, mh::msr::kUncoreRatioLimit));
+  EXPECT_EQ(limit.max_ratio, 22u);
+  EXPECT_EQ(limit.min_ratio, 8u);
+}
+
+TEST(SimMsrDevice, WritingMaxRatioSteersUncore) {
+  Rig rig;
+  mh::UncoreRatioLimit limit{12, 8};
+  rig.msr.write(0, mh::msr::kUncoreRatioLimit, limit.encode());
+  rig.msr.write(1, mh::msr::kUncoreRatioLimit, limit.encode());
+  EXPECT_DOUBLE_EQ(rig.node.uncore(0).policy_limit_ghz(), 1.2);
+  // Frequency follows after slewing.
+  for (int i = 0; i < 200; ++i) rig.node.tick(i * 0.002, 0.002, {}, 0.0);
+  EXPECT_DOUBLE_EQ(rig.node.uncore(0).freq_ghz(), 1.2);
+}
+
+TEST(SimMsrDevice, UnsupportedRegistersFaultLikeHardware) {
+  Rig rig;
+  EXPECT_THROW((void)rig.msr.read(0, 0x1234), magus::common::DeviceError);
+  EXPECT_THROW(rig.msr.write(0, 0x611, 1), magus::common::DeviceError);
+  EXPECT_THROW((void)rig.msr.read(5, 0x620), magus::common::ConfigError);
+}
+
+TEST(SimMsrDevice, EnergyStatusUsesRaplEncoding) {
+  Rig rig;
+  for (int i = 0; i < 500; ++i) rig.node.tick(i * 0.002, 0.002, {}, 0.0);
+  const auto units =
+      mh::RaplUnits::decode(rig.msr.read(0, mh::msr::kRaplPowerUnit));
+  const auto raw =
+      static_cast<std::uint32_t>(rig.msr.read(0, mh::msr::kPkgEnergyStatus));
+  const double decoded_j = static_cast<double>(raw) * units.joules_per_lsb();
+  EXPECT_NEAR(decoded_j, rig.node.pkg_energy_j(0), 0.001);
+}
+
+TEST(SimMsrDevice, UncorePerfStatusReportsCurrentRatio) {
+  Rig rig;
+  EXPECT_EQ(rig.msr.read(0, mh::msr::kUncorePerfStatus), 22u);
+}
+
+TEST(SimCounters, EnergyCounterMatchesNode) {
+  Rig rig;
+  for (int i = 0; i < 100; ++i) rig.node.tick(i * 0.002, 0.002, {}, 0.0);
+  EXPECT_DOUBLE_EQ(rig.energy.pkg_energy_j(0), rig.node.pkg_energy_j(0));
+  EXPECT_DOUBLE_EQ(rig.energy.dram_energy_j(1), rig.node.dram_energy_j(1));
+  EXPECT_EQ(rig.energy.socket_count(), 2);
+}
+
+TEST(SimCounters, GpuSensorSplitsBoards) {
+  ms::NodeModel node(ms::intel_4a100(), 1);
+  ms::SimGpuPowerSensor gpu(node);
+  for (int i = 0; i < 100; ++i) node.tick(i * 0.002, 0.002, {}, 0.0);
+  EXPECT_EQ(gpu.gpu_count(), 4);
+  EXPECT_NEAR(gpu.power_w(0) * 4.0, node.gpu().power_w(), 1e-9);
+  EXPECT_THROW((void)gpu.power_w(4), magus::common::ConfigError);
+}
+
+TEST(AccessMeter, CountsEveryRead) {
+  Rig rig;
+  rig.meter.reset();
+  (void)rig.mem.total_mb();
+  EXPECT_EQ(rig.meter.pcm_reads, 1ull);
+  EXPECT_EQ(rig.meter.msr_reads, 0ull);
+
+  (void)rig.energy.dram_energy_j(0);
+  (void)rig.cores.instructions_retired(0);
+  (void)rig.cores.cycles_unhalted(0);
+  EXPECT_EQ(rig.meter.msr_reads, 3ull);
+
+  rig.msr.write(0, mh::msr::kUncoreRatioLimit, mh::UncoreRatioLimit{12, 8}.encode());
+  EXPECT_EQ(rig.meter.msr_writes, 1ull);
+}
+
+TEST(AccessMeter, UpsStyleSweepIsExpensive) {
+  // 2 MSRs per core x 80 cores: the reason UPS's invocation takes ~0.3 s.
+  Rig rig;
+  rig.meter.reset();
+  for (int c = 0; c < rig.cores.core_count(); ++c) {
+    (void)rig.cores.instructions_retired(c);
+    (void)rig.cores.cycles_unhalted(c);
+  }
+  EXPECT_EQ(rig.meter.msr_reads, 160ull);
+}

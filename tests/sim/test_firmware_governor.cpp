@@ -1,0 +1,61 @@
+// The stock firmware behaviour the paper's Fig. 1 exposes: the uncore cap
+// moves only when package power approaches TDP.
+
+#include <gtest/gtest.h>
+
+#include "magus/sim/firmware_governor.hpp"
+#include "magus/sim/system_preset.hpp"
+
+namespace ms = magus::sim;
+
+namespace {
+ms::FirmwareGovernor make_gov() {
+  return ms::FirmwareGovernor(ms::intel_a100().cpu, 0.93);
+}
+}  // namespace
+
+TEST(FirmwareGovernor, StaysAtMaxBelowTdp) {
+  auto gov = make_gov();
+  // GPU-dominant workloads: package power far below the 270 W TDP.
+  for (int i = 0; i < 10000; ++i) gov.update(0.002, 120.0);
+  EXPECT_DOUBLE_EQ(gov.cap_ghz(), 2.2);
+}
+
+TEST(FirmwareGovernor, ThrottlesNearTdp) {
+  auto gov = make_gov();
+  for (int i = 0; i < 100; ++i) gov.update(0.002, 265.0);  // > 0.93 * 270
+  EXPECT_LT(gov.cap_ghz(), 2.2);
+}
+
+TEST(FirmwareGovernor, ThrottleSaturatesAtMin) {
+  auto gov = make_gov();
+  for (int i = 0; i < 100000; ++i) gov.update(0.002, 400.0);
+  EXPECT_DOUBLE_EQ(gov.cap_ghz(), 0.8);
+}
+
+TEST(FirmwareGovernor, RecoversWhenPowerDrops) {
+  auto gov = make_gov();
+  for (int i = 0; i < 1000; ++i) gov.update(0.002, 300.0);
+  EXPECT_LT(gov.cap_ghz(), 2.2);
+  for (int i = 0; i < 100000; ++i) gov.update(0.002, 100.0);
+  EXPECT_DOUBLE_EQ(gov.cap_ghz(), 2.2);
+}
+
+TEST(FirmwareGovernor, RecoveryIsDwellLimited) {
+  // The cap must not bounce back instantly (one step per dwell window).
+  auto gov = make_gov();
+  for (int i = 0; i < 1000; ++i) gov.update(0.002, 300.0);
+  const double throttled = gov.cap_ghz();
+  gov.update(0.002, 100.0);
+  EXPECT_LE(gov.cap_ghz(), throttled + 0.1 + 1e-9);
+}
+
+TEST(FirmwareGovernor, ThresholdScalesWithBackoffFraction) {
+  ms::FirmwareGovernor tight(ms::intel_a100().cpu, 0.5);  // throttle at 135 W
+  for (int i = 0; i < 100; ++i) tight.update(0.002, 150.0);
+  EXPECT_LT(tight.cap_ghz(), 2.2);
+
+  ms::FirmwareGovernor loose(ms::intel_a100().cpu, 1.0);
+  for (int i = 0; i < 100; ++i) loose.update(0.002, 260.0);
+  EXPECT_DOUBLE_EQ(loose.cap_ghz(), 2.2);
+}

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "magus/sim/gpu_model.hpp"
+#include "magus/sim/system_preset.hpp"
+
+namespace ms = magus::sim;
+
+TEST(GpuModel, IdlePowerFloor) {
+  ms::GpuModel gpu(ms::intel_a100().gpu);
+  for (int i = 0; i < 1000; ++i) gpu.tick(0.002, 0.0);
+  EXPECT_NEAR(gpu.power_w(), 30.0, 1.0);  // paper: A100-40GB idles ~30 W
+}
+
+TEST(GpuModel, FourA100IdleFloorIs200W) {
+  ms::GpuModel gpu(ms::intel_4a100().gpu);
+  for (int i = 0; i < 1000; ++i) gpu.tick(0.002, 0.0);
+  // Paper section 6.1: four A100-80GB boards idle at ~200 W total.
+  EXPECT_NEAR(gpu.power_w(), 200.0, 5.0);
+}
+
+TEST(GpuModel, ClockBoostsWithLoad) {
+  ms::GpuModel gpu(ms::intel_a100().gpu);
+  const double f0 = gpu.clock_ghz();
+  for (int i = 0; i < 1000; ++i) gpu.tick(0.002, 0.95);
+  EXPECT_GT(gpu.clock_ghz(), f0);
+  EXPECT_LE(gpu.clock_ghz(), ms::intel_a100().gpu.max_clock_ghz + 1e-9);
+}
+
+TEST(GpuModel, PowerBoundedByPeak) {
+  ms::GpuModel gpu(ms::intel_a100().gpu);
+  for (int i = 0; i < 5000; ++i) gpu.tick(0.002, 1.0);
+  EXPECT_LE(gpu.power_w(), ms::intel_a100().gpu.peak_w + 1e-6);
+  EXPECT_GT(gpu.power_w(), 0.8 * ms::intel_a100().gpu.peak_w);
+}
+
+TEST(GpuModel, EnergyIntegratesPower) {
+  ms::GpuModel gpu(ms::intel_a100().gpu);
+  for (int i = 0; i < 500; ++i) gpu.tick(0.002, 0.0);
+  // ~1 s at ~30 W.
+  EXPECT_NEAR(gpu.energy_j(), 30.0, 2.0);
+}
+
+TEST(GpuModel, StalledDeviceBurnsLessThanBusy) {
+  // A starved host pipeline lowers effective utilisation; board power must
+  // follow (this converts perf loss into idle-energy cost in Fig. 4c).
+  ms::GpuModel busy(ms::intel_a100().gpu);
+  ms::GpuModel stalled(ms::intel_a100().gpu);
+  for (int i = 0; i < 2000; ++i) {
+    busy.tick(0.002, 0.95);
+    stalled.tick(0.002, 0.95 / 1.8);  // stretch factor 1.8
+  }
+  EXPECT_LT(stalled.power_w(), busy.power_w());
+  EXPECT_GT(stalled.power_w(), ms::intel_a100().gpu.idle_w);
+}
+
+TEST(GpuModel, BoardPowerIsTotalOverCount) {
+  ms::GpuModel gpu(ms::intel_4a100().gpu);
+  for (int i = 0; i < 100; ++i) gpu.tick(0.002, 0.5);
+  EXPECT_NEAR(gpu.board_power_w() * 4.0, gpu.power_w(), 1e-9);
+  EXPECT_EQ(gpu.count(), 4);
+}
+
+TEST(GpuModel, UtilClamped) {
+  ms::GpuModel gpu(ms::intel_a100().gpu);
+  for (int i = 0; i < 100; ++i) gpu.tick(0.002, 7.5);
+  EXPECT_LE(gpu.power_w(), ms::intel_a100().gpu.peak_w + 1e-6);
+}

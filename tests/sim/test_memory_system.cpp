@@ -1,0 +1,76 @@
+// The roofline-style memory service model: delivered throughput and the
+// stretch factor that turns uncore starvation into runtime loss.
+
+#include <gtest/gtest.h>
+
+#include "magus/sim/memory_system.hpp"
+
+namespace ms = magus::sim;
+
+TEST(MemoryService, UnderloadedDeliversDemand) {
+  const auto svc = ms::service_memory(50'000.0, 160'000.0, 0.8);
+  EXPECT_DOUBLE_EQ(svc.delivered_mbps, 50'000.0);
+  EXPECT_DOUBLE_EQ(svc.stretch, 1.0);
+  EXPECT_NEAR(svc.utilization, 50.0 / 160.0, 1e-9);
+}
+
+TEST(MemoryService, OverloadedCapsAtCapacity) {
+  const auto svc = ms::service_memory(160'000.0, 80'000.0, 1.0);
+  EXPECT_DOUBLE_EQ(svc.delivered_mbps, 80'000.0);
+  EXPECT_DOUBLE_EQ(svc.stretch, 2.0);  // fully memory-bound, 2x demand
+  EXPECT_DOUBLE_EQ(svc.utilization, 1.0);
+}
+
+TEST(MemoryService, StretchBlendsWithMemBoundFraction) {
+  // Half memory-bound at 2x overload: stretch = 0.5 + 0.5*2 = 1.5.
+  const auto svc = ms::service_memory(160'000.0, 80'000.0, 0.5);
+  EXPECT_DOUBLE_EQ(svc.stretch, 1.5);
+}
+
+TEST(MemoryService, ComputeBoundPhaseNeverStretches) {
+  const auto svc = ms::service_memory(160'000.0, 80'000.0, 0.0);
+  EXPECT_DOUBLE_EQ(svc.stretch, 1.0);
+}
+
+TEST(MemoryService, ZeroCapacityIsSafe) {
+  const auto svc = ms::service_memory(100.0, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(svc.delivered_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(svc.stretch, 1.0);
+  EXPECT_DOUBLE_EQ(svc.utilization, 0.0);
+}
+
+TEST(MemoryService, NegativeDemandClamped) {
+  const auto svc = ms::service_memory(-5.0, 100.0, 0.5);
+  EXPECT_DOUBLE_EQ(svc.delivered_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(svc.stretch, 1.0);
+}
+
+TEST(MemoryService, MemBoundFractionClamped) {
+  const auto over = ms::service_memory(200.0, 100.0, 1.5);
+  EXPECT_DOUBLE_EQ(over.stretch, 2.0);
+  const auto under = ms::service_memory(200.0, 100.0, -0.5);
+  EXPECT_DOUBLE_EQ(under.stretch, 1.0);
+}
+
+// Properties over a parameter grid: stretch >= 1, delivered <= min(D, C),
+// utilisation in [0, 1], and stretch is monotone in demand.
+class MemoryServiceSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(MemoryServiceSweep, Invariants) {
+  const auto [demand, capacity, m] = GetParam();
+  const auto svc = ms::service_memory(demand, capacity, m);
+  EXPECT_GE(svc.stretch, 1.0);
+  EXPECT_LE(svc.delivered_mbps, std::min(demand, capacity) + 1e-9);
+  EXPECT_GE(svc.utilization, 0.0);
+  EXPECT_LE(svc.utilization, 1.0);
+  // More demand never shrinks the stretch.
+  const auto svc2 = ms::service_memory(demand * 1.5, capacity, m);
+  EXPECT_GE(svc2.stretch, svc.stretch - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MemoryServiceSweep,
+    ::testing::Combine(::testing::Values(1'000.0, 50'000.0, 120'000.0, 200'000.0),
+                       ::testing::Values(83'000.0, 160'000.0),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.85, 1.0)));

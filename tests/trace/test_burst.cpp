@@ -1,0 +1,130 @@
+// Burst extraction + Jaccard: the machinery behind Table 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "magus/trace/burst.hpp"
+
+namespace mt = magus::trace;
+
+TEST(Binarize, ThresholdIsExclusive) {
+  const auto bits = mt::binarize(std::vector<double>{1.0, 2.0, 3.0}, 2.0);
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_EQ(bits[0], 0);
+  EXPECT_EQ(bits[1], 0);  // equal to threshold -> not a burst
+  EXPECT_EQ(bits[2], 1);
+}
+
+TEST(BurstIntervals, ExtractsRuns) {
+  const std::vector<std::uint8_t> bits{0, 1, 1, 0, 0, 1, 0};
+  const auto iv = mt::burst_intervals(bits, 0.5);
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_DOUBLE_EQ(iv[0].begin, 0.5);
+  EXPECT_DOUBLE_EQ(iv[0].end, 1.5);
+  EXPECT_DOUBLE_EQ(iv[0].length(), 1.0);
+  EXPECT_DOUBLE_EQ(iv[1].begin, 2.5);
+  EXPECT_DOUBLE_EQ(iv[1].end, 3.0);
+}
+
+TEST(BurstIntervals, AllOnesIsOneInterval) {
+  const auto iv = mt::burst_intervals({1, 1, 1}, 1.0);
+  ASSERT_EQ(iv.size(), 1u);
+  EXPECT_DOUBLE_EQ(iv[0].length(), 3.0);
+}
+
+TEST(BurstIntervals, EmptyAndAllZero) {
+  EXPECT_TRUE(mt::burst_intervals({}, 1.0).empty());
+  EXPECT_TRUE(mt::burst_intervals({0, 0}, 1.0).empty());
+}
+
+TEST(Jaccard, IdenticalSequencesScoreOne) {
+  const std::vector<std::uint8_t> a{0, 1, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(mt::jaccard(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSequencesScoreZero) {
+  EXPECT_DOUBLE_EQ(mt::jaccard({1, 1, 0, 0}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  // inter = 1, union = 3.
+  EXPECT_NEAR(mt::jaccard({1, 1, 0}, {0, 1, 1}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Jaccard, BothEmptyIsOneByConvention) {
+  EXPECT_DOUBLE_EQ(mt::jaccard({0, 0, 0}, {0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(mt::jaccard({}, {}), 1.0);
+}
+
+TEST(Jaccard, LongerTailCountsIntoUnion) {
+  // Missed burst beyond the shorter trace must hurt the score.
+  const std::vector<std::uint8_t> a{1, 1};
+  const std::vector<std::uint8_t> b{1, 1, 1, 1};
+  EXPECT_NEAR(mt::jaccard(a, b), 0.5, 1e-12);
+}
+
+TEST(Jaccard, Symmetric) {
+  const std::vector<std::uint8_t> a{1, 0, 1, 1, 0};
+  const std::vector<std::uint8_t> b{1, 1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(mt::jaccard(a, b), mt::jaccard(b, a));
+}
+
+namespace {
+mt::TimeSeries pulse_train(double period, double width, double hi, double lo,
+                           double total, double phase = 0.0) {
+  mt::TimeSeries ts;
+  for (double t = 0.0; t < total; t += 0.01) {
+    const double pos = std::fmod(t + phase, period);
+    ts.add(t, pos < width ? hi : lo);
+  }
+  return ts;
+}
+}  // namespace
+
+TEST(BurstJaccard, IdenticalTracesScoreOne) {
+  const auto ts = pulse_train(2.0, 0.5, 100.0, 10.0, 10.0);
+  EXPECT_NEAR(mt::burst_jaccard(ts, ts, 50.0), 1.0, 1e-12);
+}
+
+TEST(BurstJaccard, StretchedTraceStillAlignsOnProgressAxis) {
+  // The same burst pattern played 20% slower must still align: Table 1
+  // compares by application progress, not wall-clock.
+  const auto fast = pulse_train(2.0, 0.5, 100.0, 10.0, 10.0);
+  mt::TimeSeries slow;
+  for (const auto& s : fast.samples()) slow.add(s.t * 1.2, s.v);
+  EXPECT_GT(mt::burst_jaccard(fast, slow, 50.0), 0.95);
+}
+
+TEST(BurstJaccard, PhaseShiftedBurstsScoreLow) {
+  const auto a = pulse_train(2.0, 0.5, 100.0, 10.0, 10.0, 0.0);
+  const auto b = pulse_train(2.0, 0.5, 100.0, 10.0, 10.0, 1.0);
+  EXPECT_LT(mt::burst_jaccard(a, b, 50.0), 0.2);
+}
+
+TEST(BurstJaccard, MissedBurstLowersScoreProportionally) {
+  // b delivers only the second half of each burst (starved first half).
+  const auto a = pulse_train(4.0, 1.0, 100.0, 10.0, 12.0);
+  mt::TimeSeries b;
+  for (const auto& s : a.samples()) {
+    const double pos = std::fmod(s.t, 4.0);
+    b.add(s.t, (pos < 0.5 && s.v > 50.0) ? 20.0 : s.v);
+  }
+  const double j = mt::burst_jaccard(a, b, 50.0);
+  EXPECT_GT(j, 0.35);
+  EXPECT_LT(j, 0.65);
+}
+
+TEST(BurstJaccard, DegenerateInputs) {
+  mt::TimeSeries empty;
+  const auto ts = pulse_train(2.0, 0.5, 100.0, 10.0, 4.0);
+  EXPECT_DOUBLE_EQ(mt::burst_jaccard(empty, ts, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(mt::burst_jaccard(ts, ts, 50.0, 0), 0.0);
+}
+
+TEST(DefaultBurstThreshold, FractionOfPeak) {
+  const auto ts = pulse_train(2.0, 0.5, 100.0, 10.0, 4.0);
+  EXPECT_DOUBLE_EQ(mt::default_burst_threshold(ts, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(mt::default_burst_threshold(ts, 0.7), 70.0);
+  EXPECT_DOUBLE_EQ(mt::default_burst_threshold(mt::TimeSeries{}, 0.5), 0.0);
+}

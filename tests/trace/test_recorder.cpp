@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "magus/trace/recorder.hpp"
+
+namespace mt = magus::trace;
+
+TEST(TraceRecorder, CreatesChannelsOnFirstUse) {
+  mt::TraceRecorder rec;
+  EXPECT_FALSE(rec.has("x"));
+  rec.record("x", 0.0, 1.0);
+  EXPECT_TRUE(rec.has("x"));
+  EXPECT_EQ(rec.series("x").size(), 1u);
+}
+
+TEST(TraceRecorder, UnknownChannelThrows) {
+  mt::TraceRecorder rec;
+  EXPECT_THROW((void)rec.series("nope"), std::out_of_range);
+}
+
+TEST(TraceRecorder, ChannelsSortedAndComplete) {
+  mt::TraceRecorder rec;
+  rec.record("b", 0.0, 1.0);
+  rec.record("a", 0.0, 2.0);
+  const auto names = rec.channels();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(TraceRecorder, AppendsInOrder) {
+  mt::TraceRecorder rec;
+  rec.record("p", 0.0, 1.0);
+  rec.record("p", 0.5, 2.0);
+  rec.record("p", 1.0, 3.0);
+  const auto& ts = rec.series("p");
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.value_at(0.5), 2.0);
+}
+
+TEST(TraceRecorder, WriteCsvRoundTrips) {
+  mt::TraceRecorder rec;
+  rec.record("power", 0.0, 100.0);
+  rec.record("power", 1.0, 120.0);
+  const std::string path = ::testing::TempDir() + "/magus_rec_test.csv";
+  rec.write_csv(path);
+  std::ifstream is(path);
+  std::string header, r1;
+  std::getline(is, header);
+  std::getline(is, r1);
+  EXPECT_EQ(header, "channel,t,v");
+  EXPECT_EQ(r1, "power,0,100");
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, ClearRemovesEverything) {
+  mt::TraceRecorder rec;
+  rec.record("x", 0.0, 1.0);
+  rec.clear();
+  EXPECT_FALSE(rec.has("x"));
+  EXPECT_TRUE(rec.channels().empty());
+}
+
+TEST(TraceRecorder, CopyIsIndependent) {
+  mt::TraceRecorder rec;
+  rec.record("x", 0.0, 1.0);
+  mt::TraceRecorder copy = rec;
+  rec.record("x", 1.0, 2.0);
+  EXPECT_EQ(copy.series("x").size(), 1u);
+  EXPECT_EQ(rec.series("x").size(), 2u);
+}

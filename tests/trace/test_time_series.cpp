@@ -1,0 +1,121 @@
+// TimeSeries reductions feed every energy/power number in the evaluation.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "magus/trace/time_series.hpp"
+
+namespace mt = magus::trace;
+
+namespace {
+mt::TimeSeries make_step() {
+  // 0..1s at 10, 1..3s at 20 (sample-and-hold).
+  mt::TimeSeries ts;
+  ts.add(0.0, 10.0);
+  ts.add(1.0, 20.0);
+  ts.add(3.0, 20.0);
+  return ts;
+}
+}  // namespace
+
+TEST(TimeSeries, RejectsNonMonotoneTimestamps) {
+  mt::TimeSeries ts;
+  ts.add(1.0, 1.0);
+  EXPECT_THROW(ts.add(0.5, 2.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, AllowsEqualTimestamps) {
+  mt::TimeSeries ts;
+  ts.add(1.0, 1.0);
+  EXPECT_NO_THROW(ts.add(1.0, 2.0));
+}
+
+TEST(TimeSeries, EmptyAccessorsThrow) {
+  mt::TimeSeries ts;
+  EXPECT_THROW((void)ts.start_time(), std::out_of_range);
+  EXPECT_THROW((void)ts.value_at(0.0), std::out_of_range);
+  EXPECT_THROW((void)ts.min_value(), std::out_of_range);
+}
+
+TEST(TimeSeries, SampleAndHoldLookup) {
+  const auto ts = make_step();
+  EXPECT_DOUBLE_EQ(ts.value_at(-1.0), 10.0);  // clamps at start
+  EXPECT_DOUBLE_EQ(ts.value_at(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(9.0), 20.0);  // clamps at end
+}
+
+TEST(TimeSeries, DurationAndExtremes) {
+  const auto ts = make_step();
+  EXPECT_DOUBLE_EQ(ts.duration(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.min_value(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 20.0);
+}
+
+TEST(TimeSeries, IntegralIsPowerTimesTime) {
+  const auto ts = make_step();
+  // 10 W for 1 s + 20 W for 2 s = 50 J.
+  EXPECT_DOUBLE_EQ(ts.integral(), 50.0);
+}
+
+TEST(TimeSeries, TimeWeightedMeanFullSpan) {
+  const auto ts = make_step();
+  EXPECT_NEAR(ts.time_weighted_mean(), 50.0 / 3.0, 1e-12);
+}
+
+TEST(TimeSeries, TimeWeightedMeanSubWindow) {
+  const auto ts = make_step();
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(0.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(1.0, 3.0), 20.0);
+  EXPECT_NEAR(ts.time_weighted_mean(0.5, 1.5), 15.0, 1e-12);
+}
+
+TEST(TimeSeries, ResampleUniformGrid) {
+  const auto ts = make_step();
+  const auto xs = ts.resample(0.5);
+  ASSERT_EQ(xs.size(), 6u);  // [0, 3) step 0.5
+  EXPECT_DOUBLE_EQ(xs[0], 10.0);
+  EXPECT_DOUBLE_EQ(xs[1], 10.0);
+  EXPECT_DOUBLE_EQ(xs[2], 20.0);
+  EXPECT_DOUBLE_EQ(xs[5], 20.0);
+}
+
+TEST(TimeSeries, ResampleDegenerateInputs) {
+  mt::TimeSeries ts;
+  EXPECT_TRUE(ts.resample(0.1).empty());
+  ts.add(0.0, 5.0);
+  const auto xs = ts.resample(0.1);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_DOUBLE_EQ(xs[0], 5.0);
+  EXPECT_TRUE(ts.resample(0.0).empty());
+}
+
+TEST(TimeSeries, ValuesExtraction) {
+  const auto ts = make_step();
+  const auto vs = ts.values();
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_DOUBLE_EQ(vs[0], 10.0);
+}
+
+TEST(TimeSeries, IntegralOfFewerThanTwoSamplesIsZero) {
+  mt::TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.integral(), 0.0);
+  ts.add(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(ts.integral(), 0.0);
+}
+
+// Property: for a constant signal, mean == value and integral == v * T.
+class ConstantSignal : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConstantSignal, Reductions) {
+  const double v = GetParam();
+  mt::TimeSeries ts;
+  for (int i = 0; i <= 10; ++i) ts.add(0.1 * i, v);
+  EXPECT_NEAR(ts.time_weighted_mean(), v, 1e-9);
+  EXPECT_NEAR(ts.integral(), v * 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ConstantSignal,
+                         ::testing::Values(0.0, 1.0, 42.5, 200.0, 1e6));

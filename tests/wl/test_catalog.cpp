@@ -1,0 +1,106 @@
+// The application catalog: every preset the paper evaluates must build,
+// validate, and carry the qualitative memory dynamics its figures rely on.
+
+#include <gtest/gtest.h>
+
+#include "magus/common/error.hpp"
+#include "magus/wl/catalog.hpp"
+
+namespace mw = magus::wl;
+
+TEST(Catalog, HasAllPaperApplications) {
+  EXPECT_EQ(mw::app_catalog().size(), 24u);
+  for (const char* name : {"bfs", "gemm", "srad", "unet", "resnet50", "bert_large",
+                           "lammps", "gromacs", "laghos", "sw4lite", "miniGAN"}) {
+    EXPECT_NO_THROW((void)mw::app_info(name)) << name;
+  }
+}
+
+TEST(Catalog, UnknownAppThrows) {
+  EXPECT_THROW((void)mw::app_info("doom"), magus::common::ConfigError);
+  EXPECT_THROW((void)mw::make_workload("doom"), magus::common::ConfigError);
+}
+
+TEST(Catalog, SuiteNamesResolve) {
+  EXPECT_STREQ(mw::suite_name(mw::Suite::kAltisL1), "altis_l1");
+  EXPECT_STREQ(mw::suite_name(mw::Suite::kMlPerf), "mlperf");
+}
+
+TEST(Catalog, Fig4bSetIsSyclSubset) {
+  const auto apps = mw::apps_for_max1550();
+  EXPECT_EQ(apps.size(), 11u);  // paper: 11 Altis-SYCL applications
+  for (const auto& name : apps) EXPECT_TRUE(mw::app_info(name).sycl_available);
+}
+
+TEST(Catalog, Fig4cSetIsMultiGpuApps) {
+  const auto apps = mw::apps_for_4a100();
+  EXPECT_EQ(apps.size(), 5u);  // LAMMPS, GROMACS + 3 MLPerf
+  for (const auto& name : apps) EXPECT_TRUE(mw::app_info(name).multi_gpu);
+}
+
+TEST(Catalog, Table1SetSize) {
+  EXPECT_EQ(mw::apps_for_table1().size(), 21u);
+}
+
+TEST(Catalog, UnetMatchesFig2Shape) {
+  // The paper's running example: ~45-50 s of iterations with tall bursts.
+  const auto p = mw::make_workload("unet");
+  EXPECT_NEAR(p.nominal_duration_s(), 47.0, 3.0);
+  EXPECT_GT(p.peak_demand_mbps(), 140'000.0);
+}
+
+TEST(Catalog, SradHasHighFrequencySegments) {
+  // Figs. 5-6 depend on sub-second oscillation that must trip Algorithm 2.
+  const auto p = mw::make_workload("srad");
+  int subsecond = 0;
+  for (const auto& ph : p.phases()) {
+    if (ph.duration_s <= 0.3 && ph.mem_demand_mbps > 80'000.0) ++subsecond;
+  }
+  EXPECT_GE(subsecond, 10);
+}
+
+TEST(Catalog, ScaleForGpusRaisesDemandNotDuration) {
+  const auto base = mw::make_workload("gromacs");
+  const auto scaled = mw::scale_for_gpus(base, 4);
+  EXPECT_DOUBLE_EQ(scaled.nominal_duration_s(), base.nominal_duration_s());
+  EXPECT_GT(scaled.peak_demand_mbps(), base.peak_demand_mbps());
+  // Single GPU is the identity.
+  EXPECT_DOUBLE_EQ(mw::scale_for_gpus(base, 1).peak_demand_mbps(),
+                   base.peak_demand_mbps());
+}
+
+// Property sweep over the whole catalog: every workload validates, has a
+// sane duration, and keeps utilisations in range.
+class CatalogSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogSweep, BuildsAndValidates) {
+  const auto p = mw::make_workload(GetParam());
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_GT(p.nominal_duration_s(), 5.0);
+  EXPECT_LT(p.nominal_duration_s(), 120.0);
+  EXPECT_GT(p.peak_demand_mbps(), 10'000.0);
+  for (const auto& ph : p.phases()) {
+    EXPECT_TRUE(ph.valid()) << GetParam() << ": " << ph.label;
+    // GPU-dominant workloads: the device is always in use somewhere.
+    EXPECT_GE(ph.gpu_util, 0.1) << GetParam() << ": " << ph.label;
+  }
+}
+
+TEST_P(CatalogSweep, DeterministicConstruction) {
+  const auto a = mw::make_workload(GetParam());
+  const auto b = mw::make_workload(GetParam());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.phases()[i].duration_s, b.phases()[i].duration_s);
+    EXPECT_DOUBLE_EQ(a.phases()[i].mem_demand_mbps, b.phases()[i].mem_demand_mbps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, CatalogSweep,
+                         ::testing::ValuesIn([] {
+                           std::vector<std::string> names;
+                           for (const auto& entry : mw::app_catalog()) {
+                             names.push_back(entry.name);
+                           }
+                           return names;
+                         }()));

@@ -1,0 +1,90 @@
+// Workload CSV format round-trip and error handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "magus/common/error.hpp"
+#include "magus/wl/catalog.hpp"
+#include "magus/wl/io.hpp"
+
+namespace mw = magus::wl;
+
+namespace {
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+}  // namespace
+
+TEST(WorkloadIo, RoundTripsEveryCatalogApp) {
+  for (const auto& info : mw::app_catalog()) {
+    const auto original = mw::make_workload(info.name);
+    const std::string path = temp_path("roundtrip.csv");
+    mw::save_program_csv(original, path);
+    const auto loaded = mw::load_program_csv(path, info.name);
+    ASSERT_EQ(loaded.size(), original.size()) << info.name;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(loaded.phases()[i].label, original.phases()[i].label);
+      EXPECT_NEAR(loaded.phases()[i].duration_s, original.phases()[i].duration_s, 1e-9);
+      EXPECT_NEAR(loaded.phases()[i].mem_demand_mbps,
+                  original.phases()[i].mem_demand_mbps, 1e-6);
+      EXPECT_NEAR(loaded.phases()[i].gpu_util, original.phases()[i].gpu_util, 1e-9);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(WorkloadIo, ParsesHeaderCommentsAndBlankLines) {
+  const std::string path = temp_path("hand_written.csv");
+  {
+    std::ofstream os(path);
+    os << "# my workload\n"
+       << "label,duration_s,mem_demand_mbps,mem_bound_frac,cpu_util,gpu_util\n"
+       << "\n"
+       << "stage,0.5,82000,0.7,0.2,0.4\n"
+       << "compute,6.0,12000,0.2,0.1,0.9\n";
+  }
+  const auto p = mw::load_program_csv(path);
+  EXPECT_EQ(p.name(), "hand_written");  // file stem
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.phases()[0].label, "stage");
+  EXPECT_DOUBLE_EQ(p.phases()[1].duration_s, 6.0);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, RejectsMissingFile) {
+  EXPECT_THROW((void)mw::load_program_csv("/nonexistent/w.csv"),
+               magus::common::ConfigError);
+}
+
+TEST(WorkloadIo, RejectsWrongArity) {
+  const std::string path = temp_path("bad_arity.csv");
+  {
+    std::ofstream os(path);
+    os << "stage,0.5,82000\n";
+  }
+  EXPECT_THROW((void)mw::load_program_csv(path), magus::common::ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, RejectsNonNumericMidFile) {
+  const std::string path = temp_path("bad_field.csv");
+  {
+    std::ofstream os(path);
+    os << "stage,0.5,82000,0.7,0.2,0.4\n"
+       << "oops,zero point five,82000,0.7,0.2,0.4\n";
+  }
+  EXPECT_THROW((void)mw::load_program_csv(path), magus::common::ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, RejectsInvalidPhaseValues) {
+  const std::string path = temp_path("bad_phase.csv");
+  {
+    std::ofstream os(path);
+    os << "stage,-1.0,82000,0.7,0.2,0.4\n";  // negative duration
+  }
+  EXPECT_THROW((void)mw::load_program_csv(path), magus::common::ConfigError);
+  std::remove(path.c_str());
+}

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "magus/wl/catalog.hpp"
+#include "magus/wl/jitter.hpp"
+
+namespace mw = magus::wl;
+namespace mc = magus::common;
+
+TEST(Jitter, PreservesStructure) {
+  const auto base = mw::make_workload("unet");
+  mc::Rng rng(1);
+  const auto j = mw::apply_jitter(base, rng);
+  EXPECT_EQ(j.size(), base.size());
+  EXPECT_EQ(j.name(), base.name());
+  EXPECT_NO_THROW(j.validate());
+}
+
+TEST(Jitter, PerturbsWithinThreeSigma) {
+  const auto base = mw::make_workload("unet");
+  mc::Rng rng(2);
+  mw::JitterConfig cfg;
+  cfg.duration_rel = 0.02;
+  cfg.demand_rel = 0.03;
+  const auto j = mw::apply_jitter(base, rng, cfg);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double dr = j.phases()[i].duration_s / base.phases()[i].duration_s;
+    const double mr = base.phases()[i].mem_demand_mbps > 0.0
+                          ? j.phases()[i].mem_demand_mbps / base.phases()[i].mem_demand_mbps
+                          : 1.0;
+    EXPECT_GE(dr, 1.0 - 0.06 - 1e-9);
+    EXPECT_LE(dr, 1.0 + 0.06 + 1e-9);
+    EXPECT_GE(mr, 1.0 - 0.09 - 1e-9);
+    EXPECT_LE(mr, 1.0 + 0.09 + 1e-9);
+  }
+}
+
+TEST(Jitter, ActuallyChangesValues) {
+  const auto base = mw::make_workload("bfs");
+  mc::Rng rng(3);
+  const auto j = mw::apply_jitter(base, rng);
+  bool changed = false;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    changed |= j.phases()[i].duration_s != base.phases()[i].duration_s;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Jitter, SeededReproducibility) {
+  const auto base = mw::make_workload("bfs");
+  mc::Rng a(9), b(9);
+  const auto ja = mw::apply_jitter(base, a);
+  const auto jb = mw::apply_jitter(base, b);
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ja.phases()[i].duration_s, jb.phases()[i].duration_s);
+  }
+}
+
+TEST(Jitter, UntouchedFieldsStayExact) {
+  const auto base = mw::make_workload("bfs");
+  mc::Rng rng(4);
+  const auto j = mw::apply_jitter(base, rng);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(j.phases()[i].mem_bound_frac, base.phases()[i].mem_bound_frac);
+    EXPECT_DOUBLE_EQ(j.phases()[i].cpu_util, base.phases()[i].cpu_util);
+    EXPECT_DOUBLE_EQ(j.phases()[i].gpu_util, base.phases()[i].gpu_util);
+  }
+}

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "magus/wl/patterns.hpp"
+
+namespace mp = magus::wl::patterns;
+
+TEST(Patterns, SquareWaveAlternates) {
+  const auto phases = mp::square_wave(3, 1.0, 90'000.0, 2.0, 10'000.0, 0.8, 0.7);
+  ASSERT_EQ(phases.size(), 6u);
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_DOUBLE_EQ(phases[i].mem_demand_mbps, 90'000.0);
+      EXPECT_DOUBLE_EQ(phases[i].duration_s, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(phases[i].mem_demand_mbps, 10'000.0);
+      EXPECT_DOUBLE_EQ(phases[i].duration_s, 2.0);
+    }
+  }
+}
+
+TEST(Patterns, BurstTrainHasRampEdge) {
+  const auto phases = mp::burst_train(2, 0.3, 0.8, 100'000.0, 3.0, 8'000.0, 0.8, 0.9);
+  ASSERT_EQ(phases.size(), 6u);
+  EXPECT_EQ(phases[0].label, "ramp");
+  EXPECT_EQ(phases[1].label, "burst");
+  EXPECT_EQ(phases[2].label, "quiet");
+  // The ramp presages the burst at roughly half level -- the hook for
+  // Algorithm 1's derivative to fire before the expensive part.
+  EXPECT_DOUBLE_EQ(phases[0].mem_demand_mbps, 50'000.0);
+  EXPECT_GT(phases[1].mem_demand_mbps, phases[0].mem_demand_mbps);
+}
+
+TEST(Patterns, RampIsMonotone) {
+  const auto up = mp::ramp(5, 2.5, 10'000.0, 90'000.0, 0.5, 0.7);
+  ASSERT_EQ(up.size(), 5u);
+  for (std::size_t i = 1; i < up.size(); ++i) {
+    EXPECT_GT(up[i].mem_demand_mbps, up[i - 1].mem_demand_mbps);
+  }
+  EXPECT_DOUBLE_EQ(up.front().mem_demand_mbps, 10'000.0);
+  EXPECT_DOUBLE_EQ(up.back().mem_demand_mbps, 90'000.0);
+
+  const auto down = mp::ramp(5, 2.5, 90'000.0, 10'000.0, 0.5, 0.7);
+  for (std::size_t i = 1; i < down.size(); ++i) {
+    EXPECT_LT(down[i].mem_demand_mbps, down[i - 1].mem_demand_mbps);
+  }
+}
+
+TEST(Patterns, TelegraphPeriodAndLevels) {
+  const auto phases = mp::telegraph(5.0, 0.5, 100'000.0, 20'000.0, 0.8, 0.8);
+  ASSERT_EQ(phases.size(), 20u);  // 5 s / 0.25 s half-periods
+  for (const auto& p : phases) EXPECT_DOUBLE_EQ(p.duration_s, 0.25);
+  EXPECT_DOUBLE_EQ(phases[0].mem_demand_mbps, 100'000.0);
+  EXPECT_DOUBLE_EQ(phases[1].mem_demand_mbps, 20'000.0);
+}
+
+TEST(Patterns, TelegraphTotalDurationPreserved) {
+  const auto phases = mp::telegraph(4.0, 0.5, 1.0, 0.0, 0.5, 0.5);
+  double total = 0.0;
+  for (const auto& p : phases) total += p.duration_s;
+  EXPECT_NEAR(total, 4.0, 1e-9);
+}
+
+TEST(Patterns, SteadyPhase) {
+  const auto p = mp::steady("x", 2.0, 5'000.0, 0.3, 0.2, 0.9);
+  EXPECT_EQ(p.label, "x");
+  EXPECT_TRUE(p.valid());
+  EXPECT_DOUBLE_EQ(p.gpu_util, 0.9);
+}

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "magus/common/error.hpp"
+#include "magus/wl/phase.hpp"
+
+namespace mw = magus::wl;
+
+TEST(Phase, ValidityChecks) {
+  mw::Phase ok{"p", 1.0, 1000.0, 0.5, 0.2, 0.8};
+  EXPECT_TRUE(ok.valid());
+
+  mw::Phase zero_dur = ok;
+  zero_dur.duration_s = 0.0;
+  EXPECT_FALSE(zero_dur.valid());
+
+  mw::Phase neg_demand = ok;
+  neg_demand.mem_demand_mbps = -1.0;
+  EXPECT_FALSE(neg_demand.valid());
+
+  mw::Phase bad_frac = ok;
+  bad_frac.mem_bound_frac = 1.5;
+  EXPECT_FALSE(bad_frac.valid());
+
+  mw::Phase bad_util = ok;
+  bad_util.gpu_util = -0.1;
+  EXPECT_FALSE(bad_util.valid());
+}
+
+TEST(PhaseProgram, AggregatesDurations) {
+  mw::PhaseProgram p("x", {{"a", 1.5, 100.0, 0.1, 0.1, 0.1},
+                           {"b", 2.5, 200.0, 0.2, 0.1, 0.1}});
+  EXPECT_DOUBLE_EQ(p.nominal_duration_s(), 4.0);
+  EXPECT_DOUBLE_EQ(p.peak_demand_mbps(), 200.0);
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(PhaseProgram, ValidateRejectsEmpty) {
+  mw::PhaseProgram p("empty", {});
+  EXPECT_THROW(p.validate(), magus::common::ConfigError);
+}
+
+TEST(PhaseProgram, ValidateNamesOffendingPhase) {
+  mw::PhaseProgram p("x", {{"good", 1.0, 1.0, 0.1, 0.1, 0.1},
+                           {"bad", -1.0, 1.0, 0.1, 0.1, 0.1}});
+  try {
+    p.validate();
+    FAIL() << "expected ConfigError";
+  } catch (const magus::common::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("#1"), std::string::npos);
+  }
+}
+
+TEST(ProgramBuilder, AddAndRepeat) {
+  mw::ProgramBuilder b("loop");
+  b.add({"init", 1.0, 10.0, 0.1, 0.1, 0.1});
+  b.repeat(3, {{"iter", 0.5, 20.0, 0.2, 0.1, 0.5}});
+  const auto p = b.build();
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.nominal_duration_s(), 2.5);
+  EXPECT_EQ(p.phases()[1].label, "iter");
+  EXPECT_EQ(p.name(), "loop");
+}
+
+TEST(ProgramBuilder, RepeatZeroIsNoop) {
+  mw::ProgramBuilder b("z");
+  b.repeat(0, {{"iter", 0.5, 20.0, 0.2, 0.1, 0.5}});
+  EXPECT_TRUE(b.build().empty());
+}

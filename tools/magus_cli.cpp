@@ -1,0 +1,162 @@
+// magus-cli: command-line driver for the MAGUS reproduction.
+//
+//   magus-cli list
+//       Enumerate system presets and modelled applications.
+//   magus-cli run --system intel_a100 --app unet --policy magus
+//                 [--reps 7] [--seed 2025] [--gpus N] [--trace out.csv]
+//       Run one workload under one policy; print the paper's metrics vs the
+//       default baseline.
+//   magus-cli overhead --system intel_a100 [--duration 600]
+//       Table 2 protocol on one system.
+//
+// Exit codes: 0 ok, 1 usage error, 2 runtime error.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "magus/common/error.hpp"
+#include "magus/common/table.hpp"
+#include "magus/exp/evaluation.hpp"
+#include "magus/wl/catalog.hpp"
+#include "magus/wl/io.hpp"
+
+namespace {
+
+using namespace magus;
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  magus-cli list\n"
+            << "  magus-cli run --system <name> --app <name|file.csv> --policy "
+               "<default|static_min|static_max|magus|ups|duf>\n"
+            << "                [--reps N] [--seed S] [--gpus N] [--trace out.csv]\n"
+            << "  magus-cli overhead --system <name> [--duration seconds]\n";
+  return 1;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
+  std::map<std::string, std::string> flags;
+  for (int i = from; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw common::ConfigError(std::string("expected flag, got '") + argv[i] + "'");
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+exp::PolicyKind policy_from_name(const std::string& name) {
+  if (name == "default") return exp::PolicyKind::kDefault;
+  if (name == "static_min") return exp::PolicyKind::kStaticMin;
+  if (name == "static_max") return exp::PolicyKind::kStaticMax;
+  if (name == "magus") return exp::PolicyKind::kMagus;
+  if (name == "ups") return exp::PolicyKind::kUps;
+  if (name == "duf") return exp::PolicyKind::kDuf;
+  throw common::ConfigError("unknown policy '" + name + "'");
+}
+
+int cmd_list() {
+  std::cout << "systems:\n";
+  for (const char* s : {"intel_a100", "intel_4a100", "intel_max1550", "amd_mi250"}) {
+    const auto spec = sim::system_by_name(s);
+    std::cout << "  " << spec.name << "  (" << spec.cpu.model << " + " << spec.gpu.count
+              << "x " << spec.gpu.model << ", uncore " << spec.cpu.uncore_min_ghz << "-"
+              << spec.cpu.uncore_max_ghz << " GHz)\n";
+  }
+  std::cout << "\napplications:\n";
+  for (const auto& info : wl::app_catalog()) {
+    std::cout << "  " << info.name << "  [" << wl::suite_name(info.suite) << "]"
+              << (info.multi_gpu ? " multi-gpu" : "") << (info.sycl_available ? " sycl" : "")
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_run(const std::map<std::string, std::string>& flags) {
+  const auto system = sim::system_by_name(flags.at("system"));
+  const std::string app = flags.at("app");
+  const auto kind = policy_from_name(flags.at("policy"));
+
+  exp::RepeatSpec reps;
+  if (flags.count("reps")) reps.repetitions = std::stoi(flags.at("reps"));
+  if (flags.count("seed")) reps.seed = std::stoull(flags.at("seed"));
+
+  wl::PhaseProgram program = app.size() > 4 && app.substr(app.size() - 4) == ".csv"
+                                  ? wl::load_program_csv(app)
+                                  : wl::make_workload(app);
+  if (flags.count("gpus")) {
+    program = wl::scale_for_gpus(program, std::stoi(flags.at("gpus")));
+  }
+
+  const auto base = exp::run_repeated(system, program, exp::PolicyKind::kDefault, reps);
+  const auto cand = exp::run_repeated(system, program, kind, reps);
+  const auto cmp = exp::compare(cand, base);
+
+  common::TextTable table({"policy", "runtime (s)", "CPU power (W)", "GPU power (W)",
+                           "total energy (kJ)"});
+  auto add = [&table](const std::string& name, const exp::AggregateResult& r) {
+    table.add_row({name, common::TextTable::num(r.runtime_s),
+                   common::TextTable::num(r.avg_cpu_power_w, 1),
+                   common::TextTable::num(r.avg_gpu_power_w, 1),
+                   common::TextTable::num(r.total_energy_j() / 1000.0)});
+  };
+  add("default", base);
+  add(flags.at("policy"), cand);
+  table.print(std::cout);
+  std::cout << "\nvs default: perf loss " << common::TextTable::num(cmp.perf_loss_pct)
+            << " %, CPU power saving " << common::TextTable::num(cmp.cpu_power_saving_pct)
+            << " %, energy saving " << common::TextTable::num(cmp.energy_saving_pct)
+            << " %  (" << reps.repetitions << " reps, seed " << reps.seed << ")\n";
+
+  if (flags.count("trace")) {
+    exp::RunOptions opts;
+    opts.engine.record_traces = true;
+    const auto out = exp::run_policy(system, program, kind, opts);
+    out.traces.write_csv(flags.at("trace"));
+    std::cout << "trace written to " << flags.at("trace") << "\n";
+  }
+  return 0;
+}
+
+int cmd_overhead(const std::map<std::string, std::string>& flags) {
+  const auto system = sim::system_by_name(flags.at("system"));
+  const double duration =
+      flags.count("duration") ? std::stod(flags.at("duration")) : 600.0;
+  const auto r = exp::measure_overhead(system, duration);
+  std::cout << "system " << r.system << " (idle " << common::TextTable::num(r.idle_power_w, 1)
+            << " W)\n"
+            << "  MAGUS: +" << common::TextTable::num(r.magus_power_overhead_pct)
+            << " % power, " << common::TextTable::num(r.magus_invocation_s)
+            << " s/invocation\n"
+            << "  UPS:   +" << common::TextTable::num(r.ups_power_overhead_pct)
+            << " % power, " << common::TextTable::num(r.ups_invocation_s)
+            << " s/invocation\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    const auto flags = parse_flags(argc, argv, 2);
+    if (cmd == "run") {
+      if (!flags.count("system") || !flags.count("app") || !flags.count("policy")) {
+        return usage();
+      }
+      return cmd_run(flags);
+    }
+    if (cmd == "overhead") {
+      if (!flags.count("system")) return usage();
+      return cmd_overhead(flags);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

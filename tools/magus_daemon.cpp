@@ -1,0 +1,163 @@
+// magus-daemon: the deployable MAGUS runtime (the paper's ~400-line
+// artifact, section 4). Launched once by the administrator, it runs in the
+// background, samples memory throughput every 0.2 s, and rewrites the MSR
+// 0x620 max-ratio field. Users never interact with it.
+//
+//   magus-daemon --simulate [--app unet] [--seconds 30]
+//       Demonstration mode: runs the identical control loop against the
+//       simulated Intel+A100 node and prints each decision. Works anywhere.
+//
+//   magus-daemon --throughput-file /run/pcm/dram_mb [--interval 0.2]
+//                [--min-ghz 0.8] [--max-ghz 2.2] [--sockets 0,40] [--dry-run]
+//       Real mode: reads cumulative DRAM traffic (MB) published by a PCM
+//       exporter from a file, drives /dev/cpu/<cpu>/msr. Requires root and
+//       the msr kernel module; refuses to start otherwise.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "magus/common/error.hpp"
+#include "magus/core/runtime.hpp"
+#include "magus/hw/file_counter.hpp"
+#include "magus/hw/linux_backend.hpp"
+#include "magus/sim/engine.hpp"
+#include "magus/wl/catalog.hpp"
+
+namespace {
+
+using namespace magus;
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  magus-daemon --simulate [--app unet] [--seconds 30]\n"
+            << "  magus-daemon --throughput-file <path> [--interval 0.2]\n"
+            << "               [--min-ghz 0.8] [--max-ghz 2.2] [--sockets 0,40] "
+               "[--dry-run]\n";
+  return 1;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw common::ConfigError(std::string("expected flag, got '") + argv[i] + "'");
+    }
+    const std::string key = argv[i] + 2;
+    if (key == "simulate" || key == "dry-run") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    } else {
+      throw common::ConfigError("flag --" + key + " needs a value");
+    }
+  }
+  return flags;
+}
+
+std::vector<int> parse_cpu_list(const std::string& s) {
+  std::vector<int> cpus;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) cpus.push_back(std::stoi(tok));
+  return cpus;
+}
+
+int run_simulated(const std::map<std::string, std::string>& flags) {
+  const std::string app = flags.count("app") ? flags.at("app") : "unet";
+  std::cout << "[magus-daemon] simulation mode: app=" << app
+            << " on intel_a100 (identical control loop, simulated backends)\n";
+
+  sim::SimEngine engine(sim::intel_a100(), wl::make_workload(app));
+  const hw::UncoreFreqLadder ladder(0.8, 2.2);
+  core::MagusRuntime magus(engine.mem_counter(), engine.msr(), ladder);
+
+  sim::PolicyHook hook;
+  hook.name = magus.name();
+  hook.period_s = magus.period_s();
+  hook.on_start = [&](double t) { magus.on_start(t); };
+  hook.on_sample = [&](double t) { magus.on_sample(t); };
+  const auto result = engine.run(hook);
+
+  for (const auto& rec : magus.controller().log()) {
+    if (!rec.target_ghz) continue;
+    std::cout << "  t=" << rec.t << "s throughput=" << rec.throughput_mbps / 1000.0
+              << " GB/s" << (rec.high_freq ? " [high-freq]" : "") << " -> uncore "
+              << *rec.target_ghz << " GHz\n";
+  }
+  std::cout << "[magus-daemon] app completed in " << result.duration_s << " s; "
+            << result.invocations << " monitoring cycles, avg invocation "
+            << result.avg_invocation_s() << " s\n";
+  return 0;
+}
+
+int run_real(const std::map<std::string, std::string>& flags) {
+  const auto caps = hw::probe_host();
+  if (!caps.msr_dev) {
+    std::cerr << "[magus-daemon] /dev/cpu/0/msr not accessible -- load the msr "
+                 "module and run as root, or use --simulate\n";
+    return 2;
+  }
+
+  const double interval =
+      flags.count("interval") ? std::stod(flags.at("interval")) : 0.2;
+  const double min_ghz = flags.count("min-ghz") ? std::stod(flags.at("min-ghz")) : 0.8;
+  const double max_ghz = flags.count("max-ghz") ? std::stod(flags.at("max-ghz")) : 2.2;
+  const std::vector<int> cpus =
+      flags.count("sockets") ? parse_cpu_list(flags.at("sockets")) : std::vector<int>{0};
+
+  hw::FileMemThroughputCounter counter(flags.at("throughput-file"));
+  hw::LinuxMsrDevice msr(cpus);
+  const hw::UncoreFreqLadder ladder(min_ghz, max_ghz);
+  core::MagusConfig cfg;
+  cfg.period_s = interval;
+  cfg.scaling_enabled = !flags.count("dry-run");
+  core::MagusRuntime magus(counter, msr, ladder, cfg);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::cout << "[magus-daemon] running: interval=" << interval << "s, ladder ["
+            << ladder.min_ghz() << ", " << ladder.max_ghz() << "] GHz, "
+            << cpus.size() << " socket(s)" << (cfg.scaling_enabled ? "" : " (dry run)")
+            << "\n";
+
+  double now = 0.0;
+  magus.on_start(now);
+  while (!g_stop) {
+    ::usleep(static_cast<useconds_t>(interval * 1e6));
+    now += interval;
+    try {
+      magus.on_sample(now);
+    } catch (const common::DeviceError& e) {
+      std::cerr << "[magus-daemon] sample failed (" << e.what() << "); retrying\n";
+    }
+  }
+  std::cout << "[magus-daemon] stopped; restoring uncore max limit\n";
+  hw::UncoreFreqController restore(msr, ladder);
+  if (cfg.scaling_enabled) restore.set_max_ghz_all(ladder.max_ghz());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto flags = parse_flags(argc, argv);
+    if (flags.count("simulate")) return run_simulated(flags);
+    if (flags.count("throughput-file")) return run_real(flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
