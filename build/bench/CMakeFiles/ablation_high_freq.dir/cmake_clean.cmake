@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_high_freq.dir/ablation_high_freq.cpp.o"
+  "CMakeFiles/ablation_high_freq.dir/ablation_high_freq.cpp.o.d"
+  "ablation_high_freq"
+  "ablation_high_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_high_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

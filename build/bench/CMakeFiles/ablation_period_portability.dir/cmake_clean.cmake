@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_period_portability.dir/ablation_period_portability.cpp.o"
+  "CMakeFiles/ablation_period_portability.dir/ablation_period_portability.cpp.o.d"
+  "ablation_period_portability"
+  "ablation_period_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_period_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_default_profiling.dir/fig01_default_profiling.cpp.o"
+  "CMakeFiles/fig01_default_profiling.dir/fig01_default_profiling.cpp.o.d"
+  "fig01_default_profiling"
+  "fig01_default_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_default_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_static_uncore_power.dir/fig02_static_uncore_power.cpp.o"
+  "CMakeFiles/fig02_static_uncore_power.dir/fig02_static_uncore_power.cpp.o.d"
+  "fig02_static_uncore_power"
+  "fig02_static_uncore_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_static_uncore_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

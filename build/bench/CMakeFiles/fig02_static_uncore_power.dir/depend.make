@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_static_uncore_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04a_end_to_end_a100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04b_end_to_end_max1550.dir/fig04b_end_to_end_max1550.cpp.o"
+  "CMakeFiles/fig04b_end_to_end_max1550.dir/fig04b_end_to_end_max1550.cpp.o.d"
+  "fig04b_end_to_end_max1550"
+  "fig04b_end_to_end_max1550.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04b_end_to_end_max1550.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

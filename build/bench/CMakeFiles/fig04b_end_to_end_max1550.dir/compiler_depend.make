@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04b_end_to_end_max1550.
+# This may be replaced when dependencies are built.

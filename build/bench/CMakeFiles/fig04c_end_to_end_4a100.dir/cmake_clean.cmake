@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04c_end_to_end_4a100.dir/fig04c_end_to_end_4a100.cpp.o"
+  "CMakeFiles/fig04c_end_to_end_4a100.dir/fig04c_end_to_end_4a100.cpp.o.d"
+  "fig04c_end_to_end_4a100"
+  "fig04c_end_to_end_4a100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04c_end_to_end_4a100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

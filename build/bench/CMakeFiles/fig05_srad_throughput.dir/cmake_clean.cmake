@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_srad_throughput.dir/fig05_srad_throughput.cpp.o"
+  "CMakeFiles/fig05_srad_throughput.dir/fig05_srad_throughput.cpp.o.d"
+  "fig05_srad_throughput"
+  "fig05_srad_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_srad_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

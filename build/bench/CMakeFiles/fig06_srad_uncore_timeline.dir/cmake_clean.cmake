@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_srad_uncore_timeline.dir/fig06_srad_uncore_timeline.cpp.o"
+  "CMakeFiles/fig06_srad_uncore_timeline.dir/fig06_srad_uncore_timeline.cpp.o.d"
+  "fig06_srad_uncore_timeline"
+  "fig06_srad_uncore_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_srad_uncore_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

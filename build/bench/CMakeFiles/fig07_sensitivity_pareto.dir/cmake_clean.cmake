@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_sensitivity_pareto.dir/fig07_sensitivity_pareto.cpp.o"
+  "CMakeFiles/fig07_sensitivity_pareto.dir/fig07_sensitivity_pareto.cpp.o.d"
+  "fig07_sensitivity_pareto"
+  "fig07_sensitivity_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sensitivity_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

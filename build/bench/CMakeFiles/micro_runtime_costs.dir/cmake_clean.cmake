@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_runtime_costs.dir/micro_runtime_costs.cpp.o"
+  "CMakeFiles/micro_runtime_costs.dir/micro_runtime_costs.cpp.o.d"
+  "micro_runtime_costs"
+  "micro_runtime_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_runtime_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_jaccard.dir/table1_jaccard.cpp.o"
+  "CMakeFiles/table1_jaccard.dir/table1_jaccard.cpp.o.d"
+  "table1_jaccard"
+  "table1_jaccard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_node_probe.dir/live_node_probe.cpp.o"
+  "CMakeFiles/live_node_probe.dir/live_node_probe.cpp.o.d"
+  "live_node_probe"
+  "live_node_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_node_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

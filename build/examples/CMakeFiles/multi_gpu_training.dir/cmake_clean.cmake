@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gpu_training.dir/multi_gpu_training.cpp.o"
+  "CMakeFiles/multi_gpu_training.dir/multi_gpu_training.cpp.o.d"
+  "multi_gpu_training"
+  "multi_gpu_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gpu_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/duf.cpp" "src/baseline/CMakeFiles/magus_baseline.dir/duf.cpp.o" "gcc" "src/baseline/CMakeFiles/magus_baseline.dir/duf.cpp.o.d"
+  "/root/repo/src/baseline/ups.cpp" "src/baseline/CMakeFiles/magus_baseline.dir/ups.cpp.o" "gcc" "src/baseline/CMakeFiles/magus_baseline.dir/ups.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/magus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/magus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/magus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

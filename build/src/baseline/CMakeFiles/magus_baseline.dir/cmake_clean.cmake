@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_baseline.dir/duf.cpp.o"
+  "CMakeFiles/magus_baseline.dir/duf.cpp.o.d"
+  "CMakeFiles/magus_baseline.dir/ups.cpp.o"
+  "CMakeFiles/magus_baseline.dir/ups.cpp.o.d"
+  "libmagus_baseline.a"
+  "libmagus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

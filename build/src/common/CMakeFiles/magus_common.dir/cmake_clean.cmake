@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_common.dir/log.cpp.o"
+  "CMakeFiles/magus_common.dir/log.cpp.o.d"
+  "CMakeFiles/magus_common.dir/stats.cpp.o"
+  "CMakeFiles/magus_common.dir/stats.cpp.o.d"
+  "CMakeFiles/magus_common.dir/table.cpp.o"
+  "CMakeFiles/magus_common.dir/table.cpp.o.d"
+  "libmagus_common.a"
+  "libmagus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/high_freq.cpp" "src/core/CMakeFiles/magus_core.dir/high_freq.cpp.o" "gcc" "src/core/CMakeFiles/magus_core.dir/high_freq.cpp.o.d"
+  "/root/repo/src/core/mdfs.cpp" "src/core/CMakeFiles/magus_core.dir/mdfs.cpp.o" "gcc" "src/core/CMakeFiles/magus_core.dir/mdfs.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/magus_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/magus_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/magus_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/magus_core.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/magus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/magus_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_core.dir/high_freq.cpp.o"
+  "CMakeFiles/magus_core.dir/high_freq.cpp.o.d"
+  "CMakeFiles/magus_core.dir/mdfs.cpp.o"
+  "CMakeFiles/magus_core.dir/mdfs.cpp.o.d"
+  "CMakeFiles/magus_core.dir/predictor.cpp.o"
+  "CMakeFiles/magus_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/magus_core.dir/runtime.cpp.o"
+  "CMakeFiles/magus_core.dir/runtime.cpp.o.d"
+  "libmagus_core.a"
+  "libmagus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

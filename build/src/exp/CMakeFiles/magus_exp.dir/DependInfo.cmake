@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/evaluation.cpp" "src/exp/CMakeFiles/magus_exp.dir/evaluation.cpp.o" "gcc" "src/exp/CMakeFiles/magus_exp.dir/evaluation.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "src/exp/CMakeFiles/magus_exp.dir/experiment.cpp.o" "gcc" "src/exp/CMakeFiles/magus_exp.dir/experiment.cpp.o.d"
+  "/root/repo/src/exp/metrics.cpp" "src/exp/CMakeFiles/magus_exp.dir/metrics.cpp.o" "gcc" "src/exp/CMakeFiles/magus_exp.dir/metrics.cpp.o.d"
+  "/root/repo/src/exp/pareto.cpp" "src/exp/CMakeFiles/magus_exp.dir/pareto.cpp.o" "gcc" "src/exp/CMakeFiles/magus_exp.dir/pareto.cpp.o.d"
+  "/root/repo/src/exp/repeat.cpp" "src/exp/CMakeFiles/magus_exp.dir/repeat.cpp.o" "gcc" "src/exp/CMakeFiles/magus_exp.dir/repeat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/magus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/magus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/magus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/magus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/magus_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/magus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/magus_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

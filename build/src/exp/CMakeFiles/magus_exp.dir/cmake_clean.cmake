@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_exp.dir/evaluation.cpp.o"
+  "CMakeFiles/magus_exp.dir/evaluation.cpp.o.d"
+  "CMakeFiles/magus_exp.dir/experiment.cpp.o"
+  "CMakeFiles/magus_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/magus_exp.dir/metrics.cpp.o"
+  "CMakeFiles/magus_exp.dir/metrics.cpp.o.d"
+  "CMakeFiles/magus_exp.dir/pareto.cpp.o"
+  "CMakeFiles/magus_exp.dir/pareto.cpp.o.d"
+  "CMakeFiles/magus_exp.dir/repeat.cpp.o"
+  "CMakeFiles/magus_exp.dir/repeat.cpp.o.d"
+  "libmagus_exp.a"
+  "libmagus_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

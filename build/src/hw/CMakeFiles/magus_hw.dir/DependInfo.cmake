@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/file_counter.cpp" "src/hw/CMakeFiles/magus_hw.dir/file_counter.cpp.o" "gcc" "src/hw/CMakeFiles/magus_hw.dir/file_counter.cpp.o.d"
+  "/root/repo/src/hw/linux_backend.cpp" "src/hw/CMakeFiles/magus_hw.dir/linux_backend.cpp.o" "gcc" "src/hw/CMakeFiles/magus_hw.dir/linux_backend.cpp.o.d"
+  "/root/repo/src/hw/msr.cpp" "src/hw/CMakeFiles/magus_hw.dir/msr.cpp.o" "gcc" "src/hw/CMakeFiles/magus_hw.dir/msr.cpp.o.d"
+  "/root/repo/src/hw/rapl.cpp" "src/hw/CMakeFiles/magus_hw.dir/rapl.cpp.o" "gcc" "src/hw/CMakeFiles/magus_hw.dir/rapl.cpp.o.d"
+  "/root/repo/src/hw/uncore_freq.cpp" "src/hw/CMakeFiles/magus_hw.dir/uncore_freq.cpp.o" "gcc" "src/hw/CMakeFiles/magus_hw.dir/uncore_freq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/magus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

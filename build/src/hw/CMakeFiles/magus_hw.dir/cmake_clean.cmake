@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_hw.dir/file_counter.cpp.o"
+  "CMakeFiles/magus_hw.dir/file_counter.cpp.o.d"
+  "CMakeFiles/magus_hw.dir/linux_backend.cpp.o"
+  "CMakeFiles/magus_hw.dir/linux_backend.cpp.o.d"
+  "CMakeFiles/magus_hw.dir/msr.cpp.o"
+  "CMakeFiles/magus_hw.dir/msr.cpp.o.d"
+  "CMakeFiles/magus_hw.dir/rapl.cpp.o"
+  "CMakeFiles/magus_hw.dir/rapl.cpp.o.d"
+  "CMakeFiles/magus_hw.dir/uncore_freq.cpp.o"
+  "CMakeFiles/magus_hw.dir/uncore_freq.cpp.o.d"
+  "libmagus_hw.a"
+  "libmagus_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backends.cpp" "src/sim/CMakeFiles/magus_sim.dir/backends.cpp.o" "gcc" "src/sim/CMakeFiles/magus_sim.dir/backends.cpp.o.d"
+  "/root/repo/src/sim/core_model.cpp" "src/sim/CMakeFiles/magus_sim.dir/core_model.cpp.o" "gcc" "src/sim/CMakeFiles/magus_sim.dir/core_model.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/magus_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/magus_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/firmware_governor.cpp" "src/sim/CMakeFiles/magus_sim.dir/firmware_governor.cpp.o" "gcc" "src/sim/CMakeFiles/magus_sim.dir/firmware_governor.cpp.o.d"
+  "/root/repo/src/sim/gpu_model.cpp" "src/sim/CMakeFiles/magus_sim.dir/gpu_model.cpp.o" "gcc" "src/sim/CMakeFiles/magus_sim.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/magus_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/magus_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/magus_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/magus_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/system_preset.cpp" "src/sim/CMakeFiles/magus_sim.dir/system_preset.cpp.o" "gcc" "src/sim/CMakeFiles/magus_sim.dir/system_preset.cpp.o.d"
+  "/root/repo/src/sim/uncore_model.cpp" "src/sim/CMakeFiles/magus_sim.dir/uncore_model.cpp.o" "gcc" "src/sim/CMakeFiles/magus_sim.dir/uncore_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/magus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/magus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/magus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/magus_wl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_sim.dir/backends.cpp.o"
+  "CMakeFiles/magus_sim.dir/backends.cpp.o.d"
+  "CMakeFiles/magus_sim.dir/core_model.cpp.o"
+  "CMakeFiles/magus_sim.dir/core_model.cpp.o.d"
+  "CMakeFiles/magus_sim.dir/engine.cpp.o"
+  "CMakeFiles/magus_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/magus_sim.dir/firmware_governor.cpp.o"
+  "CMakeFiles/magus_sim.dir/firmware_governor.cpp.o.d"
+  "CMakeFiles/magus_sim.dir/gpu_model.cpp.o"
+  "CMakeFiles/magus_sim.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/magus_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/magus_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/magus_sim.dir/node.cpp.o"
+  "CMakeFiles/magus_sim.dir/node.cpp.o.d"
+  "CMakeFiles/magus_sim.dir/system_preset.cpp.o"
+  "CMakeFiles/magus_sim.dir/system_preset.cpp.o.d"
+  "CMakeFiles/magus_sim.dir/uncore_model.cpp.o"
+  "CMakeFiles/magus_sim.dir/uncore_model.cpp.o.d"
+  "libmagus_sim.a"
+  "libmagus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for magus_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/burst.cpp" "src/trace/CMakeFiles/magus_trace.dir/burst.cpp.o" "gcc" "src/trace/CMakeFiles/magus_trace.dir/burst.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/magus_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/magus_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/time_series.cpp" "src/trace/CMakeFiles/magus_trace.dir/time_series.cpp.o" "gcc" "src/trace/CMakeFiles/magus_trace.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/magus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

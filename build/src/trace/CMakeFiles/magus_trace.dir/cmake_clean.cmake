@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_trace.dir/burst.cpp.o"
+  "CMakeFiles/magus_trace.dir/burst.cpp.o.d"
+  "CMakeFiles/magus_trace.dir/recorder.cpp.o"
+  "CMakeFiles/magus_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/magus_trace.dir/time_series.cpp.o"
+  "CMakeFiles/magus_trace.dir/time_series.cpp.o.d"
+  "libmagus_trace.a"
+  "libmagus_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

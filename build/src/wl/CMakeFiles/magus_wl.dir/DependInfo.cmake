@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/catalog.cpp" "src/wl/CMakeFiles/magus_wl.dir/catalog.cpp.o" "gcc" "src/wl/CMakeFiles/magus_wl.dir/catalog.cpp.o.d"
+  "/root/repo/src/wl/io.cpp" "src/wl/CMakeFiles/magus_wl.dir/io.cpp.o" "gcc" "src/wl/CMakeFiles/magus_wl.dir/io.cpp.o.d"
+  "/root/repo/src/wl/jitter.cpp" "src/wl/CMakeFiles/magus_wl.dir/jitter.cpp.o" "gcc" "src/wl/CMakeFiles/magus_wl.dir/jitter.cpp.o.d"
+  "/root/repo/src/wl/patterns.cpp" "src/wl/CMakeFiles/magus_wl.dir/patterns.cpp.o" "gcc" "src/wl/CMakeFiles/magus_wl.dir/patterns.cpp.o.d"
+  "/root/repo/src/wl/phase.cpp" "src/wl/CMakeFiles/magus_wl.dir/phase.cpp.o" "gcc" "src/wl/CMakeFiles/magus_wl.dir/phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/magus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

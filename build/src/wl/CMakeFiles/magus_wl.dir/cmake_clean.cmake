@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_wl.dir/catalog.cpp.o"
+  "CMakeFiles/magus_wl.dir/catalog.cpp.o.d"
+  "CMakeFiles/magus_wl.dir/io.cpp.o"
+  "CMakeFiles/magus_wl.dir/io.cpp.o.d"
+  "CMakeFiles/magus_wl.dir/jitter.cpp.o"
+  "CMakeFiles/magus_wl.dir/jitter.cpp.o.d"
+  "CMakeFiles/magus_wl.dir/patterns.cpp.o"
+  "CMakeFiles/magus_wl.dir/patterns.cpp.o.d"
+  "CMakeFiles/magus_wl.dir/phase.cpp.o"
+  "CMakeFiles/magus_wl.dir/phase.cpp.o.d"
+  "libmagus_wl.a"
+  "libmagus_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_high_freq.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_high_freq.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mdfs.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mdfs.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_predictor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_predictor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp.dir/exp/test_evaluation.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/test_evaluation.cpp.o.d"
+  "CMakeFiles/test_exp.dir/exp/test_experiment.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/test_experiment.cpp.o.d"
+  "CMakeFiles/test_exp.dir/exp/test_metrics.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/test_metrics.cpp.o.d"
+  "CMakeFiles/test_exp.dir/exp/test_pareto.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/test_pareto.cpp.o.d"
+  "CMakeFiles/test_exp.dir/exp/test_repeat.cpp.o"
+  "CMakeFiles/test_exp.dir/exp/test_repeat.cpp.o.d"
+  "test_exp"
+  "test_exp.pdb"
+  "test_exp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_file_counter.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_file_counter.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_linux_backend.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_linux_backend.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_msr_codec.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_msr_codec.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_rapl.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_rapl.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_uncore_freq.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_uncore_freq.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

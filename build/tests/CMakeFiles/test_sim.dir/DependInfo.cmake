@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_backends.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_backends.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_backends.cpp.o.d"
+  "/root/repo/tests/sim/test_core_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_core_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_core_model.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_firmware_governor.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_firmware_governor.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_firmware_governor.cpp.o.d"
+  "/root/repo/tests/sim/test_gpu_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_gpu_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_gpu_model.cpp.o.d"
+  "/root/repo/tests/sim/test_memory_system.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_memory_system.cpp.o.d"
+  "/root/repo/tests/sim/test_node.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_node.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_node.cpp.o.d"
+  "/root/repo/tests/sim/test_system_preset.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_system_preset.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_system_preset.cpp.o.d"
+  "/root/repo/tests/sim/test_uncore_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_uncore_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_uncore_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/magus_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/magus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/magus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/magus_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/magus_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/magus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/magus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/magus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

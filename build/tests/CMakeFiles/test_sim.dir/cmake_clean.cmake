@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_backends.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_backends.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_core_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_core_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_firmware_governor.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_firmware_governor.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_gpu_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_gpu_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_memory_system.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_memory_system.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_node.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_node.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_system_preset.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_system_preset.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_uncore_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_uncore_model.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

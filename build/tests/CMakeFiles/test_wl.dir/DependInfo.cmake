@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wl/test_catalog.cpp" "tests/CMakeFiles/test_wl.dir/wl/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/test_wl.dir/wl/test_catalog.cpp.o.d"
+  "/root/repo/tests/wl/test_io.cpp" "tests/CMakeFiles/test_wl.dir/wl/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_wl.dir/wl/test_io.cpp.o.d"
+  "/root/repo/tests/wl/test_jitter.cpp" "tests/CMakeFiles/test_wl.dir/wl/test_jitter.cpp.o" "gcc" "tests/CMakeFiles/test_wl.dir/wl/test_jitter.cpp.o.d"
+  "/root/repo/tests/wl/test_patterns.cpp" "tests/CMakeFiles/test_wl.dir/wl/test_patterns.cpp.o" "gcc" "tests/CMakeFiles/test_wl.dir/wl/test_patterns.cpp.o.d"
+  "/root/repo/tests/wl/test_phase.cpp" "tests/CMakeFiles/test_wl.dir/wl/test_phase.cpp.o" "gcc" "tests/CMakeFiles/test_wl.dir/wl/test_phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/magus_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/magus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/magus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/magus_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/magus_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/magus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/magus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/magus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

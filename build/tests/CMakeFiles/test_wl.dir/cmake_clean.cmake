@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl.dir/wl/test_catalog.cpp.o"
+  "CMakeFiles/test_wl.dir/wl/test_catalog.cpp.o.d"
+  "CMakeFiles/test_wl.dir/wl/test_io.cpp.o"
+  "CMakeFiles/test_wl.dir/wl/test_io.cpp.o.d"
+  "CMakeFiles/test_wl.dir/wl/test_jitter.cpp.o"
+  "CMakeFiles/test_wl.dir/wl/test_jitter.cpp.o.d"
+  "CMakeFiles/test_wl.dir/wl/test_patterns.cpp.o"
+  "CMakeFiles/test_wl.dir/wl/test_patterns.cpp.o.d"
+  "CMakeFiles/test_wl.dir/wl/test_phase.cpp.o"
+  "CMakeFiles/test_wl.dir/wl/test_phase.cpp.o.d"
+  "test_wl"
+  "test_wl.pdb"
+  "test_wl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus-cli.dir/magus_cli.cpp.o"
+  "CMakeFiles/magus-cli.dir/magus_cli.cpp.o.d"
+  "magus-cli"
+  "magus-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

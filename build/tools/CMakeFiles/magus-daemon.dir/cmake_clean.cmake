@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus-daemon.dir/magus_daemon.cpp.o"
+  "CMakeFiles/magus-daemon.dir/magus_daemon.cpp.o.d"
+  "magus-daemon"
+  "magus-daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus-daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
