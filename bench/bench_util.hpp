@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "magus/common/table.hpp"
+#include "magus/common/thread_pool.hpp"
 #include "magus/exp/evaluation.hpp"
 #include "magus/wl/catalog.hpp"
 
@@ -44,10 +45,19 @@ inline void run_fig4(const sim::SystemSpec& system, const std::vector<std::strin
                  "ups_cpu_power_saving_pct", "ups_energy_saving_pct",
                  "baseline_runtime_s", "baseline_total_energy_j"});
 
+  // Apps are independent evaluations: fan them out across the default pool
+  // (workers: MAGUS_JOBS or hardware_concurrency), collect into app-indexed
+  // slots, then print/write rows serially in catalog order.
+  std::vector<exp::AppEvaluation> evals(apps.size());
+  common::default_pool().parallel_for_each(apps.size(), [&](std::size_t i) {
+    evals[i] = exp::evaluate_app(system, apps[i], spec);
+  });
+
   double best_energy = 0.0;
   double worst_loss = 0.0;
-  for (const auto& app : apps) {
-    const auto ev = exp::evaluate_app(system, app, spec);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& app = apps[i];
+    const auto& ev = evals[i];
     const auto& m = ev.magus_vs_base;
     const auto& u = ev.ups_vs_base;
     using common::TextTable;

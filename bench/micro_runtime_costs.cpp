@@ -6,8 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include "magus/baseline/ups.hpp"
+#include "magus/common/thread_pool.hpp"
 #include "magus/core/mdfs.hpp"
 #include "magus/core/runtime.hpp"
+#include "magus/exp/evaluation.hpp"
 #include "magus/hw/msr.hpp"
 #include "magus/sim/engine.hpp"
 #include "magus/wl/catalog.hpp"
@@ -109,6 +111,29 @@ void BM_FullUnetSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullUnetSimulation)->Unit(benchmark::kMillisecond);
+
+// Serial-vs-parallel fan-out of the full repetition protocol (7 jittered
+// reps x 3 policies, the Fig. 4 per-app unit of work). Arg = worker count;
+// compare the real-time column of /jobs:1 vs /jobs:4 for the speedup. The
+// aggregates are bit-identical at any job count (see DESIGN.md "Parallel
+// execution"), so this measures pure executor overhead/scaling.
+void BM_EvaluateAppRepeatProtocol(benchmark::State& state) {
+  common::set_default_jobs(static_cast<std::size_t>(state.range(0)));
+  exp::EvalSpec spec;
+  spec.repeat.repetitions = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp::evaluate_app(sim::intel_a100(), "unet", spec));
+  }
+  state.counters["jobs"] =
+      benchmark::Counter(static_cast<double>(common::default_pool().size()));
+  common::set_default_jobs(0);  // back to auto for any later benchmarks
+}
+BENCHMARK(BM_EvaluateAppRepeatProtocol)
+    ->ArgName("jobs")
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

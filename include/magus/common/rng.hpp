@@ -57,7 +57,9 @@ class Rng {
   }
 
   /// Derive an independent child stream (for per-repetition seeding).
-  [[nodiscard]] Rng fork(std::uint64_t stream) noexcept {
+  /// Does not advance this Rng's state, so forking is order-independent and
+  /// safe to do concurrently from several threads.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept {
     Rng child(state_ ^ (0xA24BAED4963EE407ull + stream * 0x9FB21C651E98DF25ull));
     child.next_u64();
     return child;

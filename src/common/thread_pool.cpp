@@ -1,0 +1,180 @@
+#include "magus/common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace magus::common {
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::deque<std::function<void()>> queue;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return stop || !queue.empty(); });
+        if (queue.empty()) return;  // stop requested and nothing pending
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  impl_->workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+std::size_t ThreadPool::size() const noexcept { return impl_->workers.size(); }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+namespace {
+
+/// Shared between the caller and the helper tasks of one parallel_for_each.
+struct ForEachState {
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr error;  // first exception; guarded by mutex
+  std::mutex mutex;
+  std::condition_variable cv;
+};
+
+/// Pull indices off the shared counter until exhausted. Every claimed index
+/// is counted as done even when skipped after cancellation, so `done` always
+/// reaches `count` and the caller's wait always terminates.
+void drain_indices(const std::shared_ptr<ForEachState>& st,
+                   const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= st->count) return;
+    if (!st->cancelled.load(std::memory_order_relaxed)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(st->mutex);
+        if (!st->error) st->error = std::current_exception();
+        st->cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->count) {
+      std::lock_guard<std::mutex> lock(st->mutex);
+      st->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::parallel_for_each(std::size_t count,
+                                   const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (size() <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto st = std::make_shared<ForEachState>();
+  st->count = count;
+
+  // Enough helpers to saturate the pool; the caller is the extra participant.
+  // Helpers copy `fn` so a straggler popped after the caller returned only
+  // touches state it owns (it will find the counter exhausted and exit).
+  const std::size_t helpers = std::min(size(), count - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    enqueue([st, fn] { drain_indices(st, fn); });
+  }
+
+  drain_indices(st, fn);
+
+  std::unique_lock<std::mutex> lock(st->mutex);
+  st->cv.wait(lock,
+              [&] { return st->done.load(std::memory_order_acquire) == st->count; });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+namespace {
+
+std::size_t hardware_jobs() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+std::size_t env_jobs() noexcept {
+  const char* env = std::getenv("MAGUS_JOBS");
+  if (!env || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || (end && *end != '\0')) return 0;  // not a clean number
+  return static_cast<std::size_t>(v);
+}
+
+std::mutex g_default_mutex;
+std::unique_ptr<ThreadPool> g_default_pool;
+std::size_t g_default_jobs = 0;  // 0 = auto (env, then hardware)
+
+std::size_t resolve_default_jobs() noexcept {
+  if (g_default_jobs > 0) return g_default_jobs;
+  const std::size_t env = env_jobs();
+  if (env > 0) return env;
+  return hardware_jobs();
+}
+
+}  // namespace
+
+std::size_t default_job_count() noexcept {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  return resolve_default_jobs();
+}
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  if (!g_default_pool) {
+    g_default_pool = std::make_unique<ThreadPool>(resolve_default_jobs());
+  }
+  return *g_default_pool;
+}
+
+void set_default_jobs(std::size_t jobs) {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  g_default_jobs = jobs;
+  const std::size_t want = resolve_default_jobs();
+  if (g_default_pool && g_default_pool->size() != want) {
+    g_default_pool.reset();  // drains pending tasks, joins workers
+  }
+}
+
+}  // namespace magus::common

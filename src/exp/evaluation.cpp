@@ -1,7 +1,11 @@
 #include "magus/exp/evaluation.hpp"
 
+#include <array>
 #include <cmath>
+#include <set>
+#include <tuple>
 
+#include "magus/common/thread_pool.hpp"
 #include "magus/trace/burst.hpp"
 #include "magus/wl/catalog.hpp"
 
@@ -15,10 +19,19 @@ AppEvaluation evaluate_app(const sim::SystemSpec& system, const std::string& app
   }
   AppEvaluation eval;
   eval.app = app;
-  eval.baseline =
-      run_repeated(system, program, PolicyKind::kDefault, spec.repeat, spec.options);
-  eval.magus = run_repeated(system, program, PolicyKind::kMagus, spec.repeat, spec.options);
-  eval.ups = run_repeated(system, program, PolicyKind::kUps, spec.repeat, spec.options);
+
+  // The three aggregates are independent repetition batches; fan them out.
+  // Each slot is written by exactly one task, and run_repeated itself is
+  // deterministic for any job count, so the comparisons below are unchanged.
+  constexpr std::array<PolicyKind, 3> kinds{PolicyKind::kDefault, PolicyKind::kMagus,
+                                            PolicyKind::kUps};
+  std::array<AggregateResult, 3> agg;
+  common::default_pool().parallel_for_each(kinds.size(), [&](std::size_t i) {
+    agg[i] = run_repeated(system, program, kinds[i], spec.repeat, spec.options);
+  });
+  eval.baseline = agg[0];
+  eval.magus = agg[1];
+  eval.ups = agg[2];
   eval.magus_vs_base = compare(eval.magus, eval.baseline);
   eval.ups_vs_base = compare(eval.ups, eval.baseline);
   return eval;
@@ -48,47 +61,54 @@ std::vector<SweepPoint> sensitivity_sweep(const sim::SystemSpec& system,
                                           const std::string& app, const SweepSpec& spec) {
   const wl::PhaseProgram program = wl::make_workload(app);
 
-  std::vector<SweepPoint> points;
-  auto run_combo = [&](double inc, double dec, double hf) {
-    // Skip duplicates of the base combination across the three axes.
-    for (const auto& p : points) {
-      if (p.inc_threshold == inc && p.dec_threshold == dec &&
-          p.high_freq_threshold == hf) {
-        return;
-      }
-    }
-    RunOptions opts;
-    opts.magus.inc_threshold = inc;
-    opts.magus.dec_threshold = dec;
-    opts.magus.high_freq_threshold = hf;
-    const AggregateResult agg =
-        run_repeated(system, program, PolicyKind::kMagus, spec.repeat, opts);
-    SweepPoint pt;
-    pt.inc_threshold = inc;
-    pt.dec_threshold = dec;
-    pt.high_freq_threshold = hf;
-    pt.runtime_s = agg.runtime_s;
-    pt.energy_j = agg.total_energy_j();
-    pt.is_recommended =
-        inc == spec.base_inc && dec == spec.base_dec && hf == spec.base_hf;
-    points.push_back(pt);
+  // Enumerate the whole grid first into a deduplicated work list (a keyed
+  // set replaces the old O(n^2) rescan of `points` per combination; first
+  // occurrence wins, preserving the serial enumeration order), then execute
+  // the independent combinations in parallel into pre-sized slots.
+  struct Combo {
+    double inc, dec, hf;
+  };
+  std::vector<Combo> combos;
+  std::set<std::tuple<double, double, double>> seen;
+  auto add_combo = [&](double inc, double dec, double hf) {
+    if (seen.emplace(inc, dec, hf).second) combos.push_back({inc, dec, hf});
   };
 
   // Fix two thresholds at the base values and vary the third (paper 6.4),
   // then add the full cross of the coarse grids to reach ~40 combinations.
-  for (double inc : spec.inc_values) run_combo(inc, spec.base_dec, spec.base_hf);
-  for (double dec : spec.dec_values) run_combo(spec.base_inc, dec, spec.base_hf);
-  for (double hf : spec.hf_values) run_combo(spec.base_inc, spec.base_dec, hf);
+  for (double inc : spec.inc_values) add_combo(inc, spec.base_dec, spec.base_hf);
+  for (double dec : spec.dec_values) add_combo(spec.base_inc, dec, spec.base_hf);
+  for (double hf : spec.hf_values) add_combo(spec.base_inc, spec.base_dec, hf);
   for (double inc : spec.inc_values) {
     for (double dec : spec.dec_values) {
-      run_combo(inc, dec, spec.base_hf);
+      add_combo(inc, dec, spec.base_hf);
     }
   }
   for (double hf : spec.hf_values) {
     for (double inc : spec.inc_values) {
-      run_combo(inc, spec.base_dec, hf);
+      add_combo(inc, spec.base_dec, hf);
     }
   }
+
+  std::vector<SweepPoint> points(combos.size());
+  common::default_pool().parallel_for_each(combos.size(), [&](std::size_t i) {
+    const Combo& c = combos[i];
+    RunOptions opts;
+    opts.magus.inc_threshold = c.inc;
+    opts.magus.dec_threshold = c.dec;
+    opts.magus.high_freq_threshold = c.hf;
+    const AggregateResult agg =
+        run_repeated(system, program, PolicyKind::kMagus, spec.repeat, opts);
+    SweepPoint pt;
+    pt.inc_threshold = c.inc;
+    pt.dec_threshold = c.dec;
+    pt.high_freq_threshold = c.hf;
+    pt.runtime_s = agg.runtime_s;
+    pt.energy_j = agg.total_energy_j();
+    pt.is_recommended =
+        c.inc == spec.base_inc && c.dec == spec.base_dec && c.hf == spec.base_hf;
+    points[i] = pt;
+  });
 
   std::vector<ParetoPoint> pp(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {

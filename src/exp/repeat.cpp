@@ -4,6 +4,7 @@
 
 #include "magus/common/error.hpp"
 #include "magus/common/stats.hpp"
+#include "magus/common/thread_pool.hpp"
 #include "magus/wl/jitter.hpp"
 
 namespace magus::exp {
@@ -13,23 +14,33 @@ AggregateResult run_repeated(const sim::SystemSpec& system, const wl::PhaseProgr
                              const RunOptions& opts) {
   if (spec.repetitions < 1) throw common::ConfigError("run_repeated: repetitions < 1");
 
-  std::vector<double> runtime, pkg_j, dram_j, gpu_j, cpu_w, gpu_w, invoc;
-  common::Rng master(spec.seed);
+  // Repetitions are independent simulations: each forks its own Rng stream
+  // from the master (fork does not advance master state) and seeds its own
+  // engine, so they can run on any worker in any order. Results land in
+  // slot [rep]; aggregation below walks the slots serially in rep order, so
+  // the numbers are bit-identical to the serial loop for any job count.
+  const std::size_t reps = static_cast<std::size_t>(spec.repetitions);
+  std::vector<sim::SimResult> results(reps);
+  const common::Rng master(spec.seed);
 
-  for (int rep = 0; rep < spec.repetitions; ++rep) {
+  common::default_pool().parallel_for_each(reps, [&](std::size_t rep) {
     common::Rng rep_rng = master.fork(static_cast<std::uint64_t>(rep));
     const wl::PhaseProgram jittered = wl::apply_jitter(workload, rep_rng, spec.jitter);
     RunOptions rep_opts = opts;
     rep_opts.engine.seed = spec.seed * 1000003ull + static_cast<std::uint64_t>(rep);
     rep_opts.engine.record_traces = false;  // scalar metrics only; traces cost memory
-    const RunOutput out = run_policy(system, jittered, kind, rep_opts);
-    runtime.push_back(out.result.duration_s);
-    pkg_j.push_back(out.result.pkg_energy_j);
-    dram_j.push_back(out.result.dram_energy_j);
-    gpu_j.push_back(out.result.gpu_energy_j);
-    cpu_w.push_back(out.result.avg_cpu_power_w());
-    gpu_w.push_back(out.result.avg_gpu_power_w);
-    invoc.push_back(out.result.avg_invocation_s());
+    results[rep] = run_policy(system, jittered, kind, rep_opts).result;
+  });
+
+  std::vector<double> runtime, pkg_j, dram_j, gpu_j, cpu_w, gpu_w, invoc;
+  for (const sim::SimResult& r : results) {
+    runtime.push_back(r.duration_s);
+    pkg_j.push_back(r.pkg_energy_j);
+    dram_j.push_back(r.dram_energy_j);
+    gpu_j.push_back(r.gpu_energy_j);
+    cpu_w.push_back(r.avg_cpu_power_w());
+    gpu_w.push_back(r.avg_gpu_power_w);
+    invoc.push_back(r.avg_invocation_s());
   }
 
   AggregateResult agg;

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "magus/common/thread_pool.hpp"
+#include "magus/exp/evaluation.hpp"
+#include "magus/exp/repeat.hpp"
+#include "magus/wl/catalog.hpp"
+
+// The determinism contract of the parallel experiment executor: for a fixed
+// seed, every aggregate the experiment layer produces must be bit-identical
+// at 1 job and at >= 4 jobs. Each repetition forks its own Rng stream and
+// seeds its own engine, results land in rep-indexed slots, and aggregation
+// is serial in index order — so job count must be unobservable in the output.
+
+namespace me = magus::exp;
+namespace mc = magus::common;
+
+namespace {
+
+void expect_same(const me::AggregateResult& a, const me::AggregateResult& b) {
+  EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_DOUBLE_EQ(a.pkg_energy_j, b.pkg_energy_j);
+  EXPECT_DOUBLE_EQ(a.dram_energy_j, b.dram_energy_j);
+  EXPECT_DOUBLE_EQ(a.gpu_energy_j, b.gpu_energy_j);
+  EXPECT_DOUBLE_EQ(a.avg_cpu_power_w, b.avg_cpu_power_w);
+  EXPECT_DOUBLE_EQ(a.avg_gpu_power_w, b.avg_gpu_power_w);
+  EXPECT_DOUBLE_EQ(a.avg_invocation_s, b.avg_invocation_s);
+  EXPECT_EQ(a.reps_used, b.reps_used);
+  EXPECT_EQ(a.reps_total, b.reps_total);
+}
+
+struct JobsGuard {
+  explicit JobsGuard(std::size_t jobs) { mc::set_default_jobs(jobs); }
+  ~JobsGuard() { mc::set_default_jobs(0); }
+};
+
+}  // namespace
+
+TEST(ParallelDeterminism, RunRepeatedIdenticalAtOneAndFourJobs) {
+  me::RepeatSpec spec;
+  spec.repetitions = 5;
+  spec.seed = 123;
+  const auto system = magus::sim::intel_a100();
+  const auto program = magus::wl::make_workload("bfs");
+
+  me::AggregateResult serial, parallel;
+  {
+    JobsGuard jobs(1);
+    serial = me::run_repeated(system, program, me::PolicyKind::kMagus, spec);
+  }
+  {
+    JobsGuard jobs(4);
+    parallel = me::run_repeated(system, program, me::PolicyKind::kMagus, spec);
+  }
+  expect_same(serial, parallel);
+}
+
+TEST(ParallelDeterminism, EvaluateAppIdenticalAtOneAndFourJobs) {
+  me::EvalSpec spec;
+  spec.repeat.repetitions = 3;
+  spec.repeat.seed = 2025;
+  const auto system = magus::sim::intel_a100();
+
+  me::AppEvaluation serial, parallel;
+  {
+    JobsGuard jobs(1);
+    serial = me::evaluate_app(system, "bfs", spec);
+  }
+  {
+    JobsGuard jobs(4);
+    parallel = me::evaluate_app(system, "bfs", spec);
+  }
+  expect_same(serial.baseline, parallel.baseline);
+  expect_same(serial.magus, parallel.magus);
+  expect_same(serial.ups, parallel.ups);
+  EXPECT_DOUBLE_EQ(serial.magus_vs_base.perf_loss_pct, parallel.magus_vs_base.perf_loss_pct);
+  EXPECT_DOUBLE_EQ(serial.magus_vs_base.energy_saving_pct,
+                   parallel.magus_vs_base.energy_saving_pct);
+  EXPECT_DOUBLE_EQ(serial.ups_vs_base.cpu_power_saving_pct,
+                   parallel.ups_vs_base.cpu_power_saving_pct);
+}
+
+TEST(ParallelDeterminism, SensitivitySweepIdenticalAtOneAndFourJobs) {
+  // A reduced grid (4 unique combinations after dedup) keeps the test fast
+  // while still covering axis scans, the cross products, and dedup order.
+  me::SweepSpec spec;
+  spec.inc_values = {100.0, 300.0};
+  spec.dec_values = {500.0};
+  spec.hf_values = {0.4, 0.8};
+  spec.repeat = {2, 7, {}};
+  const auto system = magus::sim::intel_a100();
+
+  std::vector<me::SweepPoint> serial, parallel;
+  {
+    JobsGuard jobs(1);
+    serial = me::sensitivity_sweep(system, "bfs", spec);
+  }
+  {
+    JobsGuard jobs(4);
+    parallel = me::sensitivity_sweep(system, "bfs", spec);
+  }
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 4u);  // dedup collapsed the overlapping axis scans
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_DOUBLE_EQ(serial[i].inc_threshold, parallel[i].inc_threshold);
+    EXPECT_DOUBLE_EQ(serial[i].dec_threshold, parallel[i].dec_threshold);
+    EXPECT_DOUBLE_EQ(serial[i].high_freq_threshold, parallel[i].high_freq_threshold);
+    EXPECT_DOUBLE_EQ(serial[i].runtime_s, parallel[i].runtime_s);
+    EXPECT_DOUBLE_EQ(serial[i].energy_j, parallel[i].energy_j);
+    EXPECT_EQ(serial[i].on_front, parallel[i].on_front);
+    EXPECT_EQ(serial[i].is_recommended, parallel[i].is_recommended);
+  }
+}

@@ -3,9 +3,11 @@
 //   magus-cli list
 //       Enumerate system presets and modelled applications.
 //   magus-cli run --system intel_a100 --app unet --policy magus
-//                 [--reps 7] [--seed 2025] [--gpus N] [--trace out.csv]
+//                 [--reps 7] [--seed 2025] [--gpus N] [--jobs N] [--trace out.csv]
 //       Run one workload under one policy; print the paper's metrics vs the
-//       default baseline.
+//       default baseline. Repetitions fan out across --jobs worker threads
+//       (default: MAGUS_JOBS env var, else hardware concurrency); results
+//       are bit-identical for any job count.
 //   magus-cli overhead --system intel_a100 [--duration 600]
 //       Table 2 protocol on one system.
 //
@@ -18,6 +20,7 @@
 
 #include "magus/common/error.hpp"
 #include "magus/common/table.hpp"
+#include "magus/common/thread_pool.hpp"
 #include "magus/exp/evaluation.hpp"
 #include "magus/wl/catalog.hpp"
 #include "magus/wl/io.hpp"
@@ -31,8 +34,13 @@ int usage() {
             << "  magus-cli list\n"
             << "  magus-cli run --system <name> --app <name|file.csv> --policy "
                "<default|static_min|static_max|magus|ups|duf>\n"
-            << "                [--reps N] [--seed S] [--gpus N] [--trace out.csv]\n"
-            << "  magus-cli overhead --system <name> [--duration seconds]\n";
+            << "                [--reps N] [--seed S] [--gpus N] [--jobs N] "
+               "[--trace out.csv]\n"
+            << "  magus-cli overhead --system <name> [--duration seconds]\n"
+            << "\n"
+            << "  --jobs N (or the MAGUS_JOBS env var) sets the worker-thread "
+               "count for the\n"
+            << "  repetition fan-out; results are identical for any job count.\n";
   return 1;
 }
 
@@ -74,10 +82,22 @@ int cmd_list() {
   return 0;
 }
 
+/// Apply --jobs (CLI wins over the MAGUS_JOBS env var, which default_pool
+/// honors on its own) and report the effective worker count.
+std::size_t configure_jobs(const std::map<std::string, std::string>& flags) {
+  if (flags.count("jobs")) {
+    const int jobs = std::stoi(flags.at("jobs"));
+    if (jobs < 1) throw common::ConfigError("--jobs must be >= 1");
+    common::set_default_jobs(static_cast<std::size_t>(jobs));
+  }
+  return common::default_pool().size();
+}
+
 int cmd_run(const std::map<std::string, std::string>& flags) {
   const auto system = sim::system_by_name(flags.at("system"));
   const std::string app = flags.at("app");
   const auto kind = policy_from_name(flags.at("policy"));
+  const std::size_t workers = configure_jobs(flags);
 
   exp::RepeatSpec reps;
   if (flags.count("reps")) reps.repetitions = std::stoi(flags.at("reps"));
@@ -89,6 +109,10 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   if (flags.count("gpus")) {
     program = wl::scale_for_gpus(program, std::stoi(flags.at("gpus")));
   }
+
+  std::cout << "running " << app << " on " << system.name << " (policy "
+            << flags.at("policy") << ", " << reps.repetitions << " reps, " << workers
+            << " worker" << (workers == 1 ? "" : "s") << ")\n\n";
 
   const auto base = exp::run_repeated(system, program, exp::PolicyKind::kDefault, reps);
   const auto cand = exp::run_repeated(system, program, kind, reps);
