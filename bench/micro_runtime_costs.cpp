@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "magus/baseline/ups.hpp"
 #include "magus/common/thread_pool.hpp"
 #include "magus/core/mdfs.hpp"
@@ -12,6 +14,7 @@
 #include "magus/exp/evaluation.hpp"
 #include "magus/hw/msr.hpp"
 #include "magus/sim/engine.hpp"
+#include "magus/telemetry/registry.hpp"
 #include "magus/wl/catalog.hpp"
 
 namespace {
@@ -134,6 +137,55 @@ BENCHMARK(BM_EvaluateAppRepeatProtocol)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Telemetry hot-path costs. The contract in DESIGN.md: one relaxed atomic
+// when enabled, one branch when disabled (null handle), so instrumenting the
+// 0.1 s sampling loop is free in either configuration.
+void BM_TelemetryCounterInc(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter* c = reg.counter("magus_bench_total");
+  for (auto _ : state) {
+    telemetry::inc(c);
+  }
+  benchmark::DoNotOptimize(c->value());
+}
+BENCHMARK(BM_TelemetryCounterInc);
+
+void BM_TelemetryNullHandleInc(benchmark::State& state) {
+  telemetry::Counter* c = telemetry::null_registry().counter("magus_bench_total");
+  for (auto _ : state) {
+    telemetry::inc(c);  // c == nullptr: the disabled-telemetry branch
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_TelemetryNullHandleInc);
+
+void BM_TelemetryHistogramObserve(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Histogram* h = reg.histogram("magus_bench_seconds", "",
+                                          {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0});
+  double v = 1e-6;
+  for (auto _ : state) {
+    telemetry::observe(h, v);
+    v = v < 1.0 ? v * 10.0 : 1e-6;  // walk the buckets
+  }
+  benchmark::DoNotOptimize(h->count());
+}
+BENCHMARK(BM_TelemetryHistogramObserve);
+
+void BM_TelemetryRenderPrometheus(benchmark::State& state) {
+  // A registry the size the daemon actually produces (~20 families).
+  telemetry::MetricsRegistry reg;
+  for (int i = 0; i < 16; ++i) {
+    reg.counter("magus_bench_counter_" + std::to_string(i) + "_total", "help")->inc(7);
+    reg.gauge("magus_bench_gauge_" + std::to_string(i), "help")->set(1.5 + i);
+  }
+  reg.histogram("magus_bench_seconds", "help", {1e-4, 1e-2, 1.0})->observe(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.render_prometheus());
+  }
+}
+BENCHMARK(BM_TelemetryRenderPrometheus);
 
 }  // namespace
 

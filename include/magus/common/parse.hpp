@@ -1,0 +1,48 @@
+#pragma once
+// Strict string -> value parsers for CLI flag values. The std::sto* family
+// accepts trailing garbage and throws bare std::invalid_argument; these
+// helpers reject both and throw ConfigError naming the offending token.
+
+#include <string>
+#include <vector>
+
+#include "magus/common/error.hpp"
+
+namespace magus::common {
+
+/// Parse one base-10 integer, rejecting empty input and trailing characters.
+inline int parse_int(const std::string& tok) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size()) {
+      throw ConfigError("trailing characters in integer '" + tok + "'");
+    }
+    return v;
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ConfigError("invalid integer '" + tok + "'");
+  }
+}
+
+/// Parse a comma-separated integer list ("0,40"). Empty tokens ("0,,1",
+/// trailing comma) and non-numeric tokens are ConfigErrors.
+inline std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = s.find(',', start);
+    const std::string tok =
+        s.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (tok.empty()) {
+      throw ConfigError("empty token in integer list '" + s + "'");
+    }
+    out.push_back(parse_int(tok));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace magus::common

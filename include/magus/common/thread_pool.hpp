@@ -26,6 +26,10 @@
 #include <memory>
 #include <type_traits>
 
+namespace magus::telemetry {
+class MetricsRegistry;
+}
+
 namespace magus::common {
 
 class ThreadPool {
@@ -51,6 +55,16 @@ class ThreadPool {
     enqueue([task]() { (*task)(); });
     return fut;
   }
+
+  /// Register pool instruments on `reg` (magus_pool_workers,
+  /// magus_pool_queue_depth, magus_pool_tasks_total,
+  /// magus_pool_task_latency_seconds) and start reporting into them. Safe to
+  /// call at any time, including while tasks are in flight. A disabled
+  /// registry (e.g. telemetry::null_registry()) detaches the instruments;
+  /// once that call returns no worker touches the previous registry, so a
+  /// registry shorter-lived than the pool MUST be detached this way before
+  /// it is destroyed.
+  void attach_telemetry(telemetry::MetricsRegistry& reg);
 
   /// Run fn(0), ..., fn(count - 1) across the workers *and* the calling
   /// thread; returns when all indices have finished. The first exception

@@ -7,12 +7,20 @@
 // MAGUS's overheads undercut per-core-counter methods (paper Table 2).
 
 #include <memory>
+#include <optional>
 
 #include "magus/core/config.hpp"
 #include "magus/core/mdfs.hpp"
 #include "magus/core/policy.hpp"
 #include "magus/hw/counters.hpp"
 #include "magus/hw/uncore_freq.hpp"
+
+namespace magus::telemetry {
+class Counter;
+class EventLog;
+class Gauge;
+class MetricsRegistry;
+}  // namespace magus::telemetry
 
 namespace magus::core {
 
@@ -36,7 +44,17 @@ class MagusRuntime final : public IPolicy {
   /// Last computed throughput (MB/s), for diagnostics.
   [[nodiscard]] double last_throughput_mbps() const noexcept { return last_mbps_; }
 
+  /// Register the runtime/MDFS series on `reg` (magus_runtime_* and
+  /// magus_mdfs_*) and optionally emit discrete events (uncore_retarget,
+  /// high_freq_enter/exit) into `events`. Call before on_start; both must
+  /// outlive the runtime. Without this call the runtime stays at its no-op
+  /// NullRegistry default: one branch per sample, nothing recorded.
+  void attach_telemetry(telemetry::MetricsRegistry& reg,
+                        telemetry::EventLog* events = nullptr);
+
  private:
+  void note_sample(double now, const std::optional<double>& target);
+
   hw::IMemThroughputCounter& mem_counter_;
   hw::UncoreFreqController uncore_;
   MagusConfig cfg_;
@@ -45,6 +63,21 @@ class MagusRuntime final : public IPolicy {
   double prev_mb_ = 0.0;
   double prev_t_ = 0.0;
   double last_mbps_ = 0.0;
+
+  // Telemetry handles; all nullptr until attach_telemetry.
+  telemetry::EventLog* events_ = nullptr;
+  telemetry::Counter* m_samples_ = nullptr;
+  telemetry::Counter* m_tuning_events_ = nullptr;
+  telemetry::Counter* m_hf_phases_ = nullptr;
+  telemetry::Counter* m_pred_increase_ = nullptr;
+  telemetry::Counter* m_pred_decrease_ = nullptr;
+  telemetry::Counter* m_pred_stable_ = nullptr;
+  telemetry::Gauge* m_throughput_ = nullptr;
+  telemetry::Gauge* m_derivative_ = nullptr;
+  telemetry::Gauge* m_target_ghz_ = nullptr;
+  telemetry::Gauge* m_temporary_ghz_ = nullptr;
+  telemetry::Gauge* m_hf_active_ = nullptr;
+  bool last_hf_ = false;
 };
 
 }  // namespace magus::core

@@ -67,6 +67,9 @@ struct SweepSpec {
   double base_dec = 500.0;
   double base_hf = 0.4;
   RepeatSpec repeat{3, 7, {}};
+  /// Sweep-progress reporting (magus_exp_sweep_*); also plumbed into each
+  /// combination's RunOptions. Never affects the swept results.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 [[nodiscard]] std::vector<SweepPoint> sensitivity_sweep(const sim::SystemSpec& system,

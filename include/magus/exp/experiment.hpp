@@ -14,6 +14,10 @@
 #include "magus/trace/recorder.hpp"
 #include "magus/wl/phase.hpp"
 
+namespace magus::telemetry {
+class MetricsRegistry;
+}
+
 namespace magus::exp {
 
 enum class PolicyKind {
@@ -34,6 +38,11 @@ struct RunOptions {
   baseline::UpsConfig ups;
   baseline::DufConfig duf;
   double static_ghz = 0.0;  ///< used by PolicyKind::kStatic
+  /// When set, the engine, the MAGUS runtime, and the repetition protocol
+  /// report into this registry. Telemetry never feeds back into the
+  /// simulation: results are bit-identical with any registry (including
+  /// telemetry::null_registry()) or none.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct RunOutput {

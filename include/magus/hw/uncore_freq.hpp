@@ -11,6 +11,11 @@
 
 #include "magus/hw/msr.hpp"
 
+namespace magus::telemetry {
+class Counter;
+class MetricsRegistry;
+}  // namespace magus::telemetry
+
 namespace magus::hw {
 
 class UncoreFreqLadder {
@@ -63,10 +68,14 @@ class UncoreFreqController {
   /// Number of MSR writes performed (for overhead accounting).
   [[nodiscard]] unsigned long long write_count() const noexcept { return writes_; }
 
+  /// Mirror the write count into `magus_hw_msr_writes_total` on `reg`.
+  void attach_telemetry(telemetry::MetricsRegistry& reg);
+
  private:
   IMsrDevice& msr_;
   UncoreFreqLadder ladder_;
   unsigned long long writes_ = 0;
+  telemetry::Counter* m_writes_ = nullptr;
 };
 
 }  // namespace magus::hw

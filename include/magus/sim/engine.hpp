@@ -19,6 +19,12 @@
 #include "magus/trace/recorder.hpp"
 #include "magus/wl/phase.hpp"
 
+namespace magus::telemetry {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace magus::telemetry
+
 namespace magus::sim {
 
 /// A runtime policy bound into the engine. `on_sample` typically reads
@@ -74,6 +80,13 @@ class SimEngine {
   /// Run to completion (or the safety cap) under `policy`.
   SimResult run(const PolicyHook& policy = {});
 
+  /// Register the engine series on `reg` (magus_sim_steps_total,
+  /// magus_sim_time_seconds, magus_sim_policy_invocations_total,
+  /// magus_sim_runs_total). Metrics are keyed on simulated time only and
+  /// never feed back into the simulation, so results stay bit-identical
+  /// with or without telemetry. The registry must outlive the engine.
+  void attach_telemetry(telemetry::MetricsRegistry& reg);
+
   // Backends a policy binds to. Valid for the engine's lifetime.
   [[nodiscard]] hw::IMsrDevice& msr() noexcept { return *msr_; }
   [[nodiscard]] hw::IMemThroughputCounter& mem_counter() noexcept { return *mem_counter_; }
@@ -96,6 +109,12 @@ class SimEngine {
   std::unique_ptr<SimGpuPowerSensor> gpu_sensor_;
   std::unique_ptr<SimCoreCounters> core_counters_;
   trace::TraceRecorder recorder_;
+
+  // Telemetry handles; all nullptr until attach_telemetry.
+  telemetry::Counter* m_steps_ = nullptr;
+  telemetry::Counter* m_invocations_ = nullptr;
+  telemetry::Counter* m_runs_ = nullptr;
+  telemetry::Gauge* m_sim_time_ = nullptr;
 };
 
 }  // namespace magus::sim

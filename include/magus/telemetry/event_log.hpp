@@ -1,0 +1,60 @@
+#pragma once
+// Structured-event sink: discrete runtime events (uncore retarget,
+// high-frequency phase enter/exit, device-read failure) buffered as JSONL —
+// one flat JSON object per line, always carrying "t" (seconds, sim or wall
+// depending on the producer) and "type". Metrics answer "how much/how
+// often"; the event log answers "what happened when".
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace magus::telemetry {
+
+/// Builder for one event line. Field order is preserved; "t" and "type"
+/// always come first.
+class Event {
+ public:
+  Event(double t, const std::string& type);
+
+  Event& num(const std::string& key, double v);
+  Event& str(const std::string& key, const std::string& v);
+  Event& flag(const std::string& key, bool v);
+
+  /// The finished single-line JSON object (no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::string body_;  // "{...fields" without the closing brace
+};
+
+/// Thread-safe in-memory JSONL buffer with explicit flushing.
+class EventLog {
+ public:
+  void emit(const Event& e);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Move out all buffered lines, oldest first.
+  [[nodiscard]] std::vector<std::string> drain();
+
+  /// Append all buffered lines to `path` and clear the buffer. On I/O
+  /// failure the buffer is kept and common::Error is thrown.
+  void flush_to_file(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+/// JSON string escaping used by Event (exposed for tests/tools).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Minimal parser for EventLog output: a flat JSON object with string,
+/// number, or bool values. Returns key -> value map with string values
+/// unescaped and numbers/bools as their literal text. Throws common::Error
+/// on malformed input.
+[[nodiscard]] std::map<std::string, std::string> parse_event_line(const std::string& line);
+
+}  // namespace magus::telemetry

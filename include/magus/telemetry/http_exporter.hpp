@@ -1,0 +1,45 @@
+#pragma once
+// Minimal blocking HTTP server for Prometheus scraping: plain POSIX sockets,
+// one background thread, two endpoints — GET /metrics (text format 0.0.4)
+// and GET /healthz. Deliberately not a web server: one request per
+// connection, Connection: close, 8 KiB request cap, 2 s read timeout.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "magus/telemetry/registry.hpp"
+
+namespace magus::telemetry {
+
+class HttpExporter {
+ public:
+  /// Binds and listens on `port` (0 picks an ephemeral port — see port()),
+  /// then starts the serving thread. Throws common::DeviceError when the
+  /// socket cannot be created or bound. The registry must outlive the
+  /// exporter.
+  explicit HttpExporter(const MetricsRegistry& registry, std::uint16_t port);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// The actual bound port (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stop serving and join the background thread (idempotent; also run by
+  /// the destructor). In-flight requests finish, new ones are refused.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_client(int client_fd);
+
+  const MetricsRegistry& registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace magus::telemetry

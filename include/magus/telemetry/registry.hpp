@@ -1,0 +1,148 @@
+#pragma once
+// magus::telemetry — runtime observability for the deployable stack.
+//
+// A MetricsRegistry hands out stable pointers to lock-free instruments
+// (counters, gauges, fixed-bucket histograms); registration takes a mutex
+// once, every update afterwards is a relaxed atomic. A disabled registry
+// (see null_registry()) hands out nullptr, so an instrumented hot path pays
+// exactly one branch when telemetry is off — use the null-safe free helpers
+// below instead of dereferencing handles directly.
+//
+// Metric naming scheme: magus_<layer>_<name>[_<unit>], Prometheus
+// conventions (counters end in _total, units spelled out: _seconds, _ghz,
+// _mbps). Rendering is deterministic: families sorted by name, doubles
+// formatted with the shortest representation that round-trips.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace magus::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar (also supports add() for up/down accumulation).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= upper_bounds[i]
+/// (non-cumulative internally; rendering emits the Prometheus cumulative
+/// form with a trailing +Inf bucket).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+  /// Raw (non-cumulative) count of bucket i; i == bounds size means +Inf.
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1 (+Inf)
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe name -> instrument registry with Prometheus text exposition.
+/// Handles stay valid for the registry's lifetime; registering an existing
+/// name returns the existing instrument (or throws common::ConfigError on a
+/// type conflict or malformed name).
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Register-or-fetch; nullptr when the registry is disabled.
+  Counter* counter(const std::string& name, const std::string& help = "");
+  Gauge* gauge(const std::string& name, const std::string& help = "");
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       const std::vector<double>& upper_bounds);
+
+  /// Prometheus text format 0.0.4: HELP/TYPE comments + one sample line per
+  /// series, families sorted by name. Empty string when disabled.
+  [[nodiscard]] std::string render_prometheus() const;
+
+  /// Number of registered families.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& fetch_or_create(const std::string& name, const std::string& help, Kind kind);
+
+  bool enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Process-wide disabled registry — the NullRegistry. Injectable default for
+/// instrumented components: every counter()/gauge()/histogram() call returns
+/// nullptr and render_prometheus() is empty, so hot paths reduce to one
+/// branch per update.
+[[nodiscard]] MetricsRegistry& null_registry();
+
+// Null-safe update helpers: the one branch an instrumented hot path pays
+// when telemetry is disabled.
+inline void inc(Counter* c, std::uint64_t n = 1) noexcept {
+  if (c) c->inc(n);
+}
+inline void set(Gauge* g, double v) noexcept {
+  if (g) g->set(v);
+}
+inline void add(Gauge* g, double v) noexcept {
+  if (g) g->add(v);
+}
+inline void observe(Histogram* h, double v) noexcept {
+  if (h) h->observe(v);
+}
+
+/// Shortest decimal representation that parses back to exactly `v`
+/// ("0.1", not "0.10000000000000001"); NaN/+Inf/-Inf spelled the
+/// Prometheus way.
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace magus::telemetry

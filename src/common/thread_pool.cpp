@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "magus/telemetry/registry.hpp"
 
 namespace magus::common {
 
@@ -17,18 +20,39 @@ struct ThreadPool::Impl {
   std::mutex mutex;
   std::condition_variable cv;
   bool stop = false;
+  // Telemetry handles: written AND dereferenced only under `mutex`, so
+  // attach_telemetry (including detaching via a disabled registry) is a
+  // synchronization point — once it returns, no worker can touch the old
+  // handles, and the old registry may be destroyed.
+  telemetry::Gauge* queue_depth = nullptr;
+  telemetry::Counter* tasks_total = nullptr;
+  telemetry::Histogram* task_latency = nullptr;
 
   void worker_loop() {
     for (;;) {
       std::function<void()> task;
+      bool timed = false;
       {
         std::unique_lock<std::mutex> lock(mutex);
         cv.wait(lock, [this] { return stop || !queue.empty(); });
         if (queue.empty()) return;  // stop requested and nothing pending
         task = std::move(queue.front());
         queue.pop_front();
+        telemetry::set(queue_depth, static_cast<double>(queue.size()));
+        timed = task_latency != nullptr;
       }
-      task();
+      if (timed) {
+        const auto t0 = std::chrono::steady_clock::now();
+        task();
+        const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+        std::lock_guard<std::mutex> lock(mutex);
+        telemetry::observe(task_latency, dt.count());
+        telemetry::inc(tasks_total);
+      } else {
+        task();
+        std::lock_guard<std::mutex> lock(mutex);
+        telemetry::inc(tasks_total);
+      }
     }
   }
 };
@@ -56,8 +80,26 @@ void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->queue.push_back(std::move(task));
+    telemetry::set(impl_->queue_depth, static_cast<double>(impl_->queue.size()));
   }
   impl_->cv.notify_one();
+}
+
+void ThreadPool::attach_telemetry(telemetry::MetricsRegistry& reg) {
+  telemetry::Gauge* workers =
+      reg.gauge("magus_pool_workers", "Worker threads in the shared pool");
+  telemetry::Gauge* depth =
+      reg.gauge("magus_pool_queue_depth", "Tasks waiting in the pool queue");
+  telemetry::Counter* tasks =
+      reg.counter("magus_pool_tasks_total", "Tasks executed by pool workers");
+  telemetry::Histogram* latency = reg.histogram(
+      "magus_pool_task_latency_seconds", "Wall-clock task execution latency",
+      {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0});
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->queue_depth = depth;
+  impl_->tasks_total = tasks;
+  impl_->task_latency = latency;
+  telemetry::set(workers, static_cast<double>(impl_->workers.size()));
 }
 
 namespace {

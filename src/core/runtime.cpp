@@ -1,5 +1,8 @@
 #include "magus/core/runtime.hpp"
 
+#include "magus/telemetry/event_log.hpp"
+#include "magus/telemetry/registry.hpp"
+
 namespace magus::core {
 
 MagusRuntime::MagusRuntime(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevice& msr,
@@ -9,10 +12,39 @@ MagusRuntime::MagusRuntime(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevic
   mdfs_ = std::make_unique<MdfsController>(cfg_, ladder.min_ghz(), ladder.max_ghz());
 }
 
+void MagusRuntime::attach_telemetry(telemetry::MetricsRegistry& reg,
+                                    telemetry::EventLog* events) {
+  events_ = events;
+  m_samples_ = reg.counter("magus_runtime_samples_total",
+                           "Throughput samples processed by the control loop");
+  m_throughput_ = reg.gauge("magus_runtime_throughput_mbps",
+                            "Last observed memory throughput");
+  m_target_ghz_ = reg.gauge("magus_runtime_uncore_target_ghz",
+                            "Currently executed uncore max-frequency target");
+  m_tuning_events_ = reg.counter("magus_mdfs_tuning_events_total",
+                                 "Executed uncore retargets (frequency actually changed)");
+  m_hf_phases_ = reg.counter("magus_mdfs_high_freq_phases_total",
+                             "High-frequency phase entries (Algorithm 2)");
+  m_hf_active_ = reg.gauge("magus_mdfs_high_freq_active",
+                           "1 while high-frequency status holds, else 0");
+  m_temporary_ghz_ = reg.gauge("magus_mdfs_temporary_target_ghz",
+                               "Prediction-phase temporary decision");
+  m_derivative_ = reg.gauge("magus_mdfs_derivative_mbps",
+                            "Windowed throughput derivative feeding the trend prediction");
+  m_pred_increase_ = reg.counter("magus_mdfs_predictions_increase_total",
+                                 "Rounds predicting a throughput increase");
+  m_pred_decrease_ = reg.counter("magus_mdfs_predictions_decrease_total",
+                                 "Rounds predicting a throughput decrease");
+  m_pred_stable_ = reg.counter("magus_mdfs_predictions_stable_total",
+                               "Rounds predicting stable throughput");
+  uncore_.attach_telemetry(reg);
+}
+
 void MagusRuntime::on_start(double now) {
   if (cfg_.scaling_enabled) {
     uncore_.set_max_ghz_all(uncore_.ladder().max_ghz());
   }
+  telemetry::set(m_target_ghz_, uncore_.ladder().max_ghz());
   prev_mb_ = mem_counter_.total_mb();
   prev_t_ = now;
   primed_ = true;
@@ -35,6 +67,47 @@ void MagusRuntime::on_sample(double now) {
   const std::optional<double> target = mdfs_->on_throughput(now, last_mbps_);
   if (target && cfg_.scaling_enabled) {
     uncore_.set_max_ghz_all(*target);
+  }
+  note_sample(now, target);
+}
+
+void MagusRuntime::note_sample(double now, const std::optional<double>& target) {
+  // One branch on the hot path when telemetry is detached / NullRegistry.
+  if (!m_samples_ && !events_) return;
+
+  telemetry::inc(m_samples_);
+  telemetry::set(m_throughput_, last_mbps_);
+  telemetry::set(m_temporary_ghz_, mdfs_->temporary_target_ghz());
+
+  const DecisionRecord& rec = mdfs_->log().back();
+  telemetry::set(m_derivative_, rec.derivative);
+  if (!rec.warmup) {
+    switch (rec.prediction) {
+      case Trend::kIncrease: telemetry::inc(m_pred_increase_); break;
+      case Trend::kDecrease: telemetry::inc(m_pred_decrease_); break;
+      case Trend::kStable: telemetry::inc(m_pred_stable_); break;
+    }
+  }
+
+  const bool hf = mdfs_->high_freq_status();
+  telemetry::set(m_hf_active_, hf ? 1.0 : 0.0);
+  if (target) {
+    telemetry::inc(m_tuning_events_);
+    telemetry::set(m_target_ghz_, *target);
+    if (events_) {
+      events_->emit(telemetry::Event(now, "uncore_retarget")
+                        .num("target_ghz", *target)
+                        .num("throughput_mbps", last_mbps_)
+                        .flag("high_freq", hf));
+    }
+  }
+  if (hf != last_hf_) {
+    if (hf) telemetry::inc(m_hf_phases_);
+    if (events_) {
+      events_->emit(telemetry::Event(now, hf ? "high_freq_enter" : "high_freq_exit")
+                        .num("throughput_mbps", last_mbps_));
+    }
+    last_hf_ = hf;
   }
 }
 

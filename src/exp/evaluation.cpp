@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "magus/common/thread_pool.hpp"
+#include "magus/telemetry/registry.hpp"
 #include "magus/trace/burst.hpp"
 #include "magus/wl/catalog.hpp"
 
@@ -90,6 +91,16 @@ std::vector<SweepPoint> sensitivity_sweep(const sim::SystemSpec& system,
     }
   }
 
+  telemetry::Gauge* combos_total = nullptr;
+  telemetry::Counter* combos_done = nullptr;
+  if (spec.metrics) {
+    combos_total = spec.metrics->gauge("magus_exp_sweep_combos",
+                                       "Threshold combinations in the current sweep");
+    combos_done = spec.metrics->counter("magus_exp_sweep_combos_completed_total",
+                                        "Threshold combinations completed");
+  }
+  telemetry::set(combos_total, static_cast<double>(combos.size()));
+
   std::vector<SweepPoint> points(combos.size());
   common::default_pool().parallel_for_each(combos.size(), [&](std::size_t i) {
     const Combo& c = combos[i];
@@ -97,8 +108,10 @@ std::vector<SweepPoint> sensitivity_sweep(const sim::SystemSpec& system,
     opts.magus.inc_threshold = c.inc;
     opts.magus.dec_threshold = c.dec;
     opts.magus.high_freq_threshold = c.hf;
+    opts.metrics = spec.metrics;
     const AggregateResult agg =
         run_repeated(system, program, PolicyKind::kMagus, spec.repeat, opts);
+    telemetry::inc(combos_done);
     SweepPoint pt;
     pt.inc_threshold = c.inc;
     pt.dec_threshold = c.dec;

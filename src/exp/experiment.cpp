@@ -24,6 +24,7 @@ const char* policy_name(PolicyKind kind) noexcept {
 RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& workload,
                      PolicyKind kind, const RunOptions& opts) {
   sim::SimEngine engine(system, workload, opts.engine);
+  if (opts.metrics) engine.attach_telemetry(*opts.metrics);
   const hw::UncoreFreqLadder ladder(system.cpu.uncore_min_ghz, system.cpu.uncore_max_ghz);
 
   std::unique_ptr<core::IPolicy> policy;
@@ -46,10 +47,13 @@ RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& work
       policy = std::make_unique<baseline::StaticUncorePolicy>(engine.msr(), ladder,
                                                               opts.static_ghz);
       break;
-    case PolicyKind::kMagus:
-      policy = std::make_unique<core::MagusRuntime>(engine.mem_counter(), engine.msr(),
-                                                    ladder, opts.magus);
+    case PolicyKind::kMagus: {
+      auto magus = std::make_unique<core::MagusRuntime>(engine.mem_counter(), engine.msr(),
+                                                        ladder, opts.magus);
+      if (opts.metrics) magus->attach_telemetry(*opts.metrics);
+      policy = std::move(magus);
       break;
+    }
     case PolicyKind::kUps:
       policy = std::make_unique<baseline::UpsController>(engine.energy_counter(),
                                                          engine.core_counters(),

@@ -5,6 +5,7 @@
 #include "magus/common/error.hpp"
 #include "magus/common/stats.hpp"
 #include "magus/common/thread_pool.hpp"
+#include "magus/telemetry/registry.hpp"
 #include "magus/wl/jitter.hpp"
 
 namespace magus::exp {
@@ -23,6 +24,11 @@ AggregateResult run_repeated(const sim::SystemSpec& system, const wl::PhaseProgr
   std::vector<sim::SimResult> results(reps);
   const common::Rng master(spec.seed);
 
+  telemetry::Counter* reps_done =
+      opts.metrics ? opts.metrics->counter("magus_exp_reps_completed_total",
+                                           "Experiment repetitions completed")
+                   : nullptr;
+
   common::default_pool().parallel_for_each(reps, [&](std::size_t rep) {
     common::Rng rep_rng = master.fork(static_cast<std::uint64_t>(rep));
     const wl::PhaseProgram jittered = wl::apply_jitter(workload, rep_rng, spec.jitter);
@@ -30,6 +36,7 @@ AggregateResult run_repeated(const sim::SystemSpec& system, const wl::PhaseProgr
     rep_opts.engine.seed = spec.seed * 1000003ull + static_cast<std::uint64_t>(rep);
     rep_opts.engine.record_traces = false;  // scalar metrics only; traces cost memory
     results[rep] = run_policy(system, jittered, kind, rep_opts).result;
+    telemetry::inc(reps_done);
   });
 
   std::vector<double> runtime, pkg_j, dram_j, gpu_j, cpu_w, gpu_w, invoc;

@@ -4,6 +4,7 @@
 
 #include "magus/common/error.hpp"
 #include "magus/common/units.hpp"
+#include "magus/telemetry/registry.hpp"
 
 namespace magus::hw {
 
@@ -58,6 +59,12 @@ void UncoreFreqController::set_max_ghz(int socket, double ghz) {
   // MIN_RATIO and reserved bits pass through untouched.
   msr_.write(socket, msr::kUncoreRatioLimit, limit.encode(raw));
   ++writes_;
+  telemetry::inc(m_writes_);
+}
+
+void UncoreFreqController::attach_telemetry(telemetry::MetricsRegistry& reg) {
+  m_writes_ = reg.counter("magus_hw_msr_writes_total",
+                          "MSR 0x620 max-ratio writes issued by the uncore controller");
 }
 
 UncoreRatioLimit UncoreFreqController::read_limit(int socket) {

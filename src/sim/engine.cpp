@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "magus/common/error.hpp"
+#include "magus/telemetry/registry.hpp"
 
 namespace magus::sim {
 
@@ -53,9 +54,19 @@ SimEngine::SimEngine(SystemSpec spec, wl::PhaseProgram program, EngineConfig cfg
   core_counters_ = std::make_unique<SimCoreCounters>(node_, meter_);
 }
 
+void SimEngine::attach_telemetry(telemetry::MetricsRegistry& reg) {
+  m_steps_ = reg.counter("magus_sim_steps_total", "Simulation ticks executed");
+  m_sim_time_ = reg.gauge("magus_sim_time_seconds",
+                          "Simulated time of the current/most recent run");
+  m_invocations_ =
+      reg.counter("magus_sim_policy_invocations_total", "Policy on_sample invocations");
+  m_runs_ = reg.counter("magus_sim_runs_total", "Completed SimEngine::run calls");
+}
+
 SimResult SimEngine::run(const PolicyHook& policy) {
   SimResult result;
   result.policy_name = policy.name;
+  std::uint64_t ticks = 0;  // flushed to telemetry after the loop
 
   const double max_sim =
       cfg_.max_sim_s > 0.0 ? cfg_.max_sim_s : 4.0 * program_.nominal_duration_s() + 30.0;
@@ -77,6 +88,7 @@ SimResult SimEngine::run(const PolicyHook& policy) {
     const double extra_w = (t < monitor_busy_until) ? monitor_power_w : 0.0;
     const TickOutput out = node_.tick(t, dt, slice, extra_w);
     executor.advance(dt * out.progress_rate);
+    ++ticks;
 
     if (cfg_.record_traces && t >= next_record_t) {
       recorder_.record(trace::channel::kMemThroughput, t, out.delivered_mbps);
@@ -114,6 +126,8 @@ SimResult SimEngine::run(const PolicyHook& policy) {
       // Next monitoring cycle starts `period` after this invocation returns
       // (paper section 6.5: 0.1 s invocation + 0.2 s period = 0.3 s cadence).
       next_sample_t = t + cost + policy.period_s;
+      // Live progress for a scraping exporter, keyed on sim time only.
+      telemetry::set(m_sim_time_, t);
     }
   }
 
@@ -128,6 +142,11 @@ SimResult SimEngine::run(const PolicyHook& policy) {
     result.avg_gpu_power_w = result.gpu_energy_j / t;
   }
   result.accesses = meter_;
+
+  telemetry::inc(m_steps_, ticks);
+  telemetry::inc(m_invocations_, result.invocations);
+  telemetry::inc(m_runs_);
+  telemetry::set(m_sim_time_, t);
   return result;
 }
 

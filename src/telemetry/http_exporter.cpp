@@ -1,0 +1,134 @@
+#include "magus/telemetry/http_exporter.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "magus/common/error.hpp"
+
+namespace magus::telemetry {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to salvage
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(const MetricsRegistry& registry, std::uint16_t port)
+    : registry_(registry) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw common::DeviceError(std::string("HttpExporter: socket() failed: ") +
+                              std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::DeviceError("HttpExporter: cannot listen on port " +
+                              std::to_string(port) + ": " + why);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 200);  // bounded wait so stop() is prompt
+    if (rc <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void HttpExporter::handle_client(int client_fd) {
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::string method, target;
+  {
+    std::istringstream is(request);
+    is >> method >> target;
+  }
+  const std::size_t query = target.find('?');
+  const std::string path = query == std::string::npos ? target : target.substr(0, query);
+
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = registry_.render_prometheus();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+
+  std::string response = "HTTP/1.1 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  send_all(client_fd, response);
+}
+
+}  // namespace magus::telemetry

@@ -1,6 +1,8 @@
 #include "magus/trace/recorder.hpp"
 
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <stdexcept>
 
 namespace magus::trace {
@@ -31,12 +33,16 @@ std::vector<std::string> TraceRecorder::channels() const {
 void TraceRecorder::write_csv(const std::string& path) const {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("TraceRecorder: cannot open " + path);
+  // max_digits10 so every double round-trips exactly through the CSV.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "channel,t,v\n";
   for (const auto& [name, ts] : channels_) {
     for (const auto& s : ts.samples()) {
       os << name << ',' << s.t << ',' << s.v << '\n';
     }
   }
+  os.flush();
+  if (os.fail()) throw std::runtime_error("TraceRecorder: write failed for " + path);
 }
 
 }  // namespace magus::trace

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "magus/common/error.hpp"
+#include "magus/common/parse.hpp"
+
+namespace mc = magus::common;
+
+TEST(Parse, ParseIntAcceptsPlainIntegers) {
+  EXPECT_EQ(mc::parse_int("0"), 0);
+  EXPECT_EQ(mc::parse_int("40"), 40);
+  EXPECT_EQ(mc::parse_int("-3"), -3);
+}
+
+TEST(Parse, ParseIntRejectsGarbage) {
+  EXPECT_THROW((void)mc::parse_int(""), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int("abc"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int("12x"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int("1.5"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int("99999999999999999999"), mc::ConfigError);
+}
+
+TEST(Parse, ParseIntErrorNamesToken) {
+  try {
+    (void)mc::parse_int("12x");
+    FAIL() << "expected ConfigError";
+  } catch (const mc::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("12x"), std::string::npos);
+  }
+}
+
+TEST(Parse, ParseIntListSplitsOnCommas) {
+  EXPECT_EQ(mc::parse_int_list("0"), (std::vector<int>{0}));
+  EXPECT_EQ(mc::parse_int_list("0,40"), (std::vector<int>{0, 40}));
+  EXPECT_EQ(mc::parse_int_list("1,2,3"), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Parse, ParseIntListRejectsEmptyTokens) {
+  EXPECT_THROW((void)mc::parse_int_list(""), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int_list("0,,1"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int_list("0,40,"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int_list(",0"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int_list("0,x"), mc::ConfigError);
+}

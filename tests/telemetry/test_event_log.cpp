@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "magus/common/error.hpp"
+#include "magus/telemetry/event_log.hpp"
+
+namespace mt = magus::telemetry;
+
+TEST(TelemetryEventLog, EventToJsonExact) {
+  const mt::Event e = mt::Event(1.5, "uncore_retarget")
+                          .num("target_ghz", 2.0)
+                          .str("why", "derivative")
+                          .flag("high_freq", true);
+  EXPECT_EQ(e.to_json(),
+            "{\"t\":1.5,\"type\":\"uncore_retarget\",\"target_ghz\":2,"
+            "\"why\":\"derivative\",\"high_freq\":true}");
+}
+
+TEST(TelemetryEventLog, JsonEscaping) {
+  EXPECT_EQ(mt::json_escape("plain"), "plain");
+  EXPECT_EQ(mt::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(mt::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(mt::json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(TelemetryEventLog, ParseEventLineRoundTrips) {
+  const mt::Event e = mt::Event(0.25, "device_read_failure")
+                          .str("what", "read \"failed\"\n")
+                          .num("consecutive", 3.0)
+                          .flag("fatal", false);
+  const auto fields = mt::parse_event_line(e.to_json());
+  EXPECT_EQ(fields.at("t"), "0.25");
+  EXPECT_EQ(fields.at("type"), "device_read_failure");
+  EXPECT_EQ(fields.at("what"), "read \"failed\"\n");
+  EXPECT_EQ(fields.at("consecutive"), "3");
+  EXPECT_EQ(fields.at("fatal"), "false");
+}
+
+TEST(TelemetryEventLog, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)mt::parse_event_line(""), magus::common::Error);
+  EXPECT_THROW((void)mt::parse_event_line("not json"), magus::common::Error);
+  EXPECT_THROW((void)mt::parse_event_line("{\"t\":1"), magus::common::Error);
+}
+
+TEST(TelemetryEventLog, EmitAndDrainPreservesOrder) {
+  mt::EventLog log;
+  EXPECT_EQ(log.size(), 0u);
+  log.emit(mt::Event(0.0, "first"));
+  log.emit(mt::Event(1.0, "second"));
+  EXPECT_EQ(log.size(), 2u);
+  const auto lines = log.drain();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(mt::parse_event_line(lines[0]).at("type"), "first");
+  EXPECT_EQ(mt::parse_event_line(lines[1]).at("type"), "second");
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TelemetryEventLog, FlushToFileAppendsAndClears) {
+  const std::string path = ::testing::TempDir() + "/magus_events_test.jsonl";
+  std::remove(path.c_str());
+
+  mt::EventLog log;
+  log.emit(mt::Event(0.0, "a"));
+  log.flush_to_file(path);
+  EXPECT_EQ(log.size(), 0u);
+  log.emit(mt::Event(1.0, "b"));
+  log.flush_to_file(path);  // second flush must append, not truncate
+
+  std::ifstream is(path);
+  std::string l1, l2;
+  ASSERT_TRUE(std::getline(is, l1));
+  ASSERT_TRUE(std::getline(is, l2));
+  EXPECT_EQ(mt::parse_event_line(l1).at("type"), "a");
+  EXPECT_EQ(mt::parse_event_line(l2).at("type"), "b");
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryEventLog, FlushFailureKeepsBuffer) {
+  mt::EventLog log;
+  log.emit(mt::Event(0.0, "kept"));
+  EXPECT_THROW(log.flush_to_file("/nonexistent-dir/events.jsonl"),
+               magus::common::Error);
+  EXPECT_EQ(log.size(), 1u);
+}

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "magus/telemetry/http_exporter.hpp"
+#include "magus/telemetry/registry.hpp"
+
+namespace mt = magus::telemetry;
+
+namespace {
+
+/// One blocking HTTP request against 127.0.0.1:port; returns the raw response.
+std::string http_get(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  EXPECT_GE(::send(fd, request.data(), request.size(), 0), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+TEST(TelemetryHttpExporter, ServesMetricsAndHealthOnEphemeralPort) {
+  mt::MetricsRegistry reg;
+  reg.counter("magus_smoke_total", "smoke counter")->inc(42);
+  mt::HttpExporter exporter(reg, 0);
+  ASSERT_NE(exporter.port(), 0);
+
+  const std::string metrics =
+      http_get(exporter.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("magus_smoke_total 42"), std::string::npos);
+
+  const std::string health =
+      http_get(exporter.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+}
+
+TEST(TelemetryHttpExporter, UnknownPathAndBadMethodAreRejected) {
+  mt::MetricsRegistry reg;
+  mt::HttpExporter exporter(reg, 0);
+
+  const std::string missing =
+      http_get(exporter.port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  const std::string post =
+      http_get(exporter.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos);
+}
+
+TEST(TelemetryHttpExporter, MetricsReflectLiveUpdatesAndQueryIsIgnored) {
+  mt::MetricsRegistry reg;
+  mt::Counter* c = reg.counter("magus_live_total");
+  mt::HttpExporter exporter(reg, 0);
+
+  c->inc(1);
+  std::string r = http_get(exporter.port(), "GET /metrics?x=1 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(r.find("magus_live_total 1"), std::string::npos);
+
+  c->inc(2);
+  r = http_get(exporter.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(r.find("magus_live_total 3"), std::string::npos);
+}
+
+TEST(TelemetryHttpExporter, StopIsIdempotentAndDestructorIsClean) {
+  mt::MetricsRegistry reg;
+  mt::HttpExporter exporter(reg, 0);
+  exporter.stop();
+  exporter.stop();  // second stop must be a no-op
+}

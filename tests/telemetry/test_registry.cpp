@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "magus/common/error.hpp"
+#include "magus/telemetry/registry.hpp"
+
+namespace mt = magus::telemetry;
+
+TEST(TelemetryRegistry, CounterIncrementsAndFetchesSameHandle) {
+  mt::MetricsRegistry reg;
+  mt::Counter* c = reg.counter("magus_test_total", "help");
+  ASSERT_NE(c, nullptr);
+  c->inc();
+  c->inc(4);
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(reg.counter("magus_test_total"), c);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(TelemetryRegistry, GaugeSetAndAdd) {
+  mt::MetricsRegistry reg;
+  mt::Gauge* g = reg.gauge("magus_test_ghz");
+  ASSERT_NE(g, nullptr);
+  g->set(1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+  g->add(0.25);
+  EXPECT_DOUBLE_EQ(g->value(), 1.75);
+  g->add(-1.75);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+}
+
+TEST(TelemetryRegistry, HistogramBucketsObservations) {
+  mt::MetricsRegistry reg;
+  mt::Histogram* h = reg.histogram("magus_test_seconds", "", {0.5, 2.0});
+  ASSERT_NE(h, nullptr);
+  h->observe(0.25);  // <= 0.5
+  h->observe(0.5);   // boundary lands in its bucket (le semantics)
+  h->observe(1.0);   // <= 2.0
+  h->observe(8.0);   // +Inf
+  EXPECT_EQ(h->bucket_value(0), 2u);
+  EXPECT_EQ(h->bucket_value(1), 1u);
+  EXPECT_EQ(h->bucket_value(2), 1u);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 9.75);
+}
+
+TEST(TelemetryRegistry, InvalidNamesAndBoundsThrow) {
+  mt::MetricsRegistry reg;
+  EXPECT_THROW((void)reg.counter(""), magus::common::ConfigError);
+  EXPECT_THROW((void)reg.counter("1starts_with_digit"), magus::common::ConfigError);
+  EXPECT_THROW((void)reg.counter("has-dash"), magus::common::ConfigError);
+  EXPECT_THROW((void)reg.histogram("magus_h", "", {}), magus::common::ConfigError);
+  EXPECT_THROW((void)reg.histogram("magus_h2", "", {1.0, 1.0}),
+               magus::common::ConfigError);
+}
+
+TEST(TelemetryRegistry, TypeConflictThrows) {
+  mt::MetricsRegistry reg;
+  (void)reg.counter("magus_conflict");
+  EXPECT_THROW((void)reg.gauge("magus_conflict"), magus::common::ConfigError);
+  EXPECT_THROW((void)reg.histogram("magus_conflict", "", {1.0}),
+               magus::common::ConfigError);
+}
+
+TEST(TelemetryRegistry, NullRegistryHandsOutNullAndRendersEmpty) {
+  mt::MetricsRegistry& null = mt::null_registry();
+  EXPECT_FALSE(null.enabled());
+  EXPECT_EQ(null.counter("magus_anything_total"), nullptr);
+  EXPECT_EQ(null.gauge("magus_anything"), nullptr);
+  EXPECT_EQ(null.histogram("magus_anything_seconds", "", {1.0}), nullptr);
+  EXPECT_EQ(null.size(), 0u);
+  EXPECT_EQ(null.render_prometheus(), "");
+}
+
+TEST(TelemetryRegistry, NullSafeHelpersAcceptNullptr) {
+  mt::inc(nullptr);
+  mt::inc(nullptr, 10);
+  mt::set(nullptr, 1.0);
+  mt::add(nullptr, 1.0);
+  mt::observe(nullptr, 1.0);
+
+  mt::MetricsRegistry reg;
+  mt::Counter* c = reg.counter("magus_helper_total");
+  mt::inc(c, 3);
+  EXPECT_EQ(c->value(), 3u);
+}
+
+TEST(TelemetryRegistry, ConcurrentUpdatesProduceExactTotals) {
+  mt::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Registration races on purpose: every thread asks for the same
+      // families and must get the same handles.
+      mt::Counter* c = reg.counter("magus_conc_total");
+      mt::Gauge* g = reg.gauge("magus_conc_gauge");
+      mt::Histogram* h = reg.histogram("magus_conc_seconds", "", {0.5});
+      for (int i = 0; i < kIters; ++i) {
+        c->inc();
+        g->add(1.0);
+        h->observe(i % 2 == 0 ? 0.25 : 1.0);  // integral-valued sum stays exact
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  mt::Counter* c = reg.counter("magus_conc_total");
+  mt::Gauge* g = reg.gauge("magus_conc_gauge");
+  mt::Histogram* h = reg.histogram("magus_conc_seconds", "", {0.5});
+  constexpr std::uint64_t kTotal = std::uint64_t{kThreads} * kIters;
+  EXPECT_EQ(c->value(), kTotal);
+  EXPECT_DOUBLE_EQ(g->value(), static_cast<double>(kTotal));
+  EXPECT_EQ(h->count(), kTotal);
+  EXPECT_EQ(h->bucket_value(0), kTotal / 2);
+  EXPECT_EQ(h->bucket_value(1), kTotal / 2);
+  // Sum of k/2 * (0.25 + 1.0) per thread-pair: exactly representable.
+  EXPECT_DOUBLE_EQ(h->sum(), static_cast<double>(kTotal / 2) * 1.25);
+}
+
+TEST(TelemetryRegistry, FormatDoubleRoundTripsAndSpellsSpecials) {
+  EXPECT_EQ(mt::format_double(0.0), "0");
+  EXPECT_EQ(mt::format_double(2.0), "2");
+  EXPECT_EQ(mt::format_double(0.1), "0.1");
+  EXPECT_EQ(mt::format_double(9.25), "9.25");
+  EXPECT_EQ(mt::format_double(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(mt::format_double(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(mt::format_double(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  // Shortest form must parse back bit-exactly even for awkward values.
+  for (double v : {1.0 / 3.0, 0.2, 1e-300, 123456.789, 2.5e17}) {
+    EXPECT_EQ(std::stod(mt::format_double(v)), v);
+  }
+}
+
+TEST(TelemetryRegistry, PrometheusGoldenRendering) {
+  mt::MetricsRegistry reg;
+  reg.counter("magus_b_total", "a counter")->inc(7);
+  reg.gauge("magus_a_ghz", "a gauge")->set(1.5);
+  mt::Histogram* h = reg.histogram("magus_c_seconds", "a histogram", {0.5, 2.0});
+  h->observe(0.25);
+  h->observe(1.0);
+  h->observe(8.0);
+
+  // Families sorted by name; histogram buckets cumulative with +Inf tail.
+  const std::string expected =
+      "# HELP magus_a_ghz a gauge\n"
+      "# TYPE magus_a_ghz gauge\n"
+      "magus_a_ghz 1.5\n"
+      "# HELP magus_b_total a counter\n"
+      "# TYPE magus_b_total counter\n"
+      "magus_b_total 7\n"
+      "# HELP magus_c_seconds a histogram\n"
+      "# TYPE magus_c_seconds histogram\n"
+      "magus_c_seconds_bucket{le=\"0.5\"} 1\n"
+      "magus_c_seconds_bucket{le=\"2\"} 2\n"
+      "magus_c_seconds_bucket{le=\"+Inf\"} 3\n"
+      "magus_c_seconds_sum 9.25\n"
+      "magus_c_seconds_count 3\n";
+  EXPECT_EQ(reg.render_prometheus(), expected);
+}
+
+TEST(TelemetryRegistry, RenderSkipsHelpWhenEmpty) {
+  mt::MetricsRegistry reg;
+  (void)reg.counter("magus_nohelp_total");
+  EXPECT_EQ(reg.render_prometheus(),
+            "# TYPE magus_nohelp_total counter\nmagus_nohelp_total 0\n");
+}

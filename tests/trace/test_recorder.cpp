@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "magus/trace/recorder.hpp"
 
@@ -53,6 +55,37 @@ TEST(TraceRecorder, WriteCsvRoundTrips) {
   EXPECT_EQ(header, "channel,t,v");
   EXPECT_EQ(r1, "power,0,100");
   std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, WriteCsvRoundTripsNastyDoubles) {
+  // max_digits10 streaming: every stored double must parse back bit-exactly.
+  const std::vector<double> values{1.0 / 3.0, 0.1, 123456.789, 2.5e17, 1e-300};
+  mt::TraceRecorder rec;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    rec.record("v", static_cast<double>(i) + 0.1, values[i]);
+  }
+  const std::string path = ::testing::TempDir() + "/magus_rec_nasty.csv";
+  rec.write_csv(path);
+
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);  // header
+  for (double expected : values) {
+    ASSERT_TRUE(std::getline(is, line));
+    const std::size_t last_comma = line.rfind(',');
+    ASSERT_NE(last_comma, std::string::npos);
+    EXPECT_EQ(std::stod(line.substr(last_comma + 1)), expected);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, WriteCsvThrowsWhenDeviceIsFull) {
+  // /dev/full accepts the open but fails every write; skip where absent.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  mt::TraceRecorder rec;
+  rec.record("x", 0.0, 1.0);
+  EXPECT_THROW(rec.write_csv("/dev/full"), std::runtime_error);
 }
 
 TEST(TraceRecorder, ClearRemovesEverything) {

@@ -14,6 +14,7 @@
 // Exit codes: 0 ok, 1 usage error, 2 runtime error.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -22,6 +23,7 @@
 #include "magus/common/table.hpp"
 #include "magus/common/thread_pool.hpp"
 #include "magus/exp/evaluation.hpp"
+#include "magus/telemetry/registry.hpp"
 #include "magus/wl/catalog.hpp"
 #include "magus/wl/io.hpp"
 
@@ -36,11 +38,15 @@ int usage() {
                "<default|static_min|static_max|magus|ups|duf>\n"
             << "                [--reps N] [--seed S] [--gpus N] [--jobs N] "
                "[--trace out.csv]\n"
+            << "                [--metrics-out metrics.prom]\n"
             << "  magus-cli overhead --system <name> [--duration seconds]\n"
             << "\n"
             << "  --jobs N (or the MAGUS_JOBS env var) sets the worker-thread "
                "count for the\n"
-            << "  repetition fan-out; results are identical for any job count.\n";
+            << "  repetition fan-out; results are identical for any job count.\n"
+            << "  --metrics-out writes a Prometheus text snapshot of the run's "
+               "telemetry\n"
+            << "  (never changes the results).\n";
   return 1;
 }
 
@@ -114,8 +120,26 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
             << flags.at("policy") << ", " << reps.repetitions << " reps, " << workers
             << " worker" << (workers == 1 ? "" : "s") << ")\n\n";
 
-  const auto base = exp::run_repeated(system, program, exp::PolicyKind::kDefault, reps);
-  const auto cand = exp::run_repeated(system, program, kind, reps);
+  // Observability is opt-in and inert: attaching the registry never changes
+  // the computed results (see tests/exp/test_telemetry_determinism.cpp).
+  // The shared pool outlives `registry`, so detach on every exit path.
+  telemetry::MetricsRegistry registry;
+  struct PoolDetach {
+    bool armed = false;
+    ~PoolDetach() {
+      if (armed) common::default_pool().attach_telemetry(telemetry::null_registry());
+    }
+  } pool_detach;
+  exp::RunOptions run_opts;
+  if (flags.count("metrics-out")) {
+    common::default_pool().attach_telemetry(registry);
+    pool_detach.armed = true;
+    run_opts.metrics = &registry;
+  }
+
+  const auto base =
+      exp::run_repeated(system, program, exp::PolicyKind::kDefault, reps, run_opts);
+  const auto cand = exp::run_repeated(system, program, kind, reps, run_opts);
   const auto cmp = exp::compare(cand, base);
 
   common::TextTable table({"policy", "runtime (s)", "CPU power (W)", "GPU power (W)",
@@ -135,11 +159,21 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
             << " %  (" << reps.repetitions << " reps, seed " << reps.seed << ")\n";
 
   if (flags.count("trace")) {
-    exp::RunOptions opts;
+    exp::RunOptions opts = run_opts;
     opts.engine.record_traces = true;
     const auto out = exp::run_policy(system, program, kind, opts);
     out.traces.write_csv(flags.at("trace"));
     std::cout << "trace written to " << flags.at("trace") << "\n";
+  }
+
+  if (flags.count("metrics-out")) {
+    const std::string& path = flags.at("metrics-out");
+    std::ofstream os(path);
+    if (!os) throw common::ConfigError("cannot open --metrics-out file " + path);
+    os << registry.render_prometheus();
+    os.flush();
+    if (os.fail()) throw common::ConfigError("write failed for --metrics-out " + path);
+    std::cout << "metrics written to " << path << "\n";
   }
   return 0;
 }

@@ -4,30 +4,44 @@
 // 0x620 max-ratio field. Users never interact with it.
 //
 //   magus-daemon --simulate [--app unet] [--seconds 30]
+//                [--metrics-port N] [--events-out file]
 //       Demonstration mode: runs the identical control loop against the
 //       simulated Intel+A100 node and prints each decision. Works anywhere.
+//       With --metrics-port the daemon serves Prometheus /metrics (and
+//       /healthz) during the run and keeps serving until SIGINT/SIGTERM.
 //
 //   magus-daemon --throughput-file /run/pcm/dram_mb [--interval 0.2]
 //                [--min-ghz 0.8] [--max-ghz 2.2] [--sockets 0,40] [--dry-run]
+//                [--metrics-port N] [--events-out file]
+//                [--max-sample-failures N]
 //       Real mode: reads cumulative DRAM traffic (MB) published by a PCM
 //       exporter from a file, drives /dev/cpu/<cpu>/msr. Requires root and
-//       the msr kernel module; refuses to start otherwise.
+//       the msr kernel module; refuses to start otherwise. The uncore max
+//       limit is restored on ANY exit path (signal, error, exception), and
+//       the daemon gives up after N consecutive failed samples (default 25)
+//       instead of retrying forever.
 
 #include <unistd.h>
 
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
-#include <sstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "magus/common/error.hpp"
+#include "magus/common/parse.hpp"
+#include "magus/common/thread_pool.hpp"
 #include "magus/core/runtime.hpp"
 #include "magus/hw/file_counter.hpp"
 #include "magus/hw/linux_backend.hpp"
 #include "magus/sim/engine.hpp"
+#include "magus/telemetry/event_log.hpp"
+#include "magus/telemetry/http_exporter.hpp"
+#include "magus/telemetry/registry.hpp"
 #include "magus/wl/catalog.hpp"
 
 namespace {
@@ -40,9 +54,12 @@ void handle_signal(int) { g_stop = 1; }
 int usage() {
   std::cerr << "usage:\n"
             << "  magus-daemon --simulate [--app unet] [--seconds 30]\n"
+            << "               [--metrics-port N] [--events-out file]\n"
             << "  magus-daemon --throughput-file <path> [--interval 0.2]\n"
             << "               [--min-ghz 0.8] [--max-ghz 2.2] [--sockets 0,40] "
-               "[--dry-run]\n";
+               "[--dry-run]\n"
+            << "               [--metrics-port N] [--events-out file]\n"
+            << "               [--max-sample-failures N]\n";
   return 1;
 }
 
@@ -65,21 +82,101 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
 }
 
 std::vector<int> parse_cpu_list(const std::string& s) {
-  std::vector<int> cpus;
-  std::stringstream ss(s);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) cpus.push_back(std::stoi(tok));
+  const std::vector<int> cpus = common::parse_int_list(s);
+  for (int cpu : cpus) {
+    if (cpu < 0) {
+      throw common::ConfigError("--sockets: cpu id must be >= 0, got " +
+                                std::to_string(cpu));
+    }
+  }
   return cpus;
 }
+
+/// Shared observability plumbing for both modes.
+struct Telemetry {
+  telemetry::MetricsRegistry registry;
+  telemetry::EventLog events;
+  std::unique_ptr<telemetry::HttpExporter> exporter;
+  std::string events_out;
+
+  explicit Telemetry(const std::map<std::string, std::string>& flags) {
+    if (flags.count("events-out")) events_out = flags.at("events-out");
+    common::default_pool().attach_telemetry(registry);
+    if (flags.count("metrics-port")) {
+      const int port = common::parse_int(flags.at("metrics-port"));
+      if (port < 0 || port > 65535) {
+        throw common::ConfigError("--metrics-port must be in [0, 65535]");
+      }
+      exporter = std::make_unique<telemetry::HttpExporter>(
+          registry, static_cast<std::uint16_t>(port));
+      std::cout << "[magus-daemon] serving /metrics and /healthz on port "
+                << exporter->port() << "\n";
+    }
+  }
+
+  ~Telemetry() {
+    // The shared pool outlives this registry; detach before it is destroyed.
+    common::default_pool().attach_telemetry(telemetry::null_registry());
+  }
+
+  void flush_events() {
+    if (!events_out.empty() && events.size() > 0) events.flush_to_file(events_out);
+  }
+
+  /// Keep the exporter reachable after the workload finishes so scrapers
+  /// (and the CI smoke test) can read the final state.
+  void linger() {
+    if (!exporter) return;
+    std::cout << "[magus-daemon] still serving /metrics on port " << exporter->port()
+              << "; SIGINT/SIGTERM to exit\n";
+    while (!g_stop) ::usleep(100'000);
+  }
+};
+
+/// Restores the uncore max-ratio limit on destruction, so an unhandled
+/// exception (not just a clean signal exit) can no longer leave the machine
+/// pinned at a lowered uncore ceiling.
+class UncoreRestoreGuard {
+ public:
+  UncoreRestoreGuard(hw::IMsrDevice& msr, const hw::UncoreFreqLadder& ladder, bool armed)
+      : msr_(msr), ladder_(ladder), armed_(armed) {}
+  UncoreRestoreGuard(const UncoreRestoreGuard&) = delete;
+  UncoreRestoreGuard& operator=(const UncoreRestoreGuard&) = delete;
+  ~UncoreRestoreGuard() {
+    if (!armed_) return;
+    try {
+      hw::UncoreFreqController restore(msr_, ladder_);
+      restore.set_max_ghz_all(ladder_.max_ghz());
+      std::cerr << "[magus-daemon] uncore max limit restored to " << ladder_.max_ghz()
+                << " GHz\n";
+    } catch (...) {
+      std::cerr << "[magus-daemon] WARNING: failed to restore uncore max limit\n";
+    }
+  }
+
+ private:
+  hw::IMsrDevice& msr_;
+  const hw::UncoreFreqLadder& ladder_;
+  bool armed_;
+};
 
 int run_simulated(const std::map<std::string, std::string>& flags) {
   const std::string app = flags.count("app") ? flags.at("app") : "unet";
   std::cout << "[magus-daemon] simulation mode: app=" << app
             << " on intel_a100 (identical control loop, simulated backends)\n";
 
+  // Install before the run so a signal during the simulation is not lost
+  // (or fatal) and the linger loop below still exits promptly.
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  Telemetry tel(flags);
+
   sim::SimEngine engine(sim::intel_a100(), wl::make_workload(app));
+  engine.attach_telemetry(tel.registry);
   const hw::UncoreFreqLadder ladder(0.8, 2.2);
   core::MagusRuntime magus(engine.mem_counter(), engine.msr(), ladder);
+  magus.attach_telemetry(tel.registry, &tel.events);
 
   sim::PolicyHook hook;
   hook.name = magus.name();
@@ -97,6 +194,9 @@ int run_simulated(const std::map<std::string, std::string>& flags) {
   std::cout << "[magus-daemon] app completed in " << result.duration_s << " s; "
             << result.invocations << " monitoring cycles, avg invocation "
             << result.avg_invocation_s() << " s\n";
+
+  tel.flush_events();
+  tel.linger();
   return 0;
 }
 
@@ -112,8 +212,16 @@ int run_real(const std::map<std::string, std::string>& flags) {
       flags.count("interval") ? std::stod(flags.at("interval")) : 0.2;
   const double min_ghz = flags.count("min-ghz") ? std::stod(flags.at("min-ghz")) : 0.8;
   const double max_ghz = flags.count("max-ghz") ? std::stod(flags.at("max-ghz")) : 2.2;
+  const int max_failures = flags.count("max-sample-failures")
+                               ? common::parse_int(flags.at("max-sample-failures"))
+                               : 25;
+  if (max_failures < 1) {
+    throw common::ConfigError("--max-sample-failures must be >= 1");
+  }
   const std::vector<int> cpus =
       flags.count("sockets") ? parse_cpu_list(flags.at("sockets")) : std::vector<int>{0};
+
+  Telemetry tel(flags);
 
   hw::FileMemThroughputCounter counter(flags.at("throughput-file"));
   hw::LinuxMsrDevice msr(cpus);
@@ -122,9 +230,19 @@ int run_real(const std::map<std::string, std::string>& flags) {
   cfg.period_s = interval;
   cfg.scaling_enabled = !flags.count("dry-run");
   core::MagusRuntime magus(counter, msr, ladder, cfg);
+  magus.attach_telemetry(tel.registry, &tel.events);
+
+  telemetry::Counter* failures_total = tel.registry.counter(
+      "magus_daemon_sample_failures_total", "Sample cycles that raised a DeviceError");
+  telemetry::Gauge* consecutive_failures =
+      tel.registry.gauge("magus_daemon_consecutive_sample_failures",
+                         "Current run of back-to-back failed samples");
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+
+  // Armed before the first MSR write; covers signals AND exceptions.
+  UncoreRestoreGuard restore_guard(msr, ladder, cfg.scaling_enabled);
 
   std::cout << "[magus-daemon] running: interval=" << interval << "s, ladder ["
             << ladder.min_ghz() << ", " << ladder.max_ghz() << "] GHz, "
@@ -132,19 +250,36 @@ int run_real(const std::map<std::string, std::string>& flags) {
             << "\n";
 
   double now = 0.0;
+  int consecutive = 0;
   magus.on_start(now);
   while (!g_stop) {
     ::usleep(static_cast<useconds_t>(interval * 1e6));
     now += interval;
     try {
       magus.on_sample(now);
+      consecutive = 0;
     } catch (const common::DeviceError& e) {
-      std::cerr << "[magus-daemon] sample failed (" << e.what() << "); retrying\n";
+      ++consecutive;
+      telemetry::inc(failures_total);
+      tel.events.emit(telemetry::Event(now, "device_read_failure")
+                          .str("what", e.what())
+                          .num("consecutive", consecutive));
+      if (consecutive >= max_failures) {
+        std::cerr << "[magus-daemon] " << consecutive
+                  << " consecutive sample failures (last: " << e.what()
+                  << "); giving up\n";
+        telemetry::set(consecutive_failures, consecutive);
+        tel.flush_events();
+        return 3;
+      }
+      std::cerr << "[magus-daemon] sample failed (" << e.what() << "); retrying ("
+                << consecutive << "/" << max_failures << ")\n";
     }
+    telemetry::set(consecutive_failures, consecutive);
+    tel.flush_events();
   }
-  std::cout << "[magus-daemon] stopped; restoring uncore max limit\n";
-  hw::UncoreFreqController restore(msr, ladder);
-  if (cfg.scaling_enabled) restore.set_max_ghz_all(ladder.max_ghz());
+  std::cout << "[magus-daemon] stopped\n";
+  tel.flush_events();
   return 0;
 }
 
