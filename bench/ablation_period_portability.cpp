@@ -30,7 +30,7 @@ int main() {
       exp::run_repeated(sim::intel_a100(), unet, exp::PolicyKind::kDefault, reps);
   for (const double period : {0.05, 0.1, 0.2, 0.5, 1.0}) {
     exp::RunOptions opts;
-    opts.magus.period_s = period;
+    opts.magus.period = magus::common::Seconds(period);
     const auto magus =
         exp::run_repeated(sim::intel_a100(), unet, exp::PolicyKind::kMagus, reps, opts);
     const auto cmp = exp::compare(magus, base);

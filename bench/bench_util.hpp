@@ -61,12 +61,14 @@ inline void run_fig4(const sim::SystemSpec& system, const std::vector<std::strin
     const auto& m = ev.magus_vs_base;
     const auto& u = ev.ups_vs_base;
     using common::TextTable;
-    table.add_row({app, TextTable::num(m.perf_loss_pct), TextTable::num(m.cpu_power_saving_pct),
+    table.add_row({app, TextTable::num(m.perf_loss_pct),
+                   TextTable::num(m.cpu_power_saving_pct),
                    TextTable::num(m.energy_saving_pct), TextTable::num(u.perf_loss_pct),
-                   TextTable::num(u.cpu_power_saving_pct), TextTable::num(u.energy_saving_pct)});
+                   TextTable::num(u.cpu_power_saving_pct),
+                   TextTable::num(u.energy_saving_pct)});
     csv.write_row_numeric({m.perf_loss_pct, m.cpu_power_saving_pct, m.energy_saving_pct,
                            u.perf_loss_pct, u.cpu_power_saving_pct, u.energy_saving_pct,
-                           ev.baseline.runtime_s, ev.baseline.total_energy_j()});
+                           ev.baseline.runtime.value(), ev.baseline.total_energy().value()});
     best_energy = std::max(best_energy, m.energy_saving_pct);
     worst_loss = std::max(worst_loss, m.perf_loss_pct);
   }

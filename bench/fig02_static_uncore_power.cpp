@@ -16,8 +16,10 @@ int main() {
   exp::RunOptions opts;
   opts.engine.record_traces = true;
 
-  const auto vmax = exp::run_policy(sim::intel_a100(), unet, exp::PolicyKind::kStaticMax, opts);
-  const auto vmin = exp::run_policy(sim::intel_a100(), unet, exp::PolicyKind::kStaticMin, opts);
+  const auto vmax =
+      exp::run_policy(sim::intel_a100(), unet, exp::PolicyKind::kStaticMax, opts);
+  const auto vmin =
+      exp::run_policy(sim::intel_a100(), unet, exp::PolicyKind::kStaticMin, opts);
 
   common::TextTable table({"setting", "runtime (s)", "avg CPU pkg (W)", "avg DRAM (W)",
                            "avg GPU (W)", "CPU+DRAM energy (kJ)", "total energy (kJ)"});

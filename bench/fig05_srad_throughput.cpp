@@ -16,8 +16,10 @@ int main() {
   exp::RunOptions opts;
   opts.engine.record_traces = true;
 
-  const auto vmax = exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kStaticMax, opts);
-  const auto vmin = exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kStaticMin, opts);
+  const auto vmax =
+      exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kStaticMax, opts);
+  const auto vmin =
+      exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kStaticMin, opts);
   const auto magus = exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kMagus, opts);
   const auto ups = exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kUps, opts);
 

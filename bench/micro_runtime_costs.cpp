@@ -26,7 +26,8 @@ void BM_PredictTrend(benchmark::State& state) {
   w.push(12'000.0);
   w.push(95'000.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::predict_trend(w, 2, 200.0, 500.0));
+    benchmark::DoNotOptimize(
+        core::predict_trend(w, 2, common::Mbps(200.0), common::Mbps(500.0)));
   }
 }
 BENCHMARK(BM_PredictTrend);
@@ -41,11 +42,11 @@ void BM_HighFreqDetect(benchmark::State& state) {
 BENCHMARK(BM_HighFreqDetect);
 
 void BM_MdfsDecisionRound(benchmark::State& state) {
-  core::MdfsController ctl(core::MagusConfig{}, 0.8, 2.2);
+  core::MdfsController ctl(core::MagusConfig{}, common::Ghz(0.8), common::Ghz(2.2));
   double t = 0.3;
   double v = 10'000.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ctl.on_throughput(t, v));
+    benchmark::DoNotOptimize(ctl.on_throughput(common::Seconds(t), common::Mbps(v)));
     t += 0.3;
     v = (v < 50'000.0) ? 120'000.0 : 10'000.0;  // keep both branches hot
   }

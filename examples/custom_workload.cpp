@@ -50,17 +50,17 @@ int main() {
   common::TextTable table({"t (s)", "throughput (GB/s)", "derivative", "prediction",
                            "high-freq", "programmed (GHz)"});
   for (const auto& rec : magus.controller().log()) {
-    if (rec.warmup || (!rec.target_ghz && rec.prediction == core::Trend::kStable)) {
+    if (rec.warmup || (!rec.target && rec.prediction == core::Trend::kStable)) {
       continue;  // show only the interesting rounds
     }
     const char* pred = rec.prediction == core::Trend::kIncrease   ? "increase"
                        : rec.prediction == core::Trend::kDecrease ? "decrease"
                                                                   : "stable";
-    table.add_row({common::TextTable::num(rec.t, 1),
-                   common::TextTable::num(rec.throughput_mbps / 1000.0, 1),
-                   common::TextTable::num(rec.derivative, 0), pred,
+    table.add_row({common::TextTable::num(rec.t.value(), 1),
+                   common::TextTable::num(rec.throughput.value() / 1000.0, 1),
+                   common::TextTable::num(rec.derivative.value(), 0), pred,
                    rec.high_freq ? "yes" : "no",
-                   rec.target_ghz ? common::TextTable::num(*rec.target_ghz, 1) : "-"});
+                   rec.target ? common::TextTable::num(rec.target->value(), 1) : "-"});
   }
   table.print(std::cout);
 

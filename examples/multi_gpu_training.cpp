@@ -36,10 +36,10 @@ int main() {
 
       auto row = [&](const char* policy, const exp::AggregateResult& r,
                      double saving) {
-        table.add_row({system.name, app, policy, common::TextTable::num(r.runtime_s, 1),
-                       common::TextTable::num(r.avg_cpu_power_w, 1),
-                       common::TextTable::num(r.avg_gpu_power_w, 1),
-                       common::TextTable::num(r.total_energy_j() / 1000.0),
+        table.add_row({system.name, app, policy, common::TextTable::num(r.runtime.value(), 1),
+                       common::TextTable::num(r.avg_cpu_power.value(), 1),
+                       common::TextTable::num(r.avg_gpu_power.value(), 1),
+                       common::TextTable::num(r.total_energy().value() / 1000.0),
                        common::TextTable::num(saving)});
       };
       row("default", base, 0.0);

@@ -11,6 +11,7 @@
 // high-frequency detection, so it reacts a step at a time and chases
 // oscillation.
 
+#include "magus/common/quantity.hpp"
 #include "magus/core/policy.hpp"
 #include "magus/hw/counters.hpp"
 #include "magus/hw/uncore_freq.hpp"
@@ -18,7 +19,7 @@
 namespace magus::baseline {
 
 struct DufConfig {
-  double period_s = 0.2;
+  common::Seconds period{0.2};
   double low_util = 0.40;   ///< below: step the uncore down one ratio
   double high_util = 0.80;  ///< above: jump back to max
   /// Capacity model: deliverable MB/s per GHz of uncore (the controller's
@@ -33,12 +34,12 @@ class DufController final : public core::IPolicy {
                 const hw::UncoreFreqLadder& ladder, DufConfig cfg = {});
 
   [[nodiscard]] std::string name() const override { return "duf"; }
-  [[nodiscard]] double period_s() const override { return cfg_.period_s; }
+  [[nodiscard]] double period_s() const override { return cfg_.period.value(); }
 
   void on_start(double now) override;
   void on_sample(double now) override;
 
-  [[nodiscard]] double current_target_ghz() const noexcept { return target_ghz_; }
+  [[nodiscard]] common::Ghz current_target() const noexcept { return target_; }
   [[nodiscard]] double last_utilization() const noexcept { return last_util_; }
 
  private:
@@ -48,7 +49,7 @@ class DufController final : public core::IPolicy {
   bool primed_ = false;
   double prev_mb_ = 0.0;
   double prev_t_ = 0.0;
-  double target_ghz_;
+  common::Ghz target_;
   double last_util_ = 0.0;
 };
 

@@ -6,6 +6,7 @@
 // FirmwareGovernor reproduces that). StaticUncorePolicy pins the uncore once
 // at launch; its min/max instantiations are the two ends of Fig. 2.
 
+#include "magus/common/quantity.hpp"
 #include "magus/core/policy.hpp"
 #include "magus/hw/uncore_freq.hpp"
 
@@ -23,25 +24,25 @@ class DefaultPolicy final : public core::IPolicy {
 class StaticUncorePolicy final : public core::IPolicy {
  public:
   StaticUncorePolicy(hw::IMsrDevice& msr, const hw::UncoreFreqLadder& ladder,
-                     double target_ghz)
-      : uncore_(msr, ladder), target_ghz_(ladder.clamp_ghz(target_ghz)) {}
+                     common::Ghz target)
+      : uncore_(msr, ladder), target_(ladder.clamp_ghz(target.value())) {}
 
   [[nodiscard]] std::string name() const override {
-    return "static_" + std::to_string(target_ghz_);
+    return "static_" + std::to_string(target_.value());
   }
   [[nodiscard]] double period_s() const override { return 0.2; }
 
   void on_start(double now) override {
     (void)now;
-    uncore_.set_max_ghz_all(target_ghz_);
+    uncore_.set_max_ghz_all(target_.value());
   }
   void on_sample(double now) override { (void)now; }
 
-  [[nodiscard]] double target_ghz() const noexcept { return target_ghz_; }
+  [[nodiscard]] common::Ghz target() const noexcept { return target_; }
 
  private:
   hw::UncoreFreqController uncore_;
-  double target_ghz_;
+  common::Ghz target_;
 };
 
 }  // namespace magus::baseline

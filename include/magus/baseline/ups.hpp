@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "magus/common/quantity.hpp"
 #include "magus/core/policy.hpp"
 #include "magus/hw/counters.hpp"
 #include "magus/hw/uncore_freq.hpp"
@@ -23,7 +24,7 @@
 namespace magus::baseline {
 
 struct UpsConfig {
-  double period_s = 0.2;          ///< same monitoring period as MAGUS
+  common::Seconds period{0.2};    ///< same monitoring period as MAGUS
   double dram_phase_rel = 0.12;   ///< relative DRAM-power swing marking a phase change
   double ipc_guard = 0.92;        ///< step down while ipc >= guard * phase-best IPC
   bool scaling_enabled = true;    ///< false = monitor-only (Table 2 protocol)
@@ -35,14 +36,14 @@ class UpsController final : public core::IPolicy {
                 const hw::UncoreFreqLadder& ladder, UpsConfig cfg = {});
 
   [[nodiscard]] std::string name() const override { return "ups"; }
-  [[nodiscard]] double period_s() const override { return cfg_.period_s; }
+  [[nodiscard]] double period_s() const override { return cfg_.period.value(); }
 
   void on_start(double now) override;
   void on_sample(double now) override;
 
-  [[nodiscard]] double current_target_ghz() const noexcept { return target_ghz_; }
+  [[nodiscard]] common::Ghz current_target() const noexcept { return target_; }
   [[nodiscard]] double last_ipc() const noexcept { return last_ipc_; }
-  [[nodiscard]] double last_dram_power_w() const noexcept { return last_dram_w_; }
+  [[nodiscard]] common::Watts last_dram_power() const noexcept { return last_dram_; }
   [[nodiscard]] unsigned long long phase_changes() const noexcept { return phase_changes_; }
 
  private:
@@ -61,9 +62,9 @@ class UpsController final : public core::IPolicy {
   bool primed_ = false;
   Snapshot prev_;
   double prev_t_ = 0.0;
-  double target_ghz_;
+  common::Ghz target_;
   double last_ipc_ = 0.0;
-  double last_dram_w_ = 0.0;
+  common::Watts last_dram_{0.0};
   double phase_ref_dram_w_ = -1.0;
   double phase_best_ipc_ = 0.0;
   unsigned long long phase_changes_ = 0;

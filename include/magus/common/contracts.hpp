@@ -1,0 +1,63 @@
+#pragma once
+// Contract macros for the MDFS / controller / simulator boundaries.
+//
+//   MAGUS_EXPECT(cond)     precondition  (caller handed us garbage)
+//   MAGUS_ENSURE(cond)     postcondition (we computed garbage)
+//   MAGUS_INVARIANT(cond)  mid-function / loop invariant
+//
+// These guard *programming* errors -- an uncore target escaping the ladder,
+// negative throughput, simulated time running backwards -- not user input;
+// user-supplied configuration keeps throwing ConfigError from validate().
+//
+// The checking mode is chosen at configure time via the MAGUS_CONTRACTS
+// CMake option (default `throw`):
+//   throw  (MAGUS_CONTRACTS_MODE=2)  violation throws ContractViolation
+//   abort  (MAGUS_CONTRACTS_MODE=1)  violation prints to stderr and aborts
+//   off    (MAGUS_CONTRACTS_MODE=0)  checks compile to nothing
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "magus/common/error.hpp"
+
+#ifndef MAGUS_CONTRACTS_MODE
+#define MAGUS_CONTRACTS_MODE 2
+#endif
+
+namespace magus::common {
+
+/// A contract (EXPECT / ENSURE / INVARIANT) was violated: a programming
+/// error, distinct from ConfigError (bad user input).
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* cond,
+                                         const char* file, int line) {
+#if MAGUS_CONTRACTS_MODE == 1
+  std::fprintf(stderr, "magus: %s violated: %s (%s:%d)\n", kind, cond, file, line);
+  std::abort();
+#else
+  throw ContractViolation(std::string(kind) + " violated: " + cond + " (" + file + ":" +
+                          std::to_string(line) + ")");
+#endif
+}
+
+}  // namespace detail
+}  // namespace magus::common
+
+#if MAGUS_CONTRACTS_MODE == 0
+#define MAGUS_CONTRACT_CHECK_(kind, cond) ((void)0)
+#else
+#define MAGUS_CONTRACT_CHECK_(kind, cond) \
+  ((cond) ? (void)0                       \
+          : ::magus::common::detail::contract_failed(kind, #cond, __FILE__, __LINE__))
+#endif
+
+#define MAGUS_EXPECT(cond) MAGUS_CONTRACT_CHECK_("precondition", cond)
+#define MAGUS_ENSURE(cond) MAGUS_CONTRACT_CHECK_("postcondition", cond)
+#define MAGUS_INVARIANT(cond) MAGUS_CONTRACT_CHECK_("invariant", cond)

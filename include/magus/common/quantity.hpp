@@ -1,0 +1,189 @@
+#pragma once
+// Strong-typed physical quantities.
+//
+// `units.hpp` documents the unit convention; this header *enforces* it. Each
+// quantity is a zero-overhead wrapper around one `double` (same size, same
+// codegen, trivially copyable) whose constructor is explicit, so a swapped
+// `mbps`/`ghz` argument or a ratio/GHz mix-up is a compile error instead of a
+// silently corrupted energy figure. Arithmetic is unit-correct: same-unit
+// add/subtract, dimensionless scaling, and the few physically meaningful
+// cross-unit products (W x s = J, J / s = W, J / W = s). `.value()` is the
+// escape hatch back to `double` at raw boundaries (hw/ MSR codecs, trace
+// buffers, telemetry gauges).
+//
+// Every operation maps to exactly one IEEE-754 double operation in the same
+// order a bare-double expression would perform it, so migrating an API to
+// quantities is bit-identical by construction (asserted end to end by
+// tests/exp/test_golden_determinism.cpp).
+
+#include <compare>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#include "magus/common/error.hpp"
+#include "magus/common/units.hpp"
+
+namespace magus::common {
+
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() noexcept = default;
+  explicit constexpr Quantity(double v) noexcept : v_(v) {}
+
+  /// Escape hatch to the raw double (for hw codecs, traces, telemetry).
+  [[nodiscard]] constexpr double value() const noexcept { return v_; }
+
+  /// Unit suffix ("GHz", "MB/s", ...), for formatting and diagnostics.
+  [[nodiscard]] static constexpr const char* unit() noexcept { return Tag::kUnit; }
+
+  // Same-unit arithmetic.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) noexcept {
+    return Quantity(a.v_ + b.v_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) noexcept {
+    return Quantity(a.v_ - b.v_);
+  }
+  [[nodiscard]] constexpr Quantity operator-() const noexcept { return Quantity(-v_); }
+  constexpr Quantity& operator+=(Quantity o) noexcept {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) noexcept {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  // Dimensionless scaling.
+  friend constexpr Quantity operator*(Quantity a, double s) noexcept {
+    return Quantity(a.v_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) noexcept {
+    return Quantity(s * a.v_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) noexcept {
+    return Quantity(a.v_ / s);
+  }
+
+  /// The ratio of two same-unit quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) noexcept { return a.v_ / b.v_; }
+
+  friend constexpr auto operator<=>(const Quantity& a, const Quantity& b) noexcept = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+// Tag types carry only the unit suffix; they are never instantiated.
+struct GhzTag {
+  static constexpr const char* kUnit = "GHz";
+};
+struct MbpsTag {
+  static constexpr const char* kUnit = "MB/s";
+};
+struct WattsTag {
+  static constexpr const char* kUnit = "W";
+};
+struct JoulesTag {
+  static constexpr const char* kUnit = "J";
+};
+struct SecondsTag {
+  static constexpr const char* kUnit = "s";
+};
+
+using Ghz = Quantity<GhzTag>;        ///< frequency (uncore/core/SM clocks)
+using Mbps = Quantity<MbpsTag>;      ///< memory throughput, MB/s
+using Watts = Quantity<WattsTag>;    ///< power
+using Joules = Quantity<JoulesTag>;  ///< energy
+using Seconds = Quantity<SecondsTag>;
+
+static_assert(sizeof(Ghz) == sizeof(double), "quantities must stay zero-overhead");
+static_assert(std::is_trivially_copyable_v<Ghz>);
+
+// Physically meaningful cross-unit operations.
+[[nodiscard]] constexpr Joules operator*(Watts w, Seconds s) noexcept {
+  return Joules(w.value() * s.value());
+}
+[[nodiscard]] constexpr Joules operator*(Seconds s, Watts w) noexcept {
+  return Joules(s.value() * w.value());
+}
+[[nodiscard]] constexpr Watts operator/(Joules j, Seconds s) noexcept {
+  return Watts(j.value() / s.value());
+}
+[[nodiscard]] constexpr Seconds operator/(Joules j, Watts w) noexcept {
+  return Seconds(j.value() / w.value());
+}
+
+/// MSR 0x620-style uncore ratio (1 step == 100 MHz). Integral, explicit.
+class UncoreRatio {
+ public:
+  constexpr UncoreRatio() noexcept = default;
+  explicit constexpr UncoreRatio(unsigned v) noexcept : v_(v) {}
+
+  [[nodiscard]] constexpr unsigned value() const noexcept { return v_; }
+  [[nodiscard]] static constexpr const char* unit() noexcept { return "ratio"; }
+
+  friend constexpr auto operator<=>(const UncoreRatio& a, const UncoreRatio& b) noexcept =
+      default;
+
+ private:
+  unsigned v_ = 0;
+};
+
+/// Typed bridges over the `units.hpp` ratio codec.
+[[nodiscard]] constexpr Ghz to_ghz(UncoreRatio r) noexcept {
+  return Ghz(ratio_to_ghz(r.value()));
+}
+[[nodiscard]] constexpr UncoreRatio to_ratio(Ghz f) noexcept {
+  return UncoreRatio(ghz_to_ratio(f.value()));
+}
+
+/// "<shortest round-trip value> <unit>", e.g. "2.2 GHz". The value prints
+/// with up to max_digits10 significant digits so parse_quantity recovers the
+/// exact double.
+template <class Tag>
+[[nodiscard]] inline std::string to_string(Quantity<Tag> q) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g %s", q.value(), Quantity<Tag>::unit());
+  return buf;
+}
+
+/// Inverse of to_string. Requires the exact unit suffix (leading whitespace
+/// before it is tolerated); anything else is a ConfigError.
+template <class Q>
+[[nodiscard]] inline Q parse_quantity(const std::string& text) {
+  const char* s = text.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) {
+    throw ConfigError("parse_quantity: no number in '" + text + "'");
+  }
+  while (*end == ' ' || *end == '\t') ++end;
+  if (std::strcmp(end, Q::unit()) != 0) {
+    throw ConfigError("parse_quantity: expected unit '" + std::string(Q::unit()) +
+                      "' in '" + text + "'");
+  }
+  return Q(v);
+}
+
+namespace quantity_literals {
+
+// clang-format off
+[[nodiscard]] constexpr Ghz     operator""_ghz(long double v) noexcept  { return Ghz(static_cast<double>(v)); }
+[[nodiscard]] constexpr Ghz     operator""_ghz(unsigned long long v) noexcept  { return Ghz(static_cast<double>(v)); }
+[[nodiscard]] constexpr Mbps    operator""_mbps(long double v) noexcept { return Mbps(static_cast<double>(v)); }
+[[nodiscard]] constexpr Mbps    operator""_mbps(unsigned long long v) noexcept { return Mbps(static_cast<double>(v)); }
+[[nodiscard]] constexpr Watts   operator""_w(long double v) noexcept    { return Watts(static_cast<double>(v)); }
+[[nodiscard]] constexpr Watts   operator""_w(unsigned long long v) noexcept    { return Watts(static_cast<double>(v)); }
+[[nodiscard]] constexpr Joules  operator""_j(long double v) noexcept    { return Joules(static_cast<double>(v)); }
+[[nodiscard]] constexpr Joules  operator""_j(unsigned long long v) noexcept    { return Joules(static_cast<double>(v)); }
+[[nodiscard]] constexpr Seconds operator""_s(long double v) noexcept    { return Seconds(static_cast<double>(v)); }
+[[nodiscard]] constexpr Seconds operator""_s(unsigned long long v) noexcept    { return Seconds(static_cast<double>(v)); }
+// clang-format on
+
+}  // namespace quantity_literals
+
+}  // namespace magus::common

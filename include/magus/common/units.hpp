@@ -18,15 +18,33 @@ namespace magus::common {
 /// Uncore ratio granularity on Intel: 1 ratio step == 100 MHz.
 inline constexpr double kGHzPerUncoreRatio = 0.1;
 
+/// Exact inverse of kGHzPerUncoreRatio. 10.0 is exactly representable while
+/// 0.1 is not, so `ghz * 10.0` is correctly rounded where `ghz / 0.1`
+/// accumulates a second rounding error (0.05 / 0.1 == 0.4999...).
+inline constexpr double kUncoreRatiosPerGHz = 10.0;
+
+/// Largest ratio the MSR 0x620 7-bit MAX_RATIO field can hold (12.7 GHz) --
+/// the saturation point for out-of-range conversion requests.
+inline constexpr unsigned kMaxEncodableUncoreRatio = 0x7Fu;
+
 /// Convert an MSR 0x620-style ratio (100 MHz units) to GHz.
 [[nodiscard]] constexpr double ratio_to_ghz(unsigned ratio) noexcept {
   return static_cast<double>(ratio) * kGHzPerUncoreRatio;
 }
 
-/// Convert GHz to the nearest uncore ratio (100 MHz units).
+/// Convert GHz to the nearest uncore ratio (100 MHz units), rounding
+/// half-up on the *ratio* axis. Negative (and NaN) inputs map to 0 before
+/// any arithmetic; inputs beyond the encodable field saturate. The old
+/// `unsigned(ghz / 0.1 + 0.5)` both divided lossily (0.15 / 0.1 lands below
+/// 1.5, misrounding the 1/2 boundary down) and double-rounded (+0.5 can
+/// carry r just below .5 across it).
 [[nodiscard]] constexpr unsigned ghz_to_ratio(double ghz) noexcept {
-  const double r = ghz / kGHzPerUncoreRatio;
-  return r <= 0.0 ? 0u : static_cast<unsigned>(r + 0.5);
+  if (!(ghz > 0.0)) return 0u;  // also catches NaN
+  const double r = ghz * kUncoreRatiosPerGHz;
+  if (r >= static_cast<double>(kMaxEncodableUncoreRatio)) return kMaxEncodableUncoreRatio;
+  const auto whole = static_cast<unsigned>(r);  // r >= 0: truncation == floor
+  const double frac = r - static_cast<double>(whole);
+  return frac >= 0.5 ? whole + 1u : whole;
 }
 
 [[nodiscard]] constexpr double mbps_to_gbps(double mbps) noexcept { return mbps / 1000.0; }

@@ -5,6 +5,7 @@
 // is collected but no tuning occurs.
 
 #include "magus/common/error.hpp"
+#include "magus/common/quantity.hpp"
 
 namespace magus::core {
 
@@ -14,8 +15,8 @@ struct MagusConfig {
   /// magnitude: a decrease triggers when d < -dec_threshold. The asymmetry
   /// (500 vs 200) makes down-scaling deliberately more conservative than
   /// up-scaling.
-  double inc_threshold = 200.0;
-  double dec_threshold = 500.0;
+  common::Mbps inc_threshold{200.0};
+  common::Mbps dec_threshold{500.0};
 
   /// Fraction of tuning events in the decision window that flags
   /// high-frequency status (Algorithm 2).
@@ -35,7 +36,7 @@ struct MagusConfig {
   int warmup_cycles = 10;
 
   /// Monitoring period between invocations.
-  double period_s = 0.2;
+  common::Seconds period{0.2};
 
   /// When false, the runtime monitors and logs decisions but never writes
   /// MSR 0x620 -- the paper's Table 2 overhead-measurement protocol
@@ -48,7 +49,7 @@ struct MagusConfig {
   bool high_freq_detection_enabled = true;
 
   void validate() const {
-    if (inc_threshold < 0.0 || dec_threshold < 0.0) {
+    if (inc_threshold < common::Mbps(0.0) || dec_threshold < common::Mbps(0.0)) {
       throw common::ConfigError("MagusConfig: thresholds must be non-negative");
     }
     if (high_freq_threshold < 0.0 || high_freq_threshold > 1.0) {
@@ -63,8 +64,8 @@ struct MagusConfig {
     if (warmup_cycles < 0) {
       throw common::ConfigError("MagusConfig: warmup_cycles must be >= 0");
     }
-    if (period_s <= 0.0) {
-      throw common::ConfigError("MagusConfig: period_s must be positive");
+    if (period <= common::Seconds(0.0)) {
+      throw common::ConfigError("MagusConfig: period must be positive");
     }
   }
 };

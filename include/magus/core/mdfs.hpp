@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "magus/common/fixed_window.hpp"
+#include "magus/common/quantity.hpp"
 #include "magus/core/config.hpp"
 #include "magus/core/high_freq.hpp"
 #include "magus/core/predictor.hpp"
@@ -31,45 +32,45 @@ namespace magus::core {
 
 /// What the controller decided in one round (for logs, tests, figures).
 struct DecisionRecord {
-  double t = 0.0;
-  double throughput_mbps = 0.0;
-  double derivative = 0.0;
+  common::Seconds t{0.0};
+  common::Mbps throughput{0.0};
+  common::Mbps derivative{0.0};
   Trend prediction = Trend::kStable;
   bool high_freq = false;
   bool warmup = false;
   /// Frequency target issued this round; empty when unchanged.
-  std::optional<double> target_ghz;
+  std::optional<common::Ghz> target;
 };
 
 class MdfsController {
  public:
-  MdfsController(const MagusConfig& cfg, double uncore_min_ghz, double uncore_max_ghz);
+  MdfsController(const MagusConfig& cfg, common::Ghz uncore_min, common::Ghz uncore_max);
 
-  /// Feed one throughput sample (MB/s) observed at time `t`.
+  /// Feed one throughput sample observed at time `t`.
   /// Returns the uncore max-frequency to program, or nullopt to leave it.
-  std::optional<double> on_throughput(double t, double mbps);
+  std::optional<common::Ghz> on_throughput(common::Seconds t, common::Mbps throughput);
 
   [[nodiscard]] bool high_freq_status() const noexcept { return high_freq_status_; }
   [[nodiscard]] bool warmed_up() const noexcept { return samples_seen_ >= cfg_.warmup_cycles; }
   [[nodiscard]] const std::vector<DecisionRecord>& log() const noexcept { return log_; }
 
   /// Last issued target (max at start).
-  [[nodiscard]] double current_target_ghz() const noexcept { return current_target_ghz_; }
+  [[nodiscard]] common::Ghz current_target() const noexcept { return current_target_; }
 
   /// The prediction phase's temporary decision -- the frequency MAGUS would
   /// run at if no high-frequency override were active.
-  [[nodiscard]] double temporary_target_ghz() const noexcept { return temporary_target_ghz_; }
+  [[nodiscard]] common::Ghz temporary_target() const noexcept { return temporary_target_; }
 
  private:
   MagusConfig cfg_;
-  double min_ghz_;
-  double max_ghz_;
+  common::Ghz min_;
+  common::Ghz max_;
   common::FixedWindow<double> mem_window_;
   common::FixedWindow<int> tune_events_;
   bool high_freq_status_ = false;
   int samples_seen_ = 0;
-  double current_target_ghz_;
-  double temporary_target_ghz_;
+  common::Ghz current_target_;
+  common::Ghz temporary_target_;
   std::vector<DecisionRecord> log_;
 };
 

@@ -7,6 +7,7 @@
 // (drop the uncore to its floor).
 
 #include "magus/common/fixed_window.hpp"
+#include "magus/common/quantity.hpp"
 
 namespace magus::core {
 
@@ -16,15 +17,17 @@ enum class Trend : int {
   kIncrease = 1,
 };
 
-/// Windowed first derivative: d = (x[n] - x[0]) / L over the FIFO window.
-/// Returns 0 for windows with fewer than 2 samples.
-[[nodiscard]] double throughput_derivative(const common::FixedWindow<double>& window,
-                                           int window_length);
+/// Windowed first derivative: d = (x[n] - x[0]) / L over the FIFO window of
+/// raw MB/s samples. Returns 0 for windows with fewer than 2 samples. The
+/// result is throughput change per window-length unit, carried as Mbps (the
+/// thresholds it is compared against share that scale).
+[[nodiscard]] common::Mbps throughput_derivative(const common::FixedWindow<double>& window,
+                                                 int window_length);
 
 /// Algorithm 1 verbatim: compare the derivative against the thresholds.
 /// `dec_threshold` is a magnitude (trigger when d < -dec_threshold).
 [[nodiscard]] Trend predict_trend(const common::FixedWindow<double>& window,
-                                  int window_length, double inc_threshold,
-                                  double dec_threshold);
+                                  int window_length, common::Mbps inc_threshold,
+                                  common::Mbps dec_threshold);
 
 }  // namespace magus::core

@@ -30,7 +30,7 @@ class MagusRuntime final : public IPolicy {
                const hw::UncoreFreqLadder& ladder, MagusConfig cfg = {});
 
   [[nodiscard]] std::string name() const override { return "magus"; }
-  [[nodiscard]] double period_s() const override { return cfg_.period_s; }
+  [[nodiscard]] double period_s() const override { return cfg_.period.value(); }
 
   /// Sets the uncore to max (the paper's initial condition) and primes the
   /// throughput counter.
@@ -41,8 +41,8 @@ class MagusRuntime final : public IPolicy {
   [[nodiscard]] const MdfsController& controller() const noexcept { return *mdfs_; }
   [[nodiscard]] const MagusConfig& config() const noexcept { return cfg_; }
 
-  /// Last computed throughput (MB/s), for diagnostics.
-  [[nodiscard]] double last_throughput_mbps() const noexcept { return last_mbps_; }
+  /// Last computed throughput, for diagnostics.
+  [[nodiscard]] common::Mbps last_throughput() const noexcept { return last_throughput_; }
 
   /// Register the runtime/MDFS series on `reg` (magus_runtime_* and
   /// magus_mdfs_*) and optionally emit discrete events (uncore_retarget,
@@ -53,7 +53,7 @@ class MagusRuntime final : public IPolicy {
                         telemetry::EventLog* events = nullptr);
 
  private:
-  void note_sample(double now, const std::optional<double>& target);
+  void note_sample(double now, const std::optional<common::Ghz>& target);
 
   hw::IMemThroughputCounter& mem_counter_;
   hw::UncoreFreqController uncore_;
@@ -62,7 +62,7 @@ class MagusRuntime final : public IPolicy {
   bool primed_ = false;
   double prev_mb_ = 0.0;
   double prev_t_ = 0.0;
-  double last_mbps_ = 0.0;
+  common::Mbps last_throughput_{0.0};
 
   // Telemetry handles; all nullptr until attach_telemetry.
   telemetry::EventLog* events_ = nullptr;

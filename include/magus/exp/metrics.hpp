@@ -4,25 +4,28 @@
 //   Power Saving      -- % reduction of average CPU (package + DRAM) power
 //   Energy Saving     -- % reduction of total energy (CPU + DRAM + GPU board)
 
+#include "magus/common/quantity.hpp"
 #include "magus/sim/engine.hpp"
 
 namespace magus::exp {
 
 /// Aggregated (across repetitions) scalar outcomes of one configuration.
 struct AggregateResult {
-  double runtime_s = 0.0;
-  double pkg_energy_j = 0.0;
-  double dram_energy_j = 0.0;
-  double gpu_energy_j = 0.0;
-  double avg_cpu_power_w = 0.0;  ///< package + DRAM
-  double avg_gpu_power_w = 0.0;
-  double avg_invocation_s = 0.0;
+  common::Seconds runtime{0.0};
+  common::Joules pkg_energy{0.0};
+  common::Joules dram_energy{0.0};
+  common::Joules gpu_energy{0.0};
+  common::Watts avg_cpu_power{0.0};  ///< package + DRAM
+  common::Watts avg_gpu_power{0.0};
+  common::Seconds avg_invocation{0.0};
   int reps_used = 0;
   int reps_total = 0;
 
-  [[nodiscard]] double cpu_energy_j() const noexcept { return pkg_energy_j + dram_energy_j; }
-  [[nodiscard]] double total_energy_j() const noexcept {
-    return cpu_energy_j() + gpu_energy_j;
+  [[nodiscard]] common::Joules cpu_energy() const noexcept {
+    return pkg_energy + dram_energy;
+  }
+  [[nodiscard]] common::Joules total_energy() const noexcept {
+    return cpu_energy() + gpu_energy;
   }
 };
 

@@ -14,7 +14,7 @@ namespace magus::hw {
 namespace msr {
 inline constexpr std::uint32_t kUncoreRatioLimit = 0x620;  ///< RW: uncore min/max ratio
 inline constexpr std::uint32_t kRaplPowerUnit = 0x606;     ///< RO: RAPL unit divisors
-inline constexpr std::uint32_t kPkgEnergyStatus = 0x611;   ///< RO: package energy (32-bit wrap)
+inline constexpr std::uint32_t kPkgEnergyStatus = 0x611;   ///< RO: pkg energy (32-bit wrap)
 inline constexpr std::uint32_t kDramEnergyStatus = 0x619;  ///< RO: DRAM energy (32-bit wrap)
 inline constexpr std::uint32_t kUncorePerfStatus = 0x621;  ///< RO: current uncore ratio
 inline constexpr std::uint32_t kInstRetired = 0x309;       ///< RO: fixed ctr0, inst retired

@@ -5,6 +5,7 @@
 // the firmware cap rides at ladder max regardless of workload, which is the
 // power-waste mechanism MAGUS exists to fix.
 
+#include "magus/common/quantity.hpp"
 #include "magus/sim/system_preset.hpp"
 
 namespace magus::sim {
@@ -14,16 +15,16 @@ class FirmwareGovernor {
   FirmwareGovernor(const CpuSpec& spec, double backoff_frac);
 
   /// Evaluate with the current per-socket package power; returns the
-  /// firmware uncore cap in GHz.
-  double update(double dt, double pkg_power_w_per_socket);
+  /// firmware uncore cap.
+  common::Ghz update(common::Seconds dt, common::Watts pkg_power_per_socket);
 
-  [[nodiscard]] double cap_ghz() const noexcept { return cap_ghz_; }
+  [[nodiscard]] common::Ghz cap() const noexcept { return cap_; }
 
  private:
   CpuSpec spec_;
-  double threshold_w_;
-  double cap_ghz_;
-  double hold_s_ = 0.0;  ///< dwell before raising the cap back up
+  common::Watts threshold_;
+  common::Ghz cap_;
+  common::Seconds hold_{0.0};  ///< dwell before raising the cap back up
 };
 
 }  // namespace magus::sim

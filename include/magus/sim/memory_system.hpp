@@ -6,15 +6,17 @@
 // at rate 1 / ((1-m) + m * max(1, D/C)) -- the roofline-style slowdown that
 // turns aggressive uncore scaling into the 21 % UNet runtime hit of Fig. 2.
 
+#include "magus/common/quantity.hpp"
+
 namespace magus::sim {
 
 struct MemoryService {
-  double delivered_mbps = 0.0;  ///< instantaneous delivered traffic
+  common::Mbps delivered{0.0};  ///< instantaneous delivered traffic
   double stretch = 1.0;         ///< >= 1: progress slowdown factor
   double utilization = 0.0;     ///< delivered / capacity, in [0,1]
 };
 
-[[nodiscard]] MemoryService service_memory(double demand_mbps, double capacity_mbps,
+[[nodiscard]] MemoryService service_memory(common::Mbps demand, common::Mbps capacity,
                                            double mem_bound_frac) noexcept;
 
 }  // namespace magus::sim

@@ -3,6 +3,7 @@
 // GPUs, the stock firmware governor, and the cumulative counters the hw
 // backends expose to runtimes.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -47,8 +48,12 @@ class NodeModel {
 
   // --- state the hw backends expose ---------------------------------------
   [[nodiscard]] int socket_count() const noexcept { return spec_.cpu.sockets; }
-  [[nodiscard]] UncoreModel& uncore(int socket) { return uncores_[socket]; }
-  [[nodiscard]] const UncoreModel& uncore(int socket) const { return uncores_[socket]; }
+  [[nodiscard]] UncoreModel& uncore(int socket) {
+    return uncores_[static_cast<std::size_t>(socket)];
+  }
+  [[nodiscard]] const UncoreModel& uncore(int socket) const {
+    return uncores_[static_cast<std::size_t>(socket)];
+  }
   [[nodiscard]] CoreModel& cores() noexcept { return cores_; }
   [[nodiscard]] const CoreModel& cores() const noexcept { return cores_; }
   [[nodiscard]] GpuModel& gpu() noexcept { return gpu_; }
@@ -57,8 +62,12 @@ class NodeModel {
   /// Cumulative DRAM traffic (MB) -- what the PCM-style counter reports.
   [[nodiscard]] double total_traffic_mb() const noexcept { return traffic_mb_; }
 
-  [[nodiscard]] double pkg_energy_j(int socket) const { return pkg_energy_j_[socket]; }
-  [[nodiscard]] double dram_energy_j(int socket) const { return dram_energy_j_[socket]; }
+  [[nodiscard]] double pkg_energy_j(int socket) const {
+    return pkg_energy_j_[static_cast<std::size_t>(socket)];
+  }
+  [[nodiscard]] double dram_energy_j(int socket) const {
+    return dram_energy_j_[static_cast<std::size_t>(socket)];
+  }
   [[nodiscard]] double total_pkg_energy_j() const noexcept;
   [[nodiscard]] double total_dram_energy_j() const noexcept;
 

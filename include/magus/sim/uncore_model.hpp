@@ -3,6 +3,7 @@
 // bandwidth-capacity curve that couples uncore frequency to deliverable
 // memory throughput.
 
+#include "magus/common/quantity.hpp"
 #include "magus/hw/uncore_freq.hpp"
 #include "magus/sim/system_preset.hpp"
 
@@ -13,35 +14,35 @@ class UncoreModel {
   explicit UncoreModel(const CpuSpec& spec);
 
   /// Policy-programmed max ratio limit (what MSR 0x620 writes set).
-  void set_policy_limit_ghz(double ghz);
-  [[nodiscard]] double policy_limit_ghz() const noexcept { return policy_limit_ghz_; }
+  void set_policy_limit(common::Ghz freq);
+  [[nodiscard]] common::Ghz policy_limit() const noexcept { return policy_limit_; }
 
   /// Firmware cap applied on top of the policy limit (TDP back-off).
-  void set_firmware_cap_ghz(double ghz);
-  [[nodiscard]] double firmware_cap_ghz() const noexcept { return firmware_cap_ghz_; }
+  void set_firmware_cap(common::Ghz freq);
+  [[nodiscard]] common::Ghz firmware_cap() const noexcept { return firmware_cap_; }
 
   /// Advance the frequency state machine: the effective frequency slews
   /// toward min(policy limit, firmware cap) with a short transition time.
-  void tick(double dt);
+  void tick(common::Seconds dt);
 
   /// Effective uncore frequency right now.
-  [[nodiscard]] double freq_ghz() const noexcept { return freq_ghz_; }
+  [[nodiscard]] common::Ghz freq() const noexcept { return freq_; }
 
-  /// Deliverable DRAM bandwidth at the current frequency (per socket, MB/s).
-  [[nodiscard]] double capacity_mbps() const noexcept;
-  [[nodiscard]] double capacity_mbps_at(double freq_ghz) const noexcept;
+  /// Deliverable DRAM bandwidth at the current frequency (per socket).
+  [[nodiscard]] common::Mbps capacity() const noexcept;
+  [[nodiscard]] common::Mbps capacity_at(common::Ghz freq) const noexcept;
 
   /// Uncore power at the current frequency and a given utilisation in [0,1].
-  [[nodiscard]] double power_w(double utilization) const noexcept;
+  [[nodiscard]] common::Watts power(double utilization) const noexcept;
 
   [[nodiscard]] const hw::UncoreFreqLadder& ladder() const noexcept { return ladder_; }
 
  private:
   CpuSpec spec_;
   hw::UncoreFreqLadder ladder_;
-  double policy_limit_ghz_;
-  double firmware_cap_ghz_;
-  double freq_ghz_;
+  common::Ghz policy_limit_;
+  common::Ghz firmware_cap_;
+  common::Ghz freq_;
   /// Uncore frequency transitions complete within ~10 ms (MSR writes are
   /// near-instant; PLL relock and traffic draining dominate).
   static constexpr double kSlewGhzPerS = 150.0;

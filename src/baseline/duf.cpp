@@ -9,7 +9,7 @@ DufController::DufController(hw::IMemThroughputCounter& mem_counter, hw::IMsrDev
     : mem_counter_(mem_counter),
       uncore_(msr, ladder),
       cfg_(cfg),
-      target_ghz_(ladder.max_ghz()) {}
+      target_(ladder.max_ghz()) {}
 
 void DufController::on_start(double now) {
   if (cfg_.scaling_enabled) {
@@ -35,19 +35,19 @@ void DufController::on_sample(double now) {
   prev_t_ = now;
 
   // Utilisation relative to what the *current* target can deliver.
-  const double capacity = std::max(1.0, cfg_.capacity_mbps_per_ghz * target_ghz_);
+  const double capacity = std::max(1.0, cfg_.capacity_mbps_per_ghz * target_.value());
   last_util_ = throughput / capacity;
 
   const auto& ladder = uncore_.ladder();
-  double next = target_ghz_;
+  common::Ghz next = target_;
   if (last_util_ > cfg_.high_util) {
-    next = ladder.max_ghz();  // bandwidth-starved: give it everything
+    next = common::Ghz(ladder.max_ghz());  // bandwidth-starved: give it everything
   } else if (last_util_ < cfg_.low_util) {
-    next = ladder.step_down(target_ghz_);  // over-provisioned: creep down
+    next = common::Ghz(ladder.step_down(target_.value()));  // over-provisioned: creep down
   }
-  if (next != target_ghz_) {
-    target_ghz_ = next;
-    if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_ghz_);
+  if (next != target_) {
+    target_ = next;
+    if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_.value());
   }
 }
 

@@ -12,7 +12,7 @@ UpsController::UpsController(hw::IEnergyCounter& energy, hw::ICoreCounters& core
       cores_(cores),
       uncore_(msr, ladder),
       cfg_(cfg),
-      target_ghz_(ladder.max_ghz()) {}
+      target_(ladder.max_ghz()) {}
 
 UpsController::Snapshot UpsController::sweep() {
   Snapshot s;
@@ -30,7 +30,7 @@ UpsController::Snapshot UpsController::sweep() {
 void UpsController::on_start(double now) {
   if (cfg_.scaling_enabled) {
     uncore_.set_max_ghz_all(uncore_.ladder().max_ghz());
-    target_ghz_ = uncore_.ladder().max_ghz();
+    target_ = common::Ghz(uncore_.ladder().max_ghz());
   }
   prev_ = sweep();
   prev_t_ = now;
@@ -48,7 +48,7 @@ void UpsController::on_sample(double now) {
   const double dt = now - prev_t_;
   if (dt <= 0.0) return;
 
-  last_dram_w_ = (cur.dram_j - prev_.dram_j) / dt;
+  last_dram_ = common::Watts((cur.dram_j - prev_.dram_j) / dt);
   const auto dcycles = static_cast<double>(cur.cycles - prev_.cycles);
   const auto dinst = static_cast<double>(cur.instructions - prev_.instructions);
   last_ipc_ = dcycles > 0.0 ? dinst / dcycles : 0.0;
@@ -58,16 +58,17 @@ void UpsController::on_sample(double now) {
   const auto& ladder = uncore_.ladder();
 
   // Phase-boundary detection on DRAM power.
+  const double last_dram_w = last_dram_.value();
   const bool phase_change =
       phase_ref_dram_w_ < 0.0 ||
-      std::abs(last_dram_w_ - phase_ref_dram_w_) >
+      std::abs(last_dram_w - phase_ref_dram_w_) >
           cfg_.dram_phase_rel * std::max(phase_ref_dram_w_, 1.0);
   if (phase_change) {
     ++phase_changes_;
-    phase_ref_dram_w_ = last_dram_w_;
+    phase_ref_dram_w_ = last_dram_w;
     phase_best_ipc_ = last_ipc_;
-    target_ghz_ = ladder.max_ghz();
-    if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_ghz_);
+    target_ = common::Ghz(ladder.max_ghz());
+    if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_.value());
     return;
   }
 
@@ -75,16 +76,16 @@ void UpsController::on_sample(double now) {
 
   // Within a phase: scavenge downward while IPC holds, back off when it slips.
   if (last_ipc_ >= cfg_.ipc_guard * phase_best_ipc_) {
-    const double next = ladder.step_down(target_ghz_);
-    if (next != target_ghz_) {
-      target_ghz_ = next;
-      if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_ghz_);
+    const common::Ghz next(ladder.step_down(target_.value()));
+    if (next != target_) {
+      target_ = next;
+      if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_.value());
     }
   } else {
-    const double next = ladder.step_up(target_ghz_);
-    if (next != target_ghz_) {
-      target_ghz_ = next;
-      if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_ghz_);
+    const common::Ghz next(ladder.step_up(target_.value()));
+    if (next != target_) {
+      target_ = next;
+      if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_.value());
     }
   }
 }

@@ -22,7 +22,9 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 

@@ -1,29 +1,34 @@
 #include "magus/core/mdfs.hpp"
 
+#include "magus/common/contracts.hpp"
+
 namespace magus::core {
 
-MdfsController::MdfsController(const MagusConfig& cfg, double uncore_min_ghz,
-                               double uncore_max_ghz)
+MdfsController::MdfsController(const MagusConfig& cfg, common::Ghz uncore_min,
+                               common::Ghz uncore_max)
     : cfg_(cfg),
-      min_ghz_(uncore_min_ghz),
-      max_ghz_(uncore_max_ghz),
+      min_(uncore_min),
+      max_(uncore_max),
       mem_window_(static_cast<std::size_t>(cfg.direv_length)),
       tune_events_(static_cast<std::size_t>(cfg.tune_window), 0),
-      current_target_ghz_(uncore_max_ghz),
-      temporary_target_ghz_(uncore_max_ghz) {
+      current_target_(uncore_max),
+      temporary_target_(uncore_max) {
   cfg_.validate();
-  if (min_ghz_ >= max_ghz_) {
+  MAGUS_EXPECT(min_ > common::Ghz(0.0));
+  if (min_ >= max_) {
     throw common::ConfigError("MdfsController: min must be below max");
   }
 }
 
-std::optional<double> MdfsController::on_throughput(double t, double mbps) {
-  mem_window_.push(mbps);
+std::optional<common::Ghz> MdfsController::on_throughput(common::Seconds t,
+                                                         common::Mbps throughput) {
+  MAGUS_EXPECT(throughput >= common::Mbps(0.0));
+  mem_window_.push(throughput.value());
   ++samples_seen_;
 
   DecisionRecord rec;
   rec.t = t;
-  rec.throughput_mbps = mbps;
+  rec.throughput = throughput;
   rec.derivative = throughput_derivative(mem_window_, cfg_.direv_length);
 
   // Warm-up: collect history only; the uncore was set to max at start.
@@ -33,20 +38,20 @@ std::optional<double> MdfsController::on_throughput(double t, double mbps) {
     return std::nullopt;
   }
 
-  std::optional<double> executed;
+  std::optional<common::Ghz> executed;
 
   // Algorithm 3 lines 9-15: detection first, over the existing tune history.
   const bool was_high_freq = high_freq_status_;
   if (cfg_.high_freq_detection_enabled &&
       detect_high_frequency(tune_events_, cfg_.high_freq_threshold)) {
     high_freq_status_ = true;
-    executed = max_ghz_;  // pinned at max every round while status holds
+    executed = max_;  // pinned at max every round while status holds
   } else {
     high_freq_status_ = false;
     if (was_high_freq) {
       // Leaving high-frequency status: the detection phase approves and
       // executes the prediction phase's pending temporary decision (3.3).
-      executed = temporary_target_ghz_;
+      executed = temporary_target_;
     }
   }
   rec.high_freq = high_freq_status_;
@@ -58,23 +63,26 @@ std::optional<double> MdfsController::on_throughput(double t, double mbps) {
       predict_trend(mem_window_, cfg_.direv_length, cfg_.inc_threshold, cfg_.dec_threshold);
   switch (rec.prediction) {
     case Trend::kIncrease:
-      tune_events_.push(temporary_target_ghz_ != max_ghz_ ? 1 : 0);
-      temporary_target_ghz_ = max_ghz_;
-      if (!high_freq_status_) executed = max_ghz_;
+      tune_events_.push(temporary_target_ != max_ ? 1 : 0);
+      temporary_target_ = max_;
+      if (!high_freq_status_) executed = max_;
       break;
     case Trend::kDecrease:
-      tune_events_.push(temporary_target_ghz_ != min_ghz_ ? 1 : 0);
-      temporary_target_ghz_ = min_ghz_;
-      if (!high_freq_status_) executed = min_ghz_;
+      tune_events_.push(temporary_target_ != min_ ? 1 : 0);
+      temporary_target_ = min_;
+      if (!high_freq_status_) executed = min_;
       break;
     case Trend::kStable:
       tune_events_.push(0);
       break;
   }
 
-  if (executed) current_target_ghz_ = *executed;
-  rec.target_ghz = executed;
+  if (executed) current_target_ = *executed;
+  rec.target = executed;
   log_.push_back(rec);
+  // The executed target can never escape the ladder the controller was
+  // constructed with -- the invariant MSR 0x620 writes depend on.
+  MAGUS_ENSURE(current_target_ >= min_ && current_target_ <= max_);
   return executed;
 }
 

@@ -2,14 +2,16 @@
 
 namespace magus::core {
 
-double throughput_derivative(const common::FixedWindow<double>& window, int window_length) {
-  if (window.size() < 2 || window_length <= 0) return 0.0;
-  return (window.newest() - window.oldest()) / static_cast<double>(window_length);
+common::Mbps throughput_derivative(const common::FixedWindow<double>& window,
+                                   int window_length) {
+  if (window.size() < 2 || window_length <= 0) return common::Mbps(0.0);
+  return common::Mbps((window.newest() - window.oldest()) /
+                      static_cast<double>(window_length));
 }
 
 Trend predict_trend(const common::FixedWindow<double>& window, int window_length,
-                    double inc_threshold, double dec_threshold) {
-  const double d = throughput_derivative(window, window_length);
+                    common::Mbps inc_threshold, common::Mbps dec_threshold) {
+  const common::Mbps d = throughput_derivative(window, window_length);
   if (d > inc_threshold) return Trend::kIncrease;
   if (d < -dec_threshold) return Trend::kDecrease;
   return Trend::kStable;

@@ -9,7 +9,8 @@ MagusRuntime::MagusRuntime(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevic
                            const hw::UncoreFreqLadder& ladder, MagusConfig cfg)
     : mem_counter_(mem_counter), uncore_(msr, ladder), cfg_(cfg) {
   cfg_.validate();
-  mdfs_ = std::make_unique<MdfsController>(cfg_, ladder.min_ghz(), ladder.max_ghz());
+  mdfs_ = std::make_unique<MdfsController>(cfg_, common::Ghz(ladder.min_ghz()),
+                                           common::Ghz(ladder.max_ghz()));
 }
 
 void MagusRuntime::attach_telemetry(telemetry::MetricsRegistry& reg,
@@ -60,27 +61,28 @@ void MagusRuntime::on_sample(double now) {
   }
   const double dt = now - prev_t_;
   if (dt <= 0.0) return;
-  last_mbps_ = (mb - prev_mb_) / dt;
+  last_throughput_ = common::Mbps((mb - prev_mb_) / dt);
   prev_mb_ = mb;
   prev_t_ = now;
 
-  const std::optional<double> target = mdfs_->on_throughput(now, last_mbps_);
+  const std::optional<common::Ghz> target =
+      mdfs_->on_throughput(common::Seconds(now), last_throughput_);
   if (target && cfg_.scaling_enabled) {
-    uncore_.set_max_ghz_all(*target);
+    uncore_.set_max_ghz_all(target->value());
   }
   note_sample(now, target);
 }
 
-void MagusRuntime::note_sample(double now, const std::optional<double>& target) {
+void MagusRuntime::note_sample(double now, const std::optional<common::Ghz>& target) {
   // One branch on the hot path when telemetry is detached / NullRegistry.
   if (!m_samples_ && !events_) return;
 
   telemetry::inc(m_samples_);
-  telemetry::set(m_throughput_, last_mbps_);
-  telemetry::set(m_temporary_ghz_, mdfs_->temporary_target_ghz());
+  telemetry::set(m_throughput_, last_throughput_.value());
+  telemetry::set(m_temporary_ghz_, mdfs_->temporary_target().value());
 
   const DecisionRecord& rec = mdfs_->log().back();
-  telemetry::set(m_derivative_, rec.derivative);
+  telemetry::set(m_derivative_, rec.derivative.value());
   if (!rec.warmup) {
     switch (rec.prediction) {
       case Trend::kIncrease: telemetry::inc(m_pred_increase_); break;
@@ -93,11 +95,11 @@ void MagusRuntime::note_sample(double now, const std::optional<double>& target) 
   telemetry::set(m_hf_active_, hf ? 1.0 : 0.0);
   if (target) {
     telemetry::inc(m_tuning_events_);
-    telemetry::set(m_target_ghz_, *target);
+    telemetry::set(m_target_ghz_, target->value());
     if (events_) {
       events_->emit(telemetry::Event(now, "uncore_retarget")
-                        .num("target_ghz", *target)
-                        .num("throughput_mbps", last_mbps_)
+                        .num("target_ghz", target->value())
+                        .num("throughput_mbps", last_throughput_.value())
                         .flag("high_freq", hf));
     }
   }
@@ -105,7 +107,7 @@ void MagusRuntime::note_sample(double now, const std::optional<double>& target) 
     if (hf) telemetry::inc(m_hf_phases_);
     if (events_) {
       events_->emit(telemetry::Event(now, hf ? "high_freq_enter" : "high_freq_exit")
-                        .num("throughput_mbps", last_mbps_));
+                        .num("throughput_mbps", last_throughput_.value()));
     }
     last_hf_ = hf;
   }

@@ -105,8 +105,8 @@ std::vector<SweepPoint> sensitivity_sweep(const sim::SystemSpec& system,
   common::default_pool().parallel_for_each(combos.size(), [&](std::size_t i) {
     const Combo& c = combos[i];
     RunOptions opts;
-    opts.magus.inc_threshold = c.inc;
-    opts.magus.dec_threshold = c.dec;
+    opts.magus.inc_threshold = common::Mbps(c.inc);
+    opts.magus.dec_threshold = common::Mbps(c.dec);
     opts.magus.high_freq_threshold = c.hf;
     opts.metrics = spec.metrics;
     const AggregateResult agg =
@@ -116,8 +116,8 @@ std::vector<SweepPoint> sensitivity_sweep(const sim::SystemSpec& system,
     pt.inc_threshold = c.inc;
     pt.dec_threshold = c.dec;
     pt.high_freq_threshold = c.hf;
-    pt.runtime_s = agg.runtime_s;
-    pt.energy_j = agg.total_energy_j();
+    pt.runtime_s = agg.runtime.value();
+    pt.energy_j = agg.total_energy().value();
     pt.is_recommended =
         c.inc == spec.base_inc && c.dec == spec.base_dec && c.hf == spec.base_hf;
     points[i] = pt;

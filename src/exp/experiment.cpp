@@ -33,19 +33,19 @@ RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& work
       policy = std::make_unique<baseline::DefaultPolicy>();
       break;
     case PolicyKind::kStaticMin:
-      policy = std::make_unique<baseline::StaticUncorePolicy>(engine.msr(), ladder,
-                                                              ladder.min_ghz());
+      policy = std::make_unique<baseline::StaticUncorePolicy>(
+          engine.msr(), ladder, common::Ghz(ladder.min_ghz()));
       break;
     case PolicyKind::kStaticMax:
-      policy = std::make_unique<baseline::StaticUncorePolicy>(engine.msr(), ladder,
-                                                              ladder.max_ghz());
+      policy = std::make_unique<baseline::StaticUncorePolicy>(
+          engine.msr(), ladder, common::Ghz(ladder.max_ghz()));
       break;
     case PolicyKind::kStatic:
       if (opts.static_ghz <= 0.0) {
         throw common::ConfigError("run_policy: kStatic requires static_ghz");
       }
-      policy = std::make_unique<baseline::StaticUncorePolicy>(engine.msr(), ladder,
-                                                              opts.static_ghz);
+      policy = std::make_unique<baseline::StaticUncorePolicy>(
+          engine.msr(), ladder, common::Ghz(opts.static_ghz));
       break;
     case PolicyKind::kMagus: {
       auto magus = std::make_unique<core::MagusRuntime>(engine.mem_counter(), engine.msr(),

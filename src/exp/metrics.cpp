@@ -4,25 +4,27 @@
 
 namespace magus::exp {
 
-Comparison compare(const AggregateResult& candidate, const AggregateResult& baseline) noexcept {
+Comparison compare(const AggregateResult& candidate,
+                   const AggregateResult& baseline) noexcept {
   Comparison c;
-  c.perf_loss_pct = common::percent_change(candidate.runtime_s, baseline.runtime_s);
-  c.cpu_power_saving_pct =
-      -common::percent_change(candidate.avg_cpu_power_w, baseline.avg_cpu_power_w);
-  c.energy_saving_pct =
-      -common::percent_change(candidate.total_energy_j(), baseline.total_energy_j());
+  c.perf_loss_pct =
+      common::percent_change(candidate.runtime.value(), baseline.runtime.value());
+  c.cpu_power_saving_pct = -common::percent_change(candidate.avg_cpu_power.value(),
+                                                   baseline.avg_cpu_power.value());
+  c.energy_saving_pct = -common::percent_change(candidate.total_energy().value(),
+                                                baseline.total_energy().value());
   return c;
 }
 
 AggregateResult to_aggregate(const sim::SimResult& r) noexcept {
   AggregateResult a;
-  a.runtime_s = r.duration_s;
-  a.pkg_energy_j = r.pkg_energy_j;
-  a.dram_energy_j = r.dram_energy_j;
-  a.gpu_energy_j = r.gpu_energy_j;
-  a.avg_cpu_power_w = r.avg_cpu_power_w();
-  a.avg_gpu_power_w = r.avg_gpu_power_w;
-  a.avg_invocation_s = r.avg_invocation_s();
+  a.runtime = common::Seconds(r.duration_s);
+  a.pkg_energy = common::Joules(r.pkg_energy_j);
+  a.dram_energy = common::Joules(r.dram_energy_j);
+  a.gpu_energy = common::Joules(r.gpu_energy_j);
+  a.avg_cpu_power = common::Watts(r.avg_cpu_power_w());
+  a.avg_gpu_power = common::Watts(r.avg_gpu_power_w);
+  a.avg_invocation = common::Seconds(r.avg_invocation_s());
   a.reps_used = 1;
   a.reps_total = 1;
   return a;

@@ -21,7 +21,8 @@ void mark_pareto_front(std::vector<ParetoPoint>& points) {
 
 double distance_to_front(const std::vector<ParetoPoint>& points, std::size_t index) {
   if (index >= points.size()) return std::numeric_limits<double>::infinity();
-  double min_x = std::numeric_limits<double>::max(), max_x = std::numeric_limits<double>::lowest();
+  double min_x = std::numeric_limits<double>::max();
+  double max_x = std::numeric_limits<double>::lowest();
   double min_y = min_x, max_y = max_x;
   for (const auto& p : points) {
     min_x = std::min(min_x, p.x);

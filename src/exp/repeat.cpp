@@ -51,13 +51,13 @@ AggregateResult run_repeated(const sim::SystemSpec& system, const wl::PhaseProgr
   }
 
   AggregateResult agg;
-  agg.runtime_s = common::mean_without_outliers(runtime);
-  agg.pkg_energy_j = common::mean_without_outliers(pkg_j);
-  agg.dram_energy_j = common::mean_without_outliers(dram_j);
-  agg.gpu_energy_j = common::mean_without_outliers(gpu_j);
-  agg.avg_cpu_power_w = common::mean_without_outliers(cpu_w);
-  agg.avg_gpu_power_w = common::mean_without_outliers(gpu_w);
-  agg.avg_invocation_s = common::mean_without_outliers(invoc);
+  agg.runtime = common::Seconds(common::mean_without_outliers(runtime));
+  agg.pkg_energy = common::Joules(common::mean_without_outliers(pkg_j));
+  agg.dram_energy = common::Joules(common::mean_without_outliers(dram_j));
+  agg.gpu_energy = common::Joules(common::mean_without_outliers(gpu_j));
+  agg.avg_cpu_power = common::Watts(common::mean_without_outliers(cpu_w));
+  agg.avg_gpu_power = common::Watts(common::mean_without_outliers(gpu_w));
+  agg.avg_invocation = common::Seconds(common::mean_without_outliers(invoc));
   agg.reps_total = spec.repetitions;
   agg.reps_used = static_cast<int>(common::iqr_filter(runtime).size());
   return agg;

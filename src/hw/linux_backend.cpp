@@ -80,7 +80,8 @@ std::uint64_t LinuxMsrDevice::read(int socket, std::uint32_t reg) {
     throw common::ConfigError("LinuxMsrDevice: socket out of range");
   }
   std::uint64_t value = 0;
-  const ssize_t n = ::pread(fds_[socket], &value, sizeof(value), reg);
+  const ssize_t n =
+      ::pread(fds_[static_cast<std::size_t>(socket)], &value, sizeof(value), reg);
   if (n != static_cast<ssize_t>(sizeof(value))) {
     throw common::DeviceError("MSR read failed (reg " + std::to_string(reg) + ")");
   }
@@ -91,7 +92,8 @@ void LinuxMsrDevice::write(int socket, std::uint32_t reg, std::uint64_t value) {
   if (socket < 0 || socket >= socket_count()) {
     throw common::ConfigError("LinuxMsrDevice: socket out of range");
   }
-  const ssize_t n = ::pwrite(fds_[socket], &value, sizeof(value), reg);
+  const ssize_t n =
+      ::pwrite(fds_[static_cast<std::size_t>(socket)], &value, sizeof(value), reg);
   if (n != static_cast<ssize_t>(sizeof(value))) {
     throw common::DeviceError("MSR write failed (reg " + std::to_string(reg) + ")");
   }
@@ -131,15 +133,17 @@ double PowercapEnergyCounter::pkg_energy_j(int socket) {
   if (socket < 0 || socket >= socket_count()) {
     throw common::ConfigError("PowercapEnergyCounter: socket out of range");
   }
-  return static_cast<double>(read_ll_file(zones_[socket].pkg_path)) * 1e-6;
+  const auto& zone = zones_[static_cast<std::size_t>(socket)];
+  return static_cast<double>(read_ll_file(zone.pkg_path)) * 1e-6;
 }
 
 double PowercapEnergyCounter::dram_energy_j(int socket) {
   if (socket < 0 || socket >= socket_count()) {
     throw common::ConfigError("PowercapEnergyCounter: socket out of range");
   }
-  if (zones_[socket].dram_path.empty()) return 0.0;
-  return static_cast<double>(read_ll_file(zones_[socket].dram_path)) * 1e-6;
+  const auto& zone = zones_[static_cast<std::size_t>(socket)];
+  if (zone.dram_path.empty()) return 0.0;
+  return static_cast<double>(read_ll_file(zone.dram_path)) * 1e-6;
 }
 
 SysfsUncoreFreq::SysfsUncoreFreq(std::string root) {
@@ -165,7 +169,8 @@ double SysfsUncoreFreq::max_ghz(int package) const {
   if (package < 0 || package >= package_count()) {
     throw common::ConfigError("SysfsUncoreFreq: package out of range");
   }
-  const long long khz = read_ll_file(package_dirs_[package] + "/max_freq_khz");
+  const std::string& dir = package_dirs_[static_cast<std::size_t>(package)];
+  const long long khz = read_ll_file(dir + "/max_freq_khz");
   return static_cast<double>(khz) * 1e-6;
 }
 
@@ -174,7 +179,8 @@ void SysfsUncoreFreq::set_max_ghz(int package, double ghz) {
     throw common::ConfigError("SysfsUncoreFreq: package out of range");
   }
   const long long khz = static_cast<long long>(ghz * 1e6);
-  write_text_file(package_dirs_[package] + "/max_freq_khz", std::to_string(khz));
+  const std::string& dir = package_dirs_[static_cast<std::size_t>(package)];
+  write_text_file(dir + "/max_freq_khz", std::to_string(khz));
 }
 
 }  // namespace magus::hw

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "magus/common/error.hpp"
+#include "magus/common/quantity.hpp"
 #include "magus/common/units.hpp"
 #include "magus/hw/rapl.hpp"
 
@@ -22,13 +23,13 @@ std::uint64_t to_energy_status(double joules) {
 
 SimMsrDevice::SimMsrDevice(NodeModel& node, AccessMeter& meter)
     : node_(node), meter_(meter) {
-  raw_0x620_.resize(node_.socket_count());
+  raw_0x620_.resize(static_cast<std::size_t>(node_.socket_count()));
   for (int s = 0; s < node_.socket_count(); ++s) {
     const auto& ladder = node_.uncore(s).ladder();
     hw::UncoreRatioLimit limit;
     limit.max_ratio = ladder.max_ratio();
     limit.min_ratio = ladder.min_ratio();
-    raw_0x620_[s] = limit.encode();
+    raw_0x620_[static_cast<std::size_t>(s)] = limit.encode();
   }
 }
 
@@ -41,9 +42,9 @@ std::uint64_t SimMsrDevice::read(int socket, std::uint32_t reg) {
   ++meter_.msr_reads;
   switch (reg) {
     case hw::msr::kUncoreRatioLimit:
-      return raw_0x620_[socket];
+      return raw_0x620_[static_cast<std::size_t>(socket)];
     case hw::msr::kUncorePerfStatus:
-      return common::ghz_to_ratio(node_.uncore(socket).freq_ghz());
+      return common::to_ratio(node_.uncore(socket).freq()).value();
     case hw::msr::kRaplPowerUnit:
       return kSimRaplUnits.encode();
     case hw::msr::kPkgEnergyStatus:
@@ -65,9 +66,9 @@ void SimMsrDevice::write(int socket, std::uint32_t reg, std::uint64_t value) {
     throw common::DeviceError("SimMsrDevice: unsupported MSR write 0x" +
                               std::to_string(reg));
   }
-  raw_0x620_[socket] = value;
+  raw_0x620_[static_cast<std::size_t>(socket)] = value;
   const auto limit = hw::UncoreRatioLimit::decode(value);
-  node_.uncore(socket).set_policy_limit_ghz(limit.max_ghz());
+  node_.uncore(socket).set_policy_limit(common::Ghz(limit.max_ghz()));
 }
 
 double SimMemThroughputCounter::total_mb() {

@@ -2,27 +2,33 @@
 
 #include <algorithm>
 
+#include "magus/common/contracts.hpp"
+
 namespace magus::sim {
 
 FirmwareGovernor::FirmwareGovernor(const CpuSpec& spec, double backoff_frac)
     : spec_(spec),
-      threshold_w_(spec.tdp_w * backoff_frac),
-      cap_ghz_(spec.uncore_max_ghz) {}
+      threshold_(spec.tdp_w * backoff_frac),
+      cap_(spec.uncore_max_ghz) {}
 
-double FirmwareGovernor::update(double dt, double pkg_power_w_per_socket) {
-  constexpr double kStepGhz = 0.1;
-  constexpr double kRaiseDwellS = 0.05;
-  if (pkg_power_w_per_socket > threshold_w_) {
-    cap_ghz_ = std::max(spec_.uncore_min_ghz, cap_ghz_ - kStepGhz);
-    hold_s_ = kRaiseDwellS;
+common::Ghz FirmwareGovernor::update(common::Seconds dt, common::Watts pkg_power_per_socket) {
+  MAGUS_EXPECT(dt >= common::Seconds(0.0));
+  const common::Ghz step(0.1);
+  const common::Seconds raise_dwell(0.05);
+  const common::Ghz floor(spec_.uncore_min_ghz);
+  const common::Ghz ceiling(spec_.uncore_max_ghz);
+  if (pkg_power_per_socket > threshold_) {
+    cap_ = std::max(floor, cap_ - step);
+    hold_ = raise_dwell;
   } else {
-    hold_s_ -= dt;
-    if (hold_s_ <= 0.0 && cap_ghz_ < spec_.uncore_max_ghz) {
-      cap_ghz_ = std::min(spec_.uncore_max_ghz, cap_ghz_ + kStepGhz);
-      hold_s_ = kRaiseDwellS;
+    hold_ -= dt;
+    if (hold_ <= common::Seconds(0.0) && cap_ < ceiling) {
+      cap_ = std::min(ceiling, cap_ + step);
+      hold_ = raise_dwell;
     }
   }
-  return cap_ghz_;
+  MAGUS_ENSURE(cap_ >= floor && cap_ <= ceiling);
+  return cap_;
 }
 
 }  // namespace magus::sim

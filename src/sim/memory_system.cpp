@@ -4,21 +4,23 @@
 
 namespace magus::sim {
 
-MemoryService service_memory(double demand_mbps, double capacity_mbps,
+MemoryService service_memory(common::Mbps demand, common::Mbps capacity,
                              double mem_bound_frac) noexcept {
   MemoryService out;
-  demand_mbps = std::max(0.0, demand_mbps);
+  double demand_mbps = std::max(0.0, demand.value());
+  const double capacity_mbps = capacity.value();
   mem_bound_frac = std::clamp(mem_bound_frac, 0.0, 1.0);
   if (capacity_mbps <= 0.0) {
-    out.delivered_mbps = 0.0;
+    out.delivered = common::Mbps(0.0);
     out.stretch = 1.0;
     out.utilization = 0.0;
     return out;
   }
-  out.delivered_mbps = std::min(demand_mbps, capacity_mbps);
+  const double delivered = std::min(demand_mbps, capacity_mbps);
+  out.delivered = common::Mbps(delivered);
   const double overload = demand_mbps > capacity_mbps ? demand_mbps / capacity_mbps : 1.0;
   out.stretch = (1.0 - mem_bound_frac) + mem_bound_frac * overload;
-  out.utilization = std::clamp(out.delivered_mbps / capacity_mbps, 0.0, 1.0);
+  out.utilization = std::clamp(delivered / capacity_mbps, 0.0, 1.0);
   return out;
 }
 

@@ -10,20 +10,21 @@ NodeModel::NodeModel(SystemSpec spec, std::uint64_t noise_seed)
       cores_(spec_.cpu),
       gpu_(spec_.gpu),
       noise_(noise_seed) {
-  uncores_.reserve(spec_.cpu.sockets);
-  firmware_.reserve(spec_.cpu.sockets);
-  for (int s = 0; s < spec_.cpu.sockets; ++s) {
+  const auto sockets = static_cast<std::size_t>(spec_.cpu.sockets);
+  uncores_.reserve(sockets);
+  firmware_.reserve(sockets);
+  for (std::size_t s = 0; s < sockets; ++s) {
     uncores_.emplace_back(spec_.cpu);
     firmware_.emplace_back(spec_.cpu, spec_.tdp_backoff_frac);
   }
-  pkg_energy_j_.assign(spec_.cpu.sockets, 0.0);
-  dram_energy_j_.assign(spec_.cpu.sockets, 0.0);
-  last_socket_pkg_w_.assign(spec_.cpu.sockets, 0.0);
+  pkg_energy_j_.assign(sockets, 0.0);
+  dram_energy_j_.assign(sockets, 0.0);
+  last_socket_pkg_w_.assign(sockets, 0.0);
 }
 
 double NodeModel::capacity_mbps() const noexcept {
   double cap = 0.0;
-  for (const auto& u : uncores_) cap += u.capacity_mbps();
+  for (const auto& u : uncores_) cap += u.capacity().value();
   return cap;
 }
 
@@ -43,15 +44,17 @@ TickOutput NodeModel::tick(double now, double dt, const WorkSlice& slice,
                            double monitor_extra_w) {
   // 1. Firmware governor per socket (stock TDP-coupled uncore behaviour),
   //    using the previous tick's power (sensor delay is ~1 tick anyway).
-  for (int s = 0; s < socket_count(); ++s) {
-    uncores_[s].set_firmware_cap_ghz(firmware_[s].update(dt, last_socket_pkg_w_[s]));
-    uncores_[s].tick(dt);
+  for (std::size_t s = 0; s < uncores_.size(); ++s) {
+    uncores_[s].set_firmware_cap(firmware_[s].update(
+        common::Seconds(dt), common::Watts(last_socket_pkg_w_[s])));
+    uncores_[s].tick(common::Seconds(dt));
   }
 
   // 2. Memory service against the combined capacity.
   const double demand = slice.demand_mbps + kBackgroundTrafficMbps;
   const double capacity = capacity_mbps();
-  const MemoryService mem = service_memory(demand, capacity, slice.mem_bound_frac);
+  const MemoryService mem =
+      service_memory(common::Mbps(demand), common::Mbps(capacity), slice.mem_bound_frac);
 
   // 3. Core + GPU domains. Memory stalls depress effective IPC and the
   //    device's achieved utilisation alike.
@@ -62,20 +65,20 @@ TickOutput NodeModel::tick(double now, double dt, const WorkSlice& slice,
   // 4. Power + energy. The workload splits evenly across sockets; a running
   //    monitor executes on socket 0.
   const double delivered_noisy =
-      std::max(0.0, mem.delivered_mbps * noise_.jitter(kTrafficNoiseRel));
+      std::max(0.0, mem.delivered.value() * noise_.jitter(kTrafficNoiseRel));
   traffic_mb_ += delivered_noisy * dt;
 
   double pkg_total = 0.0;
   double dram_total = 0.0;
   const double bw_frac_per_socket =
       spec_.cpu.peak_mem_bw_mbps > 0.0
-          ? std::clamp(mem.delivered_mbps / static_cast<double>(socket_count()) /
+          ? std::clamp(mem.delivered.value() / static_cast<double>(socket_count()) /
                            spec_.cpu.peak_mem_bw_mbps,
                        0.0, 1.0)
           : 0.0;
-  for (int s = 0; s < socket_count(); ++s) {
+  for (std::size_t s = 0; s < uncores_.size(); ++s) {
     const double core_w = cores_.power_w(slice.cpu_util);
-    const double uncore_w = uncores_[s].power_w(mem.utilization);
+    const double uncore_w = uncores_[s].power(mem.utilization).value();
     const double monitor_w = (s == 0) ? monitor_extra_w : 0.0;
     const double pkg_w = core_w + uncore_w + monitor_w;
     const double dram_w = spec_.cpu.dram_idle_w + spec_.cpu.dram_dyn_w * bw_frac_per_socket;
@@ -91,7 +94,7 @@ TickOutput NodeModel::tick(double now, double dt, const WorkSlice& slice,
   last_.pkg_power_w = pkg_total;
   last_.dram_power_w = dram_total;
   last_.gpu_power_w = gpu_.power_w();
-  last_.uncore_freq_ghz = uncores_.front().freq_ghz();
+  last_.uncore_freq_ghz = uncores_.front().freq().value();
   last_.stretch = mem.stretch;
   (void)now;
   return last_;

@@ -2,47 +2,52 @@
 
 #include <algorithm>
 
+#include "magus/common/contracts.hpp"
+
 namespace magus::sim {
 
 UncoreModel::UncoreModel(const CpuSpec& spec)
     : spec_(spec),
       ladder_(spec.uncore_min_ghz, spec.uncore_max_ghz),
-      policy_limit_ghz_(ladder_.max_ghz()),
-      firmware_cap_ghz_(ladder_.max_ghz()),
-      freq_ghz_(ladder_.max_ghz()) {}
+      policy_limit_(ladder_.max_ghz()),
+      firmware_cap_(ladder_.max_ghz()),
+      freq_(ladder_.max_ghz()) {}
 
-void UncoreModel::set_policy_limit_ghz(double ghz) {
-  policy_limit_ghz_ = ladder_.clamp_ghz(ghz);
+void UncoreModel::set_policy_limit(common::Ghz freq) {
+  policy_limit_ = common::Ghz(ladder_.clamp_ghz(freq.value()));
+  MAGUS_ENSURE(policy_limit_.value() >= ladder_.min_ghz() &&
+               policy_limit_.value() <= ladder_.max_ghz());
 }
 
-void UncoreModel::set_firmware_cap_ghz(double ghz) {
-  firmware_cap_ghz_ = ladder_.clamp_ghz(ghz);
+void UncoreModel::set_firmware_cap(common::Ghz freq) {
+  firmware_cap_ = common::Ghz(ladder_.clamp_ghz(freq.value()));
 }
 
-void UncoreModel::tick(double dt) {
-  const double target = std::min(policy_limit_ghz_, firmware_cap_ghz_);
-  const double max_step = kSlewGhzPerS * dt;
-  if (freq_ghz_ < target) {
-    freq_ghz_ = std::min(target, freq_ghz_ + max_step);
-  } else if (freq_ghz_ > target) {
-    freq_ghz_ = std::max(target, freq_ghz_ - max_step);
+void UncoreModel::tick(common::Seconds dt) {
+  MAGUS_EXPECT(dt >= common::Seconds(0.0));
+  const common::Ghz target = std::min(policy_limit_, firmware_cap_);
+  const common::Ghz max_step(kSlewGhzPerS * dt.value());
+  if (freq_ < target) {
+    freq_ = std::min(target, freq_ + max_step);
+  } else if (freq_ > target) {
+    freq_ = std::max(target, freq_ - max_step);
   }
 }
 
-double UncoreModel::capacity_mbps_at(double freq_ghz) const noexcept {
+common::Mbps UncoreModel::capacity_at(common::Ghz freq) const noexcept {
   const double frac = spec_.bw_floor_frac +
-                      (1.0 - spec_.bw_floor_frac) * (freq_ghz / ladder_.max_ghz());
-  return spec_.peak_mem_bw_mbps * frac;
+                      (1.0 - spec_.bw_floor_frac) * (freq.value() / ladder_.max_ghz());
+  return common::Mbps(spec_.peak_mem_bw_mbps * frac);
 }
 
-double UncoreModel::capacity_mbps() const noexcept { return capacity_mbps_at(freq_ghz_); }
+common::Mbps UncoreModel::capacity() const noexcept { return capacity_at(freq_); }
 
-double UncoreModel::power_w(double utilization) const noexcept {
+common::Watts UncoreModel::power(double utilization) const noexcept {
   const double u = std::clamp(utilization, 0.0, 1.0);
-  const double f = freq_ghz_;
+  const double f = freq_.value();
   const double dyn = spec_.uncore_k1_w_per_ghz * f + spec_.uncore_k2_w_per_ghz2 * f * f;
   const double activity = spec_.uncore_util_floor + (1.0 - spec_.uncore_util_floor) * u;
-  return spec_.uncore_leak_w + dyn * activity;
+  return common::Watts(spec_.uncore_leak_w + dyn * activity);
 }
 
 }  // namespace magus::sim

@@ -36,13 +36,13 @@ double jaccard(const std::vector<std::uint8_t>& a, const std::vector<std::uint8_
   for (std::size_t i = 0; i < n; ++i) {
     const bool va = a[i] != 0;
     const bool vb = b[i] != 0;
-    inter += (va && vb) ? 1 : 0;
-    uni += (va || vb) ? 1 : 0;
+    inter += (va && vb) ? 1u : 0u;
+    uni += (va || vb) ? 1u : 0u;
   }
   // Tail of the longer sequence counts into the union only.
   const auto& longer = a.size() > b.size() ? a : b;
   for (std::size_t i = n; i < longer.size(); ++i) {
-    uni += longer[i] ? 1 : 0;
+    uni += longer[i] ? 1u : 0u;
   }
   if (uni == 0) return 1.0;
   return static_cast<double>(inter) / static_cast<double>(uni);

@@ -211,9 +211,11 @@ PhaseProgram make_srad() {
   b.repeat(2, std::vector<Phase>{                                  // 5-10 s
       steady("diffuse_burst", 0.9, 120'000.0, 0.80, 0.15, 0.80),
       steady("diffuse_calc", 1.6, 25'000.0, 0.25, 0.10, 0.80)});
-  for (const auto& p : telegraph(2.5, 0.5, 130'000.0, 25'000.0, 0.85, 0.80)) b.add(p);  // 10-12.5
+  // 10-12.5 s
+  for (const auto& p : telegraph(2.5, 0.5, 130'000.0, 25'000.0, 0.85, 0.80)) b.add(p);
   b.add(steady("calm", 4.5, 20'000.0, 0.20, 0.10, 0.80));          // 12.5-17 s
-  for (const auto& p : telegraph(12.0, 0.5, 130'000.0, 25'000.0, 0.85, 0.80)) b.add(p);  // 17-29
+  // 17-29 s
+  for (const auto& p : telegraph(12.0, 0.5, 130'000.0, 25'000.0, 0.85, 0.80)) b.add(p);
   return b.build();
 }
 

@@ -52,7 +52,7 @@ PhaseProgram load_program_csv(const std::string& path, const std::string& name) 
     p.label = cells[0];
     double fields[5];
     bool numeric = true;
-    for (int i = 0; i < 5; ++i) numeric &= parse_double(cells[i + 1], fields[i]);
+    for (std::size_t i = 0; i < 5; ++i) numeric &= parse_double(cells[i + 1], fields[i]);
     if (!numeric) {
       // Tolerate a single header row.
       if (phases.empty()) continue;

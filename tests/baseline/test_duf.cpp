@@ -43,7 +43,7 @@ TEST(Duf, CreepsDownOnQuietWorkload) {
   Rig rig(mw::PhaseProgram("quiet",
                            {mw::patterns::steady("q", 10.0, 8'000.0, 0.15, 0.1, 0.6)}));
   rig.run();
-  EXPECT_LT(rig.duf.current_target_ghz(), 1.2);
+  EXPECT_LT(rig.duf.current_target().value(), 1.2);
   EXPECT_LT(rig.duf.last_utilization(), 0.4);
 }
 
@@ -54,7 +54,7 @@ TEST(Duf, JumpsToMaxWhenBandwidthHungry) {
   rig.run();
   // The heavy tail saturates the lowered uncore -> utilisation trips the
   // high-water mark -> back to max.
-  EXPECT_DOUBLE_EQ(rig.duf.current_target_ghz(), 2.2);
+  EXPECT_DOUBLE_EQ(rig.duf.current_target().value(), 2.2);
 }
 
 TEST(Duf, SingleCounterLikeMagus) {
@@ -87,6 +87,6 @@ TEST(Duf, GradualDescentIsSlowerThanMagusDrop) {
   Rig rig(std::move(p));
   rig.run();
   // 2.5 s of quiet at a 0.3 s cadence is ~8 steps: not yet at min.
-  EXPECT_GT(rig.duf.current_target_ghz(), 0.8);
-  EXPECT_LT(rig.duf.current_target_ghz(), 2.2);
+  EXPECT_GT(rig.duf.current_target().value(), 0.8);
+  EXPECT_LT(rig.duf.current_target().value(), 2.2);
 }

@@ -45,7 +45,7 @@ TEST(Ups, StepsDownDuringSteadyPhase) {
   Rig rig(mw::PhaseProgram(
       "steady", {mw::patterns::steady("s", 12.0, 20'000.0, 0.2, 0.2, 0.7)}));
   rig.run();
-  EXPECT_LT(rig.ups.current_target_ghz(), 1.5);
+  EXPECT_LT(rig.ups.current_target().value(), 1.5);
 }
 
 TEST(Ups, DramPowerSwingResetsToMax) {
@@ -56,7 +56,7 @@ TEST(Ups, DramPowerSwingResetsToMax) {
   rig.run();
   EXPECT_GE(rig.ups.phase_changes(), 2ull);  // initial + the step
   // The run ends inside the high phase with the uncore reset near max.
-  EXPECT_GT(rig.ups.current_target_ghz(), 1.8);
+  EXPECT_GT(rig.ups.current_target().value(), 1.8);
 }
 
 TEST(Ups, IpcGuardStopsTheDescent) {
@@ -65,7 +65,7 @@ TEST(Ups, IpcGuardStopsTheDescent) {
   Rig rig(mw::PhaseProgram(
       "heavy", {mw::patterns::steady("h", 15.0, 150'000.0, 0.95, 0.2, 0.8)}));
   rig.run();
-  EXPECT_GT(rig.ups.current_target_ghz(), 0.9);
+  EXPECT_GT(rig.ups.current_target().value(), 0.9);
   EXPECT_GT(rig.ups.last_ipc(), 0.0);
 }
 
@@ -90,15 +90,15 @@ TEST(Ups, DryRunNeverWritesMsrs) {
           cfg);
   const auto r = rig.run();
   EXPECT_EQ(r.accesses.msr_writes, 0ull);
-  EXPECT_DOUBLE_EQ(rig.engine.node().uncore(0).policy_limit_ghz(), 2.2);
+  EXPECT_DOUBLE_EQ(rig.engine.node().uncore(0).policy_limit().value(), 2.2);
 }
 
 TEST(Ups, ReportsDramPowerAndIpc) {
   Rig rig(mw::PhaseProgram(
       "steady", {mw::patterns::steady("s", 4.0, 40'000.0, 0.4, 0.3, 0.7)}));
   rig.run();
-  EXPECT_GT(rig.ups.last_dram_power_w(), 10.0);
-  EXPECT_LT(rig.ups.last_dram_power_w(), 80.0);
+  EXPECT_GT(rig.ups.last_dram_power().value(), 10.0);
+  EXPECT_LT(rig.ups.last_dram_power().value(), 80.0);
   EXPECT_NEAR(rig.ups.last_ipc(), 1.6, 0.2);
   EXPECT_EQ(rig.ups.name(), "ups");
 }

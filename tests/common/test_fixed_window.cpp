@@ -112,7 +112,7 @@ TEST_P(FixedWindowSlide, HoldsMostRecentValues) {
   const int expected_size = std::min(cap, pushes);
   ASSERT_EQ(w.size(), static_cast<std::size_t>(expected_size));
   for (int i = 0; i < expected_size; ++i) {
-    EXPECT_EQ(w[i], pushes - expected_size + i);
+    EXPECT_EQ(w[static_cast<std::size_t>(i)], pushes - expected_size + i);
   }
 }
 

@@ -43,3 +43,27 @@ TEST(Parse, ParseIntListRejectsEmptyTokens) {
   EXPECT_THROW((void)mc::parse_int_list(",0"), mc::ConfigError);
   EXPECT_THROW((void)mc::parse_int_list("0,x"), mc::ConfigError);
 }
+
+TEST(Parse, ParseIntListWhitespaceTokens) {
+  // std::stoi skips leading whitespace, so "0, 40" parses; trailing
+  // whitespace inside a token is trailing garbage and must be rejected, as
+  // must a token that is nothing but whitespace.
+  EXPECT_EQ(mc::parse_int_list("0, 40"), (std::vector<int>{0, 40}));
+  EXPECT_THROW((void)mc::parse_int_list("0 ,40"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int_list("0, ,40"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int_list(" "), mc::ConfigError);
+}
+
+TEST(Parse, ParseIntListIntLimits) {
+  EXPECT_EQ(mc::parse_int_list("2147483647"), (std::vector<int>{2147483647}));
+  EXPECT_EQ(mc::parse_int_list("-2147483648,0"),
+            (std::vector<int>{-2147483648, 0}));
+  // One past INT_MAX overflows std::stoi and must surface as ConfigError,
+  // not a bare std::out_of_range.
+  EXPECT_THROW((void)mc::parse_int_list("2147483648"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_int_list("0,99999999999999999999"), mc::ConfigError);
+}
+
+TEST(Parse, ParseIntListLongLists) {
+  EXPECT_EQ(mc::parse_int_list("1,-2,3,-4,5"), (std::vector<int>{1, -2, 3, -4, 5}));
+}

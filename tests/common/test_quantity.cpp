@@ -1,0 +1,116 @@
+// Strong-typed quantities: unit-correct arithmetic, ordering, the ratio
+// bridges, and the to_string/parse_quantity round-trip.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "magus/common/error.hpp"
+#include "magus/common/quantity.hpp"
+
+namespace mc = magus::common;
+using namespace magus::common::quantity_literals;
+
+TEST(Quantity, DefaultConstructsToZero) {
+  EXPECT_DOUBLE_EQ(mc::Ghz{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(mc::Joules{}.value(), 0.0);
+}
+
+TEST(Quantity, SameUnitArithmetic) {
+  const mc::Mbps a(40'000.0);
+  const mc::Mbps b(2'500.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 42'500.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 37'500.0);
+  EXPECT_DOUBLE_EQ((-b).value(), -2'500.0);
+  mc::Mbps acc(0.0);
+  acc += a;
+  acc -= b;
+  EXPECT_DOUBLE_EQ(acc.value(), 37'500.0);
+}
+
+TEST(Quantity, DimensionlessScaling) {
+  const mc::Watts p(120.0);
+  EXPECT_DOUBLE_EQ((p * 0.5).value(), 60.0);
+  EXPECT_DOUBLE_EQ((0.5 * p).value(), 60.0);
+  EXPECT_DOUBLE_EQ((p / 4.0).value(), 30.0);
+}
+
+TEST(Quantity, SameUnitRatioIsDimensionless) {
+  const double ratio = mc::Ghz(2.2) / mc::Ghz(0.8);
+  EXPECT_DOUBLE_EQ(ratio, 2.2 / 0.8);
+}
+
+TEST(Quantity, CrossUnitPhysics) {
+  const mc::Joules e = mc::Watts(100.0) * mc::Seconds(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 1000.0);
+  EXPECT_DOUBLE_EQ((mc::Seconds(10.0) * mc::Watts(100.0)).value(), 1000.0);
+  EXPECT_DOUBLE_EQ((e / mc::Seconds(10.0)).value(), 100.0);  // J / s = W
+  EXPECT_DOUBLE_EQ((e / mc::Watts(100.0)).value(), 10.0);    // J / W = s
+}
+
+TEST(Quantity, Comparison) {
+  EXPECT_LT(mc::Ghz(0.8), mc::Ghz(2.2));
+  EXPECT_GT(mc::Ghz(2.2), mc::Ghz(0.8));
+  EXPECT_EQ(mc::Ghz(1.5), mc::Ghz(1.5));
+  EXPECT_NE(mc::Ghz(1.5), mc::Ghz(1.6));
+  EXPECT_LE(mc::Seconds(0.002), mc::Seconds(0.002));
+  EXPECT_GE(mc::Watts(35.0), mc::Watts(35.0));
+}
+
+TEST(Quantity, Literals) {
+  EXPECT_EQ(2.2_ghz, mc::Ghz(2.2));
+  EXPECT_EQ(50'000.0_mbps, mc::Mbps(50'000.0));
+  EXPECT_EQ(120.0_w, mc::Watts(120.0));
+  EXPECT_EQ(1.0_j, mc::Joules(1.0));
+  EXPECT_EQ(0.002_s, mc::Seconds(0.002));
+  EXPECT_EQ(3_ghz, mc::Ghz(3.0));  // integral literal form
+}
+
+TEST(Quantity, UnitSuffixes) {
+  EXPECT_STREQ(mc::Ghz::unit(), "GHz");
+  EXPECT_STREQ(mc::Mbps::unit(), "MB/s");
+  EXPECT_STREQ(mc::Watts::unit(), "W");
+  EXPECT_STREQ(mc::Joules::unit(), "J");
+  EXPECT_STREQ(mc::Seconds::unit(), "s");
+}
+
+TEST(Quantity, ToStringCarriesUnit) {
+  const std::string s = mc::to_string(mc::Ghz(2.2));
+  EXPECT_NE(s.find("GHz"), std::string::npos);
+  EXPECT_NE(s.find("2.2"), std::string::npos);
+}
+
+TEST(Quantity, FormatParseRoundTripIsExact) {
+  // Shortest-round-trip formatting must recover the exact double, including
+  // values that are not representable exactly (0.1) and extremes.
+  const double cases[] = {0.0, 0.1, 2.2, 1.0 / 3.0, 160'000.0, 1e-300, 1e300, -42.5};
+  for (const double v : cases) {
+    const mc::Joules q(v);
+    const mc::Joules back = mc::parse_quantity<mc::Joules>(mc::to_string(q));
+    EXPECT_EQ(back, q) << "value " << v;
+  }
+}
+
+TEST(Quantity, ParseRejectsWrongOrMissingUnit) {
+  EXPECT_THROW((void)mc::parse_quantity<mc::Ghz>("2.2 MB/s"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_quantity<mc::Ghz>("2.2"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_quantity<mc::Ghz>("GHz"), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_quantity<mc::Ghz>(""), mc::ConfigError);
+  EXPECT_THROW((void)mc::parse_quantity<mc::Ghz>("2.2 GHzx"), mc::ConfigError);
+}
+
+TEST(Quantity, ParseToleratesWhitespaceBeforeUnit) {
+  EXPECT_EQ(mc::parse_quantity<mc::Watts>("35 W"), mc::Watts(35.0));
+  EXPECT_EQ(mc::parse_quantity<mc::Watts>("35\t W"), mc::Watts(35.0));
+}
+
+TEST(UncoreRatio, BridgesMatchUnitsCodec) {
+  EXPECT_EQ(mc::to_ratio(mc::Ghz(2.2)).value(), mc::ghz_to_ratio(2.2));
+  EXPECT_EQ(mc::to_ghz(mc::UncoreRatio(22)), mc::Ghz(mc::ratio_to_ghz(22)));
+  EXPECT_EQ(mc::to_ratio(mc::to_ghz(mc::UncoreRatio(8))), mc::UncoreRatio(8));
+}
+
+TEST(UncoreRatio, Comparison) {
+  EXPECT_LT(mc::UncoreRatio(8), mc::UncoreRatio(22));
+  EXPECT_EQ(mc::UncoreRatio(22), mc::UncoreRatio(22));
+}

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "magus/common/units.hpp"
 
 namespace mc = magus::common;
@@ -19,6 +21,48 @@ TEST(Units, GhzToRatioRoundsToNearest) {
   EXPECT_EQ(mc::ghz_to_ratio(2.26), 23u);
   EXPECT_EQ(mc::ghz_to_ratio(0.0), 0u);
   EXPECT_EQ(mc::ghz_to_ratio(-1.0), 0u);
+}
+
+TEST(Units, GhzToRatioRoundsHalfUp) {
+  // Exactly-half fractions round up: 2.25 GHz -> ratio 23 (2.3 GHz), not 22.
+  // ghz * 10.0 is computed first, so the .5 boundary is hit exactly for
+  // values whose double representation lands on x.25.
+  EXPECT_EQ(mc::ghz_to_ratio(0.25), 3u);
+  EXPECT_EQ(mc::ghz_to_ratio(1.25), 13u);
+  EXPECT_EQ(mc::ghz_to_ratio(2.25), 23u);
+  // Just below / above the half boundary.
+  EXPECT_EQ(mc::ghz_to_ratio(2.2499999), 22u);
+  EXPECT_EQ(mc::ghz_to_ratio(2.2500001), 23u);
+}
+
+TEST(Units, GhzToRatioSaturatesAtEncodingMax) {
+  // MSR 0x620 ratio fields are 7 bits wide: anything at or past 12.7 GHz
+  // saturates at 0x7F instead of wrapping or overflowing the cast.
+  EXPECT_EQ(mc::ghz_to_ratio(12.7), mc::kMaxEncodableUncoreRatio);
+  EXPECT_EQ(mc::ghz_to_ratio(100.0), mc::kMaxEncodableUncoreRatio);
+  EXPECT_EQ(mc::ghz_to_ratio(1e300), mc::kMaxEncodableUncoreRatio);
+  EXPECT_EQ(mc::ghz_to_ratio(std::numeric_limits<double>::infinity()),
+            mc::kMaxEncodableUncoreRatio);
+  EXPECT_EQ(mc::kMaxEncodableUncoreRatio, 0x7Fu);
+}
+
+TEST(Units, GhzToRatioNonFiniteAndNegativeAreZero) {
+  // NaN fails every comparison, so the !(ghz > 0) guard catches it; the old
+  // `ghz / 0.1 + 0.5` cast was undefined behaviour for all of these.
+  EXPECT_EQ(mc::ghz_to_ratio(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(mc::ghz_to_ratio(-std::numeric_limits<double>::infinity()), 0u);
+  EXPECT_EQ(mc::ghz_to_ratio(-0.0), 0u);
+  EXPECT_EQ(mc::ghz_to_ratio(-1e300), 0u);
+}
+
+TEST(Units, GhzToRatioTenthsAreExactAcrossLadder) {
+  // Every 100 MHz step a ladder can express encodes without drift, even
+  // where ghz itself is inexact (e.g. 2.3 = 2.2999...): multiplying by 10
+  // keeps the product within half an ulp of the integer.
+  for (unsigned r = 0; r <= mc::kMaxEncodableUncoreRatio; ++r) {
+    const double ghz = static_cast<double>(r) / 10.0;
+    EXPECT_EQ(mc::ghz_to_ratio(ghz), r) << "ghz " << ghz;
+  }
 }
 
 // Property: round-trip through the ratio encoding is exact for every

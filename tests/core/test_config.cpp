@@ -4,18 +4,21 @@
 #include <gtest/gtest.h>
 
 #include "magus/common/error.hpp"
+#include "magus/common/quantity.hpp"
 #include "magus/core/config.hpp"
 
 namespace mc = magus::core;
+using magus::common::Mbps;
+using magus::common::Seconds;
 
 TEST(MagusConfig, PaperDefaults) {
   const mc::MagusConfig cfg;
-  EXPECT_DOUBLE_EQ(cfg.inc_threshold, 200.0);
-  EXPECT_DOUBLE_EQ(cfg.dec_threshold, 500.0);
+  EXPECT_DOUBLE_EQ(cfg.inc_threshold.value(), 200.0);
+  EXPECT_DOUBLE_EQ(cfg.dec_threshold.value(), 500.0);
   EXPECT_DOUBLE_EQ(cfg.high_freq_threshold, 0.4);
   EXPECT_EQ(cfg.tune_window, 10);
   EXPECT_EQ(cfg.warmup_cycles, 10);
-  EXPECT_DOUBLE_EQ(cfg.period_s, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.period.value(), 0.2);
   EXPECT_TRUE(cfg.scaling_enabled);
   EXPECT_TRUE(cfg.high_freq_detection_enabled);
   EXPECT_NO_THROW(cfg.validate());
@@ -30,9 +33,9 @@ mc::MagusConfig mutate(void (*f)(mc::MagusConfig&)) {
 }  // namespace
 
 TEST(MagusConfig, RejectsNegativeThresholds) {
-  EXPECT_THROW(mutate([](mc::MagusConfig& c) { c.inc_threshold = -1.0; }).validate(),
+  EXPECT_THROW(mutate([](mc::MagusConfig& c) { c.inc_threshold = Mbps(-1.0); }).validate(),
                magus::common::ConfigError);
-  EXPECT_THROW(mutate([](mc::MagusConfig& c) { c.dec_threshold = -0.1; }).validate(),
+  EXPECT_THROW(mutate([](mc::MagusConfig& c) { c.dec_threshold = Mbps(-0.1); }).validate(),
                magus::common::ConfigError);
 }
 
@@ -54,9 +57,9 @@ TEST(MagusConfig, RejectsDegenerateWindows) {
 }
 
 TEST(MagusConfig, RejectsNonPositivePeriod) {
-  EXPECT_THROW(mutate([](mc::MagusConfig& c) { c.period_s = 0.0; }).validate(),
+  EXPECT_THROW(mutate([](mc::MagusConfig& c) { c.period = Seconds(0.0); }).validate(),
                magus::common::ConfigError);
-  EXPECT_THROW(mutate([](mc::MagusConfig& c) { c.period_s = -0.2; }).validate(),
+  EXPECT_THROW(mutate([](mc::MagusConfig& c) { c.period = Seconds(-0.2); }).validate(),
                magus::common::ConfigError);
 }
 
@@ -66,8 +69,8 @@ class SweepGridValidity
 
 TEST_P(SweepGridValidity, Validates) {
   mc::MagusConfig cfg;
-  cfg.inc_threshold = std::get<0>(GetParam());
-  cfg.dec_threshold = std::get<1>(GetParam());
+  cfg.inc_threshold = Mbps(std::get<0>(GetParam()));
+  cfg.dec_threshold = Mbps(std::get<1>(GetParam()));
   cfg.high_freq_threshold = std::get<2>(GetParam());
   EXPECT_NO_THROW(cfg.validate());
 }

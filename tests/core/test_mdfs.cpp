@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "magus/common/rng.hpp"
+#include "magus/common/quantity.hpp"
 #include "magus/core/mdfs.hpp"
 
 namespace mc = magus::core;
+using magus::common::Ghz;
+using magus::common::Mbps;
+using magus::common::Seconds;
 
 namespace {
 mc::MagusConfig cfg_defaults() { return mc::MagusConfig{}; }
@@ -18,15 +22,15 @@ constexpr double kLo = 12'000.0;   // quiet throughput
 constexpr double kHi = 120'000.0;  // burst throughput
 
 mc::MdfsController make_ctl(mc::MagusConfig cfg = cfg_defaults()) {
-  return mc::MdfsController(cfg, kMin, kMax);
+  return mc::MdfsController(cfg, Ghz(kMin), Ghz(kMax));
 }
 
 /// Feed `n` samples of value `v` starting at time t0 (0.3 s cadence).
 double feed(mc::MdfsController& ctl, double& t, int n, double v) {
   double last = -1.0;
   for (int i = 0; i < n; ++i) {
-    const auto d = ctl.on_throughput(t, v);
-    if (d) last = *d;
+    const auto d = ctl.on_throughput(Seconds(t), Mbps(v));
+    if (d) last = d->value();
     t += 0.3;
   }
   return last;
@@ -36,8 +40,8 @@ double feed(mc::MdfsController& ctl, double& t, int n, double v) {
 TEST(Mdfs, RejectsInvalidConfig) {
   mc::MagusConfig bad;
   bad.direv_length = 1;
-  EXPECT_THROW(mc::MdfsController(bad, kMin, kMax), magus::common::ConfigError);
-  EXPECT_THROW(mc::MdfsController(cfg_defaults(), 2.2, 0.8),
+  EXPECT_THROW(mc::MdfsController(bad, Ghz(kMin), Ghz(kMax)), magus::common::ConfigError);
+  EXPECT_THROW(mc::MdfsController(cfg_defaults(), Ghz(2.2), Ghz(0.8)),
                magus::common::ConfigError);
 }
 
@@ -45,13 +49,13 @@ TEST(Mdfs, WarmupIssuesNoDecisions) {
   auto ctl = make_ctl();
   double t = 0.3;
   for (int i = 0; i < 10; ++i) {
-    EXPECT_FALSE(ctl.on_throughput(t, kHi).has_value());
+    EXPECT_FALSE(ctl.on_throughput(Seconds(t), Mbps(kHi)).has_value());
     t += 0.3;
   }
   EXPECT_TRUE(ctl.warmed_up());
   EXPECT_EQ(ctl.log().size(), 10u);
   for (const auto& rec : ctl.log()) EXPECT_TRUE(rec.warmup);
-  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMax);  // initial condition
+  EXPECT_DOUBLE_EQ(ctl.current_target().value(), kMax);  // initial condition
 }
 
 TEST(Mdfs, FallingEdgeScalesToMin) {
@@ -60,7 +64,7 @@ TEST(Mdfs, FallingEdgeScalesToMin) {
   feed(ctl, t, 12, kHi);  // warm-up + settle
   const double d = feed(ctl, t, 2, kLo);
   EXPECT_DOUBLE_EQ(d, kMin);
-  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMin);
+  EXPECT_DOUBLE_EQ(ctl.current_target().value(), kMin);
 }
 
 TEST(Mdfs, RisingEdgeScalesToMax) {
@@ -79,10 +83,10 @@ TEST(Mdfs, StableThroughputLeavesFrequencyAlone) {
   feed(ctl, t, 2, kLo);  // down
   // A long stable stretch: no further decisions.
   for (int i = 0; i < 20; ++i) {
-    EXPECT_FALSE(ctl.on_throughput(t, kLo + (i % 2)).has_value());
+    EXPECT_FALSE(ctl.on_throughput(Seconds(t), Mbps(kLo + (i % 2))).has_value());
     t += 0.3;
   }
-  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMin);
+  EXPECT_DOUBLE_EQ(ctl.current_target().value(), kMin);
 }
 
 TEST(Mdfs, RepeatedRisesLogOnlyOneScalingEvent) {
@@ -109,14 +113,14 @@ TEST(Mdfs, TelegraphSignalTripsHighFrequencyLock) {
   feed(ctl, t, 10, kLo);  // warm-up
   // Alternate every sample: a scaling event per round.
   for (int i = 0; i < 8; ++i) {
-    (void)ctl.on_throughput(t, i % 2 ? kLo : kHi);
+    (void)ctl.on_throughput(Seconds(t), Mbps(i % 2 ? kLo : kHi));
     t += 0.3;
   }
   EXPECT_TRUE(ctl.high_freq_status());
   // While locked, the executed target every round is max.
-  const auto d = ctl.on_throughput(t, kHi);
+  const auto d = ctl.on_throughput(Seconds(t), Mbps(kHi));
   ASSERT_TRUE(d.has_value());
-  EXPECT_DOUBLE_EQ(*d, kMax);
+  EXPECT_DOUBLE_EQ(d->value(), kMax);
 }
 
 TEST(Mdfs, PredictionsStillLoggedDuringLock) {
@@ -126,7 +130,7 @@ TEST(Mdfs, PredictionsStillLoggedDuringLock) {
   double t = 0.3;
   feed(ctl, t, 10, kLo);
   for (int i = 0; i < 20; ++i) {
-    (void)ctl.on_throughput(t, i % 2 ? kLo : kHi);
+    (void)ctl.on_throughput(Seconds(t), Mbps(i % 2 ? kLo : kHi));
     t += 0.3;
   }
   ASSERT_TRUE(ctl.high_freq_status());
@@ -145,22 +149,22 @@ TEST(Mdfs, UnlockExecutesTemporaryDecision) {
   feed(ctl, t, 10, kLo);
   // Trip the lock with alternation ending on a falling edge.
   for (int i = 0; i < 9; ++i) {
-    (void)ctl.on_throughput(t, i % 2 ? kLo : kHi);
+    (void)ctl.on_throughput(Seconds(t), Mbps(i % 2 ? kLo : kHi));
     t += 0.3;
   }
   ASSERT_TRUE(ctl.high_freq_status());
-  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMax);
+  EXPECT_DOUBLE_EQ(ctl.current_target().value(), kMax);
   // Calm stretch: the lock decays; on unlock the temporary target (min,
   // from the last decrease prediction) must be executed.
   double last_exec = -1.0;
   for (int i = 0; i < 12 && ctl.high_freq_status(); ++i) {
-    const auto d = ctl.on_throughput(t, kLo);
-    if (d) last_exec = *d;
+    const auto d = ctl.on_throughput(Seconds(t), Mbps(kLo));
+    if (d) last_exec = d->value();
     t += 0.3;
   }
   EXPECT_FALSE(ctl.high_freq_status());
-  EXPECT_DOUBLE_EQ(ctl.temporary_target_ghz(), kMin);
-  EXPECT_DOUBLE_EQ(ctl.current_target_ghz(), kMin);
+  EXPECT_DOUBLE_EQ(ctl.temporary_target().value(), kMin);
+  EXPECT_DOUBLE_EQ(ctl.current_target().value(), kMin);
   EXPECT_DOUBLE_EQ(last_exec, kMin);
 }
 
@@ -170,9 +174,9 @@ TEST(Mdfs, DecisionLogCarriesDerivatives) {
   feed(ctl, t, 11, kLo);
   feed(ctl, t, 1, kHi);
   const auto& rec = ctl.log().back();
-  EXPECT_GT(rec.derivative, 0.0);
+  EXPECT_GT(rec.derivative.value(), 0.0);
   EXPECT_EQ(rec.prediction, mc::Trend::kIncrease);
-  EXPECT_DOUBLE_EQ(rec.throughput_mbps, kHi);
+  EXPECT_DOUBLE_EQ(rec.throughput.value(), kHi);
 }
 
 // Property: whatever the input stream, every executed target is one of the
@@ -187,11 +191,11 @@ TEST_P(MdfsFuzz, TargetsAlwaysAtLadderBounds) {
   int n = 0;
   for (int i = 0; i < 300; ++i) {
     const double v = rng.uniform(0.0, 150'000.0);
-    const auto d = ctl.on_throughput(t, v);
+    const auto d = ctl.on_throughput(Seconds(t), Mbps(v));
     ++n;
     if (d) {
       EXPECT_GE(n, 11);
-      EXPECT_TRUE(*d == kMin || *d == kMax) << *d;
+      EXPECT_TRUE(d->value() == kMin || d->value() == kMax) << d->value();
     }
     t += 0.3;
   }

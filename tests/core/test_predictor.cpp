@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "magus/common/quantity.hpp"
 #include "magus/core/predictor.hpp"
 
 namespace mc = magus::core;
 using magus::common::FixedWindow;
+using magus::common::Mbps;
+using namespace magus::common::quantity_literals;
 
 namespace {
 FixedWindow<double> window_of(std::initializer_list<double> xs, std::size_t cap = 0) {
@@ -18,42 +21,42 @@ FixedWindow<double> window_of(std::initializer_list<double> xs, std::size_t cap 
 TEST(Derivative, MatchesAlgorithmOneFormula) {
   // d = (x[n] - x[0]) / L.
   const auto w = window_of({1000.0, 1500.0, 3000.0});
-  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 2), (3000.0 - 1000.0) / 2.0);
-  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 10), 200.0);
+  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 2).value(), (3000.0 - 1000.0) / 2.0);
+  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 10).value(), 200.0);
 }
 
 TEST(Derivative, DegenerateWindows) {
   FixedWindow<double> w(4);
-  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 2), 0.0);
+  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 2).value(), 0.0);
   w.push(5.0);
-  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 2), 0.0);  // one sample
+  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 2).value(), 0.0);  // one sample
   w.push(7.0);
-  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 0), 0.0);  // invalid L
+  EXPECT_DOUBLE_EQ(mc::throughput_derivative(w, 0).value(), 0.0);  // invalid L
 }
 
 TEST(Predict, IncreaseAboveThreshold) {
   // Paper defaults: inc 200, dec 500. A burst onset moves MB/s by tens of
   // thousands within one sample -- far above threshold.
   const auto w = window_of({12'000.0, 95'000.0});
-  EXPECT_EQ(mc::predict_trend(w, 2, 200.0, 500.0), mc::Trend::kIncrease);
+  EXPECT_EQ(mc::predict_trend(w, 2, Mbps(200.0), Mbps(500.0)), mc::Trend::kIncrease);
 }
 
 TEST(Predict, DecreaseBelowNegativeThreshold) {
   const auto w = window_of({95'000.0, 12'000.0});
-  EXPECT_EQ(mc::predict_trend(w, 2, 200.0, 500.0), mc::Trend::kDecrease);
+  EXPECT_EQ(mc::predict_trend(w, 2, Mbps(200.0), Mbps(500.0)), mc::Trend::kDecrease);
 }
 
 TEST(Predict, StableInDeadband) {
   const auto w = window_of({50'000.0, 50'300.0});
-  EXPECT_EQ(mc::predict_trend(w, 2, 200.0, 500.0), mc::Trend::kStable);
+  EXPECT_EQ(mc::predict_trend(w, 2, Mbps(200.0), Mbps(500.0)), mc::Trend::kStable);
 }
 
 TEST(Predict, ThresholdsAreExclusive) {
   // d exactly at the threshold does not trigger (Algorithm 1 uses strict >).
   const auto up = window_of({0.0, 400.0});  // d = 200 with L=2
-  EXPECT_EQ(mc::predict_trend(up, 2, 200.0, 500.0), mc::Trend::kStable);
+  EXPECT_EQ(mc::predict_trend(up, 2, Mbps(200.0), Mbps(500.0)), mc::Trend::kStable);
   const auto down = window_of({1000.0, 0.0});  // d = -500
-  EXPECT_EQ(mc::predict_trend(down, 2, 200.0, 500.0), mc::Trend::kStable);
+  EXPECT_EQ(mc::predict_trend(down, 2, Mbps(200.0), Mbps(500.0)), mc::Trend::kStable);
 }
 
 TEST(Predict, AsymmetricThresholds) {
@@ -61,8 +64,8 @@ TEST(Predict, AsymmetricThresholds) {
   // +-300-per-L swing triggers the increase but not the decrease.
   const auto up = window_of({10'000.0, 10'602.0});
   const auto down = window_of({10'602.0, 10'000.0});
-  EXPECT_EQ(mc::predict_trend(up, 2, 200.0, 500.0), mc::Trend::kIncrease);
-  EXPECT_EQ(mc::predict_trend(down, 2, 200.0, 500.0), mc::Trend::kStable);
+  EXPECT_EQ(mc::predict_trend(up, 2, Mbps(200.0), Mbps(500.0)), mc::Trend::kIncrease);
+  EXPECT_EQ(mc::predict_trend(down, 2, Mbps(200.0), Mbps(500.0)), mc::Trend::kStable);
 }
 
 // Property: prediction is translation-invariant (only differences matter)
@@ -73,16 +76,16 @@ TEST_P(PredictorProperty, TranslationInvariant) {
   const double offset = GetParam();
   const auto w1 = window_of({10'000.0, 60'000.0});
   const auto w2 = window_of({10'000.0 + offset, 60'000.0 + offset});
-  EXPECT_EQ(mc::predict_trend(w1, 2, 200.0, 500.0),
-            mc::predict_trend(w2, 2, 200.0, 500.0));
+  EXPECT_EQ(mc::predict_trend(w1, 2, Mbps(200.0), Mbps(500.0)),
+            mc::predict_trend(w2, 2, Mbps(200.0), Mbps(500.0)));
 }
 
 TEST_P(PredictorProperty, ReversalFlipsSign) {
   const double offset = GetParam();
   const auto up = window_of({offset, offset + 50'000.0});
   const auto down = window_of({offset + 50'000.0, offset});
-  EXPECT_EQ(static_cast<int>(mc::predict_trend(up, 2, 300.0, 300.0)),
-            -static_cast<int>(mc::predict_trend(down, 2, 300.0, 300.0)));
+  EXPECT_EQ(static_cast<int>(mc::predict_trend(up, 2, Mbps(300.0), Mbps(300.0))),
+            -static_cast<int>(mc::predict_trend(down, 2, Mbps(300.0), Mbps(300.0))));
 }
 
 INSTANTIATE_TEST_SUITE_P(Offsets, PredictorProperty,

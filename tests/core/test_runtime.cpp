@@ -46,8 +46,8 @@ TEST(MagusRuntime, ComputesThroughputFromCounterDeltas) {
   rig.run();
   // Last observed throughput must be a plausible MB/s value, not a raw
   // cumulative counter.
-  EXPECT_GT(rig.magus.last_throughput_mbps(), 0.0);
-  EXPECT_LT(rig.magus.last_throughput_mbps(), 200'000.0);
+  EXPECT_GT(rig.magus.last_throughput().value(), 0.0);
+  EXPECT_LT(rig.magus.last_throughput().value(), 200'000.0);
 }
 
 TEST(MagusRuntime, ScalesDownDuringQuietPhases) {
@@ -58,8 +58,8 @@ TEST(MagusRuntime, ScalesDownDuringQuietPhases) {
   bool saw_min = false;
   bool saw_max = false;
   for (const auto& rec : log) {
-    if (rec.target_ghz == 0.8) saw_min = true;
-    if (rec.target_ghz == 2.2) saw_max = true;
+    if (rec.target == magus::common::Ghz(0.8)) saw_min = true;
+    if (rec.target == magus::common::Ghz(2.2)) saw_max = true;
   }
   EXPECT_TRUE(saw_min);
   EXPECT_TRUE(saw_max);
@@ -85,7 +85,7 @@ TEST(MagusRuntime, DryRunMonitorsWithoutScaling) {
   EXPECT_GT(rig.magus.controller().log().size(), 10u);
   EXPECT_EQ(r.accesses.msr_writes, 0ull);
   // Uncore stayed wherever the node had it (max).
-  EXPECT_DOUBLE_EQ(rig.engine.node().uncore(0).policy_limit_ghz(), 2.2);
+  EXPECT_DOUBLE_EQ(rig.engine.node().uncore(0).policy_limit().value(), 2.2);
 }
 
 TEST(MagusRuntime, OneCounterReadPerCycle) {
@@ -109,6 +109,6 @@ TEST(MagusRuntime, InitialUncoreIsMax) {
   // Section 3.3: uncore starts at the maximum when the application arrives.
   Rig rig(burst_workload());
   rig.magus.on_start(0.0);
-  EXPECT_DOUBLE_EQ(rig.engine.node().uncore(0).policy_limit_ghz(), 2.2);
-  EXPECT_DOUBLE_EQ(rig.engine.node().uncore(1).policy_limit_ghz(), 2.2);
+  EXPECT_DOUBLE_EQ(rig.engine.node().uncore(0).policy_limit().value(), 2.2);
+  EXPECT_DOUBLE_EQ(rig.engine.node().uncore(1).policy_limit().value(), 2.2);
 }

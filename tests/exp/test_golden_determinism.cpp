@@ -1,0 +1,80 @@
+// Bit-exact golden outputs for the fig4/table2 experiment pipelines.
+//
+// The quantity migration must be a pure retyping: every strong-typed
+// operation maps to the same IEEE-754 double operation in the same order the
+// bare-double code performed it. These bit patterns were captured from the
+// pre-migration build (same spec, same seeds); any drift -- a reordered
+// reduction, a double-rounding, an accidental float -- fails here with the
+// exact field named.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "magus/exp/evaluation.hpp"
+#include "magus/sim/system_preset.hpp"
+
+namespace {
+
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+struct Golden {
+  const char* name;
+  std::uint64_t bits;
+};
+
+class GoldenDeterminism : public ::testing::Test {
+ protected:
+  static void check(const Golden& g, double actual) {
+    EXPECT_EQ(bits(actual), g.bits)
+        << g.name << ": expected bit pattern 0x" << std::hex << g.bits << ", got 0x"
+        << bits(actual) << std::dec << " (" << actual << ")";
+  }
+};
+
+TEST_F(GoldenDeterminism, Fig4UnetBitExact) {
+  namespace me = magus::exp;
+  me::EvalSpec spec;
+  spec.repeat.repetitions = 3;
+  spec.repeat.seed = 2025;
+
+  const auto ev = me::evaluate_app(magus::sim::intel_a100(), "unet", spec);
+
+  check({"fig4.baseline.runtime_s", 0x40468de8ca11c4ddull}, ev.baseline.runtime.value());
+  check({"fig4.baseline.total_energy_j", 0x40da07814126a246ull},
+        ev.baseline.total_energy().value());
+  check({"fig4.baseline.avg_cpu_power_w", 0x406ba612a8e28383ull},
+        ev.baseline.avg_cpu_power.value());
+  check({"fig4.magus.runtime_s", 0x40468e402bb0d491ull}, ev.magus.runtime.value());
+  check({"fig4.magus.total_energy_j", 0x40d7da6dc0c5c226ull},
+        ev.magus.total_energy().value());
+  check({"fig4.magus.avg_cpu_power_w", 0x4065795abfbfad5dull},
+        ev.magus.avg_cpu_power.value());
+  check({"fig4.ups.runtime_s", 0x404698a94d243384ull}, ev.ups.runtime.value());
+  check({"fig4.ups.total_energy_j", 0x40d9f1d694961e4cull}, ev.ups.total_energy().value());
+  check({"fig4.magus_vs_base.perf_loss_pct", 0x3f7836d0911a80cfull},
+        ev.magus_vs_base.perf_loss_pct);
+  check({"fig4.magus_vs_base.energy_saving_pct", 0x4020b86004fe47b3ull},
+        ev.magus_vs_base.energy_saving_pct);
+  check({"fig4.ups_vs_base.energy_saving_pct", 0x3fd4cf556c5990d7ull},
+        ev.ups_vs_base.energy_saving_pct);
+}
+
+TEST_F(GoldenDeterminism, Table2OverheadBitExact) {
+  const auto ovh = magus::exp::measure_overhead(magus::sim::intel_a100(), 20.0, 11);
+
+  check({"table2.idle_power_w", 0x4067ab034fa917fdull}, ovh.idle_power_w);
+  check({"table2.magus_power_overhead_pct", 0x3ff1dac4a46fad4full},
+        ovh.magus_power_overhead_pct);
+  check({"table2.ups_power_overhead_pct", 0x40134553371a534dull},
+        ovh.ups_power_overhead_pct);
+  check({"table2.magus_invocation_s", 0x3fb9999999999991ull}, ovh.magus_invocation_s);
+  check({"table2.ups_invocation_s", 0x3fd2a9930be0ded6ull}, ovh.ups_invocation_s);
+}
+
+}  // namespace

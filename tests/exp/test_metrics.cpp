@@ -8,19 +8,19 @@ namespace {
 me::AggregateResult make_result(double runtime, double cpu_w, double pkg_j,
                                 double dram_j, double gpu_j) {
   me::AggregateResult r;
-  r.runtime_s = runtime;
-  r.avg_cpu_power_w = cpu_w;
-  r.pkg_energy_j = pkg_j;
-  r.dram_energy_j = dram_j;
-  r.gpu_energy_j = gpu_j;
+  r.runtime = magus::common::Seconds(runtime);
+  r.avg_cpu_power = magus::common::Watts(cpu_w);
+  r.pkg_energy = magus::common::Joules(pkg_j);
+  r.dram_energy = magus::common::Joules(dram_j);
+  r.gpu_energy = magus::common::Joules(gpu_j);
   return r;
 }
 }  // namespace
 
 TEST(Metrics, EnergyComposition) {
   const auto r = make_result(10.0, 200.0, 1500.0, 300.0, 2000.0);
-  EXPECT_DOUBLE_EQ(r.cpu_energy_j(), 1800.0);
-  EXPECT_DOUBLE_EQ(r.total_energy_j(), 3800.0);
+  EXPECT_DOUBLE_EQ(r.cpu_energy().value(), 1800.0);
+  EXPECT_DOUBLE_EQ(r.total_energy().value(), 3800.0);
 }
 
 TEST(Metrics, CompareSignConventions) {
@@ -64,9 +64,9 @@ TEST(Metrics, ToAggregateCopiesAllFields) {
   s.invocations = 40;
   s.total_invocation_s = 4.0;
   const auto a = me::to_aggregate(s);
-  EXPECT_DOUBLE_EQ(a.runtime_s, 12.0);
-  EXPECT_DOUBLE_EQ(a.avg_cpu_power_w, 220.0);
-  EXPECT_DOUBLE_EQ(a.total_energy_j(), 6240.0);
-  EXPECT_DOUBLE_EQ(a.avg_invocation_s, 0.1);
+  EXPECT_DOUBLE_EQ(a.runtime.value(), 12.0);
+  EXPECT_DOUBLE_EQ(a.avg_cpu_power.value(), 220.0);
+  EXPECT_DOUBLE_EQ(a.total_energy().value(), 6240.0);
+  EXPECT_DOUBLE_EQ(a.avg_invocation.value(), 0.1);
   EXPECT_EQ(a.reps_used, 1);
 }

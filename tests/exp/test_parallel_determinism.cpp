@@ -19,13 +19,13 @@ namespace mc = magus::common;
 namespace {
 
 void expect_same(const me::AggregateResult& a, const me::AggregateResult& b) {
-  EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
-  EXPECT_DOUBLE_EQ(a.pkg_energy_j, b.pkg_energy_j);
-  EXPECT_DOUBLE_EQ(a.dram_energy_j, b.dram_energy_j);
-  EXPECT_DOUBLE_EQ(a.gpu_energy_j, b.gpu_energy_j);
-  EXPECT_DOUBLE_EQ(a.avg_cpu_power_w, b.avg_cpu_power_w);
-  EXPECT_DOUBLE_EQ(a.avg_gpu_power_w, b.avg_gpu_power_w);
-  EXPECT_DOUBLE_EQ(a.avg_invocation_s, b.avg_invocation_s);
+  EXPECT_DOUBLE_EQ(a.runtime.value(), b.runtime.value());
+  EXPECT_DOUBLE_EQ(a.pkg_energy.value(), b.pkg_energy.value());
+  EXPECT_DOUBLE_EQ(a.dram_energy.value(), b.dram_energy.value());
+  EXPECT_DOUBLE_EQ(a.gpu_energy.value(), b.gpu_energy.value());
+  EXPECT_DOUBLE_EQ(a.avg_cpu_power.value(), b.avg_cpu_power.value());
+  EXPECT_DOUBLE_EQ(a.avg_gpu_power.value(), b.avg_gpu_power.value());
+  EXPECT_DOUBLE_EQ(a.avg_invocation.value(), b.avg_invocation.value());
   EXPECT_EQ(a.reps_used, b.reps_used);
   EXPECT_EQ(a.reps_total, b.reps_total);
 }

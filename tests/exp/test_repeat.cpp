@@ -25,8 +25,8 @@ TEST(Repeat, AggregatesAcrossJitteredRuns) {
   EXPECT_GE(agg.reps_used, 3);
   EXPECT_LE(agg.reps_used, 5);
   const double nominal = magus::wl::make_workload("bfs").nominal_duration_s();
-  EXPECT_NEAR(agg.runtime_s, nominal, 0.1 * nominal);
-  EXPECT_GT(agg.total_energy_j(), 0.0);
+  EXPECT_NEAR(agg.runtime.value(), nominal, 0.1 * nominal);
+  EXPECT_GT(agg.total_energy().value(), 0.0);
 }
 
 TEST(Repeat, DeterministicForSameSeed) {
@@ -39,8 +39,8 @@ TEST(Repeat, DeterministicForSameSeed) {
   const auto b = me::run_repeated(magus::sim::intel_a100(),
                                   magus::wl::make_workload("bfs"),
                                   me::PolicyKind::kMagus, spec);
-  EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
-  EXPECT_DOUBLE_EQ(a.total_energy_j(), b.total_energy_j());
+  EXPECT_DOUBLE_EQ(a.runtime.value(), b.runtime.value());
+  EXPECT_DOUBLE_EQ(a.total_energy().value(), b.total_energy().value());
 }
 
 TEST(Repeat, DifferentSeedsProduceDifferentRuns) {
@@ -55,5 +55,5 @@ TEST(Repeat, DifferentSeedsProduceDifferentRuns) {
   const auto b = me::run_repeated(magus::sim::intel_a100(),
                                   magus::wl::make_workload("bfs"),
                                   me::PolicyKind::kDefault, b_spec);
-  EXPECT_NE(a.runtime_s, b.runtime_s);
+  EXPECT_NE(a.runtime, b.runtime);
 }

@@ -35,17 +35,17 @@ TEST(SimMsrDevice, WritingMaxRatioSteersUncore) {
   mh::UncoreRatioLimit limit{12, 8};
   rig.msr.write(0, mh::msr::kUncoreRatioLimit, limit.encode());
   rig.msr.write(1, mh::msr::kUncoreRatioLimit, limit.encode());
-  EXPECT_DOUBLE_EQ(rig.node.uncore(0).policy_limit_ghz(), 1.2);
+  EXPECT_DOUBLE_EQ(rig.node.uncore(0).policy_limit().value(), 1.2);
   // Frequency follows after slewing.
   for (int i = 0; i < 200; ++i) rig.node.tick(i * 0.002, 0.002, {}, 0.0);
-  EXPECT_DOUBLE_EQ(rig.node.uncore(0).freq_ghz(), 1.2);
+  EXPECT_DOUBLE_EQ(rig.node.uncore(0).freq().value(), 1.2);
 }
 
 TEST(SimMsrDevice, UnsupportedRegistersFaultLikeHardware) {
   Rig rig;
   EXPECT_THROW((void)rig.msr.read(0, 0x1234), magus::common::DeviceError);
   EXPECT_THROW(rig.msr.write(0, 0x611, 1), magus::common::DeviceError);
-  EXPECT_THROW((void)rig.msr.read(5, 0x620), magus::common::ConfigError);
+  EXPECT_THROW((void)rig.msr.read(5, mh::msr::kUncoreRatioLimit), magus::common::ConfigError);
 }
 
 TEST(SimMsrDevice, EnergyStatusUsesRaplEncoding) {

@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include "magus/common/quantity.hpp"
 #include "magus/sim/firmware_governor.hpp"
 #include "magus/sim/system_preset.hpp"
 
 namespace ms = magus::sim;
+using namespace magus::common::quantity_literals;
 
 namespace {
 ms::FirmwareGovernor make_gov() {
@@ -17,45 +19,45 @@ ms::FirmwareGovernor make_gov() {
 TEST(FirmwareGovernor, StaysAtMaxBelowTdp) {
   auto gov = make_gov();
   // GPU-dominant workloads: package power far below the 270 W TDP.
-  for (int i = 0; i < 10000; ++i) gov.update(0.002, 120.0);
-  EXPECT_DOUBLE_EQ(gov.cap_ghz(), 2.2);
+  for (int i = 0; i < 10000; ++i) gov.update(0.002_s, 120.0_w);
+  EXPECT_DOUBLE_EQ(gov.cap().value(), 2.2);
 }
 
 TEST(FirmwareGovernor, ThrottlesNearTdp) {
   auto gov = make_gov();
-  for (int i = 0; i < 100; ++i) gov.update(0.002, 265.0);  // > 0.93 * 270
-  EXPECT_LT(gov.cap_ghz(), 2.2);
+  for (int i = 0; i < 100; ++i) gov.update(0.002_s, 265.0_w);  // > 0.93 * 270
+  EXPECT_LT(gov.cap().value(), 2.2);
 }
 
 TEST(FirmwareGovernor, ThrottleSaturatesAtMin) {
   auto gov = make_gov();
-  for (int i = 0; i < 100000; ++i) gov.update(0.002, 400.0);
-  EXPECT_DOUBLE_EQ(gov.cap_ghz(), 0.8);
+  for (int i = 0; i < 100000; ++i) gov.update(0.002_s, 400.0_w);
+  EXPECT_DOUBLE_EQ(gov.cap().value(), 0.8);
 }
 
 TEST(FirmwareGovernor, RecoversWhenPowerDrops) {
   auto gov = make_gov();
-  for (int i = 0; i < 1000; ++i) gov.update(0.002, 300.0);
-  EXPECT_LT(gov.cap_ghz(), 2.2);
-  for (int i = 0; i < 100000; ++i) gov.update(0.002, 100.0);
-  EXPECT_DOUBLE_EQ(gov.cap_ghz(), 2.2);
+  for (int i = 0; i < 1000; ++i) gov.update(0.002_s, 300.0_w);
+  EXPECT_LT(gov.cap().value(), 2.2);
+  for (int i = 0; i < 100000; ++i) gov.update(0.002_s, 100.0_w);
+  EXPECT_DOUBLE_EQ(gov.cap().value(), 2.2);
 }
 
 TEST(FirmwareGovernor, RecoveryIsDwellLimited) {
   // The cap must not bounce back instantly (one step per dwell window).
   auto gov = make_gov();
-  for (int i = 0; i < 1000; ++i) gov.update(0.002, 300.0);
-  const double throttled = gov.cap_ghz();
-  gov.update(0.002, 100.0);
-  EXPECT_LE(gov.cap_ghz(), throttled + 0.1 + 1e-9);
+  for (int i = 0; i < 1000; ++i) gov.update(0.002_s, 300.0_w);
+  const double throttled = gov.cap().value();
+  gov.update(0.002_s, 100.0_w);
+  EXPECT_LE(gov.cap().value(), throttled + 0.1 + 1e-9);
 }
 
 TEST(FirmwareGovernor, ThresholdScalesWithBackoffFraction) {
   ms::FirmwareGovernor tight(ms::intel_a100().cpu, 0.5);  // throttle at 135 W
-  for (int i = 0; i < 100; ++i) tight.update(0.002, 150.0);
-  EXPECT_LT(tight.cap_ghz(), 2.2);
+  for (int i = 0; i < 100; ++i) tight.update(0.002_s, 150.0_w);
+  EXPECT_LT(tight.cap().value(), 2.2);
 
   ms::FirmwareGovernor loose(ms::intel_a100().cpu, 1.0);
-  for (int i = 0; i < 100; ++i) loose.update(0.002, 260.0);
-  EXPECT_DOUBLE_EQ(loose.cap_ghz(), 2.2);
+  for (int i = 0; i < 100; ++i) loose.update(0.002_s, 260.0_w);
+  EXPECT_DOUBLE_EQ(loose.cap().value(), 2.2);
 }

@@ -3,52 +3,55 @@
 
 #include <gtest/gtest.h>
 
+#include "magus/common/quantity.hpp"
 #include "magus/sim/memory_system.hpp"
 
 namespace ms = magus::sim;
+using magus::common::Mbps;
+using namespace magus::common::quantity_literals;
 
 TEST(MemoryService, UnderloadedDeliversDemand) {
-  const auto svc = ms::service_memory(50'000.0, 160'000.0, 0.8);
-  EXPECT_DOUBLE_EQ(svc.delivered_mbps, 50'000.0);
+  const auto svc = ms::service_memory(50'000.0_mbps, 160'000.0_mbps, 0.8);
+  EXPECT_DOUBLE_EQ(svc.delivered.value(), 50'000.0);
   EXPECT_DOUBLE_EQ(svc.stretch, 1.0);
   EXPECT_NEAR(svc.utilization, 50.0 / 160.0, 1e-9);
 }
 
 TEST(MemoryService, OverloadedCapsAtCapacity) {
-  const auto svc = ms::service_memory(160'000.0, 80'000.0, 1.0);
-  EXPECT_DOUBLE_EQ(svc.delivered_mbps, 80'000.0);
+  const auto svc = ms::service_memory(160'000.0_mbps, 80'000.0_mbps, 1.0);
+  EXPECT_DOUBLE_EQ(svc.delivered.value(), 80'000.0);
   EXPECT_DOUBLE_EQ(svc.stretch, 2.0);  // fully memory-bound, 2x demand
   EXPECT_DOUBLE_EQ(svc.utilization, 1.0);
 }
 
 TEST(MemoryService, StretchBlendsWithMemBoundFraction) {
   // Half memory-bound at 2x overload: stretch = 0.5 + 0.5*2 = 1.5.
-  const auto svc = ms::service_memory(160'000.0, 80'000.0, 0.5);
+  const auto svc = ms::service_memory(160'000.0_mbps, 80'000.0_mbps, 0.5);
   EXPECT_DOUBLE_EQ(svc.stretch, 1.5);
 }
 
 TEST(MemoryService, ComputeBoundPhaseNeverStretches) {
-  const auto svc = ms::service_memory(160'000.0, 80'000.0, 0.0);
+  const auto svc = ms::service_memory(160'000.0_mbps, 80'000.0_mbps, 0.0);
   EXPECT_DOUBLE_EQ(svc.stretch, 1.0);
 }
 
 TEST(MemoryService, ZeroCapacityIsSafe) {
-  const auto svc = ms::service_memory(100.0, 0.0, 0.5);
-  EXPECT_DOUBLE_EQ(svc.delivered_mbps, 0.0);
+  const auto svc = ms::service_memory(100.0_mbps, 0.0_mbps, 0.5);
+  EXPECT_DOUBLE_EQ(svc.delivered.value(), 0.0);
   EXPECT_DOUBLE_EQ(svc.stretch, 1.0);
   EXPECT_DOUBLE_EQ(svc.utilization, 0.0);
 }
 
 TEST(MemoryService, NegativeDemandClamped) {
-  const auto svc = ms::service_memory(-5.0, 100.0, 0.5);
-  EXPECT_DOUBLE_EQ(svc.delivered_mbps, 0.0);
+  const auto svc = ms::service_memory(Mbps(-5.0), 100.0_mbps, 0.5);
+  EXPECT_DOUBLE_EQ(svc.delivered.value(), 0.0);
   EXPECT_DOUBLE_EQ(svc.stretch, 1.0);
 }
 
 TEST(MemoryService, MemBoundFractionClamped) {
-  const auto over = ms::service_memory(200.0, 100.0, 1.5);
+  const auto over = ms::service_memory(200.0_mbps, 100.0_mbps, 1.5);
   EXPECT_DOUBLE_EQ(over.stretch, 2.0);
-  const auto under = ms::service_memory(200.0, 100.0, -0.5);
+  const auto under = ms::service_memory(200.0_mbps, 100.0_mbps, -0.5);
   EXPECT_DOUBLE_EQ(under.stretch, 1.0);
 }
 
@@ -59,13 +62,13 @@ class MemoryServiceSweep
 
 TEST_P(MemoryServiceSweep, Invariants) {
   const auto [demand, capacity, m] = GetParam();
-  const auto svc = ms::service_memory(demand, capacity, m);
+  const auto svc = ms::service_memory(Mbps(demand), Mbps(capacity), m);
   EXPECT_GE(svc.stretch, 1.0);
-  EXPECT_LE(svc.delivered_mbps, std::min(demand, capacity) + 1e-9);
+  EXPECT_LE(svc.delivered.value(), std::min(demand, capacity) + 1e-9);
   EXPECT_GE(svc.utilization, 0.0);
   EXPECT_LE(svc.utilization, 1.0);
   // More demand never shrinks the stretch.
-  const auto svc2 = ms::service_memory(demand * 1.5, capacity, m);
+  const auto svc2 = ms::service_memory(Mbps(demand * 1.5), Mbps(capacity), m);
   EXPECT_GE(svc2.stretch, svc.stretch - 1e-12);
 }
 

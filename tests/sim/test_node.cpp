@@ -40,7 +40,7 @@ TEST(NodeModel, UncoreAtMaxByDefault) {
 TEST(NodeModel, LowUncoreStretchesHeavyPhases) {
   auto node = make_node();
   for (int s = 0; s < node.socket_count(); ++s) {
-    node.uncore(s).set_policy_limit_ghz(0.8);
+    node.uncore(s).set_policy_limit(magus::common::Ghz(0.8));
   }
   for (int i = 0; i < 500; ++i) node.tick(i * 0.002, 0.002, heavy_slice(), 0.0);
   EXPECT_GT(node.last().stretch, 1.3);
@@ -48,7 +48,7 @@ TEST(NodeModel, LowUncoreStretchesHeavyPhases) {
   // Quiet phases are unaffected even at min uncore.
   auto node2 = make_node();
   for (int s = 0; s < node2.socket_count(); ++s) {
-    node2.uncore(s).set_policy_limit_ghz(0.8);
+    node2.uncore(s).set_policy_limit(magus::common::Ghz(0.8));
   }
   for (int i = 0; i < 500; ++i) node2.tick(i * 0.002, 0.002, quiet_slice(), 0.0);
   EXPECT_DOUBLE_EQ(node2.last().stretch, 1.0);
@@ -57,7 +57,9 @@ TEST(NodeModel, LowUncoreStretchesHeavyPhases) {
 TEST(NodeModel, LowUncoreCutsPackagePower) {
   auto lo = make_node();
   auto hi = make_node();
-  for (int s = 0; s < lo.socket_count(); ++s) lo.uncore(s).set_policy_limit_ghz(0.8);
+  for (int s = 0; s < lo.socket_count(); ++s) {
+    lo.uncore(s).set_policy_limit(magus::common::Ghz(0.8));
+  }
   for (int i = 0; i < 500; ++i) {
     lo.tick(i * 0.002, 0.002, quiet_slice(), 0.0);
     hi.tick(i * 0.002, 0.002, quiet_slice(), 0.0);
@@ -90,7 +92,7 @@ TEST(NodeModel, DeterministicForSameSeed) {
 TEST(NodeModel, CapacityIsSumOfSockets) {
   auto node = make_node();
   EXPECT_DOUBLE_EQ(node.capacity_mbps(),
-                   node.uncore(0).capacity_mbps() + node.uncore(1).capacity_mbps());
+                   node.uncore(0).capacity().value() + node.uncore(1).capacity().value());
 }
 
 TEST(NodeModel, PerSocketEnergySymmetricWithoutMonitor) {

@@ -55,13 +55,13 @@ TEST_P(PresetSweep, InternallyConsistent) {
   ms::UncoreModel uncore(spec.cpu);
   ms::CoreModel cores(spec.cpu);
   for (int i = 0; i < 2000; ++i) cores.tick(0.002, 1.0, 1.6);
-  const double peak = cores.power_w(1.0) + uncore.power_w(1.0);
+  const double peak = cores.power_w(1.0) + uncore.power(1.0).value();
   EXPECT_LT(peak, spec.cpu.tdp_w);
   EXPECT_GT(peak, 0.4 * spec.cpu.tdp_w);
 
   // Bandwidth capacity spans a meaningful range across the ladder.
-  EXPECT_GT(uncore.capacity_mbps_at(ladder.max_ghz()),
-            1.2 * uncore.capacity_mbps_at(ladder.min_ghz()));
+  EXPECT_GT(uncore.capacity_at(magus::common::Ghz(ladder.max_ghz())).value(),
+            1.2 * uncore.capacity_at(magus::common::Ghz(ladder.min_ghz())).value());
 
   // Monitoring constants are positive (Table 2 machinery).
   EXPECT_GT(spec.cpu.msr_read_latency_s, 0.0);

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "magus/common/quantity.hpp"
 #include "magus/sim/system_preset.hpp"
 #include "magus/sim/uncore_model.hpp"
 
 namespace ms = magus::sim;
+using namespace magus::common::quantity_literals;
 
 namespace {
 ms::UncoreModel make_model() { return ms::UncoreModel(ms::intel_a100().cpu); }
@@ -11,44 +13,44 @@ ms::UncoreModel make_model() { return ms::UncoreModel(ms::intel_a100().cpu); }
 
 TEST(UncoreModel, StartsAtLadderMax) {
   auto m = make_model();
-  EXPECT_DOUBLE_EQ(m.freq_ghz(), 2.2);
-  EXPECT_DOUBLE_EQ(m.policy_limit_ghz(), 2.2);
-  EXPECT_DOUBLE_EQ(m.firmware_cap_ghz(), 2.2);
+  EXPECT_DOUBLE_EQ(m.freq().value(), 2.2);
+  EXPECT_DOUBLE_EQ(m.policy_limit().value(), 2.2);
+  EXPECT_DOUBLE_EQ(m.firmware_cap().value(), 2.2);
 }
 
 TEST(UncoreModel, SlewsTowardPolicyLimit) {
   auto m = make_model();
-  m.set_policy_limit_ghz(0.8);
-  m.tick(0.002);
-  EXPECT_LT(m.freq_ghz(), 2.2);
-  EXPECT_GT(m.freq_ghz(), 0.8);
-  for (int i = 0; i < 50; ++i) m.tick(0.002);
-  EXPECT_DOUBLE_EQ(m.freq_ghz(), 0.8);
+  m.set_policy_limit(0.8_ghz);
+  m.tick(0.002_s);
+  EXPECT_LT(m.freq().value(), 2.2);
+  EXPECT_GT(m.freq().value(), 0.8);
+  for (int i = 0; i < 50; ++i) m.tick(0.002_s);
+  EXPECT_DOUBLE_EQ(m.freq().value(), 0.8);
 }
 
 TEST(UncoreModel, EffectiveFreqIsMinOfPolicyAndFirmware) {
   auto m = make_model();
-  m.set_policy_limit_ghz(2.0);
-  m.set_firmware_cap_ghz(1.2);
-  for (int i = 0; i < 100; ++i) m.tick(0.01);
-  EXPECT_DOUBLE_EQ(m.freq_ghz(), 1.2);
-  m.set_firmware_cap_ghz(2.2);
-  for (int i = 0; i < 100; ++i) m.tick(0.01);
-  EXPECT_DOUBLE_EQ(m.freq_ghz(), 2.0);
+  m.set_policy_limit(2.0_ghz);
+  m.set_firmware_cap(1.2_ghz);
+  for (int i = 0; i < 100; ++i) m.tick(0.01_s);
+  EXPECT_DOUBLE_EQ(m.freq().value(), 1.2);
+  m.set_firmware_cap(2.2_ghz);
+  for (int i = 0; i < 100; ++i) m.tick(0.01_s);
+  EXPECT_DOUBLE_EQ(m.freq().value(), 2.0);
 }
 
 TEST(UncoreModel, LimitsClampToLadder) {
   auto m = make_model();
-  m.set_policy_limit_ghz(9.0);
-  EXPECT_DOUBLE_EQ(m.policy_limit_ghz(), 2.2);
-  m.set_policy_limit_ghz(0.1);
-  EXPECT_DOUBLE_EQ(m.policy_limit_ghz(), 0.8);
+  m.set_policy_limit(9.0_ghz);
+  EXPECT_DOUBLE_EQ(m.policy_limit().value(), 2.2);
+  m.set_policy_limit(0.1_ghz);
+  EXPECT_DOUBLE_EQ(m.policy_limit().value(), 0.8);
 }
 
 TEST(UncoreModel, CapacityGrowsWithFrequency) {
   auto m = make_model();
-  const double cap_max = m.capacity_mbps_at(2.2);
-  const double cap_min = m.capacity_mbps_at(0.8);
+  const double cap_max = m.capacity_at(2.2_ghz).value();
+  const double cap_min = m.capacity_at(0.8_ghz).value();
   EXPECT_GT(cap_max, cap_min);
   EXPECT_DOUBLE_EQ(cap_max, ms::intel_a100().cpu.peak_mem_bw_mbps);
   // Fig. 2's premise: min uncore delivers roughly half the peak bandwidth.
@@ -57,20 +59,20 @@ TEST(UncoreModel, CapacityGrowsWithFrequency) {
 
 TEST(UncoreModel, PowerMonotoneInFrequency) {
   auto m = make_model();
-  m.set_policy_limit_ghz(0.8);
-  for (int i = 0; i < 100; ++i) m.tick(0.01);
-  const double p_min = m.power_w(0.5);
-  m.set_policy_limit_ghz(2.2);
-  for (int i = 0; i < 100; ++i) m.tick(0.01);
-  const double p_max = m.power_w(0.5);
+  m.set_policy_limit(0.8_ghz);
+  for (int i = 0; i < 100; ++i) m.tick(0.01_s);
+  const double p_min = m.power(0.5).value();
+  m.set_policy_limit(2.2_ghz);
+  for (int i = 0; i < 100; ++i) m.tick(0.01_s);
+  const double p_max = m.power(0.5).value();
   EXPECT_GT(p_max, p_min);
 }
 
 TEST(UncoreModel, PowerMonotoneInUtilisation) {
   auto m = make_model();
-  EXPECT_GT(m.power_w(1.0), m.power_w(0.0));
-  EXPECT_DOUBLE_EQ(m.power_w(-1.0), m.power_w(0.0));  // clamped
-  EXPECT_DOUBLE_EQ(m.power_w(2.0), m.power_w(1.0));
+  EXPECT_GT(m.power(1.0), m.power(0.0));
+  EXPECT_EQ(m.power(-1.0), m.power(0.0));  // clamped
+  EXPECT_EQ(m.power(2.0), m.power(1.0));
 }
 
 TEST(UncoreModel, Fig2PowerDeltaCalibration) {
@@ -78,11 +80,11 @@ TEST(UncoreModel, Fig2PowerDeltaCalibration) {
   // must be ~40 W (x2 sockets ~= the paper's 82 W package drop).
   auto hi = make_model();
   auto lo = make_model();
-  lo.set_policy_limit_ghz(0.8);
-  for (int i = 0; i < 200; ++i) lo.tick(0.01);
-  const double delta = hi.power_w(0.5) - lo.power_w(0.6);
-  EXPECT_GT(delta, 30.0);
-  EXPECT_LT(delta, 52.0);
+  lo.set_policy_limit(0.8_ghz);
+  for (int i = 0; i < 200; ++i) lo.tick(0.01_s);
+  const magus::common::Watts delta = hi.power(0.5) - lo.power(0.6);
+  EXPECT_GT(delta.value(), 30.0);
+  EXPECT_LT(delta.value(), 52.0);
 }
 
 // Property: capacity and power are monotone across the whole ladder.
@@ -93,7 +95,7 @@ TEST_P(UncoreLadderSweep, MonotoneCurves) {
   const double f = 0.8 + 0.1 * GetParam();
   const double f_next = f + 0.1;
   if (f_next > 2.2) GTEST_SKIP();
-  EXPECT_LT(m.capacity_mbps_at(f), m.capacity_mbps_at(f_next));
+  EXPECT_LT(m.capacity_at(magus::common::Ghz(f)), m.capacity_at(magus::common::Ghz(f_next)));
 }
 
 INSTANTIATE_TEST_SUITE_P(Ladder, UncoreLadderSweep, ::testing::Range(0, 14));

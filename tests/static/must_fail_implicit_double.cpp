@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: quantities are explicit; a bare double never silently
+// becomes a frequency.
+#include "magus/common/quantity.hpp"
+
+int main() {
+  magus::common::Ghz freq = 2.2;  // explicit ctor: implicit conversion rejected
+  return static_cast<int>(freq.value());
+}

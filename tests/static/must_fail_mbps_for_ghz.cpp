@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: passing a throughput where a frequency is expected.
+// Registered in tests/CMakeLists.txt with WILL_FAIL; if this ever compiles,
+// the strong-typing guarantee is broken.
+#include "magus/common/quantity.hpp"
+
+int main() {
+  const magus::common::Mbps throughput(2.2);
+  // to_ratio takes Ghz; an Mbps argument is the classic unit mix-up the
+  // quantity types exist to reject.
+  return static_cast<int>(magus::common::to_ratio(throughput).value());
+}

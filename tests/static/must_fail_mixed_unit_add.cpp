@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: adding a frequency to a throughput is dimensionally
+// meaningless and must be rejected at compile time.
+#include "magus/common/quantity.hpp"
+
+int main() {
+  const auto bad = magus::common::Ghz(1.0) + magus::common::Mbps(2.0);
+  return static_cast<int>(bad.value());
+}

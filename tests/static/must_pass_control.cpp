@@ -1,0 +1,13 @@
+// Positive control for the negative-compile tests: exercises the same
+// headers and legal operations. If *this* stops compiling, the WILL_FAIL
+// tests are passing for the wrong reason (broken include path, bad flag).
+#include "magus/common/quantity.hpp"
+
+int main() {
+  using namespace magus::common;
+  using namespace magus::common::quantity_literals;
+  const Ghz f = 1.2_ghz + Ghz(1.0);
+  const Joules e = Watts(100.0) * Seconds(2.0);
+  const double ok = f.value() + e.value() + to_ratio(f).value();
+  return ok > 0.0 ? 0 : 1;
+}

@@ -145,10 +145,10 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   common::TextTable table({"policy", "runtime (s)", "CPU power (W)", "GPU power (W)",
                            "total energy (kJ)"});
   auto add = [&table](const std::string& name, const exp::AggregateResult& r) {
-    table.add_row({name, common::TextTable::num(r.runtime_s),
-                   common::TextTable::num(r.avg_cpu_power_w, 1),
-                   common::TextTable::num(r.avg_gpu_power_w, 1),
-                   common::TextTable::num(r.total_energy_j() / 1000.0)});
+    table.add_row({name, common::TextTable::num(r.runtime.value()),
+                   common::TextTable::num(r.avg_cpu_power.value(), 1),
+                   common::TextTable::num(r.avg_gpu_power.value(), 1),
+                   common::TextTable::num(r.total_energy().value() / 1000.0)});
   };
   add("default", base);
   add(flags.at("policy"), cand);

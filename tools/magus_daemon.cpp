@@ -186,10 +186,10 @@ int run_simulated(const std::map<std::string, std::string>& flags) {
   const auto result = engine.run(hook);
 
   for (const auto& rec : magus.controller().log()) {
-    if (!rec.target_ghz) continue;
-    std::cout << "  t=" << rec.t << "s throughput=" << rec.throughput_mbps / 1000.0
+    if (!rec.target) continue;
+    std::cout << "  t=" << rec.t.value() << "s throughput=" << rec.throughput.value() / 1000.0
               << " GB/s" << (rec.high_freq ? " [high-freq]" : "") << " -> uncore "
-              << *rec.target_ghz << " GHz\n";
+              << rec.target->value() << " GHz\n";
   }
   std::cout << "[magus-daemon] app completed in " << result.duration_s << " s; "
             << result.invocations << " monitoring cycles, avg invocation "
@@ -227,7 +227,7 @@ int run_real(const std::map<std::string, std::string>& flags) {
   hw::LinuxMsrDevice msr(cpus);
   const hw::UncoreFreqLadder ladder(min_ghz, max_ghz);
   core::MagusConfig cfg;
-  cfg.period_s = interval;
+  cfg.period = common::Seconds(interval);
   cfg.scaling_enabled = !flags.count("dry-run");
   core::MagusRuntime magus(counter, msr, ladder, cfg);
   magus.attach_telemetry(tel.registry, &tel.events);

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules clang-tidy cannot express.
+
+Rules (each exits non-zero on violation, with file:line diagnostics):
+
+  raw-unit-param     Public headers of the migrated subsystems must not take
+                     bare `double` *parameters* whose names imply a frequency
+                     or throughput unit (ghz/mbps/freq/throughput) -- those
+                     must be strong-typed quantities (magus::common::Ghz,
+                     Mbps, ...). Struct fields in result/spec records are the
+                     documented raw boundary and stay double. Exempt: hw/
+                     (MSR codecs speak raw encodings), wl/ (phase programs
+                     are a documented raw boundary), and common/units.hpp
+                     (the conversion layer itself).
+
+  naked-msr-literal  The uncore ratio-limit MSR address 0x620 appears as a
+                     code literal only inside hw/; everywhere else it must be
+                     spelled hw::msr::kUncoreRatioLimit. Comments, strings,
+                     and identifiers (raw_0x620_) are fine.
+
+  threshold-source   MDFS threshold knobs (inc_threshold, dec_threshold,
+                     high_freq_threshold) are sourced from config.hpp /
+                     sweep structs; implementation files must not assign
+                     numeric literals to them.
+
+  pragma-once        Every public header carries `#pragma once`.
+
+Usage: tools/magus_lint.py [--root DIR]
+Exit code 0 = clean, 1 = violations found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+UNIT_PARAM_RE = re.compile(
+    r"\bdouble\s+([A-Za-z_]*(?:ghz|mbps|freq|throughput)[A-Za-z_0-9]*)\s*[,)]"
+)
+NAKED_MSR_RE = re.compile(r"(?<![\w.])0x620\b(?!_)")
+THRESHOLD_RE = re.compile(
+    r"\b(inc_threshold|dec_threshold|high_freq_threshold)\s*=\s*[0-9][0-9'.eE+-]*\s*[;,)]"
+)
+
+# Directories whose public headers must use strong-typed quantities.
+QUANTITY_HEADER_DIRS = ("common", "core", "sim", "baseline", "exp", "trace", "telemetry")
+# Raw boundaries, documented in DESIGN.md: MSR codecs and workload phase programs.
+RAW_UNIT_EXEMPT = {"include/magus/common/units.hpp"}
+
+# Files where numeric threshold defaults are the source of truth.
+THRESHOLD_SOURCE_FILES = {
+    "include/magus/core/config.hpp",
+    "include/magus/exp/evaluation.hpp",  # sweep-grid struct defaults
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:end]))
+            i = end
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(" " * (min(j, n - 1) - i + 1))
+            i = min(j, n - 1) + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_violations(root: pathlib.Path):
+    for path in sorted(root.glob("include/magus/**/*.hpp")):
+        rel = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8")
+        code = strip_comments_and_strings(text)
+
+        if "#pragma once" not in text:
+            yield rel, 1, "pragma-once", "public header missing `#pragma once`"
+
+        subsystem = rel.split("/")[2] if rel.count("/") >= 2 else ""
+        if subsystem in QUANTITY_HEADER_DIRS and rel not in RAW_UNIT_EXEMPT:
+            for lineno, line in enumerate(code.splitlines(), 1):
+                m = UNIT_PARAM_RE.search(line)
+                if m:
+                    yield (rel, lineno, "raw-unit-param",
+                           f"bare `double {m.group(1)}` in a public API -- use a "
+                           "magus::common quantity type")
+
+    for path in sorted(root.glob("**/*.[ch]pp")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(("build", "include/magus/hw/", "src/hw/", "tests/hw/")):
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if NAKED_MSR_RE.search(line):
+                yield (rel, lineno, "naked-msr-literal",
+                       "naked 0x620 outside hw/ -- use hw::msr::kUncoreRatioLimit")
+
+    for path in sorted(root.glob("src/**/*.cpp")) + sorted(root.glob("include/magus/**/*.hpp")):
+        rel = path.relative_to(root).as_posix()
+        if rel in THRESHOLD_SOURCE_FILES:
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = THRESHOLD_RE.search(line)
+            if m:
+                yield (rel, lineno, "threshold-source",
+                       f"numeric literal assigned to {m.group(1)} -- thresholds are "
+                       "sourced from config.hpp (defaults) or sweep configs")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=pathlib.Path(__file__).resolve().parent.parent,
+                        type=pathlib.Path, help="repository root (default: tool's parent)")
+    args = parser.parse_args()
+
+    violations = list(iter_violations(args.root))
+    for rel, lineno, rule, msg in violations:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if violations:
+        print(f"magus_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("magus_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
