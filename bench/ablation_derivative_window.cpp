@@ -28,11 +28,11 @@ int main() {
     for (const std::string app : {"unet", "kmeans", "lammps"}) {
       const auto program = wl::make_workload(app);
       const auto base = exp::run_repeated(sim::intel_a100(), program,
-                                          exp::PolicyKind::kDefault, reps);
+                                          "default", reps);
       exp::RunOptions opts;
       opts.magus.direv_length = L;
       const auto magus = exp::run_repeated(sim::intel_a100(), program,
-                                           exp::PolicyKind::kMagus, reps, opts);
+                                           "magus", reps, opts);
       const auto cmp = exp::compare(magus, base);
       table.add_row({std::to_string(L), app, common::TextTable::num(cmp.perf_loss_pct),
                      common::TextTable::num(cmp.cpu_power_saving_pct),

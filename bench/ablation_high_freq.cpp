@@ -27,12 +27,12 @@ int main() {
   for (const std::string app : {"srad", "gromacs", "fdtd2d", "unet"}) {
     const auto program = wl::make_workload(app);
     const auto base = exp::run_repeated(sim::intel_a100(), program,
-                                        exp::PolicyKind::kDefault, reps);
+                                        "default", reps);
     for (const bool detector : {true, false}) {
       exp::RunOptions opts;
       opts.magus.high_freq_detection_enabled = detector;
       const auto magus = exp::run_repeated(sim::intel_a100(), program,
-                                           exp::PolicyKind::kMagus, reps, opts);
+                                           "magus", reps, opts);
       const auto cmp = exp::compare(magus, base);
       table.add_row({app, detector ? "on" : "off",
                      common::TextTable::num(cmp.perf_loss_pct),

@@ -27,14 +27,14 @@ int main() {
                  "energy_saving_pct"});
   const auto unet = wl::make_workload("unet");
   const auto base =
-      exp::run_repeated(sim::intel_a100(), unet, exp::PolicyKind::kDefault, reps);
+      exp::run_repeated(sim::intel_a100(), unet, "default", reps);
   for (const double period : {0.05, 0.1, 0.2, 0.5, 1.0}) {
     exp::RunOptions opts;
     opts.magus.period = magus::common::Seconds(period);
     const auto magus =
-        exp::run_repeated(sim::intel_a100(), unet, exp::PolicyKind::kMagus, reps, opts);
+        exp::run_repeated(sim::intel_a100(), unet, "magus", reps, opts);
     const auto cmp = exp::compare(magus, base);
-    const auto one = exp::run_policy(sim::intel_a100(), unet, exp::PolicyKind::kMagus,
+    const auto one = exp::run_policy(sim::intel_a100(), unet, "magus",
                                      opts);
     period_table.add_row({common::TextTable::num(period),
                           common::TextTable::num(cmp.perf_loss_pct),

@@ -24,17 +24,14 @@ int main() {
 
   for (const std::string app : {"unet", "bfs", "srad", "laghos", "kmeans", "gromacs"}) {
     const auto program = wl::make_workload(app);
-    const auto base = exp::run_repeated(sim::intel_a100(), program,
-                                        exp::PolicyKind::kDefault, reps);
-    for (const auto kind :
-         {exp::PolicyKind::kMagus, exp::PolicyKind::kUps, exp::PolicyKind::kDuf}) {
-      const auto agg = exp::run_repeated(sim::intel_a100(), program, kind, reps);
+    const auto base = exp::run_repeated(sim::intel_a100(), program, "default", reps);
+    for (const std::string policy : {"magus", "ups", "duf"}) {
+      const auto agg = exp::run_repeated(sim::intel_a100(), program, policy, reps);
       const auto cmp = exp::compare(agg, base);
-      table.add_row({app, exp::policy_name(kind), common::TextTable::num(cmp.perf_loss_pct),
+      table.add_row({app, policy, common::TextTable::num(cmp.perf_loss_pct),
                      common::TextTable::num(cmp.cpu_power_saving_pct),
                      common::TextTable::num(cmp.energy_saving_pct)});
-      csv.write_row({app, exp::policy_name(kind),
-                     common::TextTable::num(cmp.perf_loss_pct, 4),
+      csv.write_row({app, policy, common::TextTable::num(cmp.perf_loss_pct, 4),
                      common::TextTable::num(cmp.cpu_power_saving_pct, 4),
                      common::TextTable::num(cmp.energy_saving_pct, 4)});
     }

@@ -15,7 +15,7 @@ int main() {
   exp::RunOptions opts;
   opts.engine.record_traces = true;
   const auto out = exp::run_policy(sim::intel_a100(), wl::make_workload("unet"),
-                                   exp::PolicyKind::kDefault, opts);
+                                   "default", opts);
 
   // The paper samples at 0.5 s; print the same cadence.
   const double dt = 0.5;

@@ -17,9 +17,9 @@ int main() {
   opts.engine.record_traces = true;
 
   const auto vmax =
-      exp::run_policy(sim::intel_a100(), unet, exp::PolicyKind::kStaticMax, opts);
+      exp::run_policy(sim::intel_a100(), unet, "static_max", opts);
   const auto vmin =
-      exp::run_policy(sim::intel_a100(), unet, exp::PolicyKind::kStaticMin, opts);
+      exp::run_policy(sim::intel_a100(), unet, "static_min", opts);
 
   common::TextTable table({"setting", "runtime (s)", "avg CPU pkg (W)", "avg DRAM (W)",
                            "avg GPU (W)", "CPU+DRAM energy (kJ)", "total energy (kJ)"});

@@ -17,11 +17,11 @@ int main() {
   opts.engine.record_traces = true;
 
   const auto vmax =
-      exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kStaticMax, opts);
+      exp::run_policy(sim::intel_a100(), srad, "static_max", opts);
   const auto vmin =
-      exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kStaticMin, opts);
-  const auto magus = exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kMagus, opts);
-  const auto ups = exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kUps, opts);
+      exp::run_policy(sim::intel_a100(), srad, "static_min", opts);
+  const auto magus = exp::run_policy(sim::intel_a100(), srad, "magus", opts);
+  const auto ups = exp::run_policy(sim::intel_a100(), srad, "ups", opts);
 
   common::TextTable table({"t (s)", "max (GB/s)", "min (GB/s)", "MAGUS (GB/s)",
                            "UPS (GB/s)"});

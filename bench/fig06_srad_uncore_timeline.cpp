@@ -17,9 +17,9 @@ int main() {
   exp::RunOptions opts;
   opts.engine.record_traces = true;
 
-  const auto base = exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kDefault, opts);
-  const auto ups = exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kUps, opts);
-  const auto magus = exp::run_policy(sim::intel_a100(), srad, exp::PolicyKind::kMagus, opts);
+  const auto base = exp::run_policy(sim::intel_a100(), srad, "default", opts);
+  const auto ups = exp::run_policy(sim::intel_a100(), srad, "ups", opts);
+  const auto magus = exp::run_policy(sim::intel_a100(), srad, "magus", opts);
 
   common::TextTable table({"t (s)", "baseline (GHz)", "UPS (GHz)", "MAGUS (GHz)"});
   common::CsvWriter csv(bench::out_dir() + "/fig06_srad_uncore.csv");

@@ -68,12 +68,12 @@ void BM_MagusSampleOnSim(benchmark::State& state) {
   sim::SimEngine engine(sim::intel_a100(), wl::make_workload("unet"));
   const hw::UncoreFreqLadder ladder(0.8, 2.2);
   core::MagusRuntime magus(engine.mem_counter(), engine.msr(), ladder);
-  magus.on_start(0.0);
+  magus.on_start(magus::common::Seconds(0.0));
   double t = 0.3;
   for (auto _ : state) {
     // Advance the node a little so the counter moves, then take one sample.
-    engine.node().tick(t, 0.002, {50'000.0, 0.5, 0.2, 0.8}, 0.0);
-    magus.on_sample(t);
+    engine.node().tick(magus::common::Seconds(t), 0.002, {50'000.0, 0.5, 0.2, 0.8}, 0.0);
+    magus.on_sample(magus::common::Seconds(t));
     t += 0.3;
   }
 }
@@ -84,11 +84,11 @@ void BM_UpsSweepOnSim(benchmark::State& state) {
   const hw::UncoreFreqLadder ladder(0.8, 2.2);
   baseline::UpsController ups(engine.energy_counter(), engine.core_counters(),
                               engine.msr(), ladder);
-  ups.on_start(0.0);
+  ups.on_start(magus::common::Seconds(0.0));
   double t = 0.5;
   for (auto _ : state) {
-    engine.node().tick(t, 0.002, {50'000.0, 0.5, 0.2, 0.8}, 0.0);
-    ups.on_sample(t);  // 160 core-counter reads + DRAM energy per call
+    engine.node().tick(magus::common::Seconds(t), 0.002, {50'000.0, 0.5, 0.2, 0.8}, 0.0);
+    ups.on_sample(magus::common::Seconds(t));  // 160 core-counter reads + DRAM energy per call
     t += 0.5;
   }
 }
@@ -99,7 +99,7 @@ void BM_SimEngineTick(benchmark::State& state) {
   const sim::WorkSlice slice{80'000.0, 0.6, 0.2, 0.9};
   double t = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(node.tick(t, 0.002, slice, 0.0));
+    benchmark::DoNotOptimize(node.tick(magus::common::Seconds(t), 0.002, slice, 0.0));
     t += 0.002;
   }
   state.SetItemsProcessed(state.iterations());

@@ -38,8 +38,8 @@ int main() {
   sim::PolicyHook hook;
   hook.name = magus.name();
   hook.period_s = magus.period_s();
-  hook.on_start = [&](double t) { magus.on_start(t); };
-  hook.on_sample = [&](double t) { magus.on_sample(t); };
+  hook.on_start = [&](magus::common::Seconds t) { magus.on_start(t); };
+  hook.on_sample = [&](magus::common::Seconds t) { magus.on_sample(t); };
   const sim::SimResult result = engine.run(hook);
 
   std::cout << "workload '" << program.name() << "': " << program.size()

@@ -29,9 +29,9 @@ int main() {
           wl::scale_for_gpus(wl::make_workload(app), gpus);
 
       const auto base =
-          exp::run_repeated(system, workload, exp::PolicyKind::kDefault, reps);
+          exp::run_repeated(system, workload, "default", reps);
       const auto magus =
-          exp::run_repeated(system, workload, exp::PolicyKind::kMagus, reps);
+          exp::run_repeated(system, workload, "magus", reps);
       const auto cmp = exp::compare(magus, base);
 
       auto row = [&](const char* policy, const exp::AggregateResult& r,

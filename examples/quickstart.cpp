@@ -30,10 +30,10 @@ int main() {
   exp::RunOptions opts;
   opts.engine.record_traces = false;
 
-  const exp::RunOutput base = exp::run_policy(system, unet, exp::PolicyKind::kDefault, opts);
-  const exp::RunOutput umin = exp::run_policy(system, unet, exp::PolicyKind::kStaticMin, opts);
-  const exp::RunOutput magus = exp::run_policy(system, unet, exp::PolicyKind::kMagus, opts);
-  const exp::RunOutput ups = exp::run_policy(system, unet, exp::PolicyKind::kUps, opts);
+  const exp::RunOutput base = exp::run_policy(system, unet, "default", opts);
+  const exp::RunOutput umin = exp::run_policy(system, unet, "static_min", opts);
+  const exp::RunOutput magus = exp::run_policy(system, unet, "magus", opts);
+  const exp::RunOutput ups = exp::run_policy(system, unet, "ups", opts);
 
   common::TextTable table({"policy", "runtime (s)", "avg CPU power (W)", "CPU energy (kJ)",
                            "GPU energy (kJ)", "total energy (kJ)"});

@@ -36,8 +36,8 @@ class DufController final : public core::IPolicy {
   [[nodiscard]] std::string name() const override { return "duf"; }
   [[nodiscard]] double period_s() const override { return cfg_.period.value(); }
 
-  void on_start(double now) override;
-  void on_sample(double now) override;
+  void on_start(common::Seconds now) override;
+  void on_sample(common::Seconds now) override;
 
   [[nodiscard]] common::Ghz current_target() const noexcept { return target_; }
   [[nodiscard]] double last_utilization() const noexcept { return last_util_; }
@@ -52,5 +52,12 @@ class DufController final : public core::IPolicy {
   common::Ghz target_;
   double last_util_ = 0.0;
 };
+
+/// Self-registration anchor for the "duf" PolicyFactory entry (defined in
+/// duf.cpp); see core/policy_factory.hpp for why headers carry these.
+int register_duf_policy();
+namespace {
+[[maybe_unused]] const int kDufPolicyAnchor = register_duf_policy();
+}
 
 }  // namespace magus::baseline

@@ -17,7 +17,7 @@ class DefaultPolicy final : public core::IPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "default"; }
   [[nodiscard]] double period_s() const override { return 0.2; }
-  void on_sample(double now) override { (void)now; }
+  void on_sample(common::Seconds now) override { (void)now; }
 };
 
 /// Pin the uncore max limit to a fixed frequency for the whole run.
@@ -32,11 +32,11 @@ class StaticUncorePolicy final : public core::IPolicy {
   }
   [[nodiscard]] double period_s() const override { return 0.2; }
 
-  void on_start(double now) override {
+  void on_start(common::Seconds now) override {
     (void)now;
     uncore_.set_max_ghz_all(target_.value());
   }
-  void on_sample(double now) override { (void)now; }
+  void on_sample(common::Seconds now) override { (void)now; }
 
   [[nodiscard]] common::Ghz target() const noexcept { return target_; }
 
@@ -44,5 +44,13 @@ class StaticUncorePolicy final : public core::IPolicy {
   hw::UncoreFreqController uncore_;
   common::Ghz target_;
 };
+
+/// Self-registration anchor for the "default", "static", "static_min", and
+/// "static_max" PolicyFactory entries (defined in static_policy.cpp); see
+/// core/policy_factory.hpp for why headers carry these.
+int register_static_policies();
+namespace {
+[[maybe_unused]] const int kStaticPolicyAnchor = register_static_policies();
+}
 
 }  // namespace magus::baseline

@@ -38,8 +38,8 @@ class UpsController final : public core::IPolicy {
   [[nodiscard]] std::string name() const override { return "ups"; }
   [[nodiscard]] double period_s() const override { return cfg_.period.value(); }
 
-  void on_start(double now) override;
-  void on_sample(double now) override;
+  void on_start(common::Seconds now) override;
+  void on_sample(common::Seconds now) override;
 
   [[nodiscard]] common::Ghz current_target() const noexcept { return target_; }
   [[nodiscard]] double last_ipc() const noexcept { return last_ipc_; }
@@ -69,5 +69,12 @@ class UpsController final : public core::IPolicy {
   double phase_best_ipc_ = 0.0;
   unsigned long long phase_changes_ = 0;
 };
+
+/// Self-registration anchor for the "ups" PolicyFactory entry (defined in
+/// ups.cpp); see core/policy_factory.hpp for why headers carry these.
+int register_ups_policy();
+namespace {
+[[maybe_unused]] const int kUpsPolicyAnchor = register_ups_policy();
+}
 
 }  // namespace magus::baseline

@@ -4,9 +4,17 @@
 // A policy is a periodic background process that reads hardware counters and
 // (optionally) rewrites uncore frequency limits. MAGUS, the UPS baseline,
 // and the static policies all implement this; the experiment layer binds a
-// policy to either the simulator or the Linux backends.
+// policy to either the simulator or the Linux backends. Policies are
+// constructed by name through core::PolicyFactory (policy_factory.hpp).
+//
+// Timestamps are strong-typed (common::Seconds): a policy's clock is
+// whatever its driver supplies — simulated time from the engine, wall time
+// from the daemon — and the quantity type keeps that axis from being mixed
+// with frequencies or throughputs at compile time.
 
 #include <string>
+
+#include "magus/common/quantity.hpp"
 
 namespace magus::core {
 
@@ -20,10 +28,10 @@ class IPolicy {
   [[nodiscard]] virtual double period_s() const = 0;
 
   /// Called once when the application launches.
-  virtual void on_start(double now) { (void)now; }
+  virtual void on_start(common::Seconds now) { (void)now; }
 
   /// Called every monitoring period.
-  virtual void on_sample(double now) = 0;
+  virtual void on_sample(common::Seconds now) = 0;
 };
 
 }  // namespace magus::core

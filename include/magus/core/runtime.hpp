@@ -34,9 +34,9 @@ class MagusRuntime final : public IPolicy {
 
   /// Sets the uncore to max (the paper's initial condition) and primes the
   /// throughput counter.
-  void on_start(double now) override;
+  void on_start(common::Seconds now) override;
 
-  void on_sample(double now) override;
+  void on_sample(common::Seconds now) override;
 
   [[nodiscard]] const MdfsController& controller() const noexcept { return *mdfs_; }
   [[nodiscard]] const MagusConfig& config() const noexcept { return cfg_; }
@@ -53,7 +53,7 @@ class MagusRuntime final : public IPolicy {
                         telemetry::EventLog* events = nullptr);
 
  private:
-  void note_sample(double now, const std::optional<common::Ghz>& target);
+  void note_sample(common::Seconds now, const std::optional<common::Ghz>& target);
 
   hw::IMemThroughputCounter& mem_counter_;
   hw::UncoreFreqController uncore_;
@@ -79,5 +79,15 @@ class MagusRuntime final : public IPolicy {
   telemetry::Gauge* m_hf_active_ = nullptr;
   bool last_hf_ = false;
 };
+
+/// Self-registration anchor for the "magus" PolicyFactory entry (defined in
+/// runtime.cpp). The internal-linkage initializer below runs in every TU
+/// that includes this header, forcing the registrar's archive member into
+/// the link — without it a static-library build could silently drop the
+/// registration.
+int register_magus_policy();
+namespace {
+[[maybe_unused]] const int kMagusPolicyAnchor = register_magus_policy();
+}
 
 }  // namespace magus::core

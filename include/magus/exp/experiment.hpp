@@ -1,24 +1,66 @@
 #pragma once
 // Single-run experiment wiring: system preset x workload x policy -> result.
 //
-// This is the only place that binds policies to the simulator backends;
+// Policies are constructed by name through core::PolicyFactory. This is the
+// only place that binds factory-made policies to the simulator backends;
 // benches and tests go through here so every figure uses identical wiring.
 
 #include <string>
 
 #include "magus/baseline/duf.hpp"
+#include "magus/baseline/static_policy.hpp"
 #include "magus/baseline/ups.hpp"
+#include "magus/common/quantity.hpp"
 #include "magus/core/config.hpp"
+#include "magus/core/runtime.hpp"
 #include "magus/sim/engine.hpp"
 #include "magus/sim/system_preset.hpp"
 #include "magus/trace/recorder.hpp"
 #include "magus/wl/phase.hpp"
 
 namespace magus::telemetry {
+class EventLog;
 class MetricsRegistry;
-}
+}  // namespace magus::telemetry
 
 namespace magus::exp {
+
+struct RunOptions {
+  sim::EngineConfig engine;
+  core::MagusConfig magus;
+  baseline::UpsConfig ups;
+  baseline::DufConfig duf;
+  common::Ghz static_ghz{0.0};  ///< pin target for the "static" policy
+  /// When set, the engine, the MAGUS runtime, and the repetition protocol
+  /// report into this registry. Telemetry never feeds back into the
+  /// simulation: results are bit-identical with any registry (including
+  /// telemetry::null_registry()) or none.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::EventLog* events = nullptr;  ///< optional decision event stream
+};
+
+struct RunOutput {
+  sim::SimResult result;
+  trace::TraceRecorder traces;
+};
+
+/// Run one workload under one named policy on one system. Policy names are
+/// resolved through core::PolicyFactory::instance(); unknown names throw
+/// common::ConfigError listing every registered policy.
+[[nodiscard]] RunOutput run_policy(const sim::SystemSpec& system,
+                                   const wl::PhaseProgram& workload,
+                                   const std::string& policy, const RunOptions& opts = {});
+
+/// The Table 2 protocol workload: an (almost) idle node for `duration_s`.
+[[nodiscard]] wl::PhaseProgram idle_workload(double duration_s);
+
+// ---------------------------------------------------------------------------
+// Deprecated PolicyKind shim.
+//
+// PolicyKind predates the factory; it survives only so the golden-determinism
+// fixtures keep compiling byte-for-byte. New call sites must pass names (the
+// `naked-policy-kind` lint rule enforces this); the enum is frozen and will
+// be removed once the goldens are regenerated against names.
 
 enum class PolicyKind {
   kDefault,    ///< stock firmware only (the paper's baseline)
@@ -30,32 +72,12 @@ enum class PolicyKind {
   kDuf,        ///< DUF-style bandwidth-utilisation baseline (Andre et al. '22)
 };
 
+/// The factory name a legacy PolicyKind maps to.
 [[nodiscard]] const char* policy_name(PolicyKind kind) noexcept;
 
-struct RunOptions {
-  sim::EngineConfig engine;
-  core::MagusConfig magus;
-  baseline::UpsConfig ups;
-  baseline::DufConfig duf;
-  double static_ghz = 0.0;  ///< used by PolicyKind::kStatic
-  /// When set, the engine, the MAGUS runtime, and the repetition protocol
-  /// report into this registry. Telemetry never feeds back into the
-  /// simulation: results are bit-identical with any registry (including
-  /// telemetry::null_registry()) or none.
-  telemetry::MetricsRegistry* metrics = nullptr;
-};
-
-struct RunOutput {
-  sim::SimResult result;
-  trace::TraceRecorder traces;
-};
-
-/// Run one workload under one policy on one system.
+/// Deprecated: forwards to the name-based overload via policy_name(kind).
 [[nodiscard]] RunOutput run_policy(const sim::SystemSpec& system,
                                    const wl::PhaseProgram& workload, PolicyKind kind,
                                    const RunOptions& opts = {});
-
-/// The Table 2 protocol workload: an (almost) idle node for `duration_s`.
-[[nodiscard]] wl::PhaseProgram idle_workload(double duration_s);
 
 }  // namespace magus::exp

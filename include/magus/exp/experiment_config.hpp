@@ -1,0 +1,29 @@
+#pragma once
+// A named "run this app on this system under this policy" tuple: the scalar
+// core of a CLI invocation, and the unit a fleet replicates across nodes.
+
+#include <string>
+
+#include "magus/common/quantity.hpp"
+
+namespace magus::fleet {
+class NodeSpec;
+}
+
+namespace magus::exp {
+
+struct ExperimentConfig {
+  std::string name = "experiment";
+  std::string system = "intel_a100";
+  std::string app = "unet";
+  std::string policy = "magus";
+  int gpus = 1;
+  common::Ghz static_ghz{0.0};  ///< pin target when policy == "static"
+
+  /// Adapter into the fleet layer: a NodeSpec that runs this experiment on
+  /// `count` nodes. Defined in src/fleet/manifest.cpp -- exp does not link
+  /// against fleet, so only fleet-linking callers may use this.
+  [[nodiscard]] fleet::NodeSpec to_node_spec(int count = 1) const;
+};
+
+}  // namespace magus::exp

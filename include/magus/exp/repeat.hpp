@@ -4,6 +4,7 @@
 // outliers are removed with an IQR fence and the remainder averaged.
 
 #include <cstdint>
+#include <string>
 
 #include "magus/exp/experiment.hpp"
 #include "magus/exp/metrics.hpp"
@@ -17,10 +18,11 @@ struct RepeatSpec {
   wl::JitterConfig jitter;
 };
 
-/// Run `workload` under `kind` with the repetition protocol.
+/// Run `workload` under the named policy with the repetition protocol.
 [[nodiscard]] AggregateResult run_repeated(const sim::SystemSpec& system,
                                            const wl::PhaseProgram& workload,
-                                           PolicyKind kind, const RepeatSpec& spec,
+                                           const std::string& policy,
+                                           const RepeatSpec& spec,
                                            const RunOptions& opts = {});
 
 }  // namespace magus::exp

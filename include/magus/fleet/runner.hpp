@@ -1,0 +1,112 @@
+#pragma once
+// Sharded fleet execution.
+//
+// FleetRunner turns a FleetManifest into per-node results and fleet rollups.
+// Every node is simulated twice on identical inputs -- once under its
+// configured policy and once under the stock-firmware "default" policy -- so
+// savings are measured against the Intel-default fleet the paper compares to.
+//
+// Determinism contract (same as exp::run_repeated): node inputs depend only
+// on (manifest seed, node index) -- the jitter stream is Rng(seed).fork(i)
+// and the engine seed is seed * 1000003 + i -- nodes land in pre-sized slots
+// by index, and aggregation walks the slots serially in index order. Shards
+// only decide which worker simulates which node, so rollups are bit-identical
+// for any job count and any shard size.
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "magus/fleet/manifest.hpp"
+
+namespace magus::telemetry {
+class Counter;
+class EventLog;
+class Gauge;
+class MetricsRegistry;
+}  // namespace magus::telemetry
+
+namespace magus::fleet {
+
+/// Outcome of one node: its policy run against its default-policy twin.
+struct NodeResult {
+  std::size_t index = 0;  ///< position in FleetManifest::expand()
+  std::string name;
+  std::string system;
+  std::string app;
+  std::string policy;
+  bool completed = false;          ///< policy run finished before the engine cap
+  double runtime_s = 0.0;          ///< policy run
+  double baseline_runtime_s = 0.0; ///< default-policy twin
+  double energy_j = 0.0;           ///< policy run, CPU+DRAM+GPU
+  double baseline_energy_j = 0.0;
+  double joules_saved = 0.0;       ///< baseline_energy_j - energy_j
+  double slowdown_pct = 0.0;       ///< runtime vs twin, positive = slower
+};
+
+/// Rollup over all nodes sharing one policy name.
+struct PolicyRollup {
+  std::string policy;
+  std::size_t nodes = 0;
+  double joules_saved_total = 0.0;
+  double slowdown_p50_pct = 0.0;
+  double slowdown_p95_pct = 0.0;
+  double slowdown_p99_pct = 0.0;
+};
+
+struct FleetResult {
+  std::uint64_t seed = 0;
+  std::size_t nodes_total = 0;
+  double joules_saved_total = 0.0;  ///< fleet vs the all-default fleet
+  double slowdown_p50_pct = 0.0;
+  double slowdown_p95_pct = 0.0;
+  double slowdown_p99_pct = 0.0;
+  std::vector<PolicyRollup> per_policy;  ///< sorted by policy name
+  std::vector<NodeResult> nodes;         ///< fleet order
+
+  /// Canonical JSONL dump: one `fleet_rollup` line, one `policy_rollup` line
+  /// per policy, one `node_result` line per node, all with deterministically
+  /// formatted numbers -- two runs are bit-identical iff these strings match.
+  [[nodiscard]] std::string to_jsonl() const;
+};
+
+/// Runs a validated manifest. Thread-safe progress accessors make live
+/// /fleet/status reporting possible while run() executes on another thread.
+class FleetRunner {
+ public:
+  /// Validates eagerly: throws common::ConfigError listing every manifest
+  /// problem, so a daemon can reject a bad job at submit time.
+  explicit FleetRunner(FleetManifest manifest);
+
+  /// Progress gauges/counters land in `reg` ("magus_fleet_*"); per-node
+  /// completion events go to `events` when non-null. Telemetry never feeds
+  /// back into the simulation: results are bit-identical with or without it.
+  void attach_telemetry(telemetry::MetricsRegistry& reg,
+                        telemetry::EventLog* events = nullptr);
+
+  /// Simulate the whole fleet. Deterministic for any job count (see file
+  /// header). Call at most once per runner.
+  [[nodiscard]] FleetResult run();
+
+  [[nodiscard]] const FleetManifest& manifest() const noexcept { return manifest_; }
+  [[nodiscard]] std::size_t nodes_total() const noexcept { return expanded_.size(); }
+  /// Live count of finished nodes; safe to read from any thread.
+  [[nodiscard]] std::size_t nodes_completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] NodeResult run_node(std::size_t index) const;
+
+  FleetManifest manifest_;
+  std::vector<NodeSpec> expanded_;
+  std::atomic<std::size_t> completed_{0};
+
+  telemetry::EventLog* events_ = nullptr;
+  telemetry::Gauge* m_nodes_total_ = nullptr;
+  telemetry::Counter* m_nodes_done_ = nullptr;
+  telemetry::Gauge* m_joules_saved_ = nullptr;
+};
+
+}  // namespace magus::fleet

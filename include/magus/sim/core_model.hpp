@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "magus/common/quantity.hpp"
 #include "magus/sim/system_preset.hpp"
 
 namespace magus::sim {
@@ -23,7 +24,7 @@ class CoreModel {
 
   /// Display frequency of a representative core (adds per-core spread, used
   /// by the Fig. 1 trace channels).
-  [[nodiscard]] double display_freq_ghz(int core, double now) const noexcept;
+  [[nodiscard]] double display_freq_ghz(int core, common::Seconds now) const noexcept;
 
   /// Core (non-uncore) power per socket at the current operating point.
   [[nodiscard]] double power_w(double util) const noexcept;

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "magus/common/quantity.hpp"
 #include "magus/sim/backends.hpp"
 #include "magus/sim/node.hpp"
 #include "magus/sim/system_preset.hpp"
@@ -32,8 +33,8 @@ namespace magus::sim {
 struct PolicyHook {
   std::string name = "default";
   double period_s = 0.2;
-  std::function<void(double now)> on_start;   ///< once, at t=0 (optional)
-  std::function<void(double now)> on_sample;  ///< every period (optional)
+  std::function<void(common::Seconds now)> on_start;   ///< once, at t=0 (optional)
+  std::function<void(common::Seconds now)> on_sample;  ///< every period (optional)
 };
 
 struct EngineConfig {

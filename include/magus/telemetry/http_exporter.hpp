@@ -1,16 +1,35 @@
 #pragma once
-// Minimal blocking HTTP server for Prometheus scraping: plain POSIX sockets,
-// one background thread, two endpoints — GET /metrics (text format 0.0.4)
-// and GET /healthz. Deliberately not a web server: one request per
-// connection, Connection: close, 8 KiB request cap, 2 s read timeout.
+// Minimal blocking HTTP server: plain POSIX sockets, one background thread,
+// built-in GET /metrics (Prometheus text format 0.0.4) and GET /healthz,
+// plus caller-registered routes (the daemon's fleet job endpoints ride on
+// these). Deliberately not a web server: one request per connection,
+// Connection: close, 8 KiB header cap, 1 MiB body cap, 2 s read timeout.
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "magus/telemetry/registry.hpp"
 
 namespace magus::telemetry {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< target without the query string
+  std::string query;   ///< raw query string, "" when absent
+  std::string body;    ///< request payload (POST), "" otherwise
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
 
 class HttpExporter {
  public:
@@ -27,6 +46,15 @@ class HttpExporter {
   /// The actual bound port (useful with port 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  using RouteHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Register `handler` for exact (method, path) matches. Registered routes
+  /// win over the built-in /metrics and /healthz. A handler that throws
+  /// produces a 500 with the exception text. Replaces any previous handler
+  /// for the same route; safe to call while serving.
+  void add_route(const std::string& method, const std::string& path,
+                 RouteHandler handler);
+
   /// Stop serving and join the background thread (idempotent; also run by
   /// the destructor). In-flight requests finish, new ones are refused.
   void stop();
@@ -36,6 +64,8 @@ class HttpExporter {
   void handle_client(int client_fd);
 
   const MetricsRegistry& registry_;
+  std::mutex routes_mutex_;
+  std::map<std::pair<std::string, std::string>, RouteHandler> routes_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};

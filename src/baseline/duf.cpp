@@ -1,6 +1,9 @@
 #include "magus/baseline/duf.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "magus/core/policy_factory.hpp"
 
 namespace magus::baseline {
 
@@ -11,28 +14,28 @@ DufController::DufController(hw::IMemThroughputCounter& mem_counter, hw::IMsrDev
       cfg_(cfg),
       target_(ladder.max_ghz()) {}
 
-void DufController::on_start(double now) {
+void DufController::on_start(common::Seconds now) {
   if (cfg_.scaling_enabled) {
     uncore_.set_max_ghz_all(uncore_.ladder().max_ghz());
   }
   prev_mb_ = mem_counter_.total_mb();
-  prev_t_ = now;
+  prev_t_ = now.value();
   primed_ = true;
 }
 
-void DufController::on_sample(double now) {
+void DufController::on_sample(common::Seconds now) {
   const double mb = mem_counter_.total_mb();
   if (!primed_) {
     prev_mb_ = mb;
-    prev_t_ = now;
+    prev_t_ = now.value();
     primed_ = true;
     return;
   }
-  const double dt = now - prev_t_;
+  const double dt = now.value() - prev_t_;
   if (dt <= 0.0) return;
   const double throughput = (mb - prev_mb_) / dt;
   prev_mb_ = mb;
-  prev_t_ = now;
+  prev_t_ = now.value();
 
   // Utilisation relative to what the *current* target can deliver.
   const double capacity = std::max(1.0, cfg_.capacity_mbps_per_ghz * target_.value());
@@ -49,6 +52,23 @@ void DufController::on_sample(double now) {
     target_ = next;
     if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_.value());
   }
+}
+
+int register_duf_policy() {
+  static const bool done = [] {
+    core::PolicyFactory::instance().register_policy(
+        "duf",
+        [](const core::PolicyContext& ctx) -> std::unique_ptr<core::IPolicy> {
+          core::require_backend(ctx.mem_counter, "duf", "a memory-throughput counter");
+          core::require_backend(ctx.msr, "duf", "an MSR device");
+          core::require_backend(ctx.ladder, "duf", "an uncore frequency ladder");
+          return std::make_unique<DufController>(*ctx.mem_counter, *ctx.msr, *ctx.ladder,
+                                                 ctx.duf ? *ctx.duf : DufConfig{});
+        },
+        "bandwidth-utilisation ladder walker (Andre et al. '22)", /*is_runtime=*/true);
+    return true;
+  }();
+  return done ? 1 : 0;
 }
 
 }  // namespace magus::baseline

@@ -1,0 +1,60 @@
+#include "magus/baseline/static_policy.hpp"
+
+#include <memory>
+
+#include "magus/common/error.hpp"
+#include "magus/core/policy_factory.hpp"
+
+namespace magus::baseline {
+
+namespace {
+
+std::unique_ptr<core::IPolicy> make_pinned(const core::PolicyContext& ctx,
+                                           const std::string& name, common::Ghz target) {
+  core::require_backend(ctx.msr, name, "an MSR device");
+  core::require_backend(ctx.ladder, name, "an uncore frequency ladder");
+  return std::make_unique<StaticUncorePolicy>(*ctx.msr, *ctx.ladder, target);
+}
+
+}  // namespace
+
+int register_static_policies() {
+  static const bool done = [] {
+    auto& factory = core::PolicyFactory::instance();
+    factory.register_policy(
+        "default",
+        [](const core::PolicyContext&) -> std::unique_ptr<core::IPolicy> {
+          return std::make_unique<DefaultPolicy>();
+        },
+        "stock firmware only (the paper's baseline)", /*is_runtime=*/false);
+    factory.register_policy(
+        "static_min",
+        [](const core::PolicyContext& ctx) {
+          core::require_backend(ctx.ladder, "static_min", "an uncore frequency ladder");
+          return make_pinned(ctx, "static_min", common::Ghz(ctx.ladder->min_ghz()));
+        },
+        "uncore pinned at ladder min (Fig. 2 right)", /*is_runtime=*/false);
+    factory.register_policy(
+        "static_max",
+        [](const core::PolicyContext& ctx) {
+          core::require_backend(ctx.ladder, "static_max", "an uncore frequency ladder");
+          return make_pinned(ctx, "static_max", common::Ghz(ctx.ladder->max_ghz()));
+        },
+        "uncore pinned at ladder max (Fig. 2 left)", /*is_runtime=*/false);
+    factory.register_policy(
+        "static",
+        [](const core::PolicyContext& ctx) {
+          if (ctx.static_ghz <= common::Ghz(0.0)) {
+            throw common::ConfigError(
+                "policy 'static' requires a positive pin target "
+                "(RunOptions::static_ghz / NodeSpec::static_uncore)");
+          }
+          return make_pinned(ctx, "static", ctx.static_ghz);
+        },
+        "uncore pinned at a configured frequency", /*is_runtime=*/false);
+    return true;
+  }();
+  return done ? 1 : 0;
+}
+
+}  // namespace magus::baseline

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "magus/core/policy_factory.hpp"
+
 namespace magus::baseline {
 
 UpsController::UpsController(hw::IEnergyCounter& energy, hw::ICoreCounters& cores,
@@ -27,25 +29,25 @@ UpsController::Snapshot UpsController::sweep() {
   return s;
 }
 
-void UpsController::on_start(double now) {
+void UpsController::on_start(common::Seconds now) {
   if (cfg_.scaling_enabled) {
     uncore_.set_max_ghz_all(uncore_.ladder().max_ghz());
     target_ = common::Ghz(uncore_.ladder().max_ghz());
   }
   prev_ = sweep();
-  prev_t_ = now;
+  prev_t_ = now.value();
   primed_ = true;
 }
 
-void UpsController::on_sample(double now) {
+void UpsController::on_sample(common::Seconds now) {
   const Snapshot cur = sweep();
   if (!primed_) {
     prev_ = cur;
-    prev_t_ = now;
+    prev_t_ = now.value();
     primed_ = true;
     return;
   }
-  const double dt = now - prev_t_;
+  const double dt = now.value() - prev_t_;
   if (dt <= 0.0) return;
 
   last_dram_ = common::Watts((cur.dram_j - prev_.dram_j) / dt);
@@ -53,7 +55,7 @@ void UpsController::on_sample(double now) {
   const auto dinst = static_cast<double>(cur.instructions - prev_.instructions);
   last_ipc_ = dcycles > 0.0 ? dinst / dcycles : 0.0;
   prev_ = cur;
-  prev_t_ = now;
+  prev_t_ = now.value();
 
   const auto& ladder = uncore_.ladder();
 
@@ -88,6 +90,25 @@ void UpsController::on_sample(double now) {
       if (cfg_.scaling_enabled) uncore_.set_max_ghz_all(target_.value());
     }
   }
+}
+
+int register_ups_policy() {
+  static const bool done = [] {
+    core::PolicyFactory::instance().register_policy(
+        "ups",
+        [](const core::PolicyContext& ctx) -> std::unique_ptr<core::IPolicy> {
+          core::require_backend(ctx.energy_counter, "ups", "an energy counter");
+          core::require_backend(ctx.core_counters, "ups", "per-core counters");
+          core::require_backend(ctx.msr, "ups", "an MSR device");
+          core::require_backend(ctx.ladder, "ups", "an uncore frequency ladder");
+          return std::make_unique<UpsController>(*ctx.energy_counter, *ctx.core_counters,
+                                                 *ctx.msr, *ctx.ladder,
+                                                 ctx.ups ? *ctx.ups : UpsConfig{});
+        },
+        "Uncore Power Scavenger baseline (Gholkar et al. SC'19)", /*is_runtime=*/true);
+    return true;
+  }();
+  return done ? 1 : 0;
 }
 
 }  // namespace magus::baseline

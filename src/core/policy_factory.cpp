@@ -1,0 +1,89 @@
+#include "magus/core/policy_factory.hpp"
+
+#include <utility>
+
+#include "magus/common/error.hpp"
+
+namespace magus::core {
+
+void PolicyFactory::register_policy(const std::string& name, Maker maker,
+                                    const std::string& summary, bool is_runtime) {
+  if (name.empty()) {
+    throw common::ConfigError("PolicyFactory: policy name must be non-empty");
+  }
+  if (!maker) {
+    throw common::ConfigError("PolicyFactory: maker for '" + name + "' must be callable");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      entries_.emplace(name, Entry{std::move(maker), summary, is_runtime});
+  if (!inserted) {
+    throw common::ConfigError("PolicyFactory: policy '" + name + "' is already registered");
+  }
+}
+
+const PolicyFactory::Entry& PolicyFactory::entry_or_throw(const std::string& name) const {
+  // Callers hold mutex_.
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [n, e] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw common::ConfigError("unknown policy '" + name + "'; registered policies: " +
+                              (known.empty() ? "(none)" : known));
+  }
+  return it->second;
+}
+
+std::unique_ptr<IPolicy> PolicyFactory::make_policy(const std::string& name,
+                                                    const PolicyContext& ctx) const {
+  Maker maker;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    maker = entry_or_throw(name).maker;  // copy so makers may re-enter the factory
+  }
+  return maker(ctx);
+}
+
+bool PolicyFactory::has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) > 0;
+}
+
+bool PolicyFactory::is_runtime(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entry_or_throw(name).is_runtime;
+}
+
+std::string PolicyFactory::summary(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entry_or_throw(name).summary;
+}
+
+std::vector<std::string> PolicyFactory::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [n, e] : entries_) out.push_back(n);  // map order: sorted
+  return out;
+}
+
+std::size_t PolicyFactory::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+PolicyFactory& PolicyFactory::instance() {
+  static PolicyFactory factory;
+  return factory;
+}
+
+void require_backend(const void* backend, const std::string& policy, const char* what) {
+  if (backend == nullptr) {
+    throw common::ConfigError("policy '" + policy + "' requires " + what);
+  }
+}
+
+}  // namespace magus::core

@@ -1,5 +1,6 @@
 #include "magus/core/runtime.hpp"
 
+#include "magus/core/policy_factory.hpp"
 #include "magus/telemetry/event_log.hpp"
 #include "magus/telemetry/registry.hpp"
 
@@ -41,39 +42,39 @@ void MagusRuntime::attach_telemetry(telemetry::MetricsRegistry& reg,
   uncore_.attach_telemetry(reg);
 }
 
-void MagusRuntime::on_start(double now) {
+void MagusRuntime::on_start(common::Seconds now) {
   if (cfg_.scaling_enabled) {
     uncore_.set_max_ghz_all(uncore_.ladder().max_ghz());
   }
   telemetry::set(m_target_ghz_, uncore_.ladder().max_ghz());
   prev_mb_ = mem_counter_.total_mb();
-  prev_t_ = now;
+  prev_t_ = now.value();
   primed_ = true;
 }
 
-void MagusRuntime::on_sample(double now) {
+void MagusRuntime::on_sample(common::Seconds now) {
   const double mb = mem_counter_.total_mb();
   if (!primed_) {
     prev_mb_ = mb;
-    prev_t_ = now;
+    prev_t_ = now.value();
     primed_ = true;
     return;
   }
-  const double dt = now - prev_t_;
+  const double dt = now.value() - prev_t_;
   if (dt <= 0.0) return;
   last_throughput_ = common::Mbps((mb - prev_mb_) / dt);
   prev_mb_ = mb;
-  prev_t_ = now;
+  prev_t_ = now.value();
 
-  const std::optional<common::Ghz> target =
-      mdfs_->on_throughput(common::Seconds(now), last_throughput_);
+  const std::optional<common::Ghz> target = mdfs_->on_throughput(now, last_throughput_);
   if (target && cfg_.scaling_enabled) {
     uncore_.set_max_ghz_all(target->value());
   }
   note_sample(now, target);
 }
 
-void MagusRuntime::note_sample(double now, const std::optional<common::Ghz>& target) {
+void MagusRuntime::note_sample(common::Seconds now,
+                               const std::optional<common::Ghz>& target) {
   // One branch on the hot path when telemetry is detached / NullRegistry.
   if (!m_samples_ && !events_) return;
 
@@ -97,7 +98,7 @@ void MagusRuntime::note_sample(double now, const std::optional<common::Ghz>& tar
     telemetry::inc(m_tuning_events_);
     telemetry::set(m_target_ghz_, target->value());
     if (events_) {
-      events_->emit(telemetry::Event(now, "uncore_retarget")
+      events_->emit(telemetry::Event(now.value(), "uncore_retarget")
                         .num("target_ghz", target->value())
                         .num("throughput_mbps", last_throughput_.value())
                         .flag("high_freq", hf));
@@ -106,11 +107,30 @@ void MagusRuntime::note_sample(double now, const std::optional<common::Ghz>& tar
   if (hf != last_hf_) {
     if (hf) telemetry::inc(m_hf_phases_);
     if (events_) {
-      events_->emit(telemetry::Event(now, hf ? "high_freq_enter" : "high_freq_exit")
+      events_->emit(telemetry::Event(now.value(), hf ? "high_freq_enter" : "high_freq_exit")
                         .num("throughput_mbps", last_throughput_.value()));
     }
     last_hf_ = hf;
   }
+}
+
+int register_magus_policy() {
+  static const bool done = [] {
+    PolicyFactory::instance().register_policy(
+        "magus",
+        [](const PolicyContext& ctx) -> std::unique_ptr<IPolicy> {
+          require_backend(ctx.mem_counter, "magus", "a memory-throughput counter");
+          require_backend(ctx.msr, "magus", "an MSR device");
+          require_backend(ctx.ladder, "magus", "an uncore frequency ladder");
+          auto magus = std::make_unique<MagusRuntime>(
+              *ctx.mem_counter, *ctx.msr, *ctx.ladder, ctx.magus ? *ctx.magus : MagusConfig{});
+          if (ctx.metrics) magus->attach_telemetry(*ctx.metrics, ctx.events);
+          return magus;
+        },
+        "the paper's adaptive uncore-scaling runtime (MDFS)", /*is_runtime=*/true);
+    return true;
+  }();
+  return done ? 1 : 0;
 }
 
 }  // namespace magus::core

@@ -1,6 +1,7 @@
 #include "magus/exp/evaluation.hpp"
 
 #include <array>
+#include <string>
 #include <cmath>
 #include <set>
 #include <tuple>
@@ -24,11 +25,10 @@ AppEvaluation evaluate_app(const sim::SystemSpec& system, const std::string& app
   // The three aggregates are independent repetition batches; fan them out.
   // Each slot is written by exactly one task, and run_repeated itself is
   // deterministic for any job count, so the comparisons below are unchanged.
-  constexpr std::array<PolicyKind, 3> kinds{PolicyKind::kDefault, PolicyKind::kMagus,
-                                            PolicyKind::kUps};
+  const std::array<std::string, 3> policies{"default", "magus", "ups"};
   std::array<AggregateResult, 3> agg;
-  common::default_pool().parallel_for_each(kinds.size(), [&](std::size_t i) {
-    agg[i] = run_repeated(system, program, kinds[i], spec.repeat, spec.options);
+  common::default_pool().parallel_for_each(policies.size(), [&](std::size_t i) {
+    agg[i] = run_repeated(system, program, policies[i], spec.repeat, spec.options);
   });
   eval.baseline = agg[0];
   eval.magus = agg[1];
@@ -45,8 +45,8 @@ JaccardResult jaccard_for_app(const sim::SystemSpec& system, const std::string& 
   RunOptions trace_opts = opts;
   trace_opts.engine.record_traces = true;
 
-  const RunOutput base = run_policy(system, program, PolicyKind::kStaticMax, trace_opts);
-  const RunOutput magus = run_policy(system, program, PolicyKind::kMagus, trace_opts);
+  const RunOutput base = run_policy(system, program, "static_max", trace_opts);
+  const RunOutput magus = run_policy(system, program, "magus", trace_opts);
 
   const auto& base_ts = base.traces.series(trace::channel::kMemThroughput);
   const auto& magus_ts = magus.traces.series(trace::channel::kMemThroughput);
@@ -110,7 +110,7 @@ std::vector<SweepPoint> sensitivity_sweep(const sim::SystemSpec& system,
     opts.magus.high_freq_threshold = c.hf;
     opts.metrics = spec.metrics;
     const AggregateResult agg =
-        run_repeated(system, program, PolicyKind::kMagus, spec.repeat, opts);
+        run_repeated(system, program, "magus", spec.repeat, opts);
     telemetry::inc(combos_done);
     SweepPoint pt;
     pt.inc_threshold = c.inc;
@@ -143,9 +143,9 @@ OverheadResult measure_overhead(const sim::SystemSpec& system, double idle_durat
   opts.magus.scaling_enabled = false;
   opts.ups.scaling_enabled = false;
 
-  const RunOutput base = run_policy(system, idle, PolicyKind::kDefault, opts);
-  const RunOutput magus = run_policy(system, idle, PolicyKind::kMagus, opts);
-  const RunOutput ups = run_policy(system, idle, PolicyKind::kUps, opts);
+  const RunOutput base = run_policy(system, idle, "default", opts);
+  const RunOutput magus = run_policy(system, idle, "magus", opts);
+  const RunOutput ups = run_policy(system, idle, "ups", opts);
 
   auto cpu_power = [](const sim::SimResult& r) { return r.avg_cpu_power_w(); };
 

@@ -2,11 +2,48 @@
 
 #include <memory>
 
-#include "magus/baseline/static_policy.hpp"
 #include "magus/common/error.hpp"
-#include "magus/core/runtime.hpp"
+#include "magus/core/policy_factory.hpp"
 
 namespace magus::exp {
+
+RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& workload,
+                     const std::string& policy, const RunOptions& opts) {
+  sim::SimEngine engine(system, workload, opts.engine);
+  if (opts.metrics) engine.attach_telemetry(*opts.metrics);
+  const hw::UncoreFreqLadder ladder(system.cpu.uncore_min_ghz, system.cpu.uncore_max_ghz);
+
+  core::PolicyContext ctx;
+  ctx.mem_counter = &engine.mem_counter();
+  ctx.energy_counter = &engine.energy_counter();
+  ctx.core_counters = &engine.core_counters();
+  ctx.msr = &engine.msr();
+  ctx.ladder = &ladder;
+  ctx.magus = &opts.magus;
+  ctx.ups = &opts.ups;
+  ctx.duf = &opts.duf;
+  ctx.static_ghz = opts.static_ghz;
+  ctx.metrics = opts.metrics;
+  ctx.events = opts.events;
+
+  const core::PolicyFactory& factory = core::PolicyFactory::instance();
+  std::unique_ptr<core::IPolicy> bound = factory.make_policy(policy, ctx);
+
+  sim::PolicyHook hook;
+  hook.name = bound->name();
+  hook.period_s = bound->period_s();
+  hook.on_start = [&bound](common::Seconds now) { bound->on_start(now); };
+  // Default and static policies do nothing per sample; skip the callback so
+  // the engine charges them zero monitoring overhead (they are not runtimes).
+  if (factory.is_runtime(policy)) {
+    hook.on_sample = [&bound](common::Seconds now) { bound->on_sample(now); };
+  }
+
+  RunOutput out;
+  out.result = engine.run(hook);
+  out.traces = engine.recorder();
+  return out;
+}
 
 const char* policy_name(PolicyKind kind) noexcept {
   switch (kind) {
@@ -23,64 +60,7 @@ const char* policy_name(PolicyKind kind) noexcept {
 
 RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& workload,
                      PolicyKind kind, const RunOptions& opts) {
-  sim::SimEngine engine(system, workload, opts.engine);
-  if (opts.metrics) engine.attach_telemetry(*opts.metrics);
-  const hw::UncoreFreqLadder ladder(system.cpu.uncore_min_ghz, system.cpu.uncore_max_ghz);
-
-  std::unique_ptr<core::IPolicy> policy;
-  switch (kind) {
-    case PolicyKind::kDefault:
-      policy = std::make_unique<baseline::DefaultPolicy>();
-      break;
-    case PolicyKind::kStaticMin:
-      policy = std::make_unique<baseline::StaticUncorePolicy>(
-          engine.msr(), ladder, common::Ghz(ladder.min_ghz()));
-      break;
-    case PolicyKind::kStaticMax:
-      policy = std::make_unique<baseline::StaticUncorePolicy>(
-          engine.msr(), ladder, common::Ghz(ladder.max_ghz()));
-      break;
-    case PolicyKind::kStatic:
-      if (opts.static_ghz <= 0.0) {
-        throw common::ConfigError("run_policy: kStatic requires static_ghz");
-      }
-      policy = std::make_unique<baseline::StaticUncorePolicy>(
-          engine.msr(), ladder, common::Ghz(opts.static_ghz));
-      break;
-    case PolicyKind::kMagus: {
-      auto magus = std::make_unique<core::MagusRuntime>(engine.mem_counter(), engine.msr(),
-                                                        ladder, opts.magus);
-      if (opts.metrics) magus->attach_telemetry(*opts.metrics);
-      policy = std::move(magus);
-      break;
-    }
-    case PolicyKind::kUps:
-      policy = std::make_unique<baseline::UpsController>(engine.energy_counter(),
-                                                         engine.core_counters(),
-                                                         engine.msr(), ladder, opts.ups);
-      break;
-    case PolicyKind::kDuf:
-      policy = std::make_unique<baseline::DufController>(engine.mem_counter(),
-                                                         engine.msr(), ladder, opts.duf);
-      break;
-  }
-
-  sim::PolicyHook hook;
-  hook.name = policy->name();
-  hook.period_s = policy->period_s();
-  // Default and static policies do nothing per sample; skip the callback so
-  // the engine charges them zero monitoring overhead (they are not runtimes).
-  const bool is_runtime = (kind == PolicyKind::kMagus || kind == PolicyKind::kUps ||
-                           kind == PolicyKind::kDuf);
-  hook.on_start = [&policy](double now) { policy->on_start(now); };
-  if (is_runtime) {
-    hook.on_sample = [&policy](double now) { policy->on_sample(now); };
-  }
-
-  RunOutput out;
-  out.result = engine.run(hook);
-  out.traces = engine.recorder();
-  return out;
+  return run_policy(system, workload, std::string(policy_name(kind)), opts);
 }
 
 wl::PhaseProgram idle_workload(double duration_s) {

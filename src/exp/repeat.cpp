@@ -11,7 +11,7 @@
 namespace magus::exp {
 
 AggregateResult run_repeated(const sim::SystemSpec& system, const wl::PhaseProgram& workload,
-                             PolicyKind kind, const RepeatSpec& spec,
+                             const std::string& policy, const RepeatSpec& spec,
                              const RunOptions& opts) {
   if (spec.repetitions < 1) throw common::ConfigError("run_repeated: repetitions < 1");
 
@@ -35,7 +35,7 @@ AggregateResult run_repeated(const sim::SystemSpec& system, const wl::PhaseProgr
     RunOptions rep_opts = opts;
     rep_opts.engine.seed = spec.seed * 1000003ull + static_cast<std::uint64_t>(rep);
     rep_opts.engine.record_traces = false;  // scalar metrics only; traces cost memory
-    results[rep] = run_policy(system, jittered, kind, rep_opts).result;
+    results[rep] = run_policy(system, jittered, policy, rep_opts).result;
     telemetry::inc(reps_done);
   });
 

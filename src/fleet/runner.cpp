@@ -1,0 +1,186 @@
+#include "magus/fleet/runner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "magus/common/error.hpp"
+#include "magus/common/rng.hpp"
+#include "magus/common/stats.hpp"
+#include "magus/common/thread_pool.hpp"
+#include "magus/exp/experiment.hpp"
+#include "magus/telemetry/event_log.hpp"
+#include "magus/telemetry/registry.hpp"
+#include "magus/wl/catalog.hpp"
+#include "magus/wl/jitter.hpp"
+
+namespace magus::fleet {
+
+FleetRunner::FleetRunner(FleetManifest manifest) : manifest_(std::move(manifest)) {
+  manifest_.validate_or_throw();
+  expanded_ = manifest_.expand();
+}
+
+void FleetRunner::attach_telemetry(telemetry::MetricsRegistry& reg,
+                                   telemetry::EventLog* events) {
+  events_ = events;
+  m_nodes_total_ = reg.gauge("magus_fleet_nodes", "Nodes in the current fleet run");
+  m_nodes_done_ =
+      reg.counter("magus_fleet_nodes_completed_total", "Fleet nodes fully simulated");
+  m_joules_saved_ = reg.gauge("magus_fleet_joules_saved_total",
+                              "Fleet energy saved vs the all-default fleet (J)");
+}
+
+NodeResult FleetRunner::run_node(std::size_t index) const {
+  const NodeSpec& spec = expanded_[index];
+
+  // Node identity drives all randomness: the jitter stream is forked from
+  // the manifest seed by node index (fork is order-independent), and the
+  // engine noise seed is derived the same way exp::run_repeated derives
+  // per-repetition seeds. Nothing depends on scheduling.
+  common::Rng node_rng = common::Rng(manifest_.seed()).fork(index);
+  wl::PhaseProgram program = wl::make_workload(spec.app());
+  if (spec.gpus() > 1) program = wl::scale_for_gpus(program, spec.gpus());
+  const wl::PhaseProgram jittered = wl::apply_jitter(program, node_rng, manifest_.jitter());
+
+  exp::RunOptions opts;
+  opts.engine.seed = manifest_.seed() * 1000003ull + index;
+  opts.engine.record_traces = false;
+  opts.static_ghz = spec.static_uncore();
+
+  const sim::SystemSpec system = sim::system_by_name(spec.system());
+  const sim::SimResult run = exp::run_policy(system, jittered, spec.policy(), opts).result;
+  // The default-policy twin sees the identical jittered workload and engine
+  // seed; when the node already runs "default" it is its own twin.
+  const sim::SimResult baseline =
+      spec.policy() == "default" ? run
+                                 : exp::run_policy(system, jittered, "default", opts).result;
+
+  NodeResult out;
+  out.index = index;
+  out.name = spec.name();
+  out.system = spec.system();
+  out.app = spec.app();
+  out.policy = spec.policy();
+  out.completed = run.completed;
+  out.runtime_s = run.duration_s;
+  out.baseline_runtime_s = baseline.duration_s;
+  out.energy_j = run.total_energy_j();
+  out.baseline_energy_j = baseline.total_energy_j();
+  out.joules_saved = out.baseline_energy_j - out.energy_j;
+  out.slowdown_pct = baseline.duration_s > 0.0
+                         ? 100.0 * (run.duration_s / baseline.duration_s - 1.0)
+                         : 0.0;
+  return out;
+}
+
+FleetResult FleetRunner::run() {
+  const std::size_t total = expanded_.size();
+  completed_.store(0, std::memory_order_relaxed);
+  telemetry::set(m_nodes_total_, static_cast<double>(total));
+
+  // Shards are contiguous index ranges; each shard simulates its nodes
+  // serially into pre-sized slots. The shard fan-out decides only which
+  // worker computes which slot, never the values, so any --jobs count (and
+  // any shard size) yields bit-identical rollups.
+  const std::size_t shard_size = static_cast<std::size_t>(manifest_.shard_size());
+  const std::size_t shards = (total + shard_size - 1) / shard_size;
+  std::vector<NodeResult> results(total);
+  common::default_pool().parallel_for_each(shards, [&](std::size_t shard) {
+    const std::size_t begin = shard * shard_size;
+    const std::size_t end = std::min(total, begin + shard_size);
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = run_node(i);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::inc(m_nodes_done_);
+      if (events_) {
+        events_->emit(telemetry::Event(results[i].runtime_s, "fleet_node_done")
+                          .str("node", results[i].name)
+                          .str("policy", results[i].policy)
+                          .num("joules_saved", results[i].joules_saved)
+                          .num("slowdown_pct", results[i].slowdown_pct));
+      }
+    }
+  });
+
+  // Serial aggregation in node-index order: the accumulation order of every
+  // double below is fixed, keeping rollups bit-identical across job counts.
+  FleetResult fleet;
+  fleet.seed = manifest_.seed();
+  fleet.nodes_total = total;
+  std::vector<double> slowdowns;
+  slowdowns.reserve(total);
+  std::map<std::string, std::pair<std::vector<double>, double>> by_policy;
+  for (const NodeResult& r : results) {
+    fleet.joules_saved_total += r.joules_saved;
+    slowdowns.push_back(r.slowdown_pct);
+    auto& [policy_slowdowns, policy_joules] = by_policy[r.policy];
+    policy_slowdowns.push_back(r.slowdown_pct);
+    policy_joules += r.joules_saved;
+  }
+  fleet.slowdown_p50_pct = common::percentile(slowdowns, 50.0);
+  fleet.slowdown_p95_pct = common::percentile(slowdowns, 95.0);
+  fleet.slowdown_p99_pct = common::percentile(slowdowns, 99.0);
+  for (const auto& [policy, acc] : by_policy) {
+    PolicyRollup roll;
+    roll.policy = policy;
+    roll.nodes = acc.first.size();
+    roll.joules_saved_total = acc.second;
+    roll.slowdown_p50_pct = common::percentile(acc.first, 50.0);
+    roll.slowdown_p95_pct = common::percentile(acc.first, 95.0);
+    roll.slowdown_p99_pct = common::percentile(acc.first, 99.0);
+    fleet.per_policy.push_back(std::move(roll));
+  }
+  fleet.nodes = std::move(results);
+
+  telemetry::set(m_joules_saved_, fleet.joules_saved_total);
+  if (events_) {
+    events_->emit(telemetry::Event(0.0, "fleet_done")
+                      .num("nodes", static_cast<double>(total))
+                      .num("joules_saved_total", fleet.joules_saved_total)
+                      .num("slowdown_p95_pct", fleet.slowdown_p95_pct));
+  }
+  return fleet;
+}
+
+std::string FleetResult::to_jsonl() const {
+  std::string out = telemetry::Event(0.0, "fleet_rollup")
+                        .str("seed", std::to_string(seed))
+                        .num("nodes", static_cast<double>(nodes_total))
+                        .num("joules_saved_total", joules_saved_total)
+                        .num("slowdown_p50_pct", slowdown_p50_pct)
+                        .num("slowdown_p95_pct", slowdown_p95_pct)
+                        .num("slowdown_p99_pct", slowdown_p99_pct)
+                        .to_json() +
+                    "\n";
+  for (const PolicyRollup& roll : per_policy) {
+    out += telemetry::Event(0.0, "policy_rollup")
+               .str("policy", roll.policy)
+               .num("nodes", static_cast<double>(roll.nodes))
+               .num("joules_saved_total", roll.joules_saved_total)
+               .num("slowdown_p50_pct", roll.slowdown_p50_pct)
+               .num("slowdown_p95_pct", roll.slowdown_p95_pct)
+               .num("slowdown_p99_pct", roll.slowdown_p99_pct)
+               .to_json() +
+           "\n";
+  }
+  for (const NodeResult& r : nodes) {
+    out += telemetry::Event(0.0, "node_result")
+               .str("node", r.name)
+               .str("system", r.system)
+               .str("app", r.app)
+               .str("policy", r.policy)
+               .flag("completed", r.completed)
+               .num("runtime_s", r.runtime_s)
+               .num("baseline_runtime_s", r.baseline_runtime_s)
+               .num("energy_j", r.energy_j)
+               .num("baseline_energy_j", r.baseline_energy_j)
+               .num("joules_saved", r.joules_saved)
+               .num("slowdown_pct", r.slowdown_pct)
+               .to_json() +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace magus::fleet

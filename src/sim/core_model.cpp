@@ -24,11 +24,11 @@ void CoreModel::tick(double dt, double util, double ipc_eff) {
   instructions_ += cycles_delta * std::max(0.05, ipc_eff);
 }
 
-double CoreModel::display_freq_ghz(int core, double now) const noexcept {
+double CoreModel::display_freq_ghz(int core, common::Seconds now) const noexcept {
   // Per-core spread: each core's governor hunts independently; a small
   // phase-shifted oscillation reproduces the scatter in Fig. 1a.
   const double phase = static_cast<double>(core) * 0.37;
-  const double wobble = 0.04 * std::sin(6.2831853 * (now / 1.1 + phase));
+  const double wobble = 0.04 * std::sin(6.2831853 * (now.value() / 1.1 + phase));
   const double f = freq_ghz_ * (1.0 + wobble);
   return std::clamp(f, spec_.core_min_ghz, spec_.core_max_ghz);
 }

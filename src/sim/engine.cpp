@@ -74,7 +74,7 @@ SimResult SimEngine::run(const PolicyHook& policy) {
 
   ProgramExecutor executor(program_);
 
-  if (policy.on_start) policy.on_start(0.0);
+  if (policy.on_start) policy.on_start(common::Seconds(0.0));
 
   double t = 0.0;
   double next_sample_t = policy.on_sample ? policy.period_s : -1.0;
@@ -86,7 +86,7 @@ SimResult SimEngine::run(const PolicyHook& policy) {
     const double dt = cfg_.tick_s;
     const WorkSlice slice = executor.slice();
     const double extra_w = (t < monitor_busy_until) ? monitor_power_w : 0.0;
-    const TickOutput out = node_.tick(t, dt, slice, extra_w);
+    const TickOutput out = node_.tick(common::Seconds(t), dt, slice, extra_w);
     executor.advance(dt * out.progress_rate);
     ++ticks;
 
@@ -102,7 +102,7 @@ SimResult SimEngine::run(const PolicyHook& policy) {
                        out.pkg_power_w + out.dram_power_w + out.gpu_power_w);
       for (int c = 0; c < cfg_.display_cores; ++c) {
         recorder_.record(std::string(trace::channel::kCoreFreq) + "_" + std::to_string(c),
-                         t, node_.cores().display_freq_ghz(c, t));
+                         t, node_.cores().display_freq_ghz(c, common::Seconds(t)));
       }
       next_record_t = t + cfg_.record_dt_s;
     }
@@ -111,7 +111,7 @@ SimResult SimEngine::run(const PolicyHook& policy) {
 
     if (policy.on_sample && next_sample_t >= 0.0 && t >= next_sample_t) {
       const AccessMeter before = meter_;
-      policy.on_sample(t);
+      policy.on_sample(common::Seconds(t));
       const auto msr_delta =
           (meter_.msr_reads - before.msr_reads) + (meter_.msr_writes - before.msr_writes);
       const auto pcm_delta = meter_.pcm_reads - before.pcm_reads;

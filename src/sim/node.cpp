@@ -40,7 +40,7 @@ double NodeModel::total_dram_energy_j() const noexcept {
   return e;
 }
 
-TickOutput NodeModel::tick(double now, double dt, const WorkSlice& slice,
+TickOutput NodeModel::tick(common::Seconds now, double dt, const WorkSlice& slice,
                            double monitor_extra_w) {
   // 1. Firmware governor per socket (stock TDP-coupled uncore behaviour),
   //    using the previous tick's power (sensor delay is ~1 tick anyway).

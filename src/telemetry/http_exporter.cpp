@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -23,6 +25,19 @@ void send_all(int fd, const std::string& data) {
         ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n <= 0) return;  // client went away; nothing to salvage
     off += static_cast<std::size_t>(n);
+  }
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    default: return status >= 500 ? "Internal Server Error" : "Error";
   }
 }
 
@@ -64,6 +79,12 @@ HttpExporter::HttpExporter(const MetricsRegistry& registry, std::uint16_t port)
 
 HttpExporter::~HttpExporter() { stop(); }
 
+void HttpExporter::add_route(const std::string& method, const std::string& path,
+                             RouteHandler handler) {
+  const std::lock_guard<std::mutex> lock(routes_mutex_);
+  routes_[{method, path}] = std::move(handler);
+}
+
 void HttpExporter::stop() {
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
@@ -94,40 +115,99 @@ void HttpExporter::handle_client(int client_fd) {
 
   std::string request;
   char buf[1024];
-  while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
+  std::size_t header_end = std::string::npos;
+  while (request.size() < 8192 &&
+         (header_end = request.find("\r\n\r\n")) == std::string::npos) {
     const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
   }
 
-  std::string method, target;
+  HttpRequest req;
+  std::string target;
   {
     std::istringstream is(request);
-    is >> method >> target;
+    is >> req.method >> target;
   }
-  const std::size_t query = target.find('?');
-  const std::string path = query == std::string::npos ? target : target.substr(0, query);
+  const std::size_t query_pos = target.find('?');
+  req.path = query_pos == std::string::npos ? target : target.substr(0, query_pos);
+  if (query_pos != std::string::npos) req.query = target.substr(query_pos + 1);
 
-  std::string status = "200 OK";
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-  if (method != "GET") {
-    status = "405 Method Not Allowed";
-    body = "method not allowed\n";
-  } else if (path == "/metrics") {
-    content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = registry_.render_prometheus();
-  } else if (path == "/healthz") {
-    body = "ok\n";
+  HttpResponse res;
+  bool body_too_large = false;
+  if (header_end != std::string::npos) {
+    // Pull the rest of the payload when the request advertises one.
+    constexpr std::size_t kMaxBody = 1 << 20;
+    std::size_t content_length = 0;
+    {
+      // Case-insensitive scan for the Content-Length header.
+      std::istringstream is(request.substr(0, header_end));
+      std::string line;
+      while (std::getline(is, line)) {
+        std::string lower;
+        for (char c : line) {
+          lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        if (lower.rfind("content-length:", 0) == 0) {
+          try {
+            content_length = static_cast<std::size_t>(std::stoull(line.substr(15)));
+          } catch (const std::exception&) {
+            content_length = 0;
+          }
+        }
+      }
+    }
+    if (content_length > kMaxBody) {
+      body_too_large = true;
+    } else if (content_length > 0) {
+      const std::size_t body_start = header_end + 4;
+      std::string body = request.substr(std::min(body_start, request.size()));
+      while (body.size() < content_length) {
+        const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        body.append(buf, static_cast<std::size_t>(n));
+      }
+      body.resize(std::min(body.size(), content_length));
+      req.body = std::move(body);
+    }
+  }
+
+  RouteHandler handler;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find({req.method, req.path});
+    if (it != routes_.end()) handler = it->second;
+  }
+
+  if (body_too_large) {
+    res.status = 413;
+    res.body = "request body too large\n";
+  } else if (handler) {
+    try {
+      res = handler(req);
+    } catch (const std::exception& e) {
+      res = HttpResponse{};
+      res.status = 500;
+      res.body = std::string(e.what()) + "\n";
+    }
+  } else if (req.method != "GET") {
+    res.status = 405;
+    res.body = "method not allowed\n";
+  } else if (req.path == "/metrics") {
+    res.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    res.body = registry_.render_prometheus();
+  } else if (req.path == "/healthz") {
+    res.body = "ok\n";
   } else {
-    status = "404 Not Found";
-    body = "not found\n";
+    res.status = 404;
+    res.body = "not found\n";
   }
 
-  std::string response = "HTTP/1.1 " + status +
-                         "\r\nContent-Type: " + content_type +
-                         "\r\nContent-Length: " + std::to_string(body.size()) +
-                         "\r\nConnection: close\r\n\r\n" + body;
+  std::string response = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                         reason_phrase(res.status) +
+                         "\r\nContent-Type: " + res.content_type +
+                         "\r\nContent-Length: " + std::to_string(res.body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + res.body;
   send_all(client_fd, response);
 }
 

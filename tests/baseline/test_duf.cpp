@@ -27,8 +27,8 @@ struct Rig {
     ms::PolicyHook hook;
     hook.name = duf.name();
     hook.period_s = duf.period_s();
-    hook.on_start = [this](double t) { duf.on_start(t); };
-    hook.on_sample = [this](double t) { duf.on_sample(t); };
+    hook.on_start = [this](magus::common::Seconds t) { duf.on_start(t); };
+    hook.on_sample = [this](magus::common::Seconds t) { duf.on_sample(t); };
     return engine.run(hook);
   }
 

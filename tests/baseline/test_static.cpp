@@ -20,15 +20,15 @@ mw::PhaseProgram heavy_workload() {
 TEST(DefaultPolicy, IsInert) {
   mb::DefaultPolicy p;
   EXPECT_EQ(p.name(), "default");
-  EXPECT_NO_THROW(p.on_start(0.0));
-  EXPECT_NO_THROW(p.on_sample(1.0));
+  EXPECT_NO_THROW(p.on_start(magus::common::Seconds(0.0)));
+  EXPECT_NO_THROW(p.on_sample(magus::common::Seconds(1.0)));
 }
 
 TEST(StaticUncorePolicy, PinsAtStart) {
   ms::SimEngine engine(ms::intel_a100(), heavy_workload());
   const magus::hw::UncoreFreqLadder ladder(0.8, 2.2);
   mb::StaticUncorePolicy p(engine.msr(), ladder, 1.2_ghz);
-  p.on_start(0.0);
+  p.on_start(magus::common::Seconds(0.0));
   EXPECT_DOUBLE_EQ(engine.node().uncore(0).policy_limit().value(), 1.2);
   EXPECT_DOUBLE_EQ(engine.node().uncore(1).policy_limit().value(), 1.2);
   EXPECT_DOUBLE_EQ(p.target().value(), 1.2);
@@ -50,13 +50,13 @@ TEST(StaticUncorePolicy, MinPinSlowsMemoryBoundWork) {
   const magus::hw::UncoreFreqLadder ladder(0.8, 2.2);
   mb::StaticUncorePolicy max_p(max_engine.msr(), ladder, 2.2_ghz);
   ms::PolicyHook max_hook;
-  max_hook.on_start = [&](double t) { max_p.on_start(t); };
+  max_hook.on_start = [&](magus::common::Seconds t) { max_p.on_start(t); };
   const auto max_r = max_engine.run(max_hook);
 
   ms::SimEngine min_engine(ms::intel_a100(), heavy_workload(), cfg);
   mb::StaticUncorePolicy min_p(min_engine.msr(), ladder, 0.8_ghz);
   ms::PolicyHook min_hook;
-  min_hook.on_start = [&](double t) { min_p.on_start(t); };
+  min_hook.on_start = [&](magus::common::Seconds t) { min_p.on_start(t); };
   const auto min_r = min_engine.run(min_hook);
 
   EXPECT_GT(min_r.duration_s, 1.3 * max_r.duration_s);

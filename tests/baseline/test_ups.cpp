@@ -28,8 +28,8 @@ struct Rig {
     ms::PolicyHook hook;
     hook.name = ups.name();
     hook.period_s = ups.period_s();
-    hook.on_start = [this](double t) { ups.on_start(t); };
-    hook.on_sample = [this](double t) { ups.on_sample(t); };
+    hook.on_start = [this](magus::common::Seconds t) { ups.on_start(t); };
+    hook.on_sample = [this](magus::common::Seconds t) { ups.on_sample(t); };
     return engine.run(hook);
   }
 

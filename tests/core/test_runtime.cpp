@@ -22,8 +22,8 @@ struct Rig {
     ms::PolicyHook hook;
     hook.name = magus.name();
     hook.period_s = magus.period_s();
-    hook.on_start = [this](double t) { magus.on_start(t); };
-    hook.on_sample = [this](double t) { magus.on_sample(t); };
+    hook.on_start = [this](magus::common::Seconds t) { magus.on_start(t); };
+    hook.on_sample = [this](magus::common::Seconds t) { magus.on_sample(t); };
     return engine.run(hook);
   }
 
@@ -108,7 +108,7 @@ TEST(MagusRuntime, PeriodMatchesPaperDefault) {
 TEST(MagusRuntime, InitialUncoreIsMax) {
   // Section 3.3: uncore starts at the maximum when the application arrives.
   Rig rig(burst_workload());
-  rig.magus.on_start(0.0);
+  rig.magus.on_start(magus::common::Seconds(0.0));
   EXPECT_DOUBLE_EQ(rig.engine.node().uncore(0).policy_limit().value(), 2.2);
   EXPECT_DOUBLE_EQ(rig.engine.node().uncore(1).policy_limit().value(), 2.2);
 }

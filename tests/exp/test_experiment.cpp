@@ -6,49 +6,37 @@
 
 namespace me = magus::exp;
 
-TEST(Experiment, PolicyNamesStable) {
-  EXPECT_STREQ(me::policy_name(me::PolicyKind::kDefault), "default");
-  EXPECT_STREQ(me::policy_name(me::PolicyKind::kMagus), "magus");
-  EXPECT_STREQ(me::policy_name(me::PolicyKind::kUps), "ups");
-  EXPECT_STREQ(me::policy_name(me::PolicyKind::kStaticMin), "static_min");
-}
-
-TEST(Experiment, StaticKindRequiresFrequency) {
+TEST(Experiment, StaticPolicyRequiresFrequency) {
   EXPECT_THROW((void)me::run_policy(magus::sim::intel_a100(),
-                                    magus::wl::make_workload("bfs"),
-                                    me::PolicyKind::kStatic),
+                                    magus::wl::make_workload("bfs"), "static"),
                magus::common::ConfigError);
 }
 
-TEST(Experiment, StaticKindHonoursFrequency) {
+TEST(Experiment, StaticPolicyHonoursFrequency) {
   me::RunOptions opts;
-  opts.static_ghz = 1.4;
+  opts.static_ghz = magus::common::Ghz(1.4);
   opts.engine.record_traces = true;
   const auto out = me::run_policy(magus::sim::intel_a100(),
-                                  magus::wl::make_workload("bfs"),
-                                  me::PolicyKind::kStatic, opts);
+                                  magus::wl::make_workload("bfs"), "static", opts);
   const auto& freq = out.traces.series(magus::trace::channel::kUncoreFreq);
   EXPECT_NEAR(freq.value_at(freq.end_time()), 1.4, 1e-6);
 }
 
 TEST(Experiment, DefaultPolicyHasNoMonitoringCost) {
   const auto out = me::run_policy(magus::sim::intel_a100(),
-                                  magus::wl::make_workload("bfs"),
-                                  me::PolicyKind::kDefault);
+                                  magus::wl::make_workload("bfs"), "default");
   EXPECT_EQ(out.result.invocations, 0ull);
   EXPECT_EQ(out.result.accesses.pcm_reads, 0ull);
 }
 
 TEST(Experiment, MagusAndUpsAreRuntimes) {
   const auto magus_out = me::run_policy(magus::sim::intel_a100(),
-                                        magus::wl::make_workload("bfs"),
-                                        me::PolicyKind::kMagus);
+                                        magus::wl::make_workload("bfs"), "magus");
   EXPECT_GT(magus_out.result.invocations, 10ull);
   EXPECT_EQ(magus_out.result.policy_name, "magus");
 
-  const auto ups_out = me::run_policy(magus::sim::intel_a100(),
-                                      magus::wl::make_workload("bfs"),
-                                      me::PolicyKind::kUps);
+  const auto ups_out =
+      me::run_policy(magus::sim::intel_a100(), magus::wl::make_workload("bfs"), "ups");
   EXPECT_GT(ups_out.result.invocations, 10ull);
   // UPS's per-core sweep makes each invocation ~3x longer.
   EXPECT_GT(ups_out.result.avg_invocation_s(),
@@ -67,8 +55,7 @@ TEST(Experiment, TracesReturnedWhenRequested) {
   me::RunOptions opts;
   opts.engine.record_traces = true;
   const auto out = me::run_policy(magus::sim::intel_a100(),
-                                  magus::wl::make_workload("bfs"),
-                                  me::PolicyKind::kMagus, opts);
+                                  magus::wl::make_workload("bfs"), "magus", opts);
   EXPECT_TRUE(out.traces.has(magus::trace::channel::kMemThroughput));
   EXPECT_TRUE(out.traces.has(magus::trace::channel::kUncoreFreq));
 }

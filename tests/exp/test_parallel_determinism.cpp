@@ -47,11 +47,11 @@ TEST(ParallelDeterminism, RunRepeatedIdenticalAtOneAndFourJobs) {
   me::AggregateResult serial, parallel;
   {
     JobsGuard jobs(1);
-    serial = me::run_repeated(system, program, me::PolicyKind::kMagus, spec);
+    serial = me::run_repeated(system, program, "magus", spec);
   }
   {
     JobsGuard jobs(4);
-    parallel = me::run_repeated(system, program, me::PolicyKind::kMagus, spec);
+    parallel = me::run_repeated(system, program, "magus", spec);
   }
   expect_same(serial, parallel);
 }

@@ -11,7 +11,7 @@ TEST(Repeat, RejectsZeroRepetitions) {
   spec.repetitions = 0;
   EXPECT_THROW((void)me::run_repeated(magus::sim::intel_a100(),
                                       magus::wl::make_workload("bfs"),
-                                      me::PolicyKind::kDefault, spec),
+                                      "default", spec),
                magus::common::ConfigError);
 }
 
@@ -20,7 +20,7 @@ TEST(Repeat, AggregatesAcrossJitteredRuns) {
   spec.repetitions = 5;
   const auto agg = me::run_repeated(magus::sim::intel_a100(),
                                     magus::wl::make_workload("bfs"),
-                                    me::PolicyKind::kDefault, spec);
+                                    "default", spec);
   EXPECT_EQ(agg.reps_total, 5);
   EXPECT_GE(agg.reps_used, 3);
   EXPECT_LE(agg.reps_used, 5);
@@ -35,10 +35,10 @@ TEST(Repeat, DeterministicForSameSeed) {
   spec.seed = 77;
   const auto a = me::run_repeated(magus::sim::intel_a100(),
                                   magus::wl::make_workload("bfs"),
-                                  me::PolicyKind::kMagus, spec);
+                                  "magus", spec);
   const auto b = me::run_repeated(magus::sim::intel_a100(),
                                   magus::wl::make_workload("bfs"),
-                                  me::PolicyKind::kMagus, spec);
+                                  "magus", spec);
   EXPECT_DOUBLE_EQ(a.runtime.value(), b.runtime.value());
   EXPECT_DOUBLE_EQ(a.total_energy().value(), b.total_energy().value());
 }
@@ -51,9 +51,9 @@ TEST(Repeat, DifferentSeedsProduceDifferentRuns) {
   b_spec.seed = 2;
   const auto a = me::run_repeated(magus::sim::intel_a100(),
                                   magus::wl::make_workload("bfs"),
-                                  me::PolicyKind::kDefault, a_spec);
+                                  "default", a_spec);
   const auto b = me::run_repeated(magus::sim::intel_a100(),
                                   magus::wl::make_workload("bfs"),
-                                  me::PolicyKind::kDefault, b_spec);
+                                  "default", b_spec);
   EXPECT_NE(a.runtime, b.runtime);
 }

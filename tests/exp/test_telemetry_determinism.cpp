@@ -69,11 +69,11 @@ TEST(TelemetryDeterminism, RunRepeatedIdenticalWithAndWithoutTelemetry) {
     null_opts.metrics = &mt::null_registry();
 
     const auto plain =
-        me::run_repeated(system, program, me::PolicyKind::kMagus, spec, plain_opts);
+        me::run_repeated(system, program, "magus", spec, plain_opts);
     const auto live =
-        me::run_repeated(system, program, me::PolicyKind::kMagus, spec, live_opts);
+        me::run_repeated(system, program, "magus", spec, live_opts);
     const auto null_reg =
-        me::run_repeated(system, program, me::PolicyKind::kMagus, spec, null_opts);
+        me::run_repeated(system, program, "magus", spec, null_opts);
 
     expect_same(plain, live);
     expect_same(plain, null_reg);
@@ -134,12 +134,12 @@ TEST(TelemetryDeterminism, RunPolicyIdenticalWithTelemetry) {
   const auto program = magus::wl::make_workload("unet");
 
   me::RunOptions plain;
-  const auto base = me::run_policy(system, program, me::PolicyKind::kMagus, plain);
+  const auto base = me::run_policy(system, program, "magus", plain);
 
   mt::MetricsRegistry reg;
   me::RunOptions with;
   with.metrics = &reg;
-  const auto instrumented = me::run_policy(system, program, me::PolicyKind::kMagus, with);
+  const auto instrumented = me::run_policy(system, program, "magus", with);
 
   EXPECT_DOUBLE_EQ(base.result.duration_s, instrumented.result.duration_s);
   EXPECT_DOUBLE_EQ(base.result.pkg_energy_j, instrumented.result.pkg_energy_j);

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "magus/common/error.hpp"
+#include "magus/exp/experiment_config.hpp"
+#include "magus/fleet/manifest.hpp"
+
+namespace mf = magus::fleet;
+
+TEST(NodeSpec, FluentBuilderChains) {
+  mf::NodeSpec node;
+  node.name("web").system("amd_mi250").app("srad").policy("ups").gpus(4).count(3);
+  EXPECT_EQ(node.name(), "web");
+  EXPECT_EQ(node.system(), "amd_mi250");
+  EXPECT_EQ(node.app(), "srad");
+  EXPECT_EQ(node.policy(), "ups");
+  EXPECT_EQ(node.gpus(), 4);
+  EXPECT_EQ(node.count(), 3);
+  EXPECT_TRUE(node.validate().empty());
+}
+
+TEST(NodeSpec, ValidateReportsEveryProblemAtOnce) {
+  mf::NodeSpec node;
+  node.name("").system("no_such_system").app("no_such_app").policy("no_such_policy");
+  node.gpus(0).count(-1);
+  const auto errors = node.validate("node[0] ''");
+  ASSERT_EQ(errors.size(), 6u);  // name, system, app, policy, gpus, count
+  for (const std::string& e : errors) {
+    EXPECT_EQ(e.rfind("node[0] '':", 0), 0u) << e;
+  }
+}
+
+TEST(NodeSpec, StaticPolicyNeedsPinFrequency) {
+  mf::NodeSpec node;
+  node.policy("static");
+  const auto errors = node.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("static_uncore"), std::string::npos);
+  node.static_uncore(magus::common::Ghz(1.4));
+  EXPECT_TRUE(node.validate().empty());
+}
+
+TEST(FleetManifest, ValidateCollectsAcrossNodes) {
+  mf::FleetManifest manifest;
+  manifest.shard_size(0);
+  manifest.add_node(mf::NodeSpec{}.name("a").app("no_such_app"));
+  manifest.add_node(mf::NodeSpec{}.name("a"));  // duplicate name
+  const auto errors = manifest.validate();
+  ASSERT_EQ(errors.size(), 3u);  // shard_size, unknown app, duplicate name
+  EXPECT_THROW(manifest.validate_or_throw(), magus::common::ConfigError);
+}
+
+TEST(FleetManifest, EmptyFleetRejected) {
+  const auto errors = mf::FleetManifest{}.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("no nodes"), std::string::npos);
+}
+
+TEST(FleetManifest, ExpandReplicatesAndRenames) {
+  mf::FleetManifest manifest;
+  manifest.add_node(mf::NodeSpec{}.name("solo"));
+  manifest.add_node(mf::NodeSpec{}.name("web").count(3));
+  const auto nodes = manifest.expand();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(manifest.total_nodes(), 4u);
+  EXPECT_EQ(nodes[0].name(), "solo");  // count==1 keeps its name
+  EXPECT_EQ(nodes[1].name(), "web/0");
+  EXPECT_EQ(nodes[3].name(), "web/2");
+  for (const auto& n : nodes) EXPECT_EQ(n.count(), 1);
+}
+
+TEST(FleetManifest, JsonlRoundTripPreservesEverything) {
+  mf::FleetManifest manifest;
+  manifest.seed(0xDEADBEEFCAFEF00Dull).shard_size(9);
+  magus::wl::JitterConfig jitter;
+  jitter.duration_rel = 0.05;
+  jitter.demand_rel = 0.01;
+  manifest.jitter(jitter);
+  manifest.add_node(mf::NodeSpec{}
+                        .name("pin \"quoted\"")
+                        .system("intel_4a100")
+                        .app("resnet50")
+                        .policy("static")
+                        .static_uncore(magus::common::Ghz(1.6))
+                        .gpus(4)
+                        .count(2));
+
+  const mf::FleetManifest back = mf::FleetManifest::from_jsonl(manifest.to_jsonl());
+  // 64-bit seeds ride as strings, so no double rounding.
+  EXPECT_EQ(back.seed(), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(back.shard_size(), 9);
+  EXPECT_DOUBLE_EQ(back.jitter().duration_rel, 0.05);
+  EXPECT_DOUBLE_EQ(back.jitter().demand_rel, 0.01);
+  ASSERT_EQ(back.nodes().size(), 1u);
+  const mf::NodeSpec& node = back.nodes()[0];
+  EXPECT_EQ(node.name(), "pin \"quoted\"");
+  EXPECT_EQ(node.system(), "intel_4a100");
+  EXPECT_EQ(node.app(), "resnet50");
+  EXPECT_EQ(node.policy(), "static");
+  EXPECT_DOUBLE_EQ(node.static_uncore().value(), 1.6);
+  EXPECT_EQ(node.gpus(), 4);
+  EXPECT_EQ(node.count(), 2);
+  // Canonical form is a fixed point.
+  EXPECT_EQ(back.to_jsonl(), manifest.to_jsonl());
+}
+
+TEST(FleetManifest, FromJsonlRejectsGarbage) {
+  EXPECT_THROW((void)mf::FleetManifest::from_jsonl("not json"),
+               magus::common::ConfigError);
+  EXPECT_THROW((void)mf::FleetManifest::from_jsonl(""), magus::common::ConfigError);
+  // A node line without the header is rejected too.
+  mf::FleetManifest one;
+  one.add_node(mf::NodeSpec{});
+  std::string text = one.to_jsonl();
+  text.erase(0, text.find('\n') + 1);
+  EXPECT_THROW((void)mf::FleetManifest::from_jsonl(text), magus::common::ConfigError);
+}
+
+TEST(FleetManifest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "magus_fleet_manifest_test.jsonl";
+  mf::FleetManifest manifest;
+  manifest.seed(77).add_node(mf::NodeSpec{}.name("n").count(2));
+  manifest.save(path);
+  const mf::FleetManifest back = mf::FleetManifest::load(path);
+  EXPECT_EQ(back.to_jsonl(), manifest.to_jsonl());
+  std::remove(path.c_str());
+}
+
+TEST(SynthFleet, DeterministicAndValid) {
+  const mf::FleetManifest a = mf::synth_fleet(64, 7);
+  const mf::FleetManifest b = mf::synth_fleet(64, 7);
+  EXPECT_EQ(a.to_jsonl(), b.to_jsonl());
+  EXPECT_EQ(a.total_nodes(), 64u);
+  EXPECT_TRUE(a.validate().empty());
+  // A different seed yields a different mix.
+  EXPECT_NE(mf::synth_fleet(64, 8).to_jsonl(), a.to_jsonl());
+  EXPECT_THROW((void)mf::synth_fleet(0, 7), magus::common::ConfigError);
+}
+
+TEST(ExperimentConfig, ToNodeSpecAdapter) {
+  magus::exp::ExperimentConfig cfg;
+  cfg.name = "exp1";
+  cfg.system = "amd_mi250";
+  cfg.app = "kmeans";
+  cfg.policy = "duf";
+  cfg.gpus = 2;
+  const mf::NodeSpec node = cfg.to_node_spec(5);
+  EXPECT_EQ(node.name(), "exp1");
+  EXPECT_EQ(node.system(), "amd_mi250");
+  EXPECT_EQ(node.app(), "kmeans");
+  EXPECT_EQ(node.policy(), "duf");
+  EXPECT_EQ(node.gpus(), 2);
+  EXPECT_EQ(node.count(), 5);
+  EXPECT_TRUE(node.validate().empty());
+}

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "magus/core/runtime.hpp"
 #include "magus/exp/evaluation.hpp"
 #include "magus/wl/catalog.hpp"
@@ -12,10 +14,10 @@ namespace me = magus::exp;
 namespace mw = magus::wl;
 
 namespace {
-me::RunOutput run_srad(me::PolicyKind kind) {
+me::RunOutput run_srad(const std::string& policy) {
   me::RunOptions opts;
   opts.engine.record_traces = true;
-  return me::run_policy(magus::sim::intel_a100(), mw::make_workload("srad"), kind,
+  return me::run_policy(magus::sim::intel_a100(), mw::make_workload("srad"), policy,
                         opts);
 }
 }  // namespace
@@ -23,8 +25,8 @@ me::RunOutput run_srad(me::PolicyKind kind) {
 TEST(SradCaseStudy, MinUncoreStarvesBursts) {
   // Fig. 5 top: around the 5 s mark, min-uncore throughput cannot match the
   // level the max-uncore run reaches.
-  const auto vmax = run_srad(me::PolicyKind::kStaticMax);
-  const auto vmin = run_srad(me::PolicyKind::kStaticMin);
+  const auto vmax = run_srad("static_max");
+  const auto vmin = run_srad("static_min");
   const auto& ts_max = vmax.traces.series(magus::trace::channel::kMemThroughput);
   const auto& ts_min = vmin.traces.series(magus::trace::channel::kMemThroughput);
   EXPECT_GT(ts_max.max_value(), 95'000.0);
@@ -33,8 +35,8 @@ TEST(SradCaseStudy, MinUncoreStarvesBursts) {
 
 TEST(SradCaseStudy, MagusTracksMaxUncoreThroughput) {
   // Fig. 5: MAGUS reaches throughput levels comparable to max uncore.
-  const auto vmax = run_srad(me::PolicyKind::kStaticMax);
-  const auto magus = run_srad(me::PolicyKind::kMagus);
+  const auto vmax = run_srad("static_max");
+  const auto magus = run_srad("magus");
   const double peak_max =
       vmax.traces.series(magus::trace::channel::kMemThroughput).max_value();
   const double peak_magus =
@@ -44,7 +46,7 @@ TEST(SradCaseStudy, MagusTracksMaxUncoreThroughput) {
 
 TEST(SradCaseStudy, MagusLocksMaxDuringHighFrequencyPhases) {
   // Fig. 6: during the telegraph segments MAGUS pins the uncore at max.
-  const auto magus = run_srad(me::PolicyKind::kMagus);
+  const auto magus = run_srad("magus");
   const auto& freq = magus.traces.series(magus::trace::channel::kUncoreFreq);
   // Inside the final high-frequency window (after ~20 s) the uncore holds max.
   EXPECT_NEAR(freq.time_weighted_mean(21.0, 26.0), 2.2, 0.05);
@@ -55,7 +57,7 @@ TEST(SradCaseStudy, MagusLocksMaxDuringHighFrequencyPhases) {
 TEST(SradCaseStudy, UpsKeepsLoweringDuringHighFrequency) {
   // Fig. 6: UPS lacks high-frequency detection and keeps stepping down in
   // the final oscillation window.
-  const auto ups = run_srad(me::PolicyKind::kUps);
+  const auto ups = run_srad("ups");
   const auto& freq = ups.traces.series(magus::trace::channel::kUncoreFreq);
   EXPECT_LT(freq.time_weighted_mean(22.0, 27.0), 1.9);
 }
@@ -79,8 +81,8 @@ TEST(SradCaseStudy, HighFrequencyStatusActuallyEngages) {
   magus::sim::PolicyHook hook;
   hook.name = "magus";
   hook.period_s = magus.period_s();
-  hook.on_start = [&](double t) { magus.on_start(t); };
-  hook.on_sample = [&](double t) { magus.on_sample(t); };
+  hook.on_start = [&](magus::common::Seconds t) { magus.on_start(t); };
+  hook.on_sample = [&](magus::common::Seconds t) { magus.on_sample(t); };
   engine.run(hook);
 
   int high_freq_rounds = 0;

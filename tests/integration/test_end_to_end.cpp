@@ -40,9 +40,9 @@ TEST(EndToEnd, Fig2Calibration) {
   me::RunOptions opts;
   opts.engine.record_traces = false;
   const auto vmax =
-      me::run_policy(magus::sim::intel_a100(), unet, me::PolicyKind::kStaticMax, opts);
+      me::run_policy(magus::sim::intel_a100(), unet, "static_max", opts);
   const auto vmin =
-      me::run_policy(magus::sim::intel_a100(), unet, me::PolicyKind::kStaticMin, opts);
+      me::run_policy(magus::sim::intel_a100(), unet, "static_min", opts);
 
   const double power_delta =
       vmax.result.avg_pkg_power_w - vmin.result.avg_pkg_power_w;
@@ -60,7 +60,7 @@ TEST(EndToEnd, DefaultGovernorKeepsUncoreMaxed) {
   opts.engine.record_traces = true;
   const auto out = me::run_policy(magus::sim::intel_a100(),
                                   mw::make_workload("unet"),
-                                  me::PolicyKind::kDefault, opts);
+                                  "default", opts);
   const auto& freq = out.traces.series(magus::trace::channel::kUncoreFreq);
   EXPECT_DOUBLE_EQ(freq.min_value(), 2.2);
 }

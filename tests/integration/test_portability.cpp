@@ -25,7 +25,7 @@ TEST(Portability, FrequencyTargetsRespectFabricLadder) {
   opts.engine.record_traces = true;
   const auto out = me::run_policy(magus::sim::amd_mi250(),
                                   magus::wl::make_workload("unet"),
-                                  me::PolicyKind::kMagus, opts);
+                                  "magus", opts);
   const auto& freq = out.traces.series(magus::trace::channel::kUncoreFreq);
   // All frequencies stay inside the 1.2-2.0 GHz FCLK range.
   EXPECT_GE(freq.min_value(), 1.2 - 1e-9);
@@ -42,16 +42,16 @@ TEST(Portability, DetectorAblationFlagWorks) {
   reps.repetitions = 3;
   const auto srad = magus::wl::make_workload("srad");
   const auto base = me::run_repeated(magus::sim::intel_a100(), srad,
-                                     me::PolicyKind::kDefault, reps);
+                                     "default", reps);
 
   me::RunOptions with_detector;
   me::RunOptions without_detector;
   without_detector.magus.high_freq_detection_enabled = false;
 
   const auto on = me::run_repeated(magus::sim::intel_a100(), srad,
-                                   me::PolicyKind::kMagus, reps, with_detector);
+                                   "magus", reps, with_detector);
   const auto off = me::run_repeated(magus::sim::intel_a100(), srad,
-                                    me::PolicyKind::kMagus, reps, without_detector);
+                                    "magus", reps, without_detector);
   const auto cmp_on = me::compare(on, base);
   const auto cmp_off = me::compare(off, base);
   EXPECT_GT(cmp_off.perf_loss_pct, 2.0 * cmp_on.perf_loss_pct);

@@ -4,6 +4,7 @@
 #include "magus/sim/system_preset.hpp"
 
 namespace ms = magus::sim;
+namespace mc = magus::common;
 
 namespace {
 ms::CoreModel make_model() { return ms::CoreModel(ms::intel_a100().cpu); }
@@ -64,7 +65,7 @@ TEST(CoreModel, DisplayFreqStaysInBand) {
   for (int i = 0; i < 200; ++i) m.tick(0.002, 0.6, 1.6);
   for (int core = 0; core < 4; ++core) {
     for (double t = 0.0; t < 2.0; t += 0.1) {
-      const double f = m.display_freq_ghz(core, t);
+      const double f = m.display_freq_ghz(core, mc::Seconds(t));
       EXPECT_GE(f, ms::intel_a100().cpu.core_min_ghz);
       EXPECT_LE(f, ms::intel_a100().cpu.core_max_ghz);
     }
@@ -75,7 +76,7 @@ TEST(CoreModel, DisplayFreqDiffersAcrossCores) {
   // Fig. 1a plots four cores; they must not be identical lines.
   auto m = make_model();
   for (int i = 0; i < 200; ++i) m.tick(0.002, 0.6, 1.6);
-  EXPECT_NE(m.display_freq_ghz(0, 1.0), m.display_freq_ghz(1, 1.0));
+  EXPECT_NE(m.display_freq_ghz(0, mc::Seconds(1.0)), m.display_freq_ghz(1, mc::Seconds(1.0)));
 }
 
 TEST(CoreModel, PowerScalesWithUtilAndFreq) {

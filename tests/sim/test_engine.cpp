@@ -71,8 +71,8 @@ TEST(SimEngine, PolicyCallbacksFireOnSchedule) {
   ms::PolicyHook hook;
   hook.name = "counter";
   hook.period_s = 0.2;
-  hook.on_start = [&](double) { ++starts; };
-  hook.on_sample = [&](double) { ++samples; };
+  hook.on_start = [&](magus::common::Seconds) { ++starts; };
+  hook.on_sample = [&](magus::common::Seconds) { ++samples; };
   const auto r = engine.run(hook);
   EXPECT_EQ(starts, 1);
   // Zero-cost policy: one sample every 0.2 s over 4 s.
@@ -88,7 +88,7 @@ TEST(SimEngine, InvocationCostDelaysNextSample) {
   ms::PolicyHook hook;
   hook.name = "pcm_reader";
   hook.period_s = 0.2;
-  hook.on_sample = [&](double) {
+  hook.on_sample = [&](magus::common::Seconds) {
     ++samples;
     (void)engine.mem_counter().total_mb();
   };
@@ -106,7 +106,7 @@ TEST(SimEngine, MonitorPowerChargedWhileBusy) {
     ms::PolicyHook hook;
     hook.name = "reader";
     hook.period_s = 0.2;
-    hook.on_sample = [&engine, reads_per_sample](double) {
+    hook.on_sample = [&engine, reads_per_sample](magus::common::Seconds) {
       for (int i = 0; i < reads_per_sample; ++i) {
         (void)engine.core_counters().cycles_unhalted(i % 80);
       }

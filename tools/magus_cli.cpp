@@ -10,6 +10,14 @@
 //       are bit-identical for any job count.
 //   magus-cli overhead --system intel_a100 [--duration 600]
 //       Table 2 protocol on one system.
+//   magus-cli fleet [--nodes 256] [--seed 2025] [--jobs N] [--shard-size 16]
+//                   [--manifest in.jsonl] [--save-manifest out.jsonl]
+//                   [--out rollup.jsonl]
+//       Simulate a whole fleet of independently-configured nodes and print
+//       per-policy rollups (Joules saved vs an all-default fleet, slowdown
+//       percentiles). Without --manifest a deterministic synthetic fleet of
+//       --nodes nodes is generated. Rollups are bit-identical for any
+//       --jobs count; --out writes the canonical JSONL dump.
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime error.
 
@@ -20,9 +28,11 @@
 #include <string>
 
 #include "magus/common/error.hpp"
+#include "magus/core/policy_factory.hpp"
 #include "magus/common/table.hpp"
 #include "magus/common/thread_pool.hpp"
 #include "magus/exp/evaluation.hpp"
+#include "magus/fleet/runner.hpp"
 #include "magus/telemetry/registry.hpp"
 #include "magus/wl/catalog.hpp"
 #include "magus/wl/io.hpp"
@@ -34,12 +44,16 @@ using namespace magus;
 int usage() {
   std::cerr << "usage:\n"
             << "  magus-cli list\n"
-            << "  magus-cli run --system <name> --app <name|file.csv> --policy "
-               "<default|static_min|static_max|magus|ups|duf>\n"
+            << "  magus-cli run --system <name> --app <name|file.csv> --policy <name>\n"
+            << "                (policy names come from the registry; `magus-cli list` "
+               "shows them)\n"
             << "                [--reps N] [--seed S] [--gpus N] [--jobs N] "
                "[--trace out.csv]\n"
             << "                [--metrics-out metrics.prom]\n"
             << "  magus-cli overhead --system <name> [--duration seconds]\n"
+            << "  magus-cli fleet [--nodes N] [--seed S] [--jobs N] [--shard-size N]\n"
+            << "                  [--manifest in.jsonl] [--save-manifest out.jsonl] "
+               "[--out rollup.jsonl]\n"
             << "\n"
             << "  --jobs N (or the MAGUS_JOBS env var) sets the worker-thread "
                "count for the\n"
@@ -61,16 +75,6 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
   return flags;
 }
 
-exp::PolicyKind policy_from_name(const std::string& name) {
-  if (name == "default") return exp::PolicyKind::kDefault;
-  if (name == "static_min") return exp::PolicyKind::kStaticMin;
-  if (name == "static_max") return exp::PolicyKind::kStaticMax;
-  if (name == "magus") return exp::PolicyKind::kMagus;
-  if (name == "ups") return exp::PolicyKind::kUps;
-  if (name == "duf") return exp::PolicyKind::kDuf;
-  throw common::ConfigError("unknown policy '" + name + "'");
-}
-
 int cmd_list() {
   std::cout << "systems:\n";
   for (const char* s : {"intel_a100", "intel_4a100", "intel_max1550", "amd_mi250"}) {
@@ -78,6 +82,12 @@ int cmd_list() {
     std::cout << "  " << spec.name << "  (" << spec.cpu.model << " + " << spec.gpu.count
               << "x " << spec.gpu.model << ", uncore " << spec.cpu.uncore_min_ghz << "-"
               << spec.cpu.uncore_max_ghz << " GHz)\n";
+  }
+  std::cout << "\npolicies:\n";
+  const auto& factory = core::PolicyFactory::instance();
+  for (const std::string& name : factory.names()) {
+    std::cout << "  " << name << (factory.is_runtime(name) ? "  [runtime]" : "")
+              << "  -- " << factory.summary(name) << "\n";
   }
   std::cout << "\napplications:\n";
   for (const auto& info : wl::app_catalog()) {
@@ -102,7 +112,11 @@ std::size_t configure_jobs(const std::map<std::string, std::string>& flags) {
 int cmd_run(const std::map<std::string, std::string>& flags) {
   const auto system = sim::system_by_name(flags.at("system"));
   const std::string app = flags.at("app");
-  const auto kind = policy_from_name(flags.at("policy"));
+  const std::string policy = flags.at("policy");
+  if (!core::PolicyFactory::instance().has(policy)) {
+    // Fail before the (long) baseline run, with the same error make_policy gives.
+    (void)core::PolicyFactory::instance().is_runtime(policy);
+  }
   const std::size_t workers = configure_jobs(flags);
 
   exp::RepeatSpec reps;
@@ -137,9 +151,8 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     run_opts.metrics = &registry;
   }
 
-  const auto base =
-      exp::run_repeated(system, program, exp::PolicyKind::kDefault, reps, run_opts);
-  const auto cand = exp::run_repeated(system, program, kind, reps, run_opts);
+  const auto base = exp::run_repeated(system, program, "default", reps, run_opts);
+  const auto cand = exp::run_repeated(system, program, policy, reps, run_opts);
   const auto cmp = exp::compare(cand, base);
 
   common::TextTable table({"policy", "runtime (s)", "CPU power (W)", "GPU power (W)",
@@ -161,7 +174,7 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   if (flags.count("trace")) {
     exp::RunOptions opts = run_opts;
     opts.engine.record_traces = true;
-    const auto out = exp::run_policy(system, program, kind, opts);
+    const auto out = exp::run_policy(system, program, policy, opts);
     out.traces.write_csv(flags.at("trace"));
     std::cout << "trace written to " << flags.at("trace") << "\n";
   }
@@ -174,6 +187,55 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     os.flush();
     if (os.fail()) throw common::ConfigError("write failed for --metrics-out " + path);
     std::cout << "metrics written to " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_fleet(const std::map<std::string, std::string>& flags) {
+  const std::size_t workers = configure_jobs(flags);
+
+  fleet::FleetManifest manifest;
+  if (flags.count("manifest")) {
+    manifest = fleet::FleetManifest::load(flags.at("manifest"));
+  } else {
+    const int nodes = flags.count("nodes") ? std::stoi(flags.at("nodes")) : 256;
+    const std::uint64_t seed =
+        flags.count("seed") ? std::stoull(flags.at("seed")) : 2025ull;
+    manifest = fleet::synth_fleet(nodes, seed);
+  }
+  if (flags.count("shard-size")) manifest.shard_size(std::stoi(flags.at("shard-size")));
+  if (flags.count("save-manifest")) manifest.save(flags.at("save-manifest"));
+
+  fleet::FleetRunner runner(manifest);
+  std::cout << "simulating fleet: " << runner.nodes_total() << " nodes (seed "
+            << manifest.seed() << ", shard size " << manifest.shard_size() << ", "
+            << workers << " worker" << (workers == 1 ? "" : "s") << ")\n\n";
+  const fleet::FleetResult result = runner.run();
+
+  common::TextTable table({"policy", "nodes", "Joules saved", "slowdown p50 (%)",
+                           "p95 (%)", "p99 (%)"});
+  for (const fleet::PolicyRollup& roll : result.per_policy) {
+    table.add_row({roll.policy, std::to_string(roll.nodes),
+                   common::TextTable::num(roll.joules_saved_total, 1),
+                   common::TextTable::num(roll.slowdown_p50_pct),
+                   common::TextTable::num(roll.slowdown_p95_pct),
+                   common::TextTable::num(roll.slowdown_p99_pct)});
+  }
+  table.print(std::cout);
+  std::cout << "\nfleet total: " << common::TextTable::num(result.joules_saved_total, 1)
+            << " J saved vs all-default fleet; slowdown p50 "
+            << common::TextTable::num(result.slowdown_p50_pct) << " %, p95 "
+            << common::TextTable::num(result.slowdown_p95_pct) << " %, p99 "
+            << common::TextTable::num(result.slowdown_p99_pct) << " %\n";
+
+  if (flags.count("out")) {
+    const std::string& path = flags.at("out");
+    std::ofstream os(path);
+    if (!os) throw common::ConfigError("cannot open --out file " + path);
+    os << result.to_jsonl();
+    os.flush();
+    if (os.fail()) throw common::ConfigError("write failed for --out " + path);
+    std::cout << "rollup written to " << path << "\n";
   }
   return 0;
 }
@@ -208,6 +270,7 @@ int main(int argc, char** argv) {
       }
       return cmd_run(flags);
     }
+    if (cmd == "fleet") return cmd_fleet(flags);
     if (cmd == "overhead") {
       if (!flags.count("system")) return usage();
       return cmd_overhead(flags);

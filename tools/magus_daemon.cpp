@@ -20,10 +20,24 @@
 //       limit is restored on ANY exit path (signal, error, exception), and
 //       the daemon gives up after N consecutive failed samples (default 25)
 //       instead of retrying forever.
+//
+//   magus-daemon --fleet --metrics-port N [--jobs N] [--events-out file]
+//       Fleet service mode: accepts fleet jobs over HTTP and simulates them
+//       on the shared worker pool, one job at a time.
+//         POST /fleet/jobs    body = fleet manifest JSONL; an empty body
+//                             with ?nodes=64&seed=7 submits a synthetic
+//                             fleet. Replies 202 with the queued job id.
+//         GET  /fleet/status  live progress (job id, state, nodes done) and
+//                             the last finished job's rollup line.
+//       Progress also lands on /metrics as magus_fleet_* series.
 
 #include <unistd.h>
 
+#include <condition_variable>
 #include <csignal>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -37,6 +51,7 @@
 #include "magus/common/thread_pool.hpp"
 #include "magus/core/runtime.hpp"
 #include "magus/hw/file_counter.hpp"
+#include "magus/fleet/runner.hpp"
 #include "magus/hw/linux_backend.hpp"
 #include "magus/sim/engine.hpp"
 #include "magus/telemetry/event_log.hpp"
@@ -55,6 +70,7 @@ int usage() {
   std::cerr << "usage:\n"
             << "  magus-daemon --simulate [--app unet] [--seconds 30]\n"
             << "               [--metrics-port N] [--events-out file]\n"
+            << "  magus-daemon --fleet --metrics-port N [--jobs N] [--events-out file]\n"
             << "  magus-daemon --throughput-file <path> [--interval 0.2]\n"
             << "               [--min-ghz 0.8] [--max-ghz 2.2] [--sockets 0,40] "
                "[--dry-run]\n"
@@ -70,7 +86,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
       throw common::ConfigError(std::string("expected flag, got '") + argv[i] + "'");
     }
     const std::string key = argv[i] + 2;
-    if (key == "simulate" || key == "dry-run") {
+    if (key == "simulate" || key == "dry-run" || key == "fleet") {
       flags[key] = "1";
     } else if (i + 1 < argc) {
       flags[key] = argv[++i];
@@ -160,6 +176,241 @@ class UncoreRestoreGuard {
   bool armed_;
 };
 
+/// One-at-a-time fleet job executor behind the HTTP exporter: POST
+/// /fleet/jobs enqueues a validated manifest, a background worker simulates
+/// it on the shared pool, GET /fleet/status reports live progress.
+class FleetService {
+ public:
+  FleetService(telemetry::MetricsRegistry& reg, telemetry::EventLog* events)
+      : registry_(reg), events_(events) {
+    m_jobs_submitted_ = reg.counter("magus_fleet_jobs_submitted_total",
+                                    "Fleet jobs accepted over HTTP");
+    m_jobs_completed_ = reg.counter("magus_fleet_jobs_completed_total",
+                                    "Fleet jobs simulated to completion");
+    m_jobs_failed_ = reg.counter("magus_fleet_jobs_failed_total",
+                                 "Fleet jobs that threw during simulation");
+    worker_ = std::thread([this] { work_loop(); });
+  }
+
+  ~FleetService() { stop(); }
+  FleetService(const FleetService&) = delete;
+  FleetService& operator=(const FleetService&) = delete;
+
+  void attach(telemetry::HttpExporter& http) {
+    http.add_route("POST", "/fleet/jobs", [this](const telemetry::HttpRequest& req) {
+      return submit(req);
+    });
+    http.add_route("GET", "/fleet/status", [this](const telemetry::HttpRequest&) {
+      return status();
+    });
+  }
+
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  /// True while a job is queued or running (lets the daemon drain on exit).
+  [[nodiscard]] bool busy() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return !queue_.empty() || state_ == "running";
+  }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    fleet::FleetManifest manifest;
+  };
+
+  static std::string query_param(const std::string& query, const std::string& key) {
+    // key=value pairs separated by '&'; values are plain integers here, so
+    // no percent-decoding is needed.
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+      std::size_t amp = query.find('&', pos);
+      if (amp == std::string::npos) amp = query.size();
+      const std::string pair = query.substr(pos, amp - pos);
+      const std::size_t eq = pair.find('=');
+      if (eq != std::string::npos && pair.substr(0, eq) == key) {
+        return pair.substr(eq + 1);
+      }
+      pos = amp + 1;
+    }
+    return "";
+  }
+
+  telemetry::HttpResponse submit(const telemetry::HttpRequest& req) {
+    telemetry::HttpResponse res;
+    fleet::FleetManifest manifest;
+    try {
+      if (!req.body.empty()) {
+        manifest = fleet::FleetManifest::from_jsonl(req.body);
+      } else {
+        const std::string nodes = query_param(req.query, "nodes");
+        if (nodes.empty()) {
+          res.status = 400;
+          res.body = "POST a fleet manifest (JSONL) or pass ?nodes=N[&seed=S]\n";
+          return res;
+        }
+        const std::string seed = query_param(req.query, "seed");
+        manifest = fleet::synth_fleet(common::parse_int(nodes),
+                                      seed.empty() ? 2025 : std::stoull(seed));
+      }
+      manifest.validate_or_throw();
+    } catch (const common::Error& e) {
+      res.status = 400;
+      res.body = std::string(e.what()) + "\n";
+      return res;
+    }
+
+    std::uint64_t id = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      id = next_job_id_++;
+      queue_.push_back(Job{id, std::move(manifest)});
+    }
+    cv_.notify_one();
+    telemetry::inc(m_jobs_submitted_);
+
+    res.status = 202;
+    res.content_type = "application/json";
+    res.body = telemetry::Event(0.0, "fleet_job_queued")
+                   .str("job", std::to_string(id))
+                   .num("nodes", static_cast<double>(res_nodes(id)))
+                   .to_json() +
+               "\n";
+    return res;
+  }
+
+  /// Total node count of the queued/running job `id` (0 if already gone).
+  std::size_t res_nodes(std::uint64_t id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Job& job : queue_) {
+      if (job.id == id) return job.manifest.total_nodes();
+    }
+    return job_id_ == id ? nodes_total_ : 0;
+  }
+
+  telemetry::HttpResponse status() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t completed = nodes_completed_;
+    if (active_) completed = active_->nodes_completed();
+    telemetry::Event ev(0.0, "fleet_status");
+    ev.str("state", state_)
+        .str("job", job_id_ ? std::to_string(job_id_) : "")
+        .num("queued_jobs", static_cast<double>(queue_.size()))
+        .num("nodes_total", static_cast<double>(nodes_total_))
+        .num("nodes_completed", static_cast<double>(completed));
+    if (!last_error_.empty()) ev.str("error", last_error_);
+    telemetry::HttpResponse res;
+    res.content_type = "application/json";
+    res.body = ev.to_json() + "\n";
+    if (!last_rollup_.empty()) res.body += last_rollup_;
+    return res;
+  }
+
+  void work_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_) return;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        state_ = "running";
+        job_id_ = job.id;
+        nodes_total_ = job.manifest.total_nodes();
+        nodes_completed_ = 0;
+        last_error_.clear();
+      }
+      try {
+        fleet::FleetRunner runner(std::move(job.manifest));
+        runner.attach_telemetry(registry_, events_);
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          active_ = &runner;
+        }
+        const fleet::FleetResult result = runner.run();
+        const std::lock_guard<std::mutex> lock(mutex_);
+        active_ = nullptr;
+        state_ = "done";
+        nodes_completed_ = result.nodes_total;
+        last_rollup_ = result.to_jsonl().substr(0, result.to_jsonl().find('\n') + 1);
+        telemetry::inc(m_jobs_completed_);
+      } catch (const std::exception& e) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        active_ = nullptr;
+        state_ = "failed";
+        last_error_ = e.what();
+        telemetry::inc(m_jobs_failed_);
+      }
+    }
+  }
+
+  telemetry::MetricsRegistry& registry_;
+  telemetry::EventLog* events_;
+  telemetry::Counter* m_jobs_submitted_ = nullptr;
+  telemetry::Counter* m_jobs_completed_ = nullptr;
+  telemetry::Counter* m_jobs_failed_ = nullptr;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::uint64_t next_job_id_ = 1;
+
+  // Status snapshot (all guarded by mutex_). `active_` points at the
+  // worker-stack runner only while run() executes; its atomic progress
+  // counter is safe to read under the lock.
+  std::string state_ = "idle";
+  std::uint64_t job_id_ = 0;
+  std::size_t nodes_total_ = 0;
+  std::size_t nodes_completed_ = 0;
+  std::string last_rollup_;
+  std::string last_error_;
+  fleet::FleetRunner* active_ = nullptr;
+
+  std::thread worker_;
+};
+
+int run_fleet(const std::map<std::string, std::string>& flags) {
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  if (flags.count("jobs")) {
+    const int jobs = common::parse_int(flags.at("jobs"));
+    if (jobs < 1) throw common::ConfigError("--jobs must be >= 1");
+    common::set_default_jobs(static_cast<std::size_t>(jobs));
+  }
+
+  Telemetry tel(flags);
+  if (!tel.exporter) {
+    throw common::ConfigError("--fleet needs --metrics-port (the job API is HTTP)");
+  }
+
+  FleetService service(tel.registry, &tel.events);
+  service.attach(*tel.exporter);
+  std::cout << "[magus-daemon] fleet service on port " << tel.exporter->port()
+            << ": POST /fleet/jobs, GET /fleet/status, " << common::default_pool().size()
+            << " worker(s); SIGINT/SIGTERM to exit\n";
+  while (!g_stop) {
+    ::usleep(100'000);
+    tel.flush_events();
+  }
+  // Let an in-flight job finish so its rollup is not lost mid-simulation.
+  while (service.busy()) ::usleep(100'000);
+  service.stop();
+  tel.flush_events();
+  std::cout << "[magus-daemon] stopped\n";
+  return 0;
+}
+
 int run_simulated(const std::map<std::string, std::string>& flags) {
   const std::string app = flags.count("app") ? flags.at("app") : "unet";
   std::cout << "[magus-daemon] simulation mode: app=" << app
@@ -181,8 +432,8 @@ int run_simulated(const std::map<std::string, std::string>& flags) {
   sim::PolicyHook hook;
   hook.name = magus.name();
   hook.period_s = magus.period_s();
-  hook.on_start = [&](double t) { magus.on_start(t); };
-  hook.on_sample = [&](double t) { magus.on_sample(t); };
+  hook.on_start = [&](magus::common::Seconds t) { magus.on_start(t); };
+  hook.on_sample = [&](magus::common::Seconds t) { magus.on_sample(t); };
   const auto result = engine.run(hook);
 
   for (const auto& rec : magus.controller().log()) {
@@ -251,12 +502,12 @@ int run_real(const std::map<std::string, std::string>& flags) {
 
   double now = 0.0;
   int consecutive = 0;
-  magus.on_start(now);
+  magus.on_start(magus::common::Seconds(now));
   while (!g_stop) {
     ::usleep(static_cast<useconds_t>(interval * 1e6));
     now += interval;
     try {
-      magus.on_sample(now);
+      magus.on_sample(magus::common::Seconds(now));
       consecutive = 0;
     } catch (const common::DeviceError& e) {
       ++consecutive;
@@ -289,6 +540,7 @@ int main(int argc, char** argv) {
   try {
     const auto flags = parse_flags(argc, argv);
     if (flags.count("simulate")) return run_simulated(flags);
+    if (flags.count("fleet")) return run_fleet(flags);
     if (flags.count("throughput-file")) return run_real(flags);
     return usage();
   } catch (const std::exception& e) {

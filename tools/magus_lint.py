@@ -5,13 +5,20 @@ Rules (each exits non-zero on violation, with file:line diagnostics):
 
   raw-unit-param     Public headers of the migrated subsystems must not take
                      bare `double` *parameters* whose names imply a frequency
-                     or throughput unit (ghz/mbps/freq/throughput) -- those
-                     must be strong-typed quantities (magus::common::Ghz,
-                     Mbps, ...). Struct fields in result/spec records are the
-                     documented raw boundary and stay double. Exempt: hw/
-                     (MSR codecs speak raw encodings), wl/ (phase programs
+                     or throughput unit (ghz/mbps/freq/throughput) or a
+                     timestamp (`now` -- policy hooks take common::Seconds) --
+                     those must be strong-typed quantities (magus::common::Ghz,
+                     Mbps, Seconds, ...). Struct fields in result/spec records
+                     are the documented raw boundary and stay double. Exempt:
+                     hw/ (MSR codecs speak raw encodings), wl/ (phase programs
                      are a documented raw boundary), and common/units.hpp
                      (the conversion layer itself).
+
+  naked-policy-kind  exp::PolicyKind is a deprecated shim over the
+                     core::PolicyFactory name registry. Only the shim itself
+                     (exp/experiment.hpp + src/exp/experiment.cpp) and its
+                     pinning test may spell PolicyKind; everywhere else
+                     policies are factory names ("magus", "ups", ...).
 
   naked-msr-literal  The uncore ratio-limit MSR address 0x620 appears as a
                      code literal only inside hw/; everywhere else it must be
@@ -37,17 +44,26 @@ import re
 import sys
 
 UNIT_PARAM_RE = re.compile(
-    r"\bdouble\s+([A-Za-z_]*(?:ghz|mbps|freq|throughput)[A-Za-z_0-9]*)\s*[,)]"
+    r"\bdouble\s+([A-Za-z_]*(?:ghz|mbps|freq|throughput)[A-Za-z_0-9]*|now)\s*[,)]"
 )
+POLICY_KIND_RE = re.compile(r"\bPolicyKind\b")
 NAKED_MSR_RE = re.compile(r"(?<![\w.])0x620\b(?!_)")
 THRESHOLD_RE = re.compile(
     r"\b(inc_threshold|dec_threshold|high_freq_threshold)\s*=\s*[0-9][0-9'.eE+-]*\s*[;,)]"
 )
 
 # Directories whose public headers must use strong-typed quantities.
-QUANTITY_HEADER_DIRS = ("common", "core", "sim", "baseline", "exp", "trace", "telemetry")
+QUANTITY_HEADER_DIRS = ("common", "core", "sim", "baseline", "exp", "fleet", "trace",
+                        "telemetry")
 # Raw boundaries, documented in DESIGN.md: MSR codecs and workload phase programs.
 RAW_UNIT_EXEMPT = {"include/magus/common/units.hpp"}
+
+# The PolicyKind shim and the test that pins its frozen spellings.
+POLICY_KIND_SHIM_FILES = {
+    "include/magus/exp/experiment.hpp",
+    "src/exp/experiment.cpp",
+    "tests/exp/test_policy_factory.cpp",
+}
 
 # Files where numeric threshold defaults are the source of truth.
 THRESHOLD_SOURCE_FILES = {
@@ -103,13 +119,19 @@ def iter_violations(root: pathlib.Path):
 
     for path in sorted(root.glob("**/*.[ch]pp")):
         rel = path.relative_to(root).as_posix()
-        if rel.startswith(("build", "include/magus/hw/", "src/hw/", "tests/hw/")):
+        if rel.startswith("build"):
             continue
         code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        msr_exempt = rel.startswith(("include/magus/hw/", "src/hw/", "tests/hw/"))
+        kind_exempt = rel in POLICY_KIND_SHIM_FILES
         for lineno, line in enumerate(code.splitlines(), 1):
-            if NAKED_MSR_RE.search(line):
+            if not msr_exempt and NAKED_MSR_RE.search(line):
                 yield (rel, lineno, "naked-msr-literal",
                        "naked 0x620 outside hw/ -- use hw::msr::kUncoreRatioLimit")
+            if not kind_exempt and POLICY_KIND_RE.search(line):
+                yield (rel, lineno, "naked-policy-kind",
+                       "PolicyKind outside the deprecated shim -- pass a factory "
+                       "name (core::PolicyFactory) instead")
 
     for path in sorted(root.glob("src/**/*.cpp")) + sorted(root.glob("include/magus/**/*.hpp")):
         rel = path.relative_to(root).as_posix()
