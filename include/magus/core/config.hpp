@@ -9,6 +9,42 @@
 
 namespace magus::core {
 
+/// How the runtime behaves when a backend call fails (stale/NaN samples,
+/// MSR -EIO). Defaults favor availability: a few quick retries, then give
+/// the uncore back to firmware rather than fight a dying device. See
+/// DESIGN.md §11 for the degradation ladder and tuning guidance.
+struct ResilienceConfig {
+  /// Extra attempts after a failed MSR write burst (0 = single attempt).
+  int write_retries = 3;
+
+  /// Backoff before the first retry; each further retry multiplies by
+  /// `backoff_mult`. Only honored when a backoff sleeper is installed
+  /// (real daemon); the simulator keeps virtual time untouched.
+  common::Seconds backoff_base{0.01};
+  double backoff_mult = 2.0;
+
+  /// Consecutive exhausted write bursts before the runtime degrades:
+  /// releases the uncore to the ladder maximum (firmware default) and stops
+  /// issuing MSR writes while continuing to monitor.
+  int max_consecutive_failures = 5;
+
+  void validate() const {
+    if (write_retries < 0) {
+      throw common::ConfigError("ResilienceConfig: write_retries must be >= 0");
+    }
+    if (backoff_base < common::Seconds(0.0)) {
+      throw common::ConfigError("ResilienceConfig: backoff_base must be >= 0");
+    }
+    if (backoff_mult < 1.0) {
+      throw common::ConfigError("ResilienceConfig: backoff_mult must be >= 1");
+    }
+    if (max_consecutive_failures < 1) {
+      throw common::ConfigError(
+          "ResilienceConfig: max_consecutive_failures must be >= 1");
+    }
+  }
+};
+
 struct MagusConfig {
   /// Trend thresholds against the windowed first derivative of memory
   /// throughput (MB/s per window-length unit). `dec_threshold` is a
@@ -48,6 +84,9 @@ struct MagusConfig {
   /// fluctuation-heavy workloads like SRAD.
   bool high_freq_detection_enabled = true;
 
+  /// Backend-failure handling (retry/backoff/degrade).
+  ResilienceConfig resilience;
+
   void validate() const {
     if (inc_threshold < common::Mbps(0.0) || dec_threshold < common::Mbps(0.0)) {
       throw common::ConfigError("MagusConfig: thresholds must be non-negative");
@@ -67,6 +106,7 @@ struct MagusConfig {
     if (period <= common::Seconds(0.0)) {
       throw common::ConfigError("MagusConfig: period must be positive");
     }
+    resilience.validate();
   }
 };
 

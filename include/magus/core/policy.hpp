@@ -32,6 +32,11 @@ class IPolicy {
 
   /// Called every monitoring period.
   virtual void on_sample(common::Seconds now) = 0;
+
+  /// True once the policy has given up actuating hardware after repeated
+  /// backend failures and fallen back to a safe passive mode. Policies
+  /// without a degradation ladder never report it.
+  [[nodiscard]] virtual bool degraded() const { return false; }
 };
 
 }  // namespace magus::core

@@ -6,6 +6,8 @@
 // writes out. This is the entire per-cycle hardware footprint -- the reason
 // MAGUS's overheads undercut per-core-counter methods (paper Table 2).
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -44,6 +46,28 @@ class MagusRuntime final : public IPolicy {
   /// Last computed throughput, for diagnostics.
   [[nodiscard]] common::Mbps last_throughput() const noexcept { return last_throughput_; }
 
+  /// True once repeated MSR-write failures exhausted the retry budget
+  /// `resilience.max_consecutive_failures` times in a row: the uncore has
+  /// been released to the ladder maximum (firmware default) and the runtime
+  /// keeps monitoring but issues no further writes.
+  [[nodiscard]] bool degraded() const noexcept override { return degraded_; }
+
+  /// Samples rejected by validation (NaN / negative / counter moved
+  /// backwards / read threw). Each held the previous good throughput.
+  [[nodiscard]] std::uint64_t bad_samples() const noexcept { return bad_samples_; }
+
+  /// Individual MSR write bursts that failed (before retry accounting).
+  [[nodiscard]] std::uint64_t msr_write_failures() const noexcept {
+    return write_failures_;
+  }
+
+  /// Install a hook invoked with each retry backoff delay. The simulator
+  /// leaves this unset (virtual time must not stall); the daemon installs a
+  /// real sleep. Must be set before on_start.
+  void set_backoff_sleeper(std::function<void(common::Seconds)> sleeper) {
+    backoff_sleeper_ = std::move(sleeper);
+  }
+
   /// Register the runtime/MDFS series on `reg` (magus_runtime_* and
   /// magus_mdfs_*) and optionally emit discrete events (uncore_retarget,
   /// high_freq_enter/exit) into `events`. Call before on_start; both must
@@ -54,8 +78,14 @@ class MagusRuntime final : public IPolicy {
 
  private:
   void note_sample(common::Seconds now, const std::optional<common::Ghz>& target);
+  /// Bounded-retry MSR write; exhaustion feeds the degradation counter.
+  void write_uncore(common::Ghz ghz, common::Seconds now);
+  /// A sample failed validation: keep cadence on the last good throughput.
+  void hold_last_good(common::Seconds now);
+  void enter_degraded(common::Seconds now);
 
   hw::IMemThroughputCounter& mem_counter_;
+  hw::IMsrDevice& msr_;
   hw::UncoreFreqController uncore_;
   MagusConfig cfg_;
   std::unique_ptr<MdfsController> mdfs_;
@@ -63,6 +93,13 @@ class MagusRuntime final : public IPolicy {
   double prev_mb_ = 0.0;
   double prev_t_ = 0.0;
   common::Mbps last_throughput_{0.0};
+
+  // Degradation ladder state (DESIGN.md §11).
+  bool degraded_ = false;
+  int consecutive_write_failures_ = 0;
+  std::uint64_t bad_samples_ = 0;
+  std::uint64_t write_failures_ = 0;
+  std::function<void(common::Seconds)> backoff_sleeper_;
 
   // Telemetry handles; all nullptr until attach_telemetry.
   telemetry::EventLog* events_ = nullptr;
@@ -77,6 +114,10 @@ class MagusRuntime final : public IPolicy {
   telemetry::Gauge* m_target_ghz_ = nullptr;
   telemetry::Gauge* m_temporary_ghz_ = nullptr;
   telemetry::Gauge* m_hf_active_ = nullptr;
+  telemetry::Counter* m_sample_errors_ = nullptr;
+  telemetry::Counter* m_msr_failures_ = nullptr;
+  telemetry::Counter* m_msr_retries_ = nullptr;
+  telemetry::Gauge* m_degraded_ = nullptr;
   bool last_hf_ = false;
 };
 

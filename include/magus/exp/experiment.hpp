@@ -13,6 +13,8 @@
 #include "magus/common/quantity.hpp"
 #include "magus/core/config.hpp"
 #include "magus/core/runtime.hpp"
+#include "magus/fault/config.hpp"
+#include "magus/fault/injectors.hpp"
 #include "magus/sim/engine.hpp"
 #include "magus/sim/system_preset.hpp"
 #include "magus/trace/recorder.hpp"
@@ -37,11 +39,21 @@ struct RunOptions {
   /// telemetry::null_registry()) or none.
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::EventLog* events = nullptr;  ///< optional decision event stream
+  /// Fault weather applied to the hw backends the policy reads/writes. With
+  /// rate 0 (the default) no decorators are constructed and the run is
+  /// byte-identical to a build without the fault layer.
+  fault::FaultConfig fault;
+  /// Node identity for the fault schedule (fleet index; 0 standalone).
+  std::uint64_t fault_node = 0;
 };
 
 struct RunOutput {
   sim::SimResult result;
   trace::TraceRecorder traces;
+  /// Faults the decorators actually injected (all-zero when fault.rate == 0).
+  fault::FaultStats faults;
+  /// True when the policy entered its safe fallback (IPolicy::degraded).
+  bool policy_degraded = false;
 };
 
 /// Run one workload under one named policy on one system. Policy names are

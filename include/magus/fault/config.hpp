@@ -1,0 +1,69 @@
+#pragma once
+// Fault-injection configuration.
+//
+// One knob set describes how unreliable the simulated hardware backends are:
+// a per-operation fault probability plus relative weights for the concrete
+// failure modes each backend exhibits in production — stale / NaN / negative
+// PCM throughput samples, MSR reads and writes failing with -EIO, and slow
+// (latency-spiking) accesses. The schedule derived from this config is a
+// pure function of (seed, node index, op kind, op index); see plan.hpp.
+
+#include <cmath>
+#include <cstdint>
+
+#include "magus/common/error.hpp"
+
+namespace magus::fault {
+
+struct FaultConfig {
+  /// Per-operation fault probability in [0, 1]. 0 disables injection
+  /// entirely (no decorators are constructed, results are byte-identical to
+  /// a build without the fault layer).
+  double rate = 0.0;
+
+  /// Fault-schedule seed. Independent of the workload/jitter seed so the
+  /// same fleet can be replayed under different fault weather.
+  std::uint64_t seed = 0;
+
+  // Relative weights among the throughput-sampler failure modes. A faulting
+  // sampler read returns the previous good reading (stale), NaN, or a
+  // negative cumulative value.
+  double stale_weight = 0.5;
+  double nan_weight = 0.25;
+  double negative_weight = 0.25;
+
+  // Relative weights among the MSR failure modes. A faulting read or write
+  // either throws common::DeviceError (as a real -EIO surfaces) or completes
+  // after a latency spike (recorded in FaultStats, the op still succeeds).
+  double fail_weight = 0.75;
+  double latency_spike_weight = 0.25;
+
+  /// Magnitude recorded per latency spike (accounting only; the simulator
+  /// does not stall).
+  double latency_spike_s = 0.005;
+
+  [[nodiscard]] bool enabled() const noexcept { return rate > 0.0; }
+
+  void validate() const {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      throw common::ConfigError("FaultConfig: rate must be in [0, 1]");
+    }
+    for (double w : {stale_weight, nan_weight, negative_weight, fail_weight,
+                     latency_spike_weight}) {
+      if (!(w >= 0.0) || !std::isfinite(w)) {
+        throw common::ConfigError("FaultConfig: weights must be finite and >= 0");
+      }
+    }
+    if (stale_weight + nan_weight + negative_weight <= 0.0) {
+      throw common::ConfigError("FaultConfig: sampler fault weights sum to zero");
+    }
+    if (fail_weight + latency_spike_weight <= 0.0) {
+      throw common::ConfigError("FaultConfig: MSR fault weights sum to zero");
+    }
+    if (!(latency_spike_s >= 0.0)) {
+      throw common::ConfigError("FaultConfig: latency_spike_s must be >= 0");
+    }
+  }
+};
+
+}  // namespace magus::fault

@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic fault schedule.
+//
+// A FaultPlan answers one question: "does the op_index-th operation of kind
+// `op` on this node fault, and how?" The answer is a pure function of
+// (config.seed, node_index, op, op_index) — computed by forking the
+// common::Rng stream hierarchy, never by advancing shared state — so a fleet
+// replay with the same seeds reproduces the exact fault weather regardless
+// of thread count, shard size, or the order nodes are simulated in.
+
+#include <cstdint>
+#include <string_view>
+
+#include "magus/common/rng.hpp"
+#include "magus/fault/config.hpp"
+
+namespace magus::fault {
+
+/// Operation classes the injectors consult the plan about.
+enum class FaultOp : std::uint64_t {
+  kMemRead = 1,   ///< IMemThroughputCounter::total_mb
+  kMsrRead = 2,   ///< IMsrDevice::read
+  kMsrWrite = 3,  ///< IMsrDevice::write
+};
+
+/// Concrete failure mode for a single operation.
+enum class FaultKind {
+  kNone,
+  kStale,         ///< sampler returns the previous good reading again
+  kNan,           ///< sampler returns NaN
+  kNegative,      ///< sampler returns a negative cumulative value
+  kReadFail,      ///< MSR read throws common::DeviceError
+  kWriteFail,     ///< MSR write throws common::DeviceError
+  kLatencySpike,  ///< MSR op succeeds but is recorded as slow
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+class FaultPlan {
+ public:
+  FaultPlan(const FaultConfig& config, std::uint64_t node_index);
+
+  /// Pure: the same (op, op_index) always yields the same verdict, and
+  /// queries never perturb each other (fork-based, no shared state).
+  [[nodiscard]] FaultKind decide(FaultOp op, std::uint64_t op_index) const;
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t node_index() const noexcept { return node_index_; }
+
+ private:
+  FaultConfig config_;
+  std::uint64_t node_index_;
+  common::Rng node_stream_;
+};
+
+}  // namespace magus::fault

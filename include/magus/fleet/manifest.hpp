@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "magus/common/quantity.hpp"
+#include "magus/fault/config.hpp"
 #include "magus/wl/jitter.hpp"
 
 namespace magus::fleet {
@@ -90,6 +91,18 @@ class FleetManifest {
     jitter_ = v;
     return *this;
   }
+  FleetManifest& fault(const fault::FaultConfig& v) {
+    fault_ = v;
+    return *this;
+  }
+  FleetManifest& fault_rate(double v) {
+    fault_.rate = v;
+    return *this;
+  }
+  FleetManifest& fault_seed(std::uint64_t v) {
+    fault_.seed = v;
+    return *this;
+  }
   FleetManifest& add_node(NodeSpec spec) {
     nodes_.push_back(std::move(spec));
     return *this;
@@ -98,6 +111,7 @@ class FleetManifest {
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] int shard_size() const noexcept { return shard_size_; }
   [[nodiscard]] const wl::JitterConfig& jitter() const noexcept { return jitter_; }
+  [[nodiscard]] const fault::FaultConfig& fault() const noexcept { return fault_; }
   [[nodiscard]] const std::vector<NodeSpec>& nodes() const noexcept { return nodes_; }
 
   /// All validation problems at once (empty = valid): unknown systems, apps,
@@ -124,6 +138,7 @@ class FleetManifest {
   std::uint64_t seed_ = 2025;
   int shard_size_ = 16;
   wl::JitterConfig jitter_;
+  fault::FaultConfig fault_;
   std::vector<NodeSpec> nodes_;
 };
 

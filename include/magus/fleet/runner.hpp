@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -43,12 +44,21 @@ struct NodeResult {
   double baseline_energy_j = 0.0;
   double joules_saved = 0.0;       ///< baseline_energy_j - energy_j
   double slowdown_pct = 0.0;       ///< runtime vs twin, positive = slower
+
+  // Fault-weather outcome (all defaults when the fleet runs fault-free).
+  bool degraded = false;            ///< policy fell back / node gave up actuating
+  bool failed = false;              ///< every attempt threw; numerics are zeroed
+  int attempts = 1;                 ///< simulation attempts consumed (1 = clean)
+  std::uint64_t faults_injected = 0;  ///< faults the decorators delivered
+  std::string error;                ///< last failure message ("" on success)
 };
 
 /// Rollup over all nodes sharing one policy name.
 struct PolicyRollup {
   std::string policy;
   std::size_t nodes = 0;
+  std::size_t degraded_nodes = 0;  ///< ran to completion in fallback mode
+  std::size_t failed_nodes = 0;    ///< excluded from the percentile vectors
   double joules_saved_total = 0.0;
   double slowdown_p50_pct = 0.0;
   double slowdown_p95_pct = 0.0;
@@ -58,6 +68,8 @@ struct PolicyRollup {
 struct FleetResult {
   std::uint64_t seed = 0;
   std::size_t nodes_total = 0;
+  std::size_t degraded_nodes = 0;
+  std::size_t failed_nodes = 0;
   double joules_saved_total = 0.0;  ///< fleet vs the all-default fleet
   double slowdown_p50_pct = 0.0;
   double slowdown_p95_pct = 0.0;
@@ -107,6 +119,8 @@ class FleetRunner {
   telemetry::Gauge* m_nodes_total_ = nullptr;
   telemetry::Counter* m_nodes_done_ = nullptr;
   telemetry::Gauge* m_joules_saved_ = nullptr;
+  telemetry::Gauge* m_degraded_nodes_ = nullptr;
+  telemetry::Gauge* m_failed_nodes_ = nullptr;
 };
 
 }  // namespace magus::fleet

@@ -5,6 +5,7 @@
 // depending on the producer) and "type". Metrics answer "how much/how
 // often"; the event log answers "what happened when".
 
+#include <iosfwd>
 #include <map>
 #include <mutex>
 #include <string>
@@ -43,7 +44,17 @@ class EventLog {
   /// failure the buffer is kept and common::Error is thrown.
   void flush_to_file(const std::string& path);
 
+  /// Write all buffered lines to `os` as one block and clear the buffer.
+  /// Fail-fast: a stream already in a failed state receives nothing, and on
+  /// any failure the buffer is kept and common::Error is thrown (`context`
+  /// names the sink in the message). The block write means the stream API
+  /// never sees a line split across calls.
+  void flush_to_stream(std::ostream& os, const std::string& context = "stream");
+
  private:
+  /// Shared flush body; caller holds mutex_.
+  void flush_locked(std::ostream& os, const std::string& context);
+
   mutable std::mutex mutex_;
   std::vector<std::string> lines_;
 };

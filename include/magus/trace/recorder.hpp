@@ -2,6 +2,7 @@
 // TraceRecorder: named channels of TimeSeries filled during a simulation or
 // live run; the single artifact every experiment and bench consumes.
 
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,6 +38,11 @@ class TraceRecorder {
 
   /// Dump all channels to CSV: time column per channel pair.
   void write_csv(const std::string& path) const;
+
+  /// Stream variant. Fail-fast: throws std::runtime_error if `os` is already
+  /// failed or any write fails; sets the stream's float precision to
+  /// max_digits10 so every double round-trips.
+  void write_csv(std::ostream& os) const;
 
   void clear() noexcept { channels_.clear(); }
 

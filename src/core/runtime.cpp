@@ -1,5 +1,8 @@
 #include "magus/core/runtime.hpp"
 
+#include <cmath>
+
+#include "magus/common/error.hpp"
 #include "magus/core/policy_factory.hpp"
 #include "magus/telemetry/event_log.hpp"
 #include "magus/telemetry/registry.hpp"
@@ -8,7 +11,7 @@ namespace magus::core {
 
 MagusRuntime::MagusRuntime(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevice& msr,
                            const hw::UncoreFreqLadder& ladder, MagusConfig cfg)
-    : mem_counter_(mem_counter), uncore_(msr, ladder), cfg_(cfg) {
+    : mem_counter_(mem_counter), msr_(msr), uncore_(msr, ladder), cfg_(cfg) {
   cfg_.validate();
   mdfs_ = std::make_unique<MdfsController>(cfg_, common::Ghz(ladder.min_ghz()),
                                            common::Ghz(ladder.max_ghz()));
@@ -39,21 +42,54 @@ void MagusRuntime::attach_telemetry(telemetry::MetricsRegistry& reg,
                                  "Rounds predicting a throughput decrease");
   m_pred_stable_ = reg.counter("magus_mdfs_predictions_stable_total",
                                "Rounds predicting stable throughput");
+  m_sample_errors_ = reg.counter("magus_runtime_sample_errors_total",
+                                 "Samples rejected by validation (NaN/negative/read error)");
+  m_msr_failures_ = reg.counter("magus_runtime_msr_failures_total",
+                                "MSR write bursts that threw DeviceError");
+  m_msr_retries_ = reg.counter("magus_runtime_msr_retries_total",
+                               "Retry attempts after a failed MSR write burst");
+  m_degraded_ = reg.gauge("magus_runtime_degraded",
+                          "1 once the runtime released the uncore after repeated "
+                          "failures, else 0");
   uncore_.attach_telemetry(reg);
 }
 
 void MagusRuntime::on_start(common::Seconds now) {
-  if (cfg_.scaling_enabled) {
-    uncore_.set_max_ghz_all(uncore_.ladder().max_ghz());
+  if (cfg_.scaling_enabled && !degraded_) {
+    write_uncore(common::Ghz(uncore_.ladder().max_ghz()), now);
   }
   telemetry::set(m_target_ghz_, uncore_.ladder().max_ghz());
-  prev_mb_ = mem_counter_.total_mb();
-  prev_t_ = now.value();
-  primed_ = true;
+  double mb = 0.0;
+  bool readable = true;
+  try {
+    mb = mem_counter_.total_mb();
+  } catch (const common::DeviceError&) {
+    readable = false;
+  }
+  if (readable && std::isfinite(mb) && mb >= 0.0) {
+    prev_mb_ = mb;
+    prev_t_ = now.value();
+    primed_ = true;
+  } else {
+    // Priming read failed: stay unprimed so the first valid on_sample primes.
+    ++bad_samples_;
+    telemetry::inc(m_sample_errors_);
+    primed_ = false;
+  }
 }
 
 void MagusRuntime::on_sample(common::Seconds now) {
-  const double mb = mem_counter_.total_mb();
+  double mb = 0.0;
+  try {
+    mb = mem_counter_.total_mb();
+  } catch (const common::DeviceError&) {
+    hold_last_good(now);
+    return;
+  }
+  if (!std::isfinite(mb) || mb < 0.0) {
+    hold_last_good(now);
+    return;
+  }
   if (!primed_) {
     prev_mb_ = mb;
     prev_t_ = now.value();
@@ -62,15 +98,88 @@ void MagusRuntime::on_sample(common::Seconds now) {
   }
   const double dt = now.value() - prev_t_;
   if (dt <= 0.0) return;
-  last_throughput_ = common::Mbps((mb - prev_mb_) / dt);
+  const double mbps = (mb - prev_mb_) / dt;
+  if (mbps < 0.0) {
+    // A cumulative counter never decreases; this reading is corrupt.
+    hold_last_good(now);
+    return;
+  }
+  last_throughput_ = common::Mbps(mbps);
   prev_mb_ = mb;
   prev_t_ = now.value();
 
   const std::optional<common::Ghz> target = mdfs_->on_throughput(now, last_throughput_);
-  if (target && cfg_.scaling_enabled) {
-    uncore_.set_max_ghz_all(target->value());
+  if (target && cfg_.scaling_enabled && !degraded_) {
+    write_uncore(common::Ghz(target->value()), now);
   }
   note_sample(now, target);
+}
+
+void MagusRuntime::hold_last_good(common::Seconds now) {
+  ++bad_samples_;
+  telemetry::inc(m_sample_errors_);
+  if (events_) {
+    events_->emit(telemetry::Event(now.value(), "sample_rejected")
+                      .num("held_throughput_mbps", last_throughput_.value()));
+  }
+  // prev_mb_/prev_t_ stay put: the next good reading averages across the
+  // gap. Feed the last good throughput to MDFS so its windows keep cadence.
+  if (!primed_) return;
+  const std::optional<common::Ghz> target = mdfs_->on_throughput(now, last_throughput_);
+  if (target && cfg_.scaling_enabled && !degraded_) {
+    write_uncore(common::Ghz(target->value()), now);
+  }
+  note_sample(now, target);
+}
+
+void MagusRuntime::write_uncore(common::Ghz ghz, common::Seconds now) {
+  const ResilienceConfig& res = cfg_.resilience;
+  common::Seconds backoff = res.backoff_base;
+  for (int attempt = 0; attempt <= res.write_retries; ++attempt) {
+    if (attempt > 0) {
+      telemetry::inc(m_msr_retries_);
+      if (backoff_sleeper_) backoff_sleeper_(backoff);
+      backoff = common::Seconds(backoff.value() * res.backoff_mult);
+    }
+    try {
+      uncore_.set_max_ghz_all(ghz.value());
+      consecutive_write_failures_ = 0;
+      return;
+    } catch (const common::DeviceError&) {
+      telemetry::inc(m_msr_failures_);
+    }
+  }
+  ++write_failures_;
+  ++consecutive_write_failures_;
+  if (events_) {
+    events_->emit(telemetry::Event(now.value(), "uncore_write_failed")
+                      .num("target_ghz", ghz.value())
+                      .num("consecutive", consecutive_write_failures_));
+  }
+  if (consecutive_write_failures_ >= res.max_consecutive_failures) {
+    enter_degraded(now);
+  }
+}
+
+void MagusRuntime::enter_degraded(common::Seconds now) {
+  if (degraded_) return;
+  degraded_ = true;
+  // Safe fallback: best-effort release of every socket to the ladder
+  // maximum (the firmware default), one try per socket -- a socket whose
+  // device is still failing is left to the firmware watchdog.
+  for (int socket = 0; socket < msr_.socket_count(); ++socket) {
+    try {
+      uncore_.set_max_ghz(socket, uncore_.ladder().max_ghz());
+    } catch (const common::DeviceError&) {
+    }
+  }
+  telemetry::set(m_degraded_, 1.0);
+  telemetry::set(m_target_ghz_, uncore_.ladder().max_ghz());
+  if (events_) {
+    events_->emit(telemetry::Event(now.value(), "runtime_degraded")
+                      .num("consecutive_failures", consecutive_write_failures_)
+                      .num("release_ghz", uncore_.ladder().max_ghz()));
+  }
 }
 
 void MagusRuntime::note_sample(common::Seconds now,

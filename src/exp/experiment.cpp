@@ -4,6 +4,7 @@
 
 #include "magus/common/error.hpp"
 #include "magus/core/policy_factory.hpp"
+#include "magus/fault/plan.hpp"
 
 namespace magus::exp {
 
@@ -19,6 +20,23 @@ RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& work
   ctx.core_counters = &engine.core_counters();
   ctx.msr = &engine.msr();
   ctx.ladder = &ladder;
+
+  // Fault decorators slot in between the policy and the engine backends.
+  // Constructed only when enabled so a rate-0 run takes the exact same code
+  // path (and produces bit-identical results) as before the fault layer.
+  RunOutput out;
+  std::unique_ptr<fault::FaultPlan> plan;
+  std::unique_ptr<fault::FaultyMemThroughputCounter> faulty_mem;
+  std::unique_ptr<fault::FaultyMsrDevice> faulty_msr;
+  if (opts.fault.enabled()) {
+    plan = std::make_unique<fault::FaultPlan>(opts.fault, opts.fault_node);
+    faulty_mem = std::make_unique<fault::FaultyMemThroughputCounter>(
+        engine.mem_counter(), *plan, out.faults);
+    faulty_msr =
+        std::make_unique<fault::FaultyMsrDevice>(engine.msr(), *plan, out.faults);
+    ctx.mem_counter = faulty_mem.get();
+    ctx.msr = faulty_msr.get();
+  }
   ctx.magus = &opts.magus;
   ctx.ups = &opts.ups;
   ctx.duf = &opts.duf;
@@ -39,9 +57,9 @@ RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& work
     hook.on_sample = [&bound](common::Seconds now) { bound->on_sample(now); };
   }
 
-  RunOutput out;
   out.result = engine.run(hook);
   out.traces = engine.recorder();
+  out.policy_degraded = bound->degraded();
   return out;
 }
 

@@ -1,0 +1,93 @@
+#include "magus/fault/injectors.hpp"
+
+#include <limits>
+#include <string>
+
+#include "magus/common/error.hpp"
+
+namespace magus::fault {
+
+namespace {
+
+[[noreturn]] void throw_msr_fault(const char* verb, int socket, std::uint32_t reg,
+                                  std::uint64_t op_index, std::uint64_t node) {
+  throw common::DeviceError("injected MSR " + std::string(verb) + " fault: socket " +
+                            std::to_string(socket) + " reg " + std::to_string(reg) +
+                            " op " + std::to_string(op_index) + " node " +
+                            std::to_string(node));
+}
+
+}  // namespace
+
+FaultStats& FaultStats::operator+=(const FaultStats& other) noexcept {
+  mem_reads += other.mem_reads;
+  msr_reads += other.msr_reads;
+  msr_writes += other.msr_writes;
+  stale_samples += other.stale_samples;
+  nan_samples += other.nan_samples;
+  negative_samples += other.negative_samples;
+  read_failures += other.read_failures;
+  write_failures += other.write_failures;
+  latency_spikes += other.latency_spikes;
+  latency_injected_s += other.latency_injected_s;
+  return *this;
+}
+
+double FaultyMemThroughputCounter::total_mb() {
+  ++stats_.mem_reads;
+  const FaultKind kind = plan_.decide(FaultOp::kMemRead, op_index_++);
+  switch (kind) {
+    case FaultKind::kStale:
+      ++stats_.stale_samples;
+      if (have_last_good_) return last_good_mb_;
+      break;  // nothing to replay yet; read for real below
+    case FaultKind::kNan:
+      ++stats_.nan_samples;
+      return std::numeric_limits<double>::quiet_NaN();
+    case FaultKind::kNegative:
+      ++stats_.negative_samples;
+      return -1.0;
+    default:
+      break;
+  }
+  const double mb = inner_.total_mb();
+  last_good_mb_ = mb;
+  have_last_good_ = true;
+  return mb;
+}
+
+std::uint64_t FaultyMsrDevice::read(int socket, std::uint32_t reg) {
+  ++stats_.msr_reads;
+  const std::uint64_t op = read_index_++;
+  switch (plan_.decide(FaultOp::kMsrRead, op)) {
+    case FaultKind::kReadFail:
+      ++stats_.read_failures;
+      throw_msr_fault("read", socket, reg, op, plan_.node_index());
+    case FaultKind::kLatencySpike:
+      ++stats_.latency_spikes;
+      stats_.latency_injected_s += plan_.config().latency_spike_s;
+      break;
+    default:
+      break;
+  }
+  return inner_.read(socket, reg);
+}
+
+void FaultyMsrDevice::write(int socket, std::uint32_t reg, std::uint64_t value) {
+  ++stats_.msr_writes;
+  const std::uint64_t op = write_index_++;
+  switch (plan_.decide(FaultOp::kMsrWrite, op)) {
+    case FaultKind::kWriteFail:
+      ++stats_.write_failures;
+      throw_msr_fault("write", socket, reg, op, plan_.node_index());
+    case FaultKind::kLatencySpike:
+      ++stats_.latency_spikes;
+      stats_.latency_injected_s += plan_.config().latency_spike_s;
+      break;
+    default:
+      break;
+  }
+  inner_.write(socket, reg, value);
+}
+
+}  // namespace magus::fault

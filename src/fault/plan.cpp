@@ -1,0 +1,56 @@
+#include "magus/fault/plan.hpp"
+
+namespace magus::fault {
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kStale:
+      return "stale";
+    case FaultKind::kNan:
+      return "nan";
+    case FaultKind::kNegative:
+      return "negative";
+    case FaultKind::kReadFail:
+      return "read_fail";
+    case FaultKind::kWriteFail:
+      return "write_fail";
+    case FaultKind::kLatencySpike:
+      return "latency_spike";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config, std::uint64_t node_index)
+    : config_(config),
+      node_index_(node_index),
+      node_stream_(common::Rng(config.seed).fork(node_index)) {
+  config_.validate();
+}
+
+FaultKind FaultPlan::decide(FaultOp op, std::uint64_t op_index) const {
+  if (!config_.enabled()) return FaultKind::kNone;
+  // Two fork levels below the node stream: one per op class, one per op
+  // index. fork() does not advance parent state, so decide() is const-pure
+  // and order-independent by construction.
+  common::Rng r = node_stream_.fork(static_cast<std::uint64_t>(op)).fork(op_index);
+  if (r.uniform() >= config_.rate) return FaultKind::kNone;
+
+  const double pick = r.uniform();
+  if (op == FaultOp::kMemRead) {
+    const double total =
+        config_.stale_weight + config_.nan_weight + config_.negative_weight;
+    const double x = pick * total;
+    if (x < config_.stale_weight) return FaultKind::kStale;
+    if (x < config_.stale_weight + config_.nan_weight) return FaultKind::kNan;
+    return FaultKind::kNegative;
+  }
+  const double total = config_.fail_weight + config_.latency_spike_weight;
+  if (pick * total < config_.fail_weight) {
+    return op == FaultOp::kMsrRead ? FaultKind::kReadFail : FaultKind::kWriteFail;
+  }
+  return FaultKind::kLatencySpike;
+}
+
+}  // namespace magus::fault

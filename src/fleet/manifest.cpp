@@ -63,6 +63,11 @@ std::vector<std::string> FleetManifest::validate() const {
     errors.push_back("shard_size must be >= 1 (got " + std::to_string(shard_size_) + ")");
   }
   if (nodes_.empty()) errors.push_back("fleet has no nodes");
+  try {
+    fault_.validate();
+  } catch (const common::Error& e) {
+    errors.emplace_back(e.what());
+  }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const std::string prefix =
         "node[" + std::to_string(i) + "] '" + nodes_[i].name() + "'";
@@ -115,6 +120,8 @@ std::string FleetManifest::to_jsonl() const {
                         .num("shard_size", shard_size_)
                         .num("jitter_duration_rel", jitter_.duration_rel)
                         .num("jitter_demand_rel", jitter_.demand_rel)
+                        .num("fault_rate", fault_.rate)
+                        .str("fault_seed", std::to_string(fault_.seed))
                         .to_json() +
                     "\n";
   for (const NodeSpec& n : nodes_) {
@@ -156,6 +163,11 @@ FleetManifest FleetManifest::from_jsonl(const std::string& text) {
       }
       return it->second;
     };
+    // Fields added after the v1 wire format; absent in old manifests.
+    auto field_or = [&](const char* key, const std::string& fallback) -> std::string {
+      const auto it = fields.find(key);
+      return it == fields.end() ? fallback : it->second;
+    };
     const std::string& type = field("type");
     if (type == "fleet_manifest") {
       saw_header = true;
@@ -165,6 +177,8 @@ FleetManifest FleetManifest::from_jsonl(const std::string& text) {
       jitter.duration_rel = std::stod(field("jitter_duration_rel"));
       jitter.demand_rel = std::stod(field("jitter_demand_rel"));
       manifest.jitter(jitter);
+      manifest.fault_rate(std::stod(field_or("fault_rate", "0")));
+      manifest.fault_seed(std::stoull(field_or("fault_seed", "0")));
     } else if (type == "fleet_node") {
       NodeSpec node;
       node.name(field("name"))

@@ -1,7 +1,9 @@
 #include "magus/fleet/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "magus/common/error.hpp"
@@ -29,6 +31,10 @@ void FleetRunner::attach_telemetry(telemetry::MetricsRegistry& reg,
       reg.counter("magus_fleet_nodes_completed_total", "Fleet nodes fully simulated");
   m_joules_saved_ = reg.gauge("magus_fleet_joules_saved_total",
                               "Fleet energy saved vs the all-default fleet (J)");
+  m_degraded_nodes_ = reg.gauge("magus_fleet_degraded_nodes",
+                                "Nodes that finished in policy-fallback mode or failed");
+  m_failed_nodes_ = reg.gauge("magus_fleet_failed_nodes",
+                              "Nodes whose every simulation attempt threw");
 }
 
 NodeResult FleetRunner::run_node(std::size_t index) const {
@@ -47,14 +53,8 @@ NodeResult FleetRunner::run_node(std::size_t index) const {
   opts.engine.seed = manifest_.seed() * 1000003ull + index;
   opts.engine.record_traces = false;
   opts.static_ghz = spec.static_uncore();
-
-  const sim::SystemSpec system = sim::system_by_name(spec.system());
-  const sim::SimResult run = exp::run_policy(system, jittered, spec.policy(), opts).result;
-  // The default-policy twin sees the identical jittered workload and engine
-  // seed; when the node already runs "default" it is its own twin.
-  const sim::SimResult baseline =
-      spec.policy() == "default" ? run
-                                 : exp::run_policy(system, jittered, "default", opts).result;
+  opts.fault = manifest_.fault();
+  opts.fault_node = index;
 
   NodeResult out;
   out.index = index;
@@ -62,15 +62,52 @@ NodeResult FleetRunner::run_node(std::size_t index) const {
   out.system = spec.system();
   out.app = spec.app();
   out.policy = spec.policy();
-  out.completed = run.completed;
-  out.runtime_s = run.duration_s;
-  out.baseline_runtime_s = baseline.duration_s;
-  out.energy_j = run.total_energy_j();
-  out.baseline_energy_j = baseline.total_energy_j();
-  out.joules_saved = out.baseline_energy_j - out.energy_j;
-  out.slowdown_pct = baseline.duration_s > 0.0
-                         ? 100.0 * (run.duration_s / baseline.duration_s - 1.0)
-                         : 0.0;
+
+  const sim::SystemSpec system = sim::system_by_name(spec.system());
+
+  // Failure isolation: a node whose backend dies (a policy that does not
+  // ride the degradation ladder, e.g. UPS hitting an injected MSR -EIO) is
+  // retried with a short backoff, then recorded as failed -- never allowed
+  // to poison sibling shards. Inputs are identical per attempt, so the
+  // recorded outcome is deterministic regardless of scheduling.
+  constexpr int kNodeAttempts = 3;
+  for (int attempt = 1; attempt <= kNodeAttempts; ++attempt) {
+    out.attempts = attempt;
+    try {
+      const exp::RunOutput run = exp::run_policy(system, jittered, spec.policy(), opts);
+      // The default-policy twin sees the identical jittered workload and
+      // engine seed; when the node already runs "default" it is its own twin.
+      // Fault decorators wrap the twin too, but "default" issues no backend
+      // calls, so its results never depend on fault weather.
+      const bool is_default = spec.policy() == "default";
+      const exp::RunOutput twin =
+          is_default ? exp::RunOutput{} : exp::run_policy(system, jittered, "default", opts);
+      const sim::SimResult& baseline = is_default ? run.result : twin.result;
+
+      out.completed = run.result.completed;
+      out.runtime_s = run.result.duration_s;
+      out.baseline_runtime_s = baseline.duration_s;
+      out.energy_j = run.result.total_energy_j();
+      out.baseline_energy_j = baseline.total_energy_j();
+      out.joules_saved = out.baseline_energy_j - out.energy_j;
+      out.slowdown_pct = baseline.duration_s > 0.0
+                             ? 100.0 * (run.result.duration_s / baseline.duration_s - 1.0)
+                             : 0.0;
+      out.degraded = run.policy_degraded;
+      out.faults_injected = run.faults.injected() + twin.faults.injected();
+      out.error.clear();
+      return out;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+      if (attempt < kNodeAttempts) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+      }
+    }
+  }
+  // Every attempt threw: zeroed numerics, flagged, isolated.
+  out.failed = true;
+  out.degraded = true;
+  out.completed = false;
   return out;
 }
 
@@ -98,7 +135,9 @@ FleetResult FleetRunner::run() {
                           .str("node", results[i].name)
                           .str("policy", results[i].policy)
                           .num("joules_saved", results[i].joules_saved)
-                          .num("slowdown_pct", results[i].slowdown_pct));
+                          .num("slowdown_pct", results[i].slowdown_pct)
+                          .flag("degraded", results[i].degraded)
+                          .flag("failed", results[i].failed));
       }
     }
   });
@@ -110,13 +149,27 @@ FleetResult FleetRunner::run() {
   fleet.nodes_total = total;
   std::vector<double> slowdowns;
   slowdowns.reserve(total);
-  std::map<std::string, std::pair<std::vector<double>, double>> by_policy;
+  struct PolicyAcc {
+    std::vector<double> slowdowns;  ///< failed nodes excluded
+    double joules = 0.0;
+    std::size_t nodes = 0;
+    std::size_t degraded = 0;
+    std::size_t failed = 0;
+  };
+  std::map<std::string, PolicyAcc> by_policy;
   for (const NodeResult& r : results) {
+    // A failed node contributes its (zeroed) joules but is excluded from the
+    // slowdown percentiles: its numerics are placeholders, not measurements.
     fleet.joules_saved_total += r.joules_saved;
-    slowdowns.push_back(r.slowdown_pct);
-    auto& [policy_slowdowns, policy_joules] = by_policy[r.policy];
-    policy_slowdowns.push_back(r.slowdown_pct);
-    policy_joules += r.joules_saved;
+    if (!r.failed) slowdowns.push_back(r.slowdown_pct);
+    fleet.degraded_nodes += r.degraded ? 1u : 0u;
+    fleet.failed_nodes += r.failed ? 1u : 0u;
+    PolicyAcc& acc = by_policy[r.policy];
+    ++acc.nodes;
+    if (!r.failed) acc.slowdowns.push_back(r.slowdown_pct);
+    acc.joules += r.joules_saved;
+    acc.degraded += r.degraded ? 1u : 0u;
+    acc.failed += r.failed ? 1u : 0u;
   }
   fleet.slowdown_p50_pct = common::percentile(slowdowns, 50.0);
   fleet.slowdown_p95_pct = common::percentile(slowdowns, 95.0);
@@ -124,21 +177,27 @@ FleetResult FleetRunner::run() {
   for (const auto& [policy, acc] : by_policy) {
     PolicyRollup roll;
     roll.policy = policy;
-    roll.nodes = acc.first.size();
-    roll.joules_saved_total = acc.second;
-    roll.slowdown_p50_pct = common::percentile(acc.first, 50.0);
-    roll.slowdown_p95_pct = common::percentile(acc.first, 95.0);
-    roll.slowdown_p99_pct = common::percentile(acc.first, 99.0);
+    roll.nodes = acc.nodes;
+    roll.degraded_nodes = acc.degraded;
+    roll.failed_nodes = acc.failed;
+    roll.joules_saved_total = acc.joules;
+    roll.slowdown_p50_pct = common::percentile(acc.slowdowns, 50.0);
+    roll.slowdown_p95_pct = common::percentile(acc.slowdowns, 95.0);
+    roll.slowdown_p99_pct = common::percentile(acc.slowdowns, 99.0);
     fleet.per_policy.push_back(std::move(roll));
   }
   fleet.nodes = std::move(results);
 
   telemetry::set(m_joules_saved_, fleet.joules_saved_total);
+  telemetry::set(m_degraded_nodes_, static_cast<double>(fleet.degraded_nodes));
+  telemetry::set(m_failed_nodes_, static_cast<double>(fleet.failed_nodes));
   if (events_) {
     events_->emit(telemetry::Event(0.0, "fleet_done")
                       .num("nodes", static_cast<double>(total))
                       .num("joules_saved_total", fleet.joules_saved_total)
-                      .num("slowdown_p95_pct", fleet.slowdown_p95_pct));
+                      .num("slowdown_p95_pct", fleet.slowdown_p95_pct)
+                      .num("degraded_nodes", static_cast<double>(fleet.degraded_nodes))
+                      .num("failed_nodes", static_cast<double>(fleet.failed_nodes)));
   }
   return fleet;
 }
@@ -147,6 +206,8 @@ std::string FleetResult::to_jsonl() const {
   std::string out = telemetry::Event(0.0, "fleet_rollup")
                         .str("seed", std::to_string(seed))
                         .num("nodes", static_cast<double>(nodes_total))
+                        .num("degraded_nodes", static_cast<double>(degraded_nodes))
+                        .num("failed_nodes", static_cast<double>(failed_nodes))
                         .num("joules_saved_total", joules_saved_total)
                         .num("slowdown_p50_pct", slowdown_p50_pct)
                         .num("slowdown_p95_pct", slowdown_p95_pct)
@@ -157,6 +218,8 @@ std::string FleetResult::to_jsonl() const {
     out += telemetry::Event(0.0, "policy_rollup")
                .str("policy", roll.policy)
                .num("nodes", static_cast<double>(roll.nodes))
+               .num("degraded_nodes", static_cast<double>(roll.degraded_nodes))
+               .num("failed_nodes", static_cast<double>(roll.failed_nodes))
                .num("joules_saved_total", roll.joules_saved_total)
                .num("slowdown_p50_pct", roll.slowdown_p50_pct)
                .num("slowdown_p95_pct", roll.slowdown_p95_pct)
@@ -171,12 +234,17 @@ std::string FleetResult::to_jsonl() const {
                .str("app", r.app)
                .str("policy", r.policy)
                .flag("completed", r.completed)
+               .flag("degraded", r.degraded)
+               .flag("failed", r.failed)
+               .num("attempts", r.attempts)
+               .num("faults_injected", static_cast<double>(r.faults_injected))
                .num("runtime_s", r.runtime_s)
                .num("baseline_runtime_s", r.baseline_runtime_s)
                .num("energy_j", r.energy_j)
                .num("baseline_energy_j", r.baseline_energy_j)
                .num("joules_saved", r.joules_saved)
                .num("slowdown_pct", r.slowdown_pct)
+               .str("error", r.error)
                .to_json() +
            "\n";
   }

@@ -77,9 +77,30 @@ void EventLog::flush_to_file(const std::string& path) {
   if (lines_.empty()) return;
   std::ofstream os(path, std::ios::app);
   if (!os) throw common::Error("EventLog: cannot open " + path);
-  for (const std::string& line : lines_) os << line << '\n';
+  flush_locked(os, path);
+}
+
+void EventLog::flush_to_stream(std::ostream& os, const std::string& context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked(os, context);
+}
+
+void EventLog::flush_locked(std::ostream& os, const std::string& context) {
+  if (lines_.empty()) return;
+  if (!os) throw common::Error("EventLog: bad stream for " + context);
+  // One block, one write: a sink that rejects the write rejects whole lines,
+  // never a prefix of one.
+  std::string block;
+  std::size_t bytes = 0;
+  for (const std::string& line : lines_) bytes += line.size() + 1;
+  block.reserve(bytes);
+  for (const std::string& line : lines_) {
+    block += line;
+    block += '\n';
+  }
+  os << block;
   os.flush();
-  if (os.fail()) throw common::Error("EventLog: write failed for " + path);
+  if (os.fail()) throw common::Error("EventLog: write failed for " + context);
   lines_.clear();
 }
 

@@ -129,12 +129,16 @@ void HttpExporter::handle_client(int client_fd) {
     std::istringstream is(request);
     is >> req.method >> target;
   }
+  // A truncated or empty request line (client died mid-send, garbage bytes)
+  // is the client's fault, not an unsupported method: answer 400, not 405.
+  const bool malformed_request_line = req.method.empty() || target.empty();
   const std::size_t query_pos = target.find('?');
   req.path = query_pos == std::string::npos ? target : target.substr(0, query_pos);
   if (query_pos != std::string::npos) req.query = target.substr(query_pos + 1);
 
   HttpResponse res;
   bool body_too_large = false;
+  bool bad_content_length = false;
   if (header_end != std::string::npos) {
     // Pull the rest of the payload when the request advertises one.
     constexpr std::size_t kMaxBody = 1 << 20;
@@ -149,17 +153,32 @@ void HttpExporter::handle_client(int client_fd) {
           lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
         }
         if (lower.rfind("content-length:", 0) == 0) {
-          try {
-            content_length = static_cast<std::size_t>(std::stoull(line.substr(15)));
-          } catch (const std::exception&) {
-            content_length = 0;
+          // Strict digits-only parse. std::stoull would accept signs,
+          // leading junk, and silently saturate nothing -- an oversized
+          // value used to be swallowed by its out_of_range catch and treated
+          // as 0, handing the handler an empty body for a huge request.
+          std::string value = line.substr(15);
+          while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+            value.erase(0, 1);
+          }
+          while (!value.empty() &&
+                 (value.back() == '\r' || value.back() == ' ' || value.back() == '\t')) {
+            value.pop_back();
+          }
+          if (value.empty() ||
+              value.find_first_not_of("0123456789") != std::string::npos) {
+            bad_content_length = true;
+          } else if (value.size() > 10 || std::stoull(value) > kMaxBody) {
+            // > 10 digits cannot fit kMaxBody; skip stoull so 100-digit
+            // values never reach its out_of_range throw.
+            body_too_large = true;
+          } else {
+            content_length = static_cast<std::size_t>(std::stoull(value));
           }
         }
       }
     }
-    if (content_length > kMaxBody) {
-      body_too_large = true;
-    } else if (content_length > 0) {
+    if (content_length > 0 && !body_too_large && !bad_content_length) {
       const std::size_t body_start = header_end + 4;
       std::string body = request.substr(std::min(body_start, request.size()));
       while (body.size() < content_length) {
@@ -179,7 +198,13 @@ void HttpExporter::handle_client(int client_fd) {
     if (it != routes_.end()) handler = it->second;
   }
 
-  if (body_too_large) {
+  if (malformed_request_line) {
+    res.status = 400;
+    res.body = "malformed request line\n";
+  } else if (bad_content_length) {
+    res.status = 400;
+    res.body = "malformed Content-Length\n";
+  } else if (body_too_large) {
     res.status = 413;
     res.body = "request body too large\n";
   } else if (handler) {

@@ -33,6 +33,15 @@ std::vector<std::string> TraceRecorder::channels() const {
 void TraceRecorder::write_csv(const std::string& path) const {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("TraceRecorder: cannot open " + path);
+  try {
+    write_csv(os);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("TraceRecorder: write failed for " + path);
+  }
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  if (!os) throw std::runtime_error("TraceRecorder: output stream already failed");
   // max_digits10 so every double round-trips exactly through the CSV.
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "channel,t,v\n";
@@ -42,7 +51,7 @@ void TraceRecorder::write_csv(const std::string& path) const {
     }
   }
   os.flush();
-  if (os.fail()) throw std::runtime_error("TraceRecorder: write failed for " + path);
+  if (os.fail()) throw std::runtime_error("TraceRecorder: stream write failed");
 }
 
 }  // namespace magus::trace

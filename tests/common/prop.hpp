@@ -1,0 +1,81 @@
+#pragma once
+// Minimal seeded property-test generator.
+//
+// Built on common::Rng (SplitMix64) so every property run is deterministic
+// and replayable from a literal seed -- no std::random_device anywhere. On a
+// failure, gtest output includes the case index; re-running with the same
+// seed reproduces it exactly.
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "magus/common/rng.hpp"
+
+namespace magus::test {
+
+class Gen {
+ public:
+  explicit Gen(std::uint64_t seed) noexcept : rng_(seed) {}
+
+  std::uint64_t u64() noexcept { return rng_.next_u64(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int int_in(int lo, int hi) noexcept {
+    return lo + static_cast<int>(rng_.uniform_index(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  double uniform() noexcept { return rng_.uniform(); }
+
+  /// Finite normal (or zero) double drawn from raw IEEE-754 bit patterns, so
+  /// the full exponent range is exercised -- not just the [0,1) sliver that
+  /// uniform() covers. NaN/inf/subnormals are rejected and redrawn
+  /// (subnormals trip std::stod's out_of_range on some stdlibs, a quirk that
+  /// is not the parser under test).
+  double finite_double() noexcept {
+    for (;;) {
+      const std::uint64_t bits = rng_.next_u64();
+      double d = 0.0;
+      std::memcpy(&d, &bits, sizeof(d));
+      if (std::isfinite(d) && (d == 0.0 || std::fabs(d) >= DBL_MIN)) return d;
+    }
+  }
+
+  /// Identifier-ish string: [a-z0-9_/]{1..max_len}.
+  std::string ident(int max_len = 12) {
+    static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789_/";
+    const int len = int_in(1, max_len);
+    std::string out;
+    out.reserve(static_cast<std::size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      out += kAlphabet[rng_.uniform_index(sizeof(kAlphabet) - 1)];
+    }
+    return out;
+  }
+
+  /// Arbitrary text biased toward characters that need JSON escaping
+  /// (quotes, backslashes, control characters, newlines).
+  std::string text(int max_len = 16) {
+    const int len = int_in(0, max_len);
+    std::string out;
+    out.reserve(static_cast<std::size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      switch (rng_.uniform_index(6)) {
+        case 0: out += '"'; break;
+        case 1: out += '\\'; break;
+        case 2: out += '\n'; break;
+        case 3: out += static_cast<char>(rng_.uniform_index(0x20)); break;
+        default: out += static_cast<char>(0x20 + rng_.uniform_index(0x5f)); break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  common::Rng rng_;
+};
+
+}  // namespace magus::test

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "magus/common/error.hpp"
+#include "magus/common/parse.hpp"
+#include "magus/common/quantity.hpp"
+#include "prop.hpp"
+
+// Property: to_string / parse_quantity and int-list join / parse_int_list
+// are exact inverses over ~10k seeded cases. Bit-exact, not approximate:
+// a formatter losing one ULP would corrupt golden energy figures.
+
+namespace mc = magus::common;
+namespace mt = magus::test;
+
+namespace {
+
+template <class Q>
+void quantity_round_trip(std::uint64_t seed) {
+  mt::Gen gen(seed);
+  for (int i = 0; i < 10'000; ++i) {
+    const Q q(gen.finite_double());
+    const std::string text = mc::to_string(q);
+    const Q back = mc::parse_quantity<Q>(text);
+    // EXPECT_EQ on the raw bits: -0.0 vs 0.0 and every ULP must survive.
+    EXPECT_EQ(back.value(), q.value()) << "case " << i << ": '" << text << "'";
+    if (back.value() != q.value()) break;
+  }
+}
+
+}  // namespace
+
+TEST(PropQuantityRoundTrip, Ghz) { quantity_round_trip<mc::Ghz>(0xA11CE5EEDull); }
+TEST(PropQuantityRoundTrip, Mbps) { quantity_round_trip<mc::Mbps>(0xB0B5EEDull); }
+TEST(PropQuantityRoundTrip, Seconds) { quantity_round_trip<mc::Seconds>(0xCAFE5EEDull); }
+TEST(PropQuantityRoundTrip, Joules) { quantity_round_trip<mc::Joules>(0xD06F00Dull); }
+
+TEST(PropQuantityRoundTrip, RejectsWrongOrMissingUnit) {
+  mt::Gen gen(7);
+  for (int i = 0; i < 1'000; ++i) {
+    const mc::Ghz q(gen.finite_double());
+    const std::string text = mc::to_string(q);
+    // Strip the unit suffix -> must throw. Swap in the wrong unit -> throw.
+    const std::string bare = text.substr(0, text.size() - 4);
+    EXPECT_THROW((void)mc::parse_quantity<mc::Ghz>(bare), mc::ConfigError);
+    EXPECT_THROW((void)mc::parse_quantity<mc::Mbps>(text), mc::ConfigError);
+  }
+}
+
+TEST(PropIntListRoundTrip, JoinThenParseIsIdentity) {
+  mt::Gen gen(0x1157);
+  for (int i = 0; i < 10'000; ++i) {
+    const int n = gen.int_in(1, 8);
+    std::vector<int> values;
+    values.reserve(static_cast<std::size_t>(n));
+    std::string joined;
+    for (int k = 0; k < n; ++k) {
+      values.push_back(gen.int_in(-1'000'000, 1'000'000));
+      if (k) joined += ',';
+      joined += std::to_string(values.back());
+    }
+    EXPECT_EQ(mc::parse_int_list(joined), values) << "case " << i << ": '" << joined
+                                                  << "'";
+  }
+}
+
+TEST(PropIntListRoundTrip, RejectsEmptyTokensAndGarbage) {
+  mt::Gen gen(0xBAD);
+  for (int i = 0; i < 1'000; ++i) {
+    const std::string tail = std::to_string(gen.int_in(0, 99));
+    EXPECT_THROW((void)mc::parse_int_list(tail + ","), mc::ConfigError);
+    EXPECT_THROW((void)mc::parse_int_list("," + tail), mc::ConfigError);
+    EXPECT_THROW((void)mc::parse_int_list(tail + ",,1"), mc::ConfigError);
+    EXPECT_THROW((void)mc::parse_int_list(tail + "x"), mc::ConfigError);
+  }
+  EXPECT_THROW((void)mc::parse_int_list(""), mc::ConfigError);
+}

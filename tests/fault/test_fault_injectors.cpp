@@ -1,0 +1,210 @@
+// Fault-injecting decorators over the hw backend interfaces: corrupted
+// sampler readings, thrown MSR errors, latency-spike accounting, and the
+// FaultStats tally they all feed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "magus/common/error.hpp"
+#include "magus/fault/injectors.hpp"
+#include "magus/fault/plan.hpp"
+
+namespace mf = magus::fault;
+namespace mh = magus::hw;
+
+namespace {
+
+/// Monotonic counter: each read returns 100, 200, 300, ...
+class RampCounter final : public mh::IMemThroughputCounter {
+ public:
+  double total_mb() override { return 100.0 * static_cast<double>(++reads_); }
+  [[nodiscard]] int reads() const noexcept { return reads_; }
+
+ private:
+  int reads_ = 0;
+};
+
+/// In-memory MSR device recording every access.
+class RecordingMsr final : public mh::IMsrDevice {
+ public:
+  [[nodiscard]] int socket_count() const override { return 2; }
+  std::uint64_t read(int socket, std::uint32_t reg) override {
+    reads.push_back({socket, reg});
+    return 0xABCDu;
+  }
+  void write(int socket, std::uint32_t reg, std::uint64_t value) override {
+    writes.push_back({socket, reg});
+    last_value = value;
+  }
+
+  std::vector<std::pair<int, std::uint32_t>> reads;
+  std::vector<std::pair<int, std::uint32_t>> writes;
+  std::uint64_t last_value = 0;
+};
+
+mf::FaultConfig mem_only(mf::FaultKind kind) {
+  mf::FaultConfig cfg;
+  cfg.rate = 1.0;
+  cfg.seed = 3;
+  cfg.stale_weight = kind == mf::FaultKind::kStale ? 1.0 : 0.0;
+  cfg.nan_weight = kind == mf::FaultKind::kNan ? 1.0 : 0.0;
+  cfg.negative_weight = kind == mf::FaultKind::kNegative ? 1.0 : 0.0;
+  return cfg;
+}
+
+mf::FaultConfig msr_only(bool fail) {
+  mf::FaultConfig cfg;
+  cfg.rate = 1.0;
+  cfg.seed = 3;
+  cfg.fail_weight = fail ? 1.0 : 0.0;
+  cfg.latency_spike_weight = fail ? 0.0 : 1.0;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FaultyMemCounter, StaleReplaysLastGoodReading) {
+  RampCounter inner;
+  // Rate 0.5: roughly half the reads are stale, the rest are real. A stale
+  // read must echo the newest real reading, never invent a value.
+  mf::FaultConfig cfg = mem_only(mf::FaultKind::kStale);
+  cfg.rate = 0.5;
+  mf::FaultStats stats;
+  const mf::FaultPlan plan(cfg, 0);
+  mf::FaultyMemThroughputCounter counter(inner, plan, stats);
+
+  double last_real = 0.0;
+  bool seen_stale_echo = false;
+  for (int i = 0; i < 200; ++i) {
+    const double mb = counter.total_mb();
+    if (mb == last_real && last_real != 0.0) {
+      seen_stale_echo = true;
+    } else {
+      EXPECT_GT(mb, last_real);  // real readings ramp monotonically
+      last_real = mb;
+    }
+  }
+  EXPECT_TRUE(seen_stale_echo);
+  EXPECT_GT(stats.stale_samples, 0u);
+  EXPECT_EQ(stats.mem_reads, 200u);
+}
+
+TEST(FaultyMemCounter, StaleBeforeFirstGoodReadingFallsThrough) {
+  RampCounter inner;
+  mf::FaultStats stats;
+  const mf::FaultPlan plan(mem_only(mf::FaultKind::kStale), 0);
+  mf::FaultyMemThroughputCounter counter(inner, plan, stats);
+  // Every op is a stale fault, but there is no last-good to replay: the very
+  // first read must hit the real counter (and be tallied as stale anyway).
+  EXPECT_EQ(counter.total_mb(), 100.0);
+  EXPECT_EQ(inner.reads(), 1);
+  EXPECT_EQ(stats.stale_samples, 1u);
+  // From the second read on the first value is replayed forever.
+  EXPECT_EQ(counter.total_mb(), 100.0);
+  EXPECT_EQ(counter.total_mb(), 100.0);
+  EXPECT_EQ(inner.reads(), 1);
+}
+
+TEST(FaultyMemCounter, NanAndNegativeFaults) {
+  {
+    RampCounter inner;
+    mf::FaultStats stats;
+    const mf::FaultPlan plan(mem_only(mf::FaultKind::kNan), 0);
+    mf::FaultyMemThroughputCounter counter(inner, plan, stats);
+    EXPECT_TRUE(std::isnan(counter.total_mb()));
+    EXPECT_EQ(inner.reads(), 0);  // the real backend is never consulted
+    EXPECT_EQ(stats.nan_samples, 1u);
+  }
+  {
+    RampCounter inner;
+    mf::FaultStats stats;
+    const mf::FaultPlan plan(mem_only(mf::FaultKind::kNegative), 0);
+    mf::FaultyMemThroughputCounter counter(inner, plan, stats);
+    EXPECT_LT(counter.total_mb(), 0.0);
+    EXPECT_EQ(stats.negative_samples, 1u);
+  }
+}
+
+TEST(FaultyMemCounter, RateZeroIsTransparent) {
+  RampCounter inner;
+  mf::FaultStats stats;
+  const mf::FaultPlan plan(mf::FaultConfig{}, 0);
+  mf::FaultyMemThroughputCounter counter(inner, plan, stats);
+  for (int i = 1; i <= 50; ++i) EXPECT_EQ(counter.total_mb(), 100.0 * i);
+  EXPECT_EQ(stats.injected(), 0u);
+  EXPECT_EQ(stats.mem_reads, 50u);
+}
+
+TEST(FaultyMsrDevice, FailuresThrowDeterministicDeviceError) {
+  RecordingMsr inner;
+  mf::FaultStats stats;
+  const mf::FaultPlan plan(msr_only(/*fail=*/true), 7);
+  mf::FaultyMsrDevice msr(inner, plan, stats);
+
+  std::string first_message;
+  try {
+    (void)msr.read(1, mh::msr::kUncoreRatioLimit);
+    FAIL() << "expected DeviceError";
+  } catch (const magus::common::DeviceError& e) {
+    first_message = e.what();
+  }
+  // The message pins socket, register, op index, and node — enough to replay
+  // the exact fault from a log line.
+  EXPECT_NE(first_message.find("injected MSR read fault"), std::string::npos);
+  EXPECT_NE(first_message.find("socket 1"), std::string::npos);
+  EXPECT_NE(first_message.find("node 7"), std::string::npos);
+  EXPECT_TRUE(inner.reads.empty());  // fault preempted the real access
+
+  EXPECT_THROW(msr.write(0, mh::msr::kUncoreRatioLimit, 0x16), magus::common::DeviceError);
+  EXPECT_TRUE(inner.writes.empty());
+  EXPECT_EQ(stats.read_failures, 1u);
+  EXPECT_EQ(stats.write_failures, 1u);
+}
+
+TEST(FaultyMsrDevice, LatencySpikesSucceedButAreTallied) {
+  RecordingMsr inner;
+  mf::FaultStats stats;
+  const mf::FaultPlan plan(msr_only(/*fail=*/false), 0);
+  mf::FaultyMsrDevice msr(inner, plan, stats);
+
+  EXPECT_EQ(msr.read(0, mh::msr::kUncoreRatioLimit), 0xABCDu);
+  msr.write(1, mh::msr::kUncoreRatioLimit, 0x16);
+  ASSERT_EQ(inner.reads.size(), 1u);  // op went through despite the spike
+  ASSERT_EQ(inner.writes.size(), 1u);
+  EXPECT_EQ(inner.last_value, 0x16u);
+  EXPECT_EQ(stats.latency_spikes, 2u);
+  EXPECT_DOUBLE_EQ(stats.latency_injected_s, 2 * mf::FaultConfig{}.latency_spike_s);
+  EXPECT_EQ(stats.read_failures, 0u);
+  EXPECT_EQ(stats.write_failures, 0u);
+}
+
+TEST(FaultyMsrDevice, SocketCountPassesThrough) {
+  RecordingMsr inner;
+  mf::FaultStats stats;
+  const mf::FaultPlan plan(mf::FaultConfig{}, 0);
+  mf::FaultyMsrDevice msr(inner, plan, stats);
+  EXPECT_EQ(msr.socket_count(), 2);
+}
+
+TEST(FaultStats, SumsFieldwise) {
+  mf::FaultStats a;
+  a.mem_reads = 10;
+  a.stale_samples = 2;
+  a.latency_injected_s = 0.25;
+  mf::FaultStats b;
+  b.mem_reads = 5;
+  b.nan_samples = 1;
+  b.write_failures = 3;
+  b.latency_injected_s = 0.5;
+  a += b;
+  EXPECT_EQ(a.mem_reads, 15u);
+  EXPECT_EQ(a.stale_samples, 2u);
+  EXPECT_EQ(a.nan_samples, 1u);
+  EXPECT_EQ(a.write_failures, 3u);
+  EXPECT_DOUBLE_EQ(a.latency_injected_s, 0.75);
+  EXPECT_EQ(a.injected(), 6u);
+}

@@ -1,0 +1,179 @@
+// FaultPlan: the deterministic fault schedule. These tests pin the property
+// the whole fleet layer leans on — decide() is a pure function of
+// (seed, node_index, op, op_index) — plus the distribution and validation
+// behavior of FaultConfig.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "magus/common/error.hpp"
+#include "magus/fault/plan.hpp"
+#include "prop.hpp"
+
+namespace mf = magus::fault;
+namespace mt = magus::test;
+
+namespace {
+
+mf::FaultConfig config_with(double rate, std::uint64_t seed) {
+  mf::FaultConfig cfg;
+  cfg.rate = rate;
+  cfg.seed = seed;
+  return cfg;
+}
+
+constexpr mf::FaultOp kOps[] = {mf::FaultOp::kMemRead, mf::FaultOp::kMsrRead,
+                                mf::FaultOp::kMsrWrite};
+
+}  // namespace
+
+TEST(FaultPlan, DecideIsPureAndOrderIndependent) {
+  const mf::FaultPlan plan(config_with(0.3, 99), 4);
+
+  // Record verdicts in forward order, then re-query shuffled/interleaved/
+  // repeated: a plan that advances shared state would disagree with itself.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, mf::FaultKind> first_pass;
+  for (mf::FaultOp op : kOps) {
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      first_pass[{static_cast<std::uint64_t>(op), i}] = plan.decide(op, i);
+    }
+  }
+  mt::Gen gen(123);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    const mf::FaultOp op = kOps[gen.int_in(0, 2)];
+    const auto i = static_cast<std::uint64_t>(gen.int_in(0, 199));
+    EXPECT_EQ(plan.decide(op, i), first_pass.at({static_cast<std::uint64_t>(op), i}))
+        << "op " << static_cast<std::uint64_t>(op) << " index " << i;
+  }
+}
+
+TEST(FaultPlan, IdenticalInputsBuildIdenticalSchedules) {
+  const mf::FaultPlan a(config_with(0.2, 7), 13);
+  const mf::FaultPlan b(config_with(0.2, 7), 13);
+  for (mf::FaultOp op : kOps) {
+    for (std::uint64_t i = 0; i < 500; ++i) EXPECT_EQ(a.decide(op, i), b.decide(op, i));
+  }
+}
+
+TEST(FaultPlan, NodesAreDecorrelated) {
+  // Sibling nodes under the same seed must not share fault schedules; at
+  // rate 0.5 across 300 ops, identical schedules would be astronomical luck.
+  const mf::FaultPlan a(config_with(0.5, 7), 0);
+  const mf::FaultPlan b(config_with(0.5, 7), 1);
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    if (a.decide(mf::FaultOp::kMemRead, i) != b.decide(mf::FaultOp::kMemRead, i)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, SeedsAreDecorrelated) {
+  const mf::FaultPlan a(config_with(0.5, 1), 0);
+  const mf::FaultPlan b(config_with(0.5, 2), 0);
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    if (a.decide(mf::FaultOp::kMemRead, i) != b.decide(mf::FaultOp::kMemRead, i)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, RateZeroNeverFaults) {
+  const mf::FaultPlan plan(config_with(0.0, 42), 3);
+  for (mf::FaultOp op : kOps) {
+    for (std::uint64_t i = 0; i < 1'000; ++i) {
+      EXPECT_EQ(plan.decide(op, i), mf::FaultKind::kNone);
+    }
+  }
+}
+
+TEST(FaultPlan, RateOneAlwaysFaults) {
+  const mf::FaultPlan plan(config_with(1.0, 42), 3);
+  for (mf::FaultOp op : kOps) {
+    for (std::uint64_t i = 0; i < 1'000; ++i) {
+      EXPECT_NE(plan.decide(op, i), mf::FaultKind::kNone);
+    }
+  }
+}
+
+TEST(FaultPlan, OpClassesGetTheirOwnFaultKinds) {
+  const mf::FaultPlan plan(config_with(1.0, 5), 0);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const mf::FaultKind mem = plan.decide(mf::FaultOp::kMemRead, i);
+    EXPECT_TRUE(mem == mf::FaultKind::kStale || mem == mf::FaultKind::kNan ||
+                mem == mf::FaultKind::kNegative)
+        << to_string(mem);
+    const mf::FaultKind rd = plan.decide(mf::FaultOp::kMsrRead, i);
+    EXPECT_TRUE(rd == mf::FaultKind::kReadFail || rd == mf::FaultKind::kLatencySpike)
+        << to_string(rd);
+    const mf::FaultKind wr = plan.decide(mf::FaultOp::kMsrWrite, i);
+    EXPECT_TRUE(wr == mf::FaultKind::kWriteFail || wr == mf::FaultKind::kLatencySpike)
+        << to_string(wr);
+  }
+}
+
+TEST(FaultPlan, KindDistributionTracksWeights) {
+  // All sampler weight on NaN, all MSR weight on failure: every faulting op
+  // must land on the single weighted kind.
+  mf::FaultConfig cfg = config_with(1.0, 11);
+  cfg.stale_weight = 0.0;
+  cfg.nan_weight = 1.0;
+  cfg.negative_weight = 0.0;
+  cfg.fail_weight = 1.0;
+  cfg.latency_spike_weight = 0.0;
+  const mf::FaultPlan plan(cfg, 0);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(plan.decide(mf::FaultOp::kMemRead, i), mf::FaultKind::kNan);
+    EXPECT_EQ(plan.decide(mf::FaultOp::kMsrRead, i), mf::FaultKind::kReadFail);
+    EXPECT_EQ(plan.decide(mf::FaultOp::kMsrWrite, i), mf::FaultKind::kWriteFail);
+  }
+}
+
+TEST(FaultPlan, EmpiricalRateApproximatesConfiguredRate) {
+  const double rate = 0.1;
+  const mf::FaultPlan plan(config_with(rate, 2'026), 17);
+  const int n = 20'000;
+  int faults = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (plan.decide(mf::FaultOp::kMemRead, i) != mf::FaultKind::kNone) ++faults;
+  }
+  // ~6 sigma band around the binomial mean.
+  EXPECT_NEAR(static_cast<double>(faults) / n, rate, 0.015);
+}
+
+TEST(FaultConfigValidate, RejectsBadKnobs) {
+  mf::FaultConfig cfg;
+  cfg.rate = -0.1;
+  EXPECT_THROW(cfg.validate(), magus::common::ConfigError);
+  cfg.rate = 1.5;
+  EXPECT_THROW(cfg.validate(), magus::common::ConfigError);
+
+  cfg = {};
+  cfg.nan_weight = -1.0;
+  EXPECT_THROW(cfg.validate(), magus::common::ConfigError);
+
+  cfg = {};
+  cfg.stale_weight = cfg.nan_weight = cfg.negative_weight = 0.0;
+  EXPECT_THROW(cfg.validate(), magus::common::ConfigError);
+
+  cfg = {};
+  cfg.fail_weight = cfg.latency_spike_weight = 0.0;
+  EXPECT_THROW(cfg.validate(), magus::common::ConfigError);
+
+  cfg = {};
+  cfg.latency_spike_s = -0.001;
+  EXPECT_THROW(cfg.validate(), magus::common::ConfigError);
+
+  cfg = {};
+  cfg.rate = 0.5;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_TRUE(cfg.enabled());
+  cfg.rate = 0.0;
+  EXPECT_FALSE(cfg.enabled());
+}

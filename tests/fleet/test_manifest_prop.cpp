@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "magus/common/error.hpp"
+#include "magus/fleet/manifest.hpp"
+#include "prop.hpp"
+
+// Property: FleetManifest's JSONL wire format is a fixed point under
+// serialize -> parse -> serialize, for ~10k randomly generated manifests
+// including hostile node names (quotes, backslashes, control characters) and
+// the fault_rate / fault_seed header fields. A byte that fails to survive
+// here would silently corrupt daemon submissions.
+
+namespace mf = magus::fleet;
+namespace mt = magus::test;
+
+namespace {
+
+mf::FleetManifest random_manifest(mt::Gen& gen) {
+  mf::FleetManifest manifest;
+  manifest.seed(gen.u64());
+  manifest.shard_size(gen.int_in(1, 64));
+  magus::wl::JitterConfig jitter;
+  jitter.duration_rel = gen.uniform();
+  jitter.demand_rel = gen.uniform();
+  manifest.jitter(jitter);
+  manifest.fault_rate(gen.uniform());
+  manifest.fault_seed(gen.u64());
+
+  const int n = gen.int_in(1, 4);
+  for (int i = 0; i < n; ++i) {
+    mf::NodeSpec node;
+    // Round-trip fidelity is a wire-format property, independent of
+    // validate(): feed names/systems/apps that no catalog would accept,
+    // biased toward JSON-escape-needing characters.
+    node.name(gen.text())
+        .system(gen.ident())
+        .app(gen.ident())
+        .policy(gen.ident())
+        .gpus(gen.int_in(1, 8))
+        .static_uncore(magus::common::Ghz(gen.uniform() * 3.0))
+        .count(gen.int_in(1, 16));
+    manifest.add_node(std::move(node));
+  }
+  return manifest;
+}
+
+}  // namespace
+
+TEST(PropManifestRoundTrip, JsonlIsAFixedPoint) {
+  mt::Gen gen(0xF1EE7);
+  for (int i = 0; i < 10'000; ++i) {
+    const mf::FleetManifest manifest = random_manifest(gen);
+    const std::string wire = manifest.to_jsonl();
+    std::string back;
+    ASSERT_NO_THROW(back = mf::FleetManifest::from_jsonl(wire).to_jsonl())
+        << "case " << i << ":\n"
+        << wire;
+    EXPECT_EQ(back, wire) << "case " << i;
+    if (back != wire) break;
+  }
+}
+
+TEST(PropManifestRoundTrip, FieldsSurviveParse) {
+  mt::Gen gen(0x5EED);
+  for (int i = 0; i < 2'000; ++i) {
+    const mf::FleetManifest manifest = random_manifest(gen);
+    const mf::FleetManifest back = mf::FleetManifest::from_jsonl(manifest.to_jsonl());
+    EXPECT_EQ(back.seed(), manifest.seed());
+    EXPECT_EQ(back.shard_size(), manifest.shard_size());
+    EXPECT_EQ(back.fault().rate, manifest.fault().rate);
+    EXPECT_EQ(back.fault().seed, manifest.fault().seed);
+    ASSERT_EQ(back.nodes().size(), manifest.nodes().size());
+    for (std::size_t k = 0; k < manifest.nodes().size(); ++k) {
+      EXPECT_EQ(back.nodes()[k].name(), manifest.nodes()[k].name()) << "case " << i;
+      EXPECT_EQ(back.nodes()[k].count(), manifest.nodes()[k].count());
+    }
+  }
+}
+
+TEST(PropManifestRoundTrip, HeaderWithoutFaultFieldsParsesAsRateZero) {
+  // v1 manifests predate fault injection; they must keep loading, fault-free.
+  const std::string legacy =
+      "{\"t\":0,\"type\":\"fleet_manifest\",\"seed\":\"42\",\"shard_size\":8,"
+      "\"jitter_duration_rel\":0,\"jitter_demand_rel\":0}\n"
+      "{\"t\":0,\"type\":\"fleet_node\",\"name\":\"n0\",\"system\":\"intel_a100\","
+      "\"app\":\"unet\",\"policy\":\"magus\",\"gpus\":1,\"static_uncore_ghz\":0,"
+      "\"count\":1}\n";
+  const mf::FleetManifest manifest = mf::FleetManifest::from_jsonl(legacy);
+  EXPECT_EQ(manifest.fault().rate, 0.0);
+  EXPECT_EQ(manifest.fault().seed, 0u);
+  EXPECT_FALSE(manifest.fault().enabled());
+  EXPECT_TRUE(manifest.validate().empty());
+}
+
+TEST(PropManifestRoundTrip, MissingHeaderStillRejected) {
+  EXPECT_THROW((void)mf::FleetManifest::from_jsonl(""), magus::common::ConfigError);
+  EXPECT_THROW((void)mf::FleetManifest::from_jsonl(
+                   "{\"t\":0,\"type\":\"fleet_node\",\"name\":\"x\",\"system\":\"s\","
+                   "\"app\":\"a\",\"policy\":\"p\",\"gpus\":1,"
+                   "\"static_uncore_ghz\":0,\"count\":1}\n"),
+               magus::common::ConfigError);
+}

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "magus/common/error.hpp"
@@ -84,4 +85,52 @@ TEST(TelemetryEventLog, FlushFailureKeepsBuffer) {
   EXPECT_THROW(log.flush_to_file("/nonexistent-dir/events.jsonl"),
                magus::common::Error);
   EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(TelemetryEventLog, FlushToFailedStreamThrowsAndKeepsBuffer) {
+  mt::EventLog log;
+  log.emit(mt::Event(0.0, "a"));
+  log.emit(mt::Event(1.0, "b"));
+
+  // A stream that is already broken must be refused up front.
+  std::ostringstream dead;
+  dead.setstate(std::ios::badbit);
+  EXPECT_THROW(log.flush_to_stream(dead, "dead-sink"), magus::common::Error);
+  EXPECT_EQ(log.size(), 2u);
+
+  // After the failure, everything flushes to a good sink — whole lines, in
+  // order, nothing lost or duplicated.
+  std::ostringstream good;
+  log.flush_to_stream(good, "good-sink");
+  EXPECT_EQ(log.size(), 0u);
+  std::istringstream lines(good.str());
+  std::string l1, l2, extra;
+  ASSERT_TRUE(std::getline(lines, l1));
+  ASSERT_TRUE(std::getline(lines, l2));
+  EXPECT_FALSE(std::getline(lines, extra));
+  EXPECT_EQ(mt::parse_event_line(l1).at("type"), "a");
+  EXPECT_EQ(mt::parse_event_line(l2).at("type"), "b");
+}
+
+TEST(TelemetryEventLog, MidWriteFailureNeverEmitsAPartialLine) {
+  // A filebuf over /dev/full takes the buffered bytes but fails the flush:
+  // the write error is detected, reported, and the buffer survives intact.
+  std::ofstream full("/dev/full");
+  if (!full.good()) GTEST_SKIP() << "/dev/full not available";
+
+  mt::EventLog log;
+  log.emit(mt::Event(0.0, "survivor"));
+  EXPECT_THROW(log.flush_to_stream(full, "/dev/full"), magus::common::Error);
+  EXPECT_EQ(log.size(), 1u);
+
+  std::ostringstream good;
+  log.flush_to_stream(good);
+  EXPECT_EQ(mt::parse_event_line(good.str()).at("type"), "survivor");
+}
+
+TEST(TelemetryEventLog, FlushOfEmptyLogIsANoOpEvenOnBadStream) {
+  mt::EventLog log;
+  std::ostringstream dead;
+  dead.setstate(std::ios::badbit);
+  EXPECT_NO_THROW(log.flush_to_stream(dead));  // nothing to lose, nothing thrown
 }

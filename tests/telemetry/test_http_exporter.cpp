@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "magus/telemetry/http_exporter.hpp"
@@ -89,4 +91,87 @@ TEST(TelemetryHttpExporter, StopIsIdempotentAndDestructorIsClean) {
   mt::HttpExporter exporter(reg, 0);
   exporter.stop();
   exporter.stop();  // second stop must be a no-op
+}
+
+TEST(TelemetryHttpExporter, OversizedContentLengthIsRejectedNotTruncated) {
+  mt::MetricsRegistry reg;
+  mt::HttpExporter exporter(reg, 0);
+  bool handler_ran = false;
+  exporter.add_route("POST", "/echo", [&](const mt::HttpRequest&) {
+    handler_ran = true;
+    return mt::HttpResponse{};
+  });
+
+  // Over the 1 MiB body cap but parseable.
+  std::string r = http_get(exporter.port(),
+                           "POST /echo HTTP/1.1\r\nContent-Length: 2097152\r\n\r\n");
+  EXPECT_NE(r.find("413"), std::string::npos) << r;
+
+  // 100 digits: overflows std::stoull. The old code swallowed the exception
+  // and handed the handler an empty body; now it must refuse outright.
+  const std::string huge(100, '9');
+  r = http_get(exporter.port(),
+               "POST /echo HTTP/1.1\r\nContent-Length: " + huge + "\r\n\r\n");
+  EXPECT_NE(r.find("413"), std::string::npos) << r;
+  EXPECT_FALSE(handler_ran);
+}
+
+TEST(TelemetryHttpExporter, MalformedContentLengthIsA400) {
+  mt::MetricsRegistry reg;
+  mt::HttpExporter exporter(reg, 0);
+  for (const char* bad : {"abc", "-5", "12abc", "0x10", ""}) {
+    const std::string r = http_get(
+        exporter.port(),
+        std::string("POST /x HTTP/1.1\r\nContent-Length: ") + bad + "\r\n\r\n");
+    EXPECT_NE(r.find("400"), std::string::npos) << "Content-Length '" << bad << "': " << r;
+  }
+}
+
+TEST(TelemetryHttpExporter, TruncatedRequestLineIsA400) {
+  mt::MetricsRegistry reg;
+  mt::HttpExporter exporter(reg, 0);
+  for (const char* bad : {"\r\n\r\n", "GET\r\n\r\n", " \r\n\r\n"}) {
+    const std::string r = http_get(exporter.port(), bad);
+    EXPECT_NE(r.find("400"), std::string::npos) << "request '" << bad << "': " << r;
+  }
+}
+
+TEST(TelemetryHttpExporter, ThrowingHandlerProducesA500) {
+  mt::MetricsRegistry reg;
+  mt::HttpExporter exporter(reg, 0);
+  exporter.add_route("GET", "/boom", [](const mt::HttpRequest&) -> mt::HttpResponse {
+    throw std::runtime_error("kaboom");
+  });
+  const std::string r = http_get(exporter.port(), "GET /boom HTTP/1.1\r\n\r\n");
+  EXPECT_NE(r.find("500"), std::string::npos) << r;
+  EXPECT_NE(r.find("kaboom"), std::string::npos) << r;
+  // The serving thread must survive the throw.
+  const std::string ok = http_get(exporter.port(), "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(ok.find("200"), std::string::npos);
+}
+
+TEST(TelemetryHttpExporter, MalformedRequestsDoNotLeakFds) {
+  const auto open_fds = [] {
+    int n = 0;
+    DIR* dir = ::opendir("/proc/self/fd");
+    if (!dir) return -1;
+    while (::readdir(dir) != nullptr) ++n;
+    ::closedir(dir);
+    return n;
+  };
+
+  mt::MetricsRegistry reg;
+  mt::HttpExporter exporter(reg, 0);
+  // Settle once (lazy allocations inside the first request) before counting.
+  (void)http_get(exporter.port(), "GET /healthz HTTP/1.1\r\n\r\n");
+  const int before = open_fds();
+  ASSERT_GT(before, 0);
+  for (int i = 0; i < 30; ++i) {
+    (void)http_get(exporter.port(), "POST /x HTTP/1.1\r\nContent-Length: junk\r\n\r\n");
+    (void)http_get(exporter.port(), "\r\n\r\n");
+    const std::string huge(100, '9');
+    (void)http_get(exporter.port(),
+                   "POST /x HTTP/1.1\r\nContent-Length: " + huge + "\r\n\r\n");
+  }
+  EXPECT_EQ(open_fds(), before);
 }

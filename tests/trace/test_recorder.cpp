@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,32 @@ TEST(TraceRecorder, WriteCsvThrowsWhenDeviceIsFull) {
   mt::TraceRecorder rec;
   rec.record("x", 0.0, 1.0);
   EXPECT_THROW(rec.write_csv("/dev/full"), std::runtime_error);
+}
+
+TEST(TraceRecorder, WriteCsvToFailedStreamFailsFast) {
+  mt::TraceRecorder rec;
+  rec.record("x", 0.0, 1.0);
+  std::ostringstream dead;
+  dead.setstate(std::ios::badbit);
+  EXPECT_THROW(rec.write_csv(dead), std::runtime_error);
+
+  // Data is untouched by the failure: a good stream still gets everything.
+  std::ostringstream good;
+  rec.write_csv(good);
+  EXPECT_EQ(good.str(), "channel,t,v\nx,0,1\n");
+}
+
+TEST(TraceRecorder, WriteCsvStreamErrorMessageNamesThePath) {
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  mt::TraceRecorder rec;
+  rec.record("x", 0.0, 1.0);
+  try {
+    rec.write_csv("/dev/full");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/dev/full"), std::string::npos) << e.what();
+  }
 }
 
 TEST(TraceRecorder, ClearRemovesEverything) {

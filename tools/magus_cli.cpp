@@ -12,7 +12,7 @@
 //       Table 2 protocol on one system.
 //   magus-cli fleet [--nodes 256] [--seed 2025] [--jobs N] [--shard-size 16]
 //                   [--manifest in.jsonl] [--save-manifest out.jsonl]
-//                   [--out rollup.jsonl]
+//                   [--out rollup.jsonl] [--fault-rate P] [--fault-seed S]
 //       Simulate a whole fleet of independently-configured nodes and print
 //       per-policy rollups (Joules saved vs an all-default fleet, slowdown
 //       percentiles). Without --manifest a deterministic synthetic fleet of
@@ -54,6 +54,8 @@ int usage() {
             << "  magus-cli fleet [--nodes N] [--seed S] [--jobs N] [--shard-size N]\n"
             << "                  [--manifest in.jsonl] [--save-manifest out.jsonl] "
                "[--out rollup.jsonl]\n"
+            << "                  [--fault-rate P] [--fault-seed S]   (deterministic "
+               "backend fault injection)\n"
             << "\n"
             << "  --jobs N (or the MAGUS_JOBS env var) sets the worker-thread "
                "count for the\n"
@@ -204,18 +206,28 @@ int cmd_fleet(const std::map<std::string, std::string>& flags) {
     manifest = fleet::synth_fleet(nodes, seed);
   }
   if (flags.count("shard-size")) manifest.shard_size(std::stoi(flags.at("shard-size")));
+  // Fault flags override whatever the manifest carries, so a saved fleet can
+  // be replayed under different fault weather.
+  if (flags.count("fault-rate")) manifest.fault_rate(std::stod(flags.at("fault-rate")));
+  if (flags.count("fault-seed")) manifest.fault_seed(std::stoull(flags.at("fault-seed")));
   if (flags.count("save-manifest")) manifest.save(flags.at("save-manifest"));
 
   fleet::FleetRunner runner(manifest);
   std::cout << "simulating fleet: " << runner.nodes_total() << " nodes (seed "
             << manifest.seed() << ", shard size " << manifest.shard_size() << ", "
-            << workers << " worker" << (workers == 1 ? "" : "s") << ")\n\n";
+            << workers << " worker" << (workers == 1 ? "" : "s");
+  if (manifest.fault().enabled()) {
+    std::cout << ", fault rate " << manifest.fault().rate << " seed "
+              << manifest.fault().seed;
+  }
+  std::cout << ")\n\n";
   const fleet::FleetResult result = runner.run();
 
-  common::TextTable table({"policy", "nodes", "Joules saved", "slowdown p50 (%)",
-                           "p95 (%)", "p99 (%)"});
+  common::TextTable table({"policy", "nodes", "degraded", "failed", "Joules saved",
+                           "slowdown p50 (%)", "p95 (%)", "p99 (%)"});
   for (const fleet::PolicyRollup& roll : result.per_policy) {
     table.add_row({roll.policy, std::to_string(roll.nodes),
+                   std::to_string(roll.degraded_nodes), std::to_string(roll.failed_nodes),
                    common::TextTable::num(roll.joules_saved_total, 1),
                    common::TextTable::num(roll.slowdown_p50_pct),
                    common::TextTable::num(roll.slowdown_p95_pct),
@@ -227,6 +239,11 @@ int cmd_fleet(const std::map<std::string, std::string>& flags) {
             << common::TextTable::num(result.slowdown_p50_pct) << " %, p95 "
             << common::TextTable::num(result.slowdown_p95_pct) << " %, p99 "
             << common::TextTable::num(result.slowdown_p99_pct) << " %\n";
+  if (result.degraded_nodes > 0 || result.failed_nodes > 0) {
+    std::cout << "fault weather: " << result.degraded_nodes << " degraded node"
+              << (result.degraded_nodes == 1 ? "" : "s") << " (" << result.failed_nodes
+              << " failed outright)\n";
+  }
 
   if (flags.count("out")) {
     const std::string& path = flags.at("out");

@@ -26,7 +26,9 @@
 //       on the shared worker pool, one job at a time.
 //         POST /fleet/jobs    body = fleet manifest JSONL; an empty body
 //                             with ?nodes=64&seed=7 submits a synthetic
-//                             fleet. Replies 202 with the queued job id.
+//                             fleet. ?fault_rate=P&fault_seed=S turns on
+//                             deterministic backend fault injection.
+//                             Replies 202 with the queued job id.
 //         GET  /fleet/status  live progress (job id, state, nodes done) and
 //                             the last finished job's rollup line.
 //       Progress also lands on /metrics as magus_fleet_* series.
@@ -261,6 +263,12 @@ class FleetService {
         manifest = fleet::synth_fleet(common::parse_int(nodes),
                                       seed.empty() ? 2025 : std::stoull(seed));
       }
+      // Fault weather applies to posted manifests too: query params override
+      // whatever the manifest carries.
+      const std::string fault_rate = query_param(req.query, "fault_rate");
+      if (!fault_rate.empty()) manifest.fault_rate(std::stod(fault_rate));
+      const std::string fault_seed = query_param(req.query, "fault_seed");
+      if (!fault_seed.empty()) manifest.fault_seed(std::stoull(fault_seed));
       manifest.validate_or_throw();
     } catch (const common::Error& e) {
       res.status = 400;
@@ -482,6 +490,11 @@ int run_real(const std::map<std::string, std::string>& flags) {
   cfg.scaling_enabled = !flags.count("dry-run");
   core::MagusRuntime magus(counter, msr, ladder, cfg);
   magus.attach_telemetry(tel.registry, &tel.events);
+  // On real hardware a retry should actually back off (the simulator leaves
+  // this hook unset so virtual time never stalls).
+  magus.set_backoff_sleeper([](common::Seconds delay) {
+    ::usleep(static_cast<useconds_t>(delay.value() * 1e6));
+  });
 
   telemetry::Counter* failures_total = tel.registry.counter(
       "magus_daemon_sample_failures_total", "Sample cycles that raised a DeviceError");
