@@ -1,0 +1,72 @@
+#pragma once
+// Batched experiment wiring: the BatchEngine counterpart of exp::run_policy.
+//
+// A BatchRun collects (system, workload, policy, options) jobs, binds each
+// job's factory-made policy and fault decorators to its batch lane exactly
+// the way run_policy binds them to a SimEngine, then advances every lane
+// through the shared SoA kernel. Per job the output is bit-identical to
+// run_policy on the same inputs (minus traces, which the batch path never
+// records); the fleet determinism tests pin this.
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "magus/core/policy.hpp"
+#include "magus/exp/experiment.hpp"
+#include "magus/fault/injectors.hpp"
+#include "magus/fault/plan.hpp"
+#include "magus/hw/uncore_freq.hpp"
+#include "magus/sim/batch_engine.hpp"
+
+namespace magus::exp {
+
+class BatchRun {
+ public:
+  BatchRun() = default;
+  // Jobs point at the engine and at each other; pin the address.
+  BatchRun(const BatchRun&) = delete;
+  BatchRun& operator=(const BatchRun&) = delete;
+
+  /// Queue one job; returns its index. Policy names resolve through
+  /// core::PolicyFactory::instance() like run_policy; a throwing maker (or
+  /// invalid options) propagates out of this call. opts.engine.record_traces
+  /// must be false; engine-level telemetry (opts.metrics on the engine) is
+  /// not supported, but policy-level metrics/events pass through unchanged.
+  std::size_t add(const sim::SystemSpec& system, const wl::PhaseProgram& workload,
+                  const std::string& policy, const RunOptions& opts);
+
+  /// Run every queued job. Call at most once.
+  void run_all();
+
+  /// True when the job's policy threw (at start or at a sample boundary).
+  [[nodiscard]] bool failed(std::size_t job) const { return engine_.lane_failed(job); }
+  [[nodiscard]] const std::string& error(std::size_t job) const {
+    return engine_.lane_error(job);
+  }
+  /// Output of a successful job (unspecified when failed(job)).
+  [[nodiscard]] const RunOutput& output(std::size_t job) const {
+    return jobs_[job].out;
+  }
+
+  [[nodiscard]] std::size_t job_count() const noexcept { return jobs_.size(); }
+  [[nodiscard]] unsigned long long total_ticks() const noexcept {
+    return engine_.total_ticks();
+  }
+
+ private:
+  struct Job {
+    hw::UncoreFreqLadder ladder;
+    std::unique_ptr<fault::FaultPlan> plan;
+    std::unique_ptr<fault::FaultyMemThroughputCounter> faulty_mem;
+    std::unique_ptr<fault::FaultyMsrDevice> faulty_msr;
+    std::unique_ptr<core::IPolicy> policy;
+    RunOutput out;
+  };
+
+  sim::BatchEngine engine_;
+  std::deque<Job> jobs_;  ///< stable addresses: hooks capture into these
+};
+
+}  // namespace magus::exp

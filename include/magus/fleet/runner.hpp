@@ -44,6 +44,8 @@ struct NodeResult {
   double baseline_energy_j = 0.0;
   double joules_saved = 0.0;       ///< baseline_energy_j - energy_j
   double slowdown_pct = 0.0;       ///< runtime vs twin, positive = slower
+  std::uint64_t ticks = 0;         ///< simulation steps, policy run + twin
+  double control_latency_s = 0.0;  ///< policy run's avg monitoring invocation
 
   // Fault-weather outcome (all defaults when the fleet runs fault-free).
   bool degraded = false;            ///< policy fell back / node gave up actuating
@@ -68,6 +70,7 @@ struct PolicyRollup {
 struct FleetResult {
   std::uint64_t seed = 0;
   std::size_t nodes_total = 0;
+  std::uint64_t ticks_total = 0;  ///< simulation steps across all node runs
   std::size_t degraded_nodes = 0;
   std::size_t failed_nodes = 0;
   double joules_saved_total = 0.0;  ///< fleet vs the all-default fleet
@@ -81,6 +84,15 @@ struct FleetResult {
   /// per policy, one `node_result` line per node, all with deterministically
   /// formatted numbers -- two runs are bit-identical iff these strings match.
   [[nodiscard]] std::string to_jsonl() const;
+};
+
+/// Which tick path simulates each shard. Both produce byte-identical
+/// FleetResult::to_jsonl() output; kPerNode (exp::run_policy, one SimEngine
+/// per run) is the oracle, kBatch (exp::BatchRun, struct-of-arrays kernel)
+/// is the throughput path.
+enum class FleetEngine {
+  kPerNode,
+  kBatch,
 };
 
 /// Runs a validated manifest. Thread-safe progress accessors make live
@@ -97,6 +109,10 @@ class FleetRunner {
   void attach_telemetry(telemetry::MetricsRegistry& reg,
                         telemetry::EventLog* events = nullptr);
 
+  /// Select the tick path (default: per-node). Set before run().
+  void set_engine(FleetEngine engine) noexcept { engine_ = engine; }
+  [[nodiscard]] FleetEngine engine() const noexcept { return engine_; }
+
   /// Simulate the whole fleet. Deterministic for any job count (see file
   /// header). Call at most once per runner.
   [[nodiscard]] FleetResult run();
@@ -109,10 +125,20 @@ class FleetRunner {
   }
 
  private:
+  /// The exact inputs both engines consume for one node; built only from
+  /// (manifest seed, node index) so the two paths cannot diverge.
+  struct NodeInputs;
+  [[nodiscard]] NodeInputs node_inputs(std::size_t index) const;
+
   [[nodiscard]] NodeResult run_node(std::size_t index) const;
+  /// Batched equivalent of run_node over [begin, end): one BatchRun per
+  /// retry round, writing the same NodeResult fields into `results`.
+  void run_shard_batch(std::size_t begin, std::size_t end,
+                       std::vector<NodeResult>& results) const;
 
   FleetManifest manifest_;
   std::vector<NodeSpec> expanded_;
+  FleetEngine engine_ = FleetEngine::kPerNode;
   std::atomic<std::size_t> completed_{0};
 
   telemetry::EventLog* events_ = nullptr;

@@ -12,6 +12,7 @@
 
 #include "magus/hw/counters.hpp"
 #include "magus/hw/msr.hpp"
+#include "magus/hw/rapl.hpp"
 #include "magus/sim/node.hpp"
 
 namespace magus::sim {
@@ -24,6 +25,15 @@ struct AccessMeter {
 
   void reset() noexcept { *this = AccessMeter{}; }
 };
+
+/// RAPL unit descriptor every simulated node advertises (typical server
+/// values: energy LSB = 1/2^14 J). Shared by the per-node and batch MSR
+/// backends so both encode identical register values.
+[[nodiscard]] const hw::RaplUnits& sim_rapl_units() noexcept;
+
+/// Encode cumulative joules as the wrapping 32-bit energy-status value MSR
+/// 0x611/0x619 would report.
+[[nodiscard]] std::uint64_t sim_energy_status(double joules) noexcept;
 
 /// MSR device over the simulated node. Supports the registers MAGUS and UPS
 /// touch; unknown registers throw common::DeviceError like real hardware

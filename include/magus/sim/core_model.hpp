@@ -1,12 +1,14 @@
 #pragma once
 // Core domain: the stock per-core DVFS governor (cores *do* adapt to load,
 // unlike the uncore -- paper Fig. 1a) plus the core power model and the
-// fixed-counter state (instructions / cycles) the UPS baseline reads.
+// fixed-counter state (instructions / cycles) the UPS baseline reads. The
+// tick/power arithmetic lives in sim/kernel.hpp (kern::core_tick /
+// kern::core_power_w); this class wraps a kern::CoreState.
 
 #include <cstdint>
-#include <vector>
 
 #include "magus/common/quantity.hpp"
+#include "magus/sim/kernel.hpp"
 #include "magus/sim/system_preset.hpp"
 
 namespace magus::sim {
@@ -20,7 +22,7 @@ class CoreModel {
   void tick(double dt, double util, double ipc_eff);
 
   /// Governor-driven average core frequency (GHz).
-  [[nodiscard]] double freq_ghz() const noexcept { return freq_ghz_; }
+  [[nodiscard]] double freq_ghz() const noexcept { return st_.freq_ghz; }
 
   /// Display frequency of a representative core (adds per-core spread, used
   /// by the Fig. 1 trace channels).
@@ -32,15 +34,16 @@ class CoreModel {
   /// Cumulative fixed counters for core `c` (node-wide indexing).
   [[nodiscard]] std::uint64_t instructions_retired(int core) const;
   [[nodiscard]] std::uint64_t cycles_unhalted(int core) const;
-  [[nodiscard]] int core_count() const noexcept { return spec_.total_cores(); }
+  [[nodiscard]] int core_count() const noexcept { return total_cores_; }
+
+  /// Raw kernel state, shared with kern::node_tick.
+  [[nodiscard]] kern::CoreState& st() noexcept { return st_; }
+  [[nodiscard]] const kern::CoreState& st() const noexcept { return st_; }
 
  private:
-  CpuSpec spec_;
-  double freq_ghz_;
-  double cycles_ = 0.0;        ///< per-core cumulative unhalted cycles
-  double instructions_ = 0.0;  ///< per-core cumulative retired instructions
-  static constexpr double kGovernorTau = 0.15;  ///< governor smoothing (s)
-  static constexpr double kBaseIpc = 1.6;
+  kern::CoreParams params_;
+  int total_cores_;
+  kern::CoreState st_;
 };
 
 }  // namespace magus::sim

@@ -58,6 +58,7 @@ struct SimResult {
   double avg_gpu_power_w = 0.0;
   unsigned long long invocations = 0;
   double total_invocation_s = 0.0;
+  unsigned long long ticks = 0;  ///< simulation steps executed
   AccessMeter accesses;  ///< cumulative over the whole run
 
   /// CPU-side power metric the paper reports (package + DRAM).

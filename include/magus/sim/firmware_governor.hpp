@@ -3,9 +3,12 @@
 // CPU package power approaches TDP (Andre et al. '22, validated by the
 // paper's Fig. 1). This governor reproduces that: below the back-off point
 // the firmware cap rides at ladder max regardless of workload, which is the
-// power-waste mechanism MAGUS exists to fix.
+// power-waste mechanism MAGUS exists to fix. The step arithmetic lives in
+// sim/kernel.hpp (kern::firmware_update); this class wraps a
+// kern::FirmwareState with the contract-checked API.
 
 #include "magus/common/quantity.hpp"
+#include "magus/sim/kernel.hpp"
 #include "magus/sim/system_preset.hpp"
 
 namespace magus::sim {
@@ -18,13 +21,15 @@ class FirmwareGovernor {
   /// firmware uncore cap.
   common::Ghz update(common::Seconds dt, common::Watts pkg_power_per_socket);
 
-  [[nodiscard]] common::Ghz cap() const noexcept { return cap_; }
+  [[nodiscard]] common::Ghz cap() const noexcept { return common::Ghz(st_.cap_ghz); }
+
+  /// Raw kernel state, shared with kern::node_tick.
+  [[nodiscard]] kern::FirmwareState& st() noexcept { return st_; }
+  [[nodiscard]] const kern::FirmwareState& st() const noexcept { return st_; }
 
  private:
-  CpuSpec spec_;
-  common::Watts threshold_;
-  common::Ghz cap_;
-  common::Seconds hold_{0.0};  ///< dwell before raising the cap back up
+  kern::FirmwareParams params_;
+  kern::FirmwareState st_;
 };
 
 }  // namespace magus::sim

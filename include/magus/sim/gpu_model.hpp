@@ -1,8 +1,10 @@
 #pragma once
 // GPU board model: SM-clock governor (adapts to load, Fig. 1b) and board
 // power including the idle floor that dominates the multi-GPU energy
-// economics in Fig. 4c.
+// economics in Fig. 4c. The tick arithmetic lives in sim/kernel.hpp
+// (kern::gpu_tick); this class wraps a kern::GpuState.
 
+#include "magus/sim/kernel.hpp"
 #include "magus/sim/system_preset.hpp"
 
 namespace magus::sim {
@@ -16,25 +18,26 @@ class GpuModel {
   /// device).
   void tick(double dt, double util_effective);
 
-  [[nodiscard]] double clock_ghz() const noexcept { return clock_ghz_; }
+  [[nodiscard]] double clock_ghz() const noexcept { return st_.clock_ghz; }
 
   /// Board power (all `count` boards summed).
-  [[nodiscard]] double power_w() const noexcept { return power_w_; }
+  [[nodiscard]] double power_w() const noexcept { return st_.power_w; }
 
   /// Cumulative board energy in joules (all boards).
-  [[nodiscard]] double energy_j() const noexcept { return energy_j_; }
+  [[nodiscard]] double energy_j() const noexcept { return st_.energy_j; }
 
-  [[nodiscard]] int count() const noexcept { return spec_.count; }
+  [[nodiscard]] int count() const noexcept { return params_.count; }
 
   /// Per-board power (power_w() / count).
   [[nodiscard]] double board_power_w() const noexcept;
 
+  /// Raw kernel state, shared with kern::node_tick.
+  [[nodiscard]] kern::GpuState& st() noexcept { return st_; }
+  [[nodiscard]] const kern::GpuState& st() const noexcept { return st_; }
+
  private:
-  GpuSpec spec_;
-  double clock_ghz_;
-  double power_w_;
-  double energy_j_ = 0.0;
-  static constexpr double kGovernorTau = 0.08;
+  kern::GpuParams params_;
+  kern::GpuState st_;
 };
 
 }  // namespace magus::sim

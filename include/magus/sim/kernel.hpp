@@ -1,0 +1,352 @@
+#pragma once
+// Shared node-tick kernel (namespace magus::sim::kern).
+//
+// One copy of the per-tick arithmetic, written against plain-old-data state
+// structs and a `Lane` accessor concept, instantiated twice:
+//
+//   * NodeModel::tick adapts its member objects (UncoreModel, CoreModel, ...)
+//     through a lane view -- the per-node oracle path;
+//   * BatchEngine adapts contiguous struct-of-arrays storage through a lane
+//     view -- the batched fleet path.
+//
+// Because both paths execute the *same* template over the same IEEE-754
+// operation sequence, their results are bit-identical by construction; the
+// golden determinism tests pin this. Keep every expression here in the exact
+// order the original model classes used -- reassociating a sum or hoisting a
+// multiply changes bit patterns and breaks the goldens.
+//
+// Functions here are contract-free on purpose: the wrapper classes
+// (UncoreModel, FirmwareGovernor, ...) keep their MAGUS_EXPECT/ENSURE
+// checks at the API boundary, so the kernel stays branch-lean for the
+// batched tick loop.
+
+#include <algorithm>
+#include <cmath>
+
+#include "magus/common/rng.hpp"
+#include "magus/hw/uncore_freq.hpp"
+#include "magus/sim/memory_system.hpp"
+#include "magus/sim/system_preset.hpp"
+
+namespace magus::sim {
+
+/// Instantaneous workload requirements for one tick.
+struct WorkSlice {
+  double demand_mbps = 0.0;     ///< node-wide DRAM traffic demand
+  double mem_bound_frac = 0.0;  ///< progress fraction gated on memory
+  double cpu_util = 0.0;
+  double gpu_util = 0.0;
+};
+
+/// Results of one tick, consumed by the engine for progress + tracing.
+struct TickOutput {
+  double progress_rate = 1.0;  ///< d(progress)/dt, <= 1 when stretched
+  double delivered_mbps = 0.0;
+  double pkg_power_w = 0.0;   ///< all sockets
+  double dram_power_w = 0.0;  ///< all sockets
+  double gpu_power_w = 0.0;   ///< all boards
+  double uncore_freq_ghz = 0.0;
+  double stretch = 1.0;
+};
+
+namespace kern {
+
+// --- constants (previously private to the model classes) -------------------
+
+/// Uncore frequency transitions complete within ~10 ms (MSR writes are
+/// near-instant; PLL relock and traffic draining dominate).
+inline constexpr double kUncoreSlewGhzPerS = 150.0;
+inline constexpr double kFirmwareStepGhz = 0.1;
+inline constexpr double kFirmwareRaiseDwellS = 0.05;
+inline constexpr double kCoreGovernorTau = 0.15;  ///< governor smoothing (s)
+inline constexpr double kBaseIpc = 1.6;
+inline constexpr double kGpuGovernorTau = 0.08;
+/// Relative measurement/transport noise on delivered traffic.
+inline constexpr double kTrafficNoiseRel = 0.002;
+/// OS + housekeeping DRAM traffic always present (MB/s).
+inline constexpr double kBackgroundTrafficMbps = 300.0;
+
+// --- per-subsystem state (POD, SoA-friendly) -------------------------------
+
+struct UncoreState {
+  double policy_limit_ghz = 0.0;  ///< MSR 0x620 MAX_RATIO, ladder-clamped
+  double firmware_cap_ghz = 0.0;  ///< TDP back-off cap on top of the limit
+  double freq_ghz = 0.0;          ///< effective frequency (slews to the min)
+};
+
+struct FirmwareState {
+  double cap_ghz = 0.0;
+  double hold_s = 0.0;  ///< dwell before raising the cap back up
+};
+
+struct CoreState {
+  double freq_ghz = 0.0;
+  double cycles = 0.0;        ///< per-core cumulative unhalted cycles
+  double instructions = 0.0;  ///< per-core cumulative retired instructions
+};
+
+struct GpuState {
+  double clock_ghz = 0.0;
+  double power_w = 0.0;  ///< all boards summed
+  double energy_j = 0.0;
+};
+
+// --- precomputed per-system parameters -------------------------------------
+
+struct FirmwareParams {
+  double threshold_w = 0.0;  ///< tdp_w * backoff_frac
+  double floor_ghz = 0.0;    ///< spec uncore min (unquantised)
+  double ceiling_ghz = 0.0;  ///< spec uncore max (unquantised)
+};
+
+struct UncoreParams {
+  double leak_w = 0.0;
+  double k1_w_per_ghz = 0.0;
+  double k2_w_per_ghz2 = 0.0;
+  double util_floor = 0.0;
+  double bw_floor_frac = 0.0;
+  double peak_mem_bw_mbps = 0.0;
+  double ladder_max_ghz = 0.0;  ///< quantised ladder top, not the spec value
+};
+
+struct CoreParams {
+  double min_ghz = 0.0;
+  double max_ghz = 0.0;
+  double idle_w = 0.0;
+  double dyn_w = 0.0;
+};
+
+struct GpuParams {
+  double base_clock_ghz = 0.0;
+  double max_clock_ghz = 0.0;
+  double idle_w = 0.0;
+  double peak_w = 0.0;
+  int count = 0;
+};
+
+/// Everything node_tick needs, precomputed once per system spec.
+struct NodeParams {
+  int sockets = 0;
+  hw::UncoreFreqLadder ladder{0.8, 2.2};
+  FirmwareParams fw;
+  UncoreParams uncore;
+  CoreParams core;
+  GpuParams gpu;
+  double dram_idle_w = 0.0;
+  double dram_dyn_w = 0.0;
+
+  [[nodiscard]] static NodeParams from_spec(const SystemSpec& spec) {
+    NodeParams p;
+    p.sockets = spec.cpu.sockets;
+    p.ladder = hw::UncoreFreqLadder(spec.cpu.uncore_min_ghz, spec.cpu.uncore_max_ghz);
+    p.fw.threshold_w = spec.cpu.tdp_w * spec.tdp_backoff_frac;
+    p.fw.floor_ghz = spec.cpu.uncore_min_ghz;
+    p.fw.ceiling_ghz = spec.cpu.uncore_max_ghz;
+    p.uncore.leak_w = spec.cpu.uncore_leak_w;
+    p.uncore.k1_w_per_ghz = spec.cpu.uncore_k1_w_per_ghz;
+    p.uncore.k2_w_per_ghz2 = spec.cpu.uncore_k2_w_per_ghz2;
+    p.uncore.util_floor = spec.cpu.uncore_util_floor;
+    p.uncore.bw_floor_frac = spec.cpu.bw_floor_frac;
+    p.uncore.peak_mem_bw_mbps = spec.cpu.peak_mem_bw_mbps;
+    p.uncore.ladder_max_ghz = p.ladder.max_ghz();
+    p.core = {spec.cpu.core_min_ghz, spec.cpu.core_max_ghz, spec.cpu.core_idle_w,
+              spec.cpu.core_dyn_w};
+    p.gpu = {spec.gpu.base_clock_ghz, spec.gpu.max_clock_ghz, spec.gpu.idle_w,
+             spec.gpu.peak_w, spec.gpu.count};
+    p.dram_idle_w = spec.cpu.dram_idle_w;
+    p.dram_dyn_w = spec.cpu.dram_dyn_w;
+    return p;
+  }
+};
+
+// --- state initialisers (match the model-class constructors exactly) -------
+
+[[nodiscard]] inline UncoreState init_uncore(const hw::UncoreFreqLadder& ladder) {
+  const double top = ladder.max_ghz();
+  return {top, top, top};
+}
+
+[[nodiscard]] inline FirmwareState init_firmware(const FirmwareParams& p) {
+  return {p.ceiling_ghz, 0.0};
+}
+
+[[nodiscard]] inline CoreState init_core(const CoreParams& p) {
+  return {p.min_ghz, 0.0, 0.0};
+}
+
+[[nodiscard]] inline GpuState init_gpu(const GpuParams& p) {
+  return {p.base_clock_ghz, p.idle_w * p.count, 0.0};
+}
+
+// magus:hot-path-begin
+// --- per-subsystem step functions ------------------------------------------
+
+/// Stock TDP-coupled firmware behaviour; returns the (unclamped) cap.
+inline double firmware_update(FirmwareState& st, const FirmwareParams& p, double dt,
+                              double pkg_w) {
+  if (pkg_w > p.threshold_w) {
+    st.cap_ghz = std::max(p.floor_ghz, st.cap_ghz - kFirmwareStepGhz);
+    st.hold_s = kFirmwareRaiseDwellS;
+  } else {
+    st.hold_s -= dt;
+    if (st.hold_s <= 0.0 && st.cap_ghz < p.ceiling_ghz) {
+      st.cap_ghz = std::min(p.ceiling_ghz, st.cap_ghz + kFirmwareStepGhz);
+      st.hold_s = kFirmwareRaiseDwellS;
+    }
+  }
+  return st.cap_ghz;
+}
+
+/// Policy-programmed max ratio limit (what MSR 0x620 writes set).
+inline void uncore_set_policy_limit(UncoreState& st, const hw::UncoreFreqLadder& ladder,
+                                    double requested) {
+  st.policy_limit_ghz = ladder.clamp_ghz(requested);
+}
+
+inline void uncore_set_firmware_cap(UncoreState& st, const hw::UncoreFreqLadder& ladder,
+                                    double requested) {
+  st.firmware_cap_ghz = ladder.clamp_ghz(requested);
+}
+
+/// Slew the effective frequency toward min(policy limit, firmware cap).
+inline void uncore_tick(UncoreState& st, double dt) {
+  const double target = std::min(st.policy_limit_ghz, st.firmware_cap_ghz);
+  const double max_step = kUncoreSlewGhzPerS * dt;
+  if (st.freq_ghz < target) {
+    st.freq_ghz = std::min(target, st.freq_ghz + max_step);
+  } else if (st.freq_ghz > target) {
+    st.freq_ghz = std::max(target, st.freq_ghz - max_step);
+  }
+}
+
+/// Deliverable DRAM bandwidth (MB/s, per socket) at frequency `f` GHz.
+[[nodiscard]] inline double uncore_capacity_at(const UncoreParams& p, double f) {
+  const double frac = p.bw_floor_frac + (1.0 - p.bw_floor_frac) * (f / p.ladder_max_ghz);
+  return p.peak_mem_bw_mbps * frac;
+}
+
+/// Uncore power (W) at the current frequency and a utilisation in [0,1].
+[[nodiscard]] inline double uncore_power(const UncoreState& st, const UncoreParams& p,
+                                         double utilization) {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  const double f = st.freq_ghz;
+  const double dyn = p.k1_w_per_ghz * f + p.k2_w_per_ghz2 * f * f;
+  const double activity = p.util_floor + (1.0 - p.util_floor) * u;
+  return p.leak_w + dyn * activity;
+}
+
+inline void core_tick(CoreState& st, const CoreParams& p, double dt, double util,
+                      double ipc_eff) {
+  util = std::clamp(util, 0.0, 1.0);
+  // Stock DVFS: frequency follows load, saturating toward max under load.
+  const double target =
+      std::min(p.max_ghz, p.min_ghz + (p.max_ghz - p.min_ghz) * util * 1.4);
+  const double alpha = 1.0 - std::exp(-dt / kCoreGovernorTau);
+  st.freq_ghz += (target - st.freq_ghz) * alpha;
+
+  // Fixed counters advance only while cores are unhalted.
+  const double active = std::max(util, 0.02);  // housekeeping threads
+  const double cycles_delta = st.freq_ghz * 1e9 * active * dt;
+  st.cycles += cycles_delta;
+  st.instructions += cycles_delta * std::max(0.05, ipc_eff);
+}
+
+/// Core (non-uncore) power per socket at the current operating point.
+[[nodiscard]] inline double core_power_w(const CoreState& st, const CoreParams& p,
+                                         double util) {
+  util = std::clamp(util, 0.0, 1.0);
+  const double ffrac = st.freq_ghz / p.max_ghz;
+  return p.idle_w + p.dyn_w * util * ffrac * ffrac;
+}
+
+inline void gpu_tick(GpuState& st, const GpuParams& p, double dt, double util_effective) {
+  const double util = std::clamp(util_effective, 0.0, 1.0);
+  // SM clock boosts with load (sub-linear: boost bins saturate early).
+  const double target =
+      p.base_clock_ghz + (p.max_clock_ghz - p.base_clock_ghz) * std::pow(util, 0.7);
+  const double alpha = 1.0 - std::exp(-dt / kGpuGovernorTau);
+  st.clock_ghz += (target - st.clock_ghz) * alpha;
+
+  const double clock_frac = st.clock_ghz / p.max_clock_ghz;
+  const double per_board =
+      p.idle_w + (p.peak_w - p.idle_w) * util * clock_frac * clock_frac;
+  st.power_w = per_board * p.count;
+  st.energy_j += st.power_w * dt;
+}
+
+// --- the whole-node tick ---------------------------------------------------
+
+/// Advance one node by `dt` under `slice`. `Lane` adapts the storage layout:
+///   lane.uncore(s)   -> UncoreState&        lane.pkg_energy(s)  -> double&
+///   lane.firmware(s) -> FirmwareState&      lane.dram_energy(s) -> double&
+///   lane.core()      -> CoreState&          lane.last_pkg_w(s)  -> double&
+///   lane.gpu()       -> GpuState&           lane.traffic_mb()   -> double&
+///   lane.rng()       -> common::Rng&
+/// The statement order below mirrors the original NodeModel::tick exactly.
+template <class Lane>
+TickOutput node_tick(Lane&& lane, const NodeParams& p, double dt, const WorkSlice& slice,
+                     double monitor_extra_w) {
+  // 1. Firmware governor per socket (stock TDP-coupled uncore behaviour),
+  //    using the previous tick's power (sensor delay is ~1 tick anyway).
+  for (int s = 0; s < p.sockets; ++s) {
+    const double cap = firmware_update(lane.firmware(s), p.fw, dt, lane.last_pkg_w(s));
+    uncore_set_firmware_cap(lane.uncore(s), p.ladder, cap);
+    uncore_tick(lane.uncore(s), dt);
+  }
+
+  // 2. Memory service against the combined capacity.
+  const double demand = slice.demand_mbps + kBackgroundTrafficMbps;
+  double capacity = 0.0;
+  for (int s = 0; s < p.sockets; ++s) {
+    capacity += uncore_capacity_at(p.uncore, lane.uncore(s).freq_ghz);
+  }
+  const MemoryService mem =
+      service_memory(common::Mbps(demand), common::Mbps(capacity), slice.mem_bound_frac);
+
+  // 3. Core + GPU domains. Memory stalls depress effective IPC and the
+  //    device's achieved utilisation alike.
+  const double ipc_eff = kBaseIpc / mem.stretch;
+  core_tick(lane.core(), p.core, dt, slice.cpu_util, ipc_eff);
+  gpu_tick(lane.gpu(), p.gpu, dt, slice.gpu_util / mem.stretch);
+
+  // 4. Power + energy. The workload splits evenly across sockets; a running
+  //    monitor executes on socket 0.
+  const double delivered_noisy =
+      std::max(0.0, mem.delivered.value() * lane.rng().jitter(kTrafficNoiseRel));
+  lane.traffic_mb() += delivered_noisy * dt;
+
+  double pkg_total = 0.0;
+  double dram_total = 0.0;
+  const double bw_frac_per_socket =
+      p.uncore.peak_mem_bw_mbps > 0.0
+          ? std::clamp(mem.delivered.value() / static_cast<double>(p.sockets) /
+                           p.uncore.peak_mem_bw_mbps,
+                       0.0, 1.0)
+          : 0.0;
+  for (int s = 0; s < p.sockets; ++s) {
+    const double core_w = core_power_w(lane.core(), p.core, slice.cpu_util);
+    const double uncore_w = uncore_power(lane.uncore(s), p.uncore, mem.utilization);
+    const double monitor_w = (s == 0) ? monitor_extra_w : 0.0;
+    const double pkg_w = core_w + uncore_w + monitor_w;
+    const double dram_w = p.dram_idle_w + p.dram_dyn_w * bw_frac_per_socket;
+    lane.pkg_energy(s) += pkg_w * dt;
+    lane.dram_energy(s) += dram_w * dt;
+    lane.last_pkg_w(s) = pkg_w;
+    pkg_total += pkg_w;
+    dram_total += dram_w;
+  }
+
+  TickOutput out;
+  out.progress_rate = 1.0 / mem.stretch;
+  out.delivered_mbps = delivered_noisy;
+  out.pkg_power_w = pkg_total;
+  out.dram_power_w = dram_total;
+  out.gpu_power_w = lane.gpu().power_w;
+  out.uncore_freq_ghz = lane.uncore(0).freq_ghz;
+  out.stretch = mem.stretch;
+  return out;
+}
+// magus:hot-path-end
+
+}  // namespace kern
+}  // namespace magus::sim

@@ -1,7 +1,10 @@
 #pragma once
 // NodeModel: the whole heterogeneous node -- sockets (core + uncore + DRAM),
 // GPUs, the stock firmware governor, and the cumulative counters the hw
-// backends expose to runtimes.
+// backends expose to runtimes. The per-tick arithmetic is kern::node_tick
+// (sim/kernel.hpp), instantiated here over the member model objects; the
+// batched fleet path instantiates the same template over SoA storage, which
+// is what keeps the two engines bit-identical.
 
 #include <cstddef>
 #include <cstdint>
@@ -12,30 +15,12 @@
 #include "magus/sim/core_model.hpp"
 #include "magus/sim/firmware_governor.hpp"
 #include "magus/sim/gpu_model.hpp"
+#include "magus/sim/kernel.hpp"
 #include "magus/sim/memory_system.hpp"
 #include "magus/sim/system_preset.hpp"
 #include "magus/sim/uncore_model.hpp"
 
 namespace magus::sim {
-
-/// Instantaneous workload requirements for one tick.
-struct WorkSlice {
-  double demand_mbps = 0.0;     ///< node-wide DRAM traffic demand
-  double mem_bound_frac = 0.0;  ///< progress fraction gated on memory
-  double cpu_util = 0.0;
-  double gpu_util = 0.0;
-};
-
-/// Results of one tick, consumed by the engine for progress + tracing.
-struct TickOutput {
-  double progress_rate = 1.0;  ///< d(progress)/dt, <= 1 when stretched
-  double delivered_mbps = 0.0;
-  double pkg_power_w = 0.0;   ///< all sockets
-  double dram_power_w = 0.0;  ///< all sockets
-  double gpu_power_w = 0.0;   ///< all boards
-  double uncore_freq_ghz = 0.0;
-  double stretch = 1.0;
-};
 
 class NodeModel {
  public:
@@ -79,7 +64,10 @@ class NodeModel {
   [[nodiscard]] const TickOutput& last() const noexcept { return last_; }
 
  private:
+  struct LaneView;  // adapts the member objects to the kern::node_tick concept
+
   SystemSpec spec_;
+  kern::NodeParams params_;
   std::vector<UncoreModel> uncores_;
   std::vector<FirmwareGovernor> firmware_;
   CoreModel cores_;
@@ -90,10 +78,6 @@ class NodeModel {
   std::vector<double> dram_energy_j_;
   std::vector<double> last_socket_pkg_w_;
   TickOutput last_;
-  /// Relative measurement/transport noise on delivered traffic.
-  static constexpr double kTrafficNoiseRel = 0.002;
-  /// OS + housekeeping DRAM traffic always present (MB/s).
-  static constexpr double kBackgroundTrafficMbps = 300.0;
 };
 
 }  // namespace magus::sim

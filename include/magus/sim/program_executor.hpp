@@ -1,0 +1,39 @@
+#pragma once
+// ProgramExecutor: walks a PhaseProgram in "phase seconds". Progress advances
+// at the node's progress rate, so memory starvation stretches wall-clock
+// automatically. Shared by the per-node SimEngine and the batched fleet
+// engine so both walk phases with identical arithmetic.
+
+#include <cstddef>
+
+#include "magus/sim/kernel.hpp"
+#include "magus/wl/phase.hpp"
+
+namespace magus::sim {
+
+class ProgramExecutor {
+ public:
+  explicit ProgramExecutor(const wl::PhaseProgram& program) : program_(&program) {}
+
+  [[nodiscard]] bool done() const noexcept { return index_ >= program_->size(); }
+
+  [[nodiscard]] WorkSlice slice() const {
+    const auto& p = program_->phases()[index_];
+    return {p.mem_demand_mbps, p.mem_bound_frac, p.cpu_util, p.gpu_util};
+  }
+
+  void advance(double progress_dt) {
+    progress_ += progress_dt;
+    while (!done() && progress_ >= program_->phases()[index_].duration_s) {
+      progress_ -= program_->phases()[index_].duration_s;
+      ++index_;
+    }
+  }
+
+ private:
+  const wl::PhaseProgram* program_;  // non-owning; pointer keeps the class movable
+  std::size_t index_ = 0;
+  double progress_ = 0.0;
+};
+
+}  // namespace magus::sim

@@ -1,10 +1,12 @@
 #pragma once
 // Per-socket uncore domain: frequency state machine, power curve, and the
 // bandwidth-capacity curve that couples uncore frequency to deliverable
-// memory throughput.
+// memory throughput. The arithmetic lives in sim/kernel.hpp (kern::*); this
+// class is the contract-checked API wrapper around a kern::UncoreState.
 
 #include "magus/common/quantity.hpp"
 #include "magus/hw/uncore_freq.hpp"
+#include "magus/sim/kernel.hpp"
 #include "magus/sim/system_preset.hpp"
 
 namespace magus::sim {
@@ -15,18 +17,22 @@ class UncoreModel {
 
   /// Policy-programmed max ratio limit (what MSR 0x620 writes set).
   void set_policy_limit(common::Ghz freq);
-  [[nodiscard]] common::Ghz policy_limit() const noexcept { return policy_limit_; }
+  [[nodiscard]] common::Ghz policy_limit() const noexcept {
+    return common::Ghz(st_.policy_limit_ghz);
+  }
 
   /// Firmware cap applied on top of the policy limit (TDP back-off).
   void set_firmware_cap(common::Ghz freq);
-  [[nodiscard]] common::Ghz firmware_cap() const noexcept { return firmware_cap_; }
+  [[nodiscard]] common::Ghz firmware_cap() const noexcept {
+    return common::Ghz(st_.firmware_cap_ghz);
+  }
 
   /// Advance the frequency state machine: the effective frequency slews
   /// toward min(policy limit, firmware cap) with a short transition time.
   void tick(common::Seconds dt);
 
   /// Effective uncore frequency right now.
-  [[nodiscard]] common::Ghz freq() const noexcept { return freq_; }
+  [[nodiscard]] common::Ghz freq() const noexcept { return common::Ghz(st_.freq_ghz); }
 
   /// Deliverable DRAM bandwidth at the current frequency (per socket).
   [[nodiscard]] common::Mbps capacity() const noexcept;
@@ -37,15 +43,14 @@ class UncoreModel {
 
   [[nodiscard]] const hw::UncoreFreqLadder& ladder() const noexcept { return ladder_; }
 
+  /// Raw kernel state, shared with kern::node_tick.
+  [[nodiscard]] kern::UncoreState& st() noexcept { return st_; }
+  [[nodiscard]] const kern::UncoreState& st() const noexcept { return st_; }
+
  private:
-  CpuSpec spec_;
   hw::UncoreFreqLadder ladder_;
-  common::Ghz policy_limit_;
-  common::Ghz firmware_cap_;
-  common::Ghz freq_;
-  /// Uncore frequency transitions complete within ~10 ms (MSR writes are
-  /// near-instant; PLL relock and traffic draining dominate).
-  static constexpr double kSlewGhzPerS = 150.0;
+  kern::UncoreParams params_;
+  kern::UncoreState st_;
 };
 
 }  // namespace magus::sim

@@ -1,0 +1,74 @@
+#include "magus/exp/batch.hpp"
+
+#include <utility>
+
+#include "magus/core/policy_factory.hpp"
+
+namespace magus::exp {
+
+std::size_t BatchRun::add(const sim::SystemSpec& system, const wl::PhaseProgram& workload,
+                          const std::string& policy, const RunOptions& opts) {
+  // Mirror of exp::run_policy's wiring, lane-indexed instead of per-engine.
+  const std::size_t lane = engine_.add_lane(system, workload, opts.engine);
+  jobs_.push_back(
+      Job{hw::UncoreFreqLadder(system.cpu.uncore_min_ghz, system.cpu.uncore_max_ghz),
+          {},
+          {},
+          {},
+          {},
+          {}});
+  Job& job = jobs_.back();
+
+  core::PolicyContext ctx;
+  ctx.mem_counter = &engine_.mem_counter(lane);
+  ctx.energy_counter = &engine_.energy_counter(lane);
+  ctx.core_counters = &engine_.core_counters(lane);
+  ctx.msr = &engine_.msr(lane);
+  ctx.ladder = &job.ladder;
+
+  // Fault decorators slot in between the policy and the lane backends,
+  // constructed only when enabled -- the same contract as run_policy.
+  if (opts.fault.enabled()) {
+    job.plan = std::make_unique<fault::FaultPlan>(opts.fault, opts.fault_node);
+    job.faulty_mem = std::make_unique<fault::FaultyMemThroughputCounter>(
+        engine_.mem_counter(lane), *job.plan, job.out.faults);
+    job.faulty_msr = std::make_unique<fault::FaultyMsrDevice>(engine_.msr(lane), *job.plan,
+                                                              job.out.faults);
+    ctx.mem_counter = job.faulty_mem.get();
+    ctx.msr = job.faulty_msr.get();
+  }
+  ctx.magus = &opts.magus;
+  ctx.ups = &opts.ups;
+  ctx.duf = &opts.duf;
+  ctx.static_ghz = opts.static_ghz;
+  ctx.metrics = opts.metrics;
+  ctx.events = opts.events;
+
+  const core::PolicyFactory& factory = core::PolicyFactory::instance();
+  job.policy = factory.make_policy(policy, ctx);
+
+  sim::PolicyHook hook;
+  hook.name = job.policy->name();
+  hook.period_s = job.policy->period_s();
+  core::IPolicy* bound = job.policy.get();  // deque: stable for the engine's life
+  hook.on_start = [bound](common::Seconds now) { bound->on_start(now); };
+  // Default and static policies do nothing per sample; skip the callback so
+  // the engine charges them zero monitoring overhead (they are not runtimes).
+  if (factory.is_runtime(policy)) {
+    hook.on_sample = [bound](common::Seconds now) { bound->on_sample(now); };
+  }
+  engine_.set_hook(lane, std::move(hook));
+  return lane;
+}
+
+void BatchRun::run_all() {
+  engine_.run_all();
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (engine_.lane_failed(i)) continue;
+    Job& job = jobs_[i];
+    job.out.result = engine_.result(i);
+    job.out.policy_degraded = job.policy->degraded();
+  }
+}
+
+}  // namespace magus::exp

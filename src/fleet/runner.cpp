@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <thread>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "magus/common/rng.hpp"
 #include "magus/common/stats.hpp"
 #include "magus/common/thread_pool.hpp"
+#include "magus/exp/batch.hpp"
 #include "magus/exp/experiment.hpp"
 #include "magus/telemetry/event_log.hpp"
 #include "magus/telemetry/registry.hpp"
@@ -37,7 +39,15 @@ void FleetRunner::attach_telemetry(telemetry::MetricsRegistry& reg,
                               "Nodes whose every simulation attempt threw");
 }
 
-NodeResult FleetRunner::run_node(std::size_t index) const {
+/// The per-node inputs (system preset, jittered workload, run options) both
+/// tick paths consume. Kept behind one builder so neither path can drift.
+struct FleetRunner::NodeInputs {
+  sim::SystemSpec system;
+  wl::PhaseProgram jittered;
+  exp::RunOptions opts;
+};
+
+FleetRunner::NodeInputs FleetRunner::node_inputs(std::size_t index) const {
   const NodeSpec& spec = expanded_[index];
 
   // Node identity drives all randomness: the jitter stream is forked from
@@ -47,14 +57,20 @@ NodeResult FleetRunner::run_node(std::size_t index) const {
   common::Rng node_rng = common::Rng(manifest_.seed()).fork(index);
   wl::PhaseProgram program = wl::make_workload(spec.app());
   if (spec.gpus() > 1) program = wl::scale_for_gpus(program, spec.gpus());
-  const wl::PhaseProgram jittered = wl::apply_jitter(program, node_rng, manifest_.jitter());
 
-  exp::RunOptions opts;
-  opts.engine.seed = manifest_.seed() * 1000003ull + index;
-  opts.engine.record_traces = false;
-  opts.static_ghz = spec.static_uncore();
-  opts.fault = manifest_.fault();
-  opts.fault_node = index;
+  NodeInputs in{sim::system_by_name(spec.system()),
+                wl::apply_jitter(program, node_rng, manifest_.jitter()), {}};
+  in.opts.engine.seed = manifest_.seed() * 1000003ull + index;
+  in.opts.engine.record_traces = false;
+  in.opts.static_ghz = spec.static_uncore();
+  in.opts.fault = manifest_.fault();
+  in.opts.fault_node = index;
+  return in;
+}
+
+NodeResult FleetRunner::run_node(std::size_t index) const {
+  const NodeSpec& spec = expanded_[index];
+  const NodeInputs in = node_inputs(index);
 
   NodeResult out;
   out.index = index;
@@ -62,8 +78,6 @@ NodeResult FleetRunner::run_node(std::size_t index) const {
   out.system = spec.system();
   out.app = spec.app();
   out.policy = spec.policy();
-
-  const sim::SystemSpec system = sim::system_by_name(spec.system());
 
   // Failure isolation: a node whose backend dies (a policy that does not
   // ride the degradation ladder, e.g. UPS hitting an injected MSR -EIO) is
@@ -74,14 +88,20 @@ NodeResult FleetRunner::run_node(std::size_t index) const {
   for (int attempt = 1; attempt <= kNodeAttempts; ++attempt) {
     out.attempts = attempt;
     try {
-      const exp::RunOutput run = exp::run_policy(system, jittered, spec.policy(), opts);
+      const exp::RunOutput run =
+          exp::run_policy(in.system, in.jittered, spec.policy(), in.opts);
       // The default-policy twin sees the identical jittered workload and
       // engine seed; when the node already runs "default" it is its own twin.
-      // Fault decorators wrap the twin too, but "default" issues no backend
-      // calls, so its results never depend on fault weather.
+      // The twin runs fault-free: "default" issues no backend calls, so fault
+      // decorators could never reach it anyway -- skipping them just saves
+      // the plan/decorator setup without changing a single byte.
       const bool is_default = spec.policy() == "default";
-      const exp::RunOutput twin =
-          is_default ? exp::RunOutput{} : exp::run_policy(system, jittered, "default", opts);
+      exp::RunOptions twin_opts = in.opts;
+      twin_opts.fault = {};
+      const exp::RunOutput twin = is_default
+                                      ? exp::RunOutput{}
+                                      : exp::run_policy(in.system, in.jittered, "default",
+                                                        twin_opts);
       const sim::SimResult& baseline = is_default ? run.result : twin.result;
 
       out.completed = run.result.completed;
@@ -95,6 +115,8 @@ NodeResult FleetRunner::run_node(std::size_t index) const {
                              : 0.0;
       out.degraded = run.policy_degraded;
       out.faults_injected = run.faults.injected() + twin.faults.injected();
+      out.ticks = run.result.ticks + twin.result.ticks;
+      out.control_latency_s = run.result.avg_invocation_s();
       out.error.clear();
       return out;
     } catch (const std::exception& e) {
@@ -111,6 +133,113 @@ NodeResult FleetRunner::run_node(std::size_t index) const {
   return out;
 }
 
+void FleetRunner::run_shard_batch(std::size_t begin, std::size_t end,
+                                  std::vector<NodeResult>& results) const {
+  constexpr int kNodeAttempts = 3;  // mirrors run_node
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const NodeSpec& spec = expanded_[i];
+    NodeResult& out = results[i];
+    out.index = i;
+    out.name = spec.name();
+    out.system = spec.system();
+    out.app = spec.app();
+    out.policy = spec.policy();
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) pending.push_back(i);
+
+  // Retry semantics match run_node: node inputs are identical per attempt,
+  // so a retry round is literally a fresh BatchRun over the still-unsettled
+  // nodes. No backoff sleep -- it only shaped wall-clock, never results.
+  for (int attempt = 1; attempt <= kNodeAttempts && !pending.empty(); ++attempt) {
+    exp::BatchRun batch;
+    // PolicyContext keeps pointers into RunOptions; deques pin the addresses
+    // for the lifetime of the BatchRun.
+    std::deque<NodeInputs> inputs;
+    std::deque<exp::RunOptions> twin_opts;
+    struct LaneMap {
+      std::size_t node = 0;
+      std::size_t run_lane = 0;
+      std::size_t twin_lane = 0;
+      bool has_twin = false;
+    };
+    std::vector<LaneMap> lanes;
+    lanes.reserve(pending.size());
+    std::vector<std::size_t> next_pending;
+
+    for (const std::size_t node : pending) {
+      results[node].attempts = attempt;
+      inputs.push_back(node_inputs(node));
+      const NodeInputs& in = inputs.back();
+      const std::string& policy = expanded_[node].policy();
+      LaneMap map{node, 0, 0, false};
+      try {
+        map.run_lane = batch.add(in.system, in.jittered, policy, in.opts);
+        if (policy != "default") {
+          // Same fault-free twin as run_node (see the comment there).
+          twin_opts.push_back(in.opts);
+          twin_opts.back().fault = {};
+          map.twin_lane = batch.add(in.system, in.jittered, "default", twin_opts.back());
+          map.has_twin = true;
+        }
+        lanes.push_back(map);
+      } catch (const std::exception& e) {
+        // make_policy (or option validation) threw -- deterministic, so it
+        // consumes a retry exactly like a run_policy throw in run_node.
+        results[node].error = e.what();
+        next_pending.push_back(node);
+      }
+    }
+
+    batch.run_all();
+
+    for (const LaneMap& map : lanes) {
+      NodeResult& out = results[map.node];
+      if (batch.failed(map.run_lane) || (map.has_twin && batch.failed(map.twin_lane))) {
+        out.error = batch.failed(map.run_lane) ? batch.error(map.run_lane)
+                                               : batch.error(map.twin_lane);
+        next_pending.push_back(map.node);
+        continue;
+      }
+      const exp::RunOutput& run = batch.output(map.run_lane);
+      const sim::SimResult& baseline =
+          map.has_twin ? batch.output(map.twin_lane).result : run.result;
+
+      out.completed = run.result.completed;
+      out.runtime_s = run.result.duration_s;
+      out.baseline_runtime_s = baseline.duration_s;
+      out.energy_j = run.result.total_energy_j();
+      out.baseline_energy_j = baseline.total_energy_j();
+      out.joules_saved = out.baseline_energy_j - out.energy_j;
+      out.slowdown_pct = baseline.duration_s > 0.0
+                             ? 100.0 * (run.result.duration_s / baseline.duration_s - 1.0)
+                             : 0.0;
+      out.degraded = run.policy_degraded;
+      out.faults_injected =
+          run.faults.injected() +
+          (map.has_twin ? batch.output(map.twin_lane).faults.injected() : 0u);
+      out.ticks = run.result.ticks +
+                  (map.has_twin ? batch.output(map.twin_lane).result.ticks : 0u);
+      out.control_latency_s = run.result.avg_invocation_s();
+      out.error.clear();
+    }
+    // Keep node-index order so error strings and retry rounds are stable.
+    std::sort(next_pending.begin(), next_pending.end());
+    pending = std::move(next_pending);
+  }
+
+  // Every attempt threw: zeroed numerics, flagged, isolated (as run_node).
+  for (const std::size_t node : pending) {
+    NodeResult& out = results[node];
+    out.failed = true;
+    out.degraded = true;
+    out.completed = false;
+  }
+}
+
 FleetResult FleetRunner::run() {
   const std::size_t total = expanded_.size();
   completed_.store(0, std::memory_order_relaxed);
@@ -119,25 +248,36 @@ FleetResult FleetRunner::run() {
   // Shards are contiguous index ranges; each shard simulates its nodes
   // serially into pre-sized slots. The shard fan-out decides only which
   // worker computes which slot, never the values, so any --jobs count (and
-  // any shard size) yields bit-identical rollups.
-  const std::size_t shard_size = static_cast<std::size_t>(manifest_.shard_size());
+  // any shard size) yields bit-identical rollups. A shard size beyond the
+  // fleet is clamped: one shard covering everything.
+  const std::size_t shard_size =
+      std::min(static_cast<std::size_t>(manifest_.shard_size()),
+               std::max<std::size_t>(total, 1));
   const std::size_t shards = (total + shard_size - 1) / shard_size;
   std::vector<NodeResult> results(total);
+  const auto report_node = [&](const NodeResult& r) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::inc(m_nodes_done_);
+    if (events_) {
+      events_->emit(telemetry::Event(r.runtime_s, "fleet_node_done")
+                        .str("node", r.name)
+                        .str("policy", r.policy)
+                        .num("joules_saved", r.joules_saved)
+                        .num("slowdown_pct", r.slowdown_pct)
+                        .flag("degraded", r.degraded)
+                        .flag("failed", r.failed));
+    }
+  };
   common::default_pool().parallel_for_each(shards, [&](std::size_t shard) {
     const std::size_t begin = shard * shard_size;
     const std::size_t end = std::min(total, begin + shard_size);
-    for (std::size_t i = begin; i < end; ++i) {
-      results[i] = run_node(i);
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      telemetry::inc(m_nodes_done_);
-      if (events_) {
-        events_->emit(telemetry::Event(results[i].runtime_s, "fleet_node_done")
-                          .str("node", results[i].name)
-                          .str("policy", results[i].policy)
-                          .num("joules_saved", results[i].joules_saved)
-                          .num("slowdown_pct", results[i].slowdown_pct)
-                          .flag("degraded", results[i].degraded)
-                          .flag("failed", results[i].failed));
+    if (engine_ == FleetEngine::kBatch) {
+      run_shard_batch(begin, end, results);
+      for (std::size_t i = begin; i < end; ++i) report_node(results[i]);
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = run_node(i);
+        report_node(results[i]);
       }
     }
   });
@@ -161,6 +301,7 @@ FleetResult FleetRunner::run() {
     // A failed node contributes its (zeroed) joules but is excluded from the
     // slowdown percentiles: its numerics are placeholders, not measurements.
     fleet.joules_saved_total += r.joules_saved;
+    fleet.ticks_total += r.ticks;
     if (!r.failed) slowdowns.push_back(r.slowdown_pct);
     fleet.degraded_nodes += r.degraded ? 1u : 0u;
     fleet.failed_nodes += r.failed ? 1u : 0u;
@@ -206,6 +347,7 @@ std::string FleetResult::to_jsonl() const {
   std::string out = telemetry::Event(0.0, "fleet_rollup")
                         .str("seed", std::to_string(seed))
                         .num("nodes", static_cast<double>(nodes_total))
+                        .num("ticks_total", static_cast<double>(ticks_total))
                         .num("degraded_nodes", static_cast<double>(degraded_nodes))
                         .num("failed_nodes", static_cast<double>(failed_nodes))
                         .num("joules_saved_total", joules_saved_total)
@@ -238,6 +380,8 @@ std::string FleetResult::to_jsonl() const {
                .flag("failed", r.failed)
                .num("attempts", r.attempts)
                .num("faults_injected", static_cast<double>(r.faults_injected))
+               .num("ticks", static_cast<double>(r.ticks))
+               .num("control_latency_s", r.control_latency_s)
                .num("runtime_s", r.runtime_s)
                .num("baseline_runtime_s", r.baseline_runtime_s)
                .num("energy_j", r.energy_j)

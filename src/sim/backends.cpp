@@ -9,17 +9,19 @@
 
 namespace magus::sim {
 
-namespace {
-/// Typical server RAPL units: energy LSB = 1/2^14 J (61 uJ).
-const hw::RaplUnits kSimRaplUnits{3, 14, 10};
+const hw::RaplUnits& sim_rapl_units() noexcept {
+  /// Typical server RAPL units: energy LSB = 1/2^14 J (61 uJ).
+  static const hw::RaplUnits kSimRaplUnits{3, 14, 10};
+  return kSimRaplUnits;
+}
 
-std::uint64_t to_energy_status(double joules) {
+std::uint64_t sim_energy_status(double joules) noexcept {
   // 32-bit wrapping counter, exactly like MSR 0x611/0x619.
-  const double lsb = kSimRaplUnits.joules_per_lsb();
+  const double lsb = sim_rapl_units().joules_per_lsb();
   const auto ticks = static_cast<std::uint64_t>(joules / lsb);
   return ticks & 0xFFFFFFFFull;
 }
-}  // namespace
+
 
 SimMsrDevice::SimMsrDevice(NodeModel& node, AccessMeter& meter)
     : node_(node), meter_(meter) {
@@ -46,11 +48,11 @@ std::uint64_t SimMsrDevice::read(int socket, std::uint32_t reg) {
     case hw::msr::kUncorePerfStatus:
       return common::to_ratio(node_.uncore(socket).freq()).value();
     case hw::msr::kRaplPowerUnit:
-      return kSimRaplUnits.encode();
+      return sim_rapl_units().encode();
     case hw::msr::kPkgEnergyStatus:
-      return to_energy_status(node_.pkg_energy_j(socket));
+      return sim_energy_status(node_.pkg_energy_j(socket));
     case hw::msr::kDramEnergyStatus:
-      return to_energy_status(node_.dram_energy_j(socket));
+      return sim_energy_status(node_.dram_energy_j(socket));
     default:
       throw common::DeviceError("SimMsrDevice: unsupported MSR read 0x" +
                                 std::to_string(reg));

@@ -1,0 +1,379 @@
+#include "magus/sim/batch_engine.hpp"
+
+#include <exception>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "magus/common/error.hpp"
+#include "magus/common/units.hpp"
+
+namespace magus::sim {
+
+// --- lane backends ---------------------------------------------------------
+// Error strings deliberately match the Sim* backends: a policy (or fault
+// decorator) driving either engine observes byte-identical behaviour.
+
+int BatchMsrDevice::socket_count() const { return engine_->lanes_[lane_].params.sockets; }
+
+std::uint64_t BatchMsrDevice::read(int socket, std::uint32_t reg) {
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  if (socket < 0 || socket >= lane.params.sockets) {
+    throw common::ConfigError("SimMsrDevice: socket out of range");
+  }
+  ++lane.meter.msr_reads;
+  const std::size_t slot = lane.socket_base + static_cast<std::size_t>(socket);
+  switch (reg) {
+    case hw::msr::kUncoreRatioLimit:
+      return lane.raw_0x620[static_cast<std::size_t>(socket)];
+    case hw::msr::kUncorePerfStatus:
+      return common::to_ratio(common::Ghz(engine_->uncore_[slot].freq_ghz)).value();
+    case hw::msr::kRaplPowerUnit:
+      return sim_rapl_units().encode();
+    case hw::msr::kPkgEnergyStatus:
+      return sim_energy_status(engine_->pkg_energy_j_[slot]);
+    case hw::msr::kDramEnergyStatus:
+      return sim_energy_status(engine_->dram_energy_j_[slot]);
+    default:
+      throw common::DeviceError("SimMsrDevice: unsupported MSR read 0x" +
+                                std::to_string(reg));
+  }
+}
+
+void BatchMsrDevice::write(int socket, std::uint32_t reg, std::uint64_t value) {
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  if (socket < 0 || socket >= lane.params.sockets) {
+    throw common::ConfigError("SimMsrDevice: socket out of range");
+  }
+  ++lane.meter.msr_writes;
+  if (reg != hw::msr::kUncoreRatioLimit) {
+    throw common::DeviceError("SimMsrDevice: unsupported MSR write 0x" +
+                              std::to_string(reg));
+  }
+  lane.raw_0x620[static_cast<std::size_t>(socket)] = value;
+  const auto limit = hw::UncoreRatioLimit::decode(value);
+  const std::size_t slot = lane.socket_base + static_cast<std::size_t>(socket);
+  kern::uncore_set_policy_limit(engine_->uncore_[slot], lane.params.ladder,
+                                limit.max_ghz());
+}
+
+double BatchMemThroughputCounter::total_mb() {
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  ++lane.meter.pcm_reads;
+  return engine_->traffic_mb_[lane_];
+}
+
+int BatchEnergyCounter::socket_count() const {
+  return engine_->lanes_[lane_].params.sockets;
+}
+
+double BatchEnergyCounter::pkg_energy_j(int socket) {
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  ++lane.meter.msr_reads;
+  return engine_->pkg_energy_j_[lane.socket_base + static_cast<std::size_t>(socket)];
+}
+
+double BatchEnergyCounter::dram_energy_j(int socket) {
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  ++lane.meter.msr_reads;
+  return engine_->dram_energy_j_[lane.socket_base + static_cast<std::size_t>(socket)];
+}
+
+int BatchGpuPowerSensor::gpu_count() const {
+  return engine_->lanes_[lane_].params.gpu.count;
+}
+
+double BatchGpuPowerSensor::power_w(int gpu) {
+  const BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  if (gpu < 0 || gpu >= lane.params.gpu.count) {
+    throw common::ConfigError("SimGpuPowerSensor: gpu out of range");
+  }
+  const kern::GpuState& st = engine_->gpu_[lane_];
+  return lane.params.gpu.count > 0 ? st.power_w / lane.params.gpu.count : 0.0;
+}
+
+double BatchGpuPowerSensor::energy_j(int gpu) {
+  const BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  if (gpu < 0 || gpu >= lane.params.gpu.count) {
+    throw common::ConfigError("SimGpuPowerSensor: gpu out of range");
+  }
+  return engine_->gpu_[lane_].energy_j / lane.params.gpu.count;
+}
+
+int BatchCoreCounters::core_count() const {
+  return engine_->lanes_[lane_].spec.cpu.total_cores();
+}
+
+std::uint64_t BatchCoreCounters::instructions_retired(int core) {
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  if (core < 0 || core >= core_count()) {
+    throw std::out_of_range("CoreModel: core index out of range");
+  }
+  ++lane.meter.msr_reads;
+  return static_cast<std::uint64_t>(engine_->core_[lane_].instructions) +
+         static_cast<std::uint64_t>(core) * 977u;
+}
+
+std::uint64_t BatchCoreCounters::cycles_unhalted(int core) {
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  if (core < 0 || core >= core_count()) {
+    throw std::out_of_range("CoreModel: core index out of range");
+  }
+  ++lane.meter.msr_reads;
+  return static_cast<std::uint64_t>(engine_->core_[lane_].cycles) +
+         static_cast<std::uint64_t>(core) * 1009u;
+}
+
+// --- engine ----------------------------------------------------------------
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
+
+BatchEngine::Lane::Lane(BatchEngine& engine, std::size_t lane_index, SystemSpec system,
+                        wl::PhaseProgram prog, const EngineConfig& config)
+    : spec(std::move(system)),
+      program(std::move(prog)),
+      cfg(config),
+      params(kern::NodeParams::from_spec(spec)),
+      index(lane_index),
+      msr(engine, lane_index),
+      mem(engine, lane_index),
+      energy(engine, lane_index),
+      gpu_sensor(engine, lane_index),
+      cores(engine, lane_index) {}
+
+std::size_t BatchEngine::add_lane(const SystemSpec& system, wl::PhaseProgram program,
+                                  const EngineConfig& cfg) {
+  if (ran_) throw common::ConfigError("BatchEngine: add_lane after run_all");
+  program.validate();
+  if (cfg.tick_s <= 0.0 || cfg.record_dt_s <= 0.0) {
+    throw common::ConfigError("SimEngine: non-positive tick or record step");
+  }
+  if (cfg.record_traces) {
+    throw common::ConfigError(
+        "BatchEngine: trace recording is a per-node concern (use SimEngine)");
+  }
+
+  const std::size_t index = lanes_.size();
+  lanes_.emplace_back(*this, index, system, std::move(program), cfg);
+  Lane& lane = lanes_.back();
+  lane.executor.emplace(lane.program);  // deque: the program address is stable
+
+  lane.socket_base = uncore_.size();
+  const auto sockets = static_cast<std::size_t>(lane.params.sockets);
+  lane.raw_0x620.resize(sockets);
+  for (std::size_t s = 0; s < sockets; ++s) {
+    uncore_.push_back(kern::init_uncore(lane.params.ladder));
+    firmware_.push_back(kern::init_firmware(lane.params.fw));
+    pkg_energy_j_.push_back(0.0);
+    dram_energy_j_.push_back(0.0);
+    last_pkg_w_.push_back(0.0);
+    hw::UncoreRatioLimit limit;
+    limit.max_ratio = lane.params.ladder.max_ratio();
+    limit.min_ratio = lane.params.ladder.min_ratio();
+    lane.raw_0x620[s] = limit.encode();
+  }
+  core_.push_back(kern::init_core(lane.params.core));
+  gpu_.push_back(kern::init_gpu(lane.params.gpu));
+  traffic_mb_.push_back(0.0);
+  rng_.emplace_back(cfg.seed);  // same noise stream SimEngine hands NodeModel
+  return index;
+}
+
+void BatchEngine::set_hook(std::size_t lane, PolicyHook hook) {
+  lanes_[lane].hook = std::move(hook);
+}
+
+hw::IMsrDevice& BatchEngine::msr(std::size_t lane) { return lanes_[lane].msr; }
+hw::IMemThroughputCounter& BatchEngine::mem_counter(std::size_t lane) {
+  return lanes_[lane].mem;
+}
+hw::IEnergyCounter& BatchEngine::energy_counter(std::size_t lane) {
+  return lanes_[lane].energy;
+}
+hw::IGpuPowerSensor& BatchEngine::gpu_sensor(std::size_t lane) {
+  return lanes_[lane].gpu_sensor;
+}
+hw::ICoreCounters& BatchEngine::core_counters(std::size_t lane) {
+  return lanes_[lane].cores;
+}
+
+bool BatchEngine::lane_failed(std::size_t lane) const { return lanes_[lane].failed; }
+
+const std::string& BatchEngine::lane_error(std::size_t lane) const {
+  return lanes_[lane].error;
+}
+
+const SimResult& BatchEngine::result(std::size_t lane) const {
+  return lanes_[lane].result;
+}
+
+/// SoA lane view for kern::node_tick. Per-socket state resolves through the
+/// lane's socket base; per-lane state through the lane index.
+struct BatchEngine::SoaLane {
+  BatchEngine& e;
+  std::size_t lane;
+  std::size_t base;
+
+  [[nodiscard]] kern::UncoreState& uncore(int s) const {
+    return e.uncore_[base + static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] kern::FirmwareState& firmware(int s) const {
+    return e.firmware_[base + static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] kern::CoreState& core() const { return e.core_[lane]; }
+  [[nodiscard]] kern::GpuState& gpu() const { return e.gpu_[lane]; }
+  [[nodiscard]] double& pkg_energy(int s) const {
+    return e.pkg_energy_j_[base + static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double& dram_energy(int s) const {
+    return e.dram_energy_j_[base + static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double& last_pkg_w(int s) const {
+    return e.last_pkg_w_[base + static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double& traffic_mb() const { return e.traffic_mb_[lane]; }
+  [[nodiscard]] common::Rng& rng() const { return e.rng_[lane]; }
+};
+
+void BatchEngine::start_lane(Lane& lane) {
+  lane.result.policy_name = lane.hook.name;
+  lane.max_sim = lane.cfg.max_sim_s > 0.0
+                     ? lane.cfg.max_sim_s
+                     : 4.0 * lane.program.nominal_duration_s() + 30.0;
+  lane.next_sample_t = lane.hook.on_sample ? lane.hook.period_s : kNever;
+  if (lane.hook.on_start) {
+    try {
+      lane.hook.on_start(common::Seconds(0.0));
+    } catch (const std::exception& e) {
+      lane.failed = true;
+      lane.error = e.what();
+    }
+  }
+}
+
+bool BatchEngine::step_lane(std::size_t index) {
+  Lane& lane = lanes_[index];
+
+  // Run the lane's tick loop up to its next policy boundary with the loop
+  // state held in locals, so the ~150+ ticks between boundaries pay no
+  // per-tick bookkeeping beyond what SimEngine::run pays. The monitor
+  // charge fields only change at boundaries, so hoisting them is exact.
+  ProgramExecutor& exec = *lane.executor;
+  const double dt = lane.cfg.tick_s;
+  const SoaLane view{*this, index, lane.socket_base};
+  const double max_sim = lane.max_sim;
+  const double next_sample_t = lane.next_sample_t;
+  const double monitor_busy_until = lane.monitor_busy_until;
+  const double monitor_power_w = lane.monitor_power_w;
+  double t = lane.t;
+  unsigned long long ticks = lane.ticks;
+  bool finished = false;
+  // magus:hot-path-begin
+  for (;;) {
+    if (exec.done() || t >= max_sim) {
+      finished = true;
+      break;
+    }
+    const WorkSlice slice = exec.slice();
+    const double extra_w = (t < monitor_busy_until) ? monitor_power_w : 0.0;
+    const TickOutput out = kern::node_tick(view, lane.params, dt, slice, extra_w);
+    exec.advance(dt * out.progress_rate);
+    ++ticks;
+    t += dt;
+    if (t >= next_sample_t) break;
+  }
+  // magus:hot-path-end
+  lane.t = t;
+  lane.ticks = ticks;
+  if (finished) {
+    finish_lane(lane);
+    return true;
+  }
+
+  // Sample boundary: invoke the policy and charge its measured cost,
+  // exactly as SimEngine::run does. A throwing policy fails this lane only.
+  try {
+    const AccessMeter before = lane.meter;
+    lane.hook.on_sample(common::Seconds(lane.t));
+    const CpuSpec& cpu = lane.spec.cpu;
+    const auto msr_delta = (lane.meter.msr_reads - before.msr_reads) +
+                           (lane.meter.msr_writes - before.msr_writes);
+    const auto pcm_delta = lane.meter.pcm_reads - before.pcm_reads;
+    const double cost = static_cast<double>(msr_delta) * cpu.msr_read_latency_s +
+                        static_cast<double>(pcm_delta) * cpu.pcm_read_latency_s;
+    const double equiv_reads = static_cast<double>(msr_delta) +
+                               cpu.pcm_equivalent_reads * static_cast<double>(pcm_delta);
+    lane.monitor_power_w =
+        cpu.monitor_base_power_w + cpu.monitor_per_read_power_w * equiv_reads;
+    lane.monitor_busy_until = lane.t + cost;
+    ++lane.result.invocations;
+    lane.result.total_invocation_s += cost;
+    lane.next_sample_t = lane.t + cost + lane.hook.period_s;
+  } catch (const std::exception& e) {
+    lane.failed = true;
+    lane.error = e.what();
+    return true;
+  }
+  return false;
+}
+
+void BatchEngine::finish_lane(Lane& lane) {
+  const std::size_t base = lane.socket_base;
+  const auto sockets = static_cast<std::size_t>(lane.params.sockets);
+  lane.result.completed = lane.executor->done();
+  lane.result.duration_s = lane.t;
+  lane.result.ticks = lane.ticks;
+  double pkg = 0.0;
+  double dram = 0.0;
+  for (std::size_t s = 0; s < sockets; ++s) {
+    pkg += pkg_energy_j_[base + s];
+    dram += dram_energy_j_[base + s];
+  }
+  lane.result.pkg_energy_j = pkg;
+  lane.result.dram_energy_j = dram;
+  lane.result.gpu_energy_j = gpu_[lane.index].energy_j;
+  if (lane.t > 0.0) {
+    lane.result.avg_pkg_power_w = lane.result.pkg_energy_j / lane.t;
+    lane.result.avg_dram_power_w = lane.result.dram_energy_j / lane.t;
+    lane.result.avg_gpu_power_w = lane.result.gpu_energy_j / lane.t;
+  }
+  lane.result.accesses = lane.meter;
+  total_ticks_ += lane.ticks;
+}
+
+void BatchEngine::run_all() {
+  if (ran_) throw common::ConfigError("BatchEngine: run_all called twice");
+  ran_ = true;
+
+  for (std::size_t i = 0; i < lanes_.size(); ++i) start_lane(lanes_[i]);
+
+  // Blocked tick-major: advance a cache-sized block of lanes one tick per
+  // pass and drain the block before moving to the next. The block's hot rows
+  // stay resident instead of re-streaming the whole shard's state on every
+  // tick; lanes are independent, so neither the grouping nor the compaction
+  // order below can affect results.
+  constexpr std::size_t kLaneBlock = 32;
+  std::vector<std::size_t> active;
+  active.reserve(kLaneBlock);
+  for (std::size_t block = 0; block < lanes_.size(); block += kLaneBlock) {
+    const std::size_t end = std::min(lanes_.size(), block + kLaneBlock);
+    active.clear();
+    for (std::size_t i = block; i < end; ++i) {
+      if (!lanes_[i].failed) active.push_back(i);
+    }
+    while (!active.empty()) {
+      for (std::size_t k = 0; k < active.size();) {
+        if (step_lane(active[k])) {
+          active[k] = active.back();
+          active.pop_back();
+        } else {
+          ++k;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace magus::sim

@@ -6,22 +6,13 @@
 
 namespace magus::sim {
 
-CoreModel::CoreModel(const CpuSpec& spec) : spec_(spec), freq_ghz_(spec.core_min_ghz) {}
+CoreModel::CoreModel(const CpuSpec& spec)
+    : params_{spec.core_min_ghz, spec.core_max_ghz, spec.core_idle_w, spec.core_dyn_w},
+      total_cores_(spec.total_cores()),
+      st_(kern::init_core(params_)) {}
 
 void CoreModel::tick(double dt, double util, double ipc_eff) {
-  util = std::clamp(util, 0.0, 1.0);
-  // Stock DVFS: frequency follows load, saturating toward max under load.
-  const double target = std::min(
-      spec_.core_max_ghz,
-      spec_.core_min_ghz + (spec_.core_max_ghz - spec_.core_min_ghz) * util * 1.4);
-  const double alpha = 1.0 - std::exp(-dt / kGovernorTau);
-  freq_ghz_ += (target - freq_ghz_) * alpha;
-
-  // Fixed counters advance only while cores are unhalted.
-  const double active = std::max(util, 0.02);  // housekeeping threads
-  const double cycles_delta = freq_ghz_ * 1e9 * active * dt;
-  cycles_ += cycles_delta;
-  instructions_ += cycles_delta * std::max(0.05, ipc_eff);
+  kern::core_tick(st_, params_, dt, util, ipc_eff);
 }
 
 double CoreModel::display_freq_ghz(int core, common::Seconds now) const noexcept {
@@ -29,14 +20,12 @@ double CoreModel::display_freq_ghz(int core, common::Seconds now) const noexcept
   // phase-shifted oscillation reproduces the scatter in Fig. 1a.
   const double phase = static_cast<double>(core) * 0.37;
   const double wobble = 0.04 * std::sin(6.2831853 * (now.value() / 1.1 + phase));
-  const double f = freq_ghz_ * (1.0 + wobble);
-  return std::clamp(f, spec_.core_min_ghz, spec_.core_max_ghz);
+  const double f = st_.freq_ghz * (1.0 + wobble);
+  return std::clamp(f, params_.min_ghz, params_.max_ghz);
 }
 
 double CoreModel::power_w(double util) const noexcept {
-  util = std::clamp(util, 0.0, 1.0);
-  const double ffrac = freq_ghz_ / spec_.core_max_ghz;
-  return spec_.core_idle_w + spec_.core_dyn_w * util * ffrac * ffrac;
+  return kern::core_power_w(st_, params_, util);
 }
 
 std::uint64_t CoreModel::instructions_retired(int core) const {
@@ -45,14 +34,15 @@ std::uint64_t CoreModel::instructions_retired(int core) const {
   }
   // Symmetric workload split: all cores show the same cumulative counts,
   // offset per core so values differ (as they would on real silicon).
-  return static_cast<std::uint64_t>(instructions_) + static_cast<std::uint64_t>(core) * 977u;
+  return static_cast<std::uint64_t>(st_.instructions) +
+         static_cast<std::uint64_t>(core) * 977u;
 }
 
 std::uint64_t CoreModel::cycles_unhalted(int core) const {
   if (core < 0 || core >= core_count()) {
     throw std::out_of_range("CoreModel: core index out of range");
   }
-  return static_cast<std::uint64_t>(cycles_) + static_cast<std::uint64_t>(core) * 1009u;
+  return static_cast<std::uint64_t>(st_.cycles) + static_cast<std::uint64_t>(core) * 1009u;
 }
 
 }  // namespace magus::sim

@@ -1,34 +1,19 @@
 #include "magus/sim/firmware_governor.hpp"
 
-#include <algorithm>
-
 #include "magus/common/contracts.hpp"
 
 namespace magus::sim {
 
 FirmwareGovernor::FirmwareGovernor(const CpuSpec& spec, double backoff_frac)
-    : spec_(spec),
-      threshold_(spec.tdp_w * backoff_frac),
-      cap_(spec.uncore_max_ghz) {}
+    : params_{spec.tdp_w * backoff_frac, spec.uncore_min_ghz, spec.uncore_max_ghz},
+      st_(kern::init_firmware(params_)) {}
 
 common::Ghz FirmwareGovernor::update(common::Seconds dt, common::Watts pkg_power_per_socket) {
   MAGUS_EXPECT(dt >= common::Seconds(0.0));
-  const common::Ghz step(0.1);
-  const common::Seconds raise_dwell(0.05);
-  const common::Ghz floor(spec_.uncore_min_ghz);
-  const common::Ghz ceiling(spec_.uncore_max_ghz);
-  if (pkg_power_per_socket > threshold_) {
-    cap_ = std::max(floor, cap_ - step);
-    hold_ = raise_dwell;
-  } else {
-    hold_ -= dt;
-    if (hold_ <= common::Seconds(0.0) && cap_ < ceiling) {
-      cap_ = std::min(ceiling, cap_ + step);
-      hold_ = raise_dwell;
-    }
-  }
-  MAGUS_ENSURE(cap_ >= floor && cap_ <= ceiling);
-  return cap_;
+  const double cap =
+      kern::firmware_update(st_, params_, dt.value(), pkg_power_per_socket.value());
+  MAGUS_ENSURE(cap >= params_.floor_ghz && cap <= params_.ceiling_ghz);
+  return common::Ghz(cap);
 }
 
 }  // namespace magus::sim

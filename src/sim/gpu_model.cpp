@@ -1,31 +1,17 @@
 #include "magus/sim/gpu_model.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace magus::sim {
 
 GpuModel::GpuModel(const GpuSpec& spec)
-    : spec_(spec), clock_ghz_(spec.base_clock_ghz), power_w_(spec.idle_w * spec.count) {}
+    : params_{spec.base_clock_ghz, spec.max_clock_ghz, spec.idle_w, spec.peak_w, spec.count},
+      st_(kern::init_gpu(params_)) {}
 
 void GpuModel::tick(double dt, double util_effective) {
-  const double util = std::clamp(util_effective, 0.0, 1.0);
-  // SM clock boosts with load (sub-linear: boost bins saturate early).
-  const double target =
-      spec_.base_clock_ghz +
-      (spec_.max_clock_ghz - spec_.base_clock_ghz) * std::pow(util, 0.7);
-  const double alpha = 1.0 - std::exp(-dt / kGovernorTau);
-  clock_ghz_ += (target - clock_ghz_) * alpha;
-
-  const double clock_frac = clock_ghz_ / spec_.max_clock_ghz;
-  const double per_board =
-      spec_.idle_w + (spec_.peak_w - spec_.idle_w) * util * clock_frac * clock_frac;
-  power_w_ = per_board * spec_.count;
-  energy_j_ += power_w_ * dt;
+  kern::gpu_tick(st_, params_, dt, util_effective);
 }
 
 double GpuModel::board_power_w() const noexcept {
-  return spec_.count > 0 ? power_w_ / spec_.count : 0.0;
+  return params_.count > 0 ? st_.power_w / params_.count : 0.0;
 }
 
 }  // namespace magus::sim

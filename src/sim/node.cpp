@@ -1,12 +1,37 @@
 #include "magus/sim/node.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace magus::sim {
+
+/// Lane view over the member model objects: kern::node_tick reads and writes
+/// the exact same state the public accessors expose, so a policy poking
+/// uncore(s).set_policy_limit between ticks is observed by the next tick.
+struct NodeModel::LaneView {
+  NodeModel& n;
+
+  [[nodiscard]] kern::UncoreState& uncore(int s) const {
+    return n.uncores_[static_cast<std::size_t>(s)].st();
+  }
+  [[nodiscard]] kern::FirmwareState& firmware(int s) const {
+    return n.firmware_[static_cast<std::size_t>(s)].st();
+  }
+  [[nodiscard]] kern::CoreState& core() const { return n.cores_.st(); }
+  [[nodiscard]] kern::GpuState& gpu() const { return n.gpu_.st(); }
+  [[nodiscard]] double& pkg_energy(int s) const {
+    return n.pkg_energy_j_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double& dram_energy(int s) const {
+    return n.dram_energy_j_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double& last_pkg_w(int s) const {
+    return n.last_socket_pkg_w_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double& traffic_mb() const { return n.traffic_mb_; }
+  [[nodiscard]] common::Rng& rng() const { return n.noise_; }
+};
 
 NodeModel::NodeModel(SystemSpec spec, std::uint64_t noise_seed)
     : spec_(std::move(spec)),
+      params_(kern::NodeParams::from_spec(spec_)),
       cores_(spec_.cpu),
       gpu_(spec_.gpu),
       noise_(noise_seed) {
@@ -42,61 +67,8 @@ double NodeModel::total_dram_energy_j() const noexcept {
 
 TickOutput NodeModel::tick(common::Seconds now, double dt, const WorkSlice& slice,
                            double monitor_extra_w) {
-  // 1. Firmware governor per socket (stock TDP-coupled uncore behaviour),
-  //    using the previous tick's power (sensor delay is ~1 tick anyway).
-  for (std::size_t s = 0; s < uncores_.size(); ++s) {
-    uncores_[s].set_firmware_cap(firmware_[s].update(
-        common::Seconds(dt), common::Watts(last_socket_pkg_w_[s])));
-    uncores_[s].tick(common::Seconds(dt));
-  }
-
-  // 2. Memory service against the combined capacity.
-  const double demand = slice.demand_mbps + kBackgroundTrafficMbps;
-  const double capacity = capacity_mbps();
-  const MemoryService mem =
-      service_memory(common::Mbps(demand), common::Mbps(capacity), slice.mem_bound_frac);
-
-  // 3. Core + GPU domains. Memory stalls depress effective IPC and the
-  //    device's achieved utilisation alike.
-  const double ipc_eff = 1.6 / mem.stretch;
-  cores_.tick(dt, slice.cpu_util, ipc_eff);
-  gpu_.tick(dt, slice.gpu_util / mem.stretch);
-
-  // 4. Power + energy. The workload splits evenly across sockets; a running
-  //    monitor executes on socket 0.
-  const double delivered_noisy =
-      std::max(0.0, mem.delivered.value() * noise_.jitter(kTrafficNoiseRel));
-  traffic_mb_ += delivered_noisy * dt;
-
-  double pkg_total = 0.0;
-  double dram_total = 0.0;
-  const double bw_frac_per_socket =
-      spec_.cpu.peak_mem_bw_mbps > 0.0
-          ? std::clamp(mem.delivered.value() / static_cast<double>(socket_count()) /
-                           spec_.cpu.peak_mem_bw_mbps,
-                       0.0, 1.0)
-          : 0.0;
-  for (std::size_t s = 0; s < uncores_.size(); ++s) {
-    const double core_w = cores_.power_w(slice.cpu_util);
-    const double uncore_w = uncores_[s].power(mem.utilization).value();
-    const double monitor_w = (s == 0) ? monitor_extra_w : 0.0;
-    const double pkg_w = core_w + uncore_w + monitor_w;
-    const double dram_w = spec_.cpu.dram_idle_w + spec_.cpu.dram_dyn_w * bw_frac_per_socket;
-    pkg_energy_j_[s] += pkg_w * dt;
-    dram_energy_j_[s] += dram_w * dt;
-    last_socket_pkg_w_[s] = pkg_w;
-    pkg_total += pkg_w;
-    dram_total += dram_w;
-  }
-
-  last_.progress_rate = 1.0 / mem.stretch;
-  last_.delivered_mbps = delivered_noisy;
-  last_.pkg_power_w = pkg_total;
-  last_.dram_power_w = dram_total;
-  last_.gpu_power_w = gpu_.power_w();
-  last_.uncore_freq_ghz = uncores_.front().freq().value();
-  last_.stretch = mem.stretch;
   (void)now;
+  last_ = kern::node_tick(LaneView{*this}, params_, dt, slice, monitor_extra_w);
   return last_;
 }
 

@@ -1,53 +1,53 @@
 #include "magus/sim/uncore_model.hpp"
 
-#include <algorithm>
-
 #include "magus/common/contracts.hpp"
 
 namespace magus::sim {
 
+namespace {
+kern::UncoreParams params_from(const CpuSpec& spec, const hw::UncoreFreqLadder& ladder) {
+  kern::UncoreParams p;
+  p.leak_w = spec.uncore_leak_w;
+  p.k1_w_per_ghz = spec.uncore_k1_w_per_ghz;
+  p.k2_w_per_ghz2 = spec.uncore_k2_w_per_ghz2;
+  p.util_floor = spec.uncore_util_floor;
+  p.bw_floor_frac = spec.bw_floor_frac;
+  p.peak_mem_bw_mbps = spec.peak_mem_bw_mbps;
+  p.ladder_max_ghz = ladder.max_ghz();
+  return p;
+}
+}  // namespace
+
 UncoreModel::UncoreModel(const CpuSpec& spec)
-    : spec_(spec),
-      ladder_(spec.uncore_min_ghz, spec.uncore_max_ghz),
-      policy_limit_(ladder_.max_ghz()),
-      firmware_cap_(ladder_.max_ghz()),
-      freq_(ladder_.max_ghz()) {}
+    : ladder_(spec.uncore_min_ghz, spec.uncore_max_ghz),
+      params_(params_from(spec, ladder_)),
+      st_(kern::init_uncore(ladder_)) {}
 
 void UncoreModel::set_policy_limit(common::Ghz freq) {
-  policy_limit_ = common::Ghz(ladder_.clamp_ghz(freq.value()));
-  MAGUS_ENSURE(policy_limit_.value() >= ladder_.min_ghz() &&
-               policy_limit_.value() <= ladder_.max_ghz());
+  kern::uncore_set_policy_limit(st_, ladder_, freq.value());
+  MAGUS_ENSURE(st_.policy_limit_ghz >= ladder_.min_ghz() &&
+               st_.policy_limit_ghz <= ladder_.max_ghz());
 }
 
 void UncoreModel::set_firmware_cap(common::Ghz freq) {
-  firmware_cap_ = common::Ghz(ladder_.clamp_ghz(freq.value()));
+  kern::uncore_set_firmware_cap(st_, ladder_, freq.value());
 }
 
 void UncoreModel::tick(common::Seconds dt) {
   MAGUS_EXPECT(dt >= common::Seconds(0.0));
-  const common::Ghz target = std::min(policy_limit_, firmware_cap_);
-  const common::Ghz max_step(kSlewGhzPerS * dt.value());
-  if (freq_ < target) {
-    freq_ = std::min(target, freq_ + max_step);
-  } else if (freq_ > target) {
-    freq_ = std::max(target, freq_ - max_step);
-  }
+  kern::uncore_tick(st_, dt.value());
 }
 
 common::Mbps UncoreModel::capacity_at(common::Ghz freq) const noexcept {
-  const double frac = spec_.bw_floor_frac +
-                      (1.0 - spec_.bw_floor_frac) * (freq.value() / ladder_.max_ghz());
-  return common::Mbps(spec_.peak_mem_bw_mbps * frac);
+  return common::Mbps(kern::uncore_capacity_at(params_, freq.value()));
 }
 
-common::Mbps UncoreModel::capacity() const noexcept { return capacity_at(freq_); }
+common::Mbps UncoreModel::capacity() const noexcept {
+  return capacity_at(common::Ghz(st_.freq_ghz));
+}
 
 common::Watts UncoreModel::power(double utilization) const noexcept {
-  const double u = std::clamp(utilization, 0.0, 1.0);
-  const double f = freq_.value();
-  const double dyn = spec_.uncore_k1_w_per_ghz * f + spec_.uncore_k2_w_per_ghz2 * f * f;
-  const double activity = spec_.uncore_util_floor + (1.0 - spec_.uncore_util_floor) * u;
-  return common::Watts(spec_.uncore_leak_w + dyn * activity);
+  return common::Watts(kern::uncore_power(st_, params_, utilization));
 }
 
 }  // namespace magus::sim

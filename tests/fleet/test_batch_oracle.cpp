@@ -1,0 +1,115 @@
+// The batch-engine oracle contract: FleetEngine::kBatch is a throughput
+// path, never a semantics path. For any manifest -- every policy kind, any
+// seed, with or without fault weather, at any job count or shard size -- the
+// canonical rollup JSONL must be byte-identical to the per-node engine.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "magus/common/quantity.hpp"
+#include "magus/common/thread_pool.hpp"
+#include "magus/fleet/manifest.hpp"
+#include "magus/fleet/runner.hpp"
+
+namespace mc = magus::common;
+namespace mf = magus::fleet;
+
+namespace {
+
+struct JobsGuard {
+  explicit JobsGuard(std::size_t jobs) { mc::set_default_jobs(jobs); }
+  ~JobsGuard() { mc::set_default_jobs(0); }
+};
+
+/// One node per policy kind, so every hook shape (runtime, static pin,
+/// default self-twin) crosses the batch kernel.
+mf::FleetManifest policy_matrix_fleet(std::uint64_t seed, double fault_rate) {
+  mf::FleetManifest manifest;
+  manifest.seed(seed).shard_size(3).fault_rate(fault_rate).fault_seed(seed * 7 + 1);
+  manifest.add_node(mf::NodeSpec{}.name("m").app("unet").policy("magus"));
+  manifest.add_node(mf::NodeSpec{}.name("u").app("srad").policy("ups"));
+  manifest.add_node(mf::NodeSpec{}.name("d").app("bfs").policy("duf"));
+  manifest.add_node(
+      mf::NodeSpec{}.name("s").app("unet").policy("static").static_uncore(mc::Ghz(1.4)));
+  manifest.add_node(mf::NodeSpec{}.name("ref").app("bfs").policy("default"));
+  return manifest;
+}
+
+std::string run_with(mf::FleetManifest manifest, mf::FleetEngine engine) {
+  mf::FleetRunner runner(std::move(manifest));
+  runner.set_engine(engine);
+  return runner.run().to_jsonl();
+}
+
+}  // namespace
+
+TEST(BatchOracle, GoldenMatchAcrossSeedsPoliciesAndFaultRates) {
+  JobsGuard jobs(2);
+  for (std::uint64_t seed : {3ull, 11ull, 29ull}) {
+    for (double rate : {0.0, 0.05}) {
+      const std::string per_node =
+          run_with(policy_matrix_fleet(seed, rate), mf::FleetEngine::kPerNode);
+      const std::string batch =
+          run_with(policy_matrix_fleet(seed, rate), mf::FleetEngine::kBatch);
+      EXPECT_EQ(per_node, batch) << "seed=" << seed << " fault_rate=" << rate;
+    }
+  }
+}
+
+TEST(BatchOracle, BatchBitIdenticalAcrossJobsAndShardSizes) {
+  std::string reference;
+  {
+    JobsGuard jobs(1);
+    mf::FleetManifest manifest = policy_matrix_fleet(11, 0.05);
+    manifest.shard_size(1);
+    reference = run_with(std::move(manifest), mf::FleetEngine::kBatch);
+  }
+  for (int shard : {2, 5, 64}) {
+    JobsGuard jobs(8);
+    mf::FleetManifest manifest = policy_matrix_fleet(11, 0.05);
+    manifest.shard_size(shard);
+    EXPECT_EQ(reference, run_with(std::move(manifest), mf::FleetEngine::kBatch))
+        << "shard_size=" << shard;
+  }
+}
+
+TEST(BatchOracle, FailedNodeAccountingMatchesUnderHeavyFaults) {
+  // UPS does not ride the degradation ladder: injected MSR -EIOs make it
+  // throw, consuming all three attempts. The batch path must record the
+  // same failed/degraded flags, attempt counts, and error strings.
+  JobsGuard jobs(2);
+  mf::FleetManifest manifest;
+  manifest.seed(11).shard_size(4).fault_rate(0.35).fault_seed(9);
+  manifest.add_node(mf::NodeSpec{}.name("burst").app("srad").policy("ups").count(4));
+  manifest.add_node(mf::NodeSpec{}.name("train").app("unet").policy("magus").count(2));
+
+  mf::FleetRunner per_node(manifest);
+  mf::FleetRunner batch(manifest);
+  batch.set_engine(mf::FleetEngine::kBatch);
+  const mf::FleetResult a = per_node.run();
+  const mf::FleetResult b = batch.run();
+  EXPECT_EQ(a.to_jsonl(), b.to_jsonl());
+  // The scenario must actually exercise the retry/failure path.
+  EXPECT_GT(a.degraded_nodes + a.failed_nodes, 0u);
+}
+
+TEST(BatchOracle, ShardSizeBeyondFleetClampsOnBothEngines) {
+  // Regression: --shard-size larger than the fleet used to be accepted
+  // as-is; it must clamp to one full-fleet shard with unchanged results.
+  JobsGuard jobs(4);
+  for (mf::FleetEngine engine : {mf::FleetEngine::kPerNode, mf::FleetEngine::kBatch}) {
+    mf::FleetManifest exact = policy_matrix_fleet(3, 0.0);
+    exact.shard_size(5);  // the fleet has exactly 5 nodes
+    mf::FleetManifest oversized = policy_matrix_fleet(3, 0.0);
+    oversized.shard_size(100000);
+    EXPECT_EQ(run_with(std::move(exact), engine), run_with(std::move(oversized), engine));
+  }
+}
+
+TEST(BatchOracle, EngineSelectionDefaultsToPerNode) {
+  const mf::FleetRunner runner(policy_matrix_fleet(3, 0.0));
+  EXPECT_EQ(runner.engine(), mf::FleetEngine::kPerNode);
+}

@@ -11,13 +11,16 @@
 //   magus-cli overhead --system intel_a100 [--duration 600]
 //       Table 2 protocol on one system.
 //   magus-cli fleet [--nodes 256] [--seed 2025] [--jobs N] [--shard-size 16]
-//                   [--manifest in.jsonl] [--save-manifest out.jsonl]
-//                   [--out rollup.jsonl] [--fault-rate P] [--fault-seed S]
+//                   [--engine batch|per-node] [--manifest in.jsonl]
+//                   [--save-manifest out.jsonl] [--out rollup.jsonl]
+//                   [--fault-rate P] [--fault-seed S]
 //       Simulate a whole fleet of independently-configured nodes and print
 //       per-policy rollups (Joules saved vs an all-default fleet, slowdown
 //       percentiles). Without --manifest a deterministic synthetic fleet of
 //       --nodes nodes is generated. Rollups are bit-identical for any
-//       --jobs count; --out writes the canonical JSONL dump.
+//       --jobs count and either engine (batch, the default, advances each
+//       shard through the SoA kernel; per-node is the one-engine-per-run
+//       oracle); --out writes the canonical JSONL dump.
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime error.
 
@@ -52,6 +55,8 @@ int usage() {
             << "                [--metrics-out metrics.prom]\n"
             << "  magus-cli overhead --system <name> [--duration seconds]\n"
             << "  magus-cli fleet [--nodes N] [--seed S] [--jobs N] [--shard-size N]\n"
+            << "                  [--engine batch|per-node]   (same results, batch is "
+               "faster)\n"
             << "                  [--manifest in.jsonl] [--save-manifest out.jsonl] "
                "[--out rollup.jsonl]\n"
             << "                  [--fault-rate P] [--fault-seed S]   (deterministic "
@@ -213,8 +218,26 @@ int cmd_fleet(const std::map<std::string, std::string>& flags) {
   if (flags.count("save-manifest")) manifest.save(flags.at("save-manifest"));
 
   fleet::FleetRunner runner(manifest);
+  if (static_cast<std::size_t>(manifest.shard_size()) > runner.nodes_total()) {
+    std::cerr << "warning: --shard-size " << manifest.shard_size() << " exceeds the fleet ("
+              << runner.nodes_total() << " nodes); clamping to one full-fleet shard\n";
+  }
+  fleet::FleetEngine engine = fleet::FleetEngine::kBatch;
+  if (flags.count("engine")) {
+    const std::string& name = flags.at("engine");
+    if (name == "batch") {
+      engine = fleet::FleetEngine::kBatch;
+    } else if (name == "per-node") {
+      engine = fleet::FleetEngine::kPerNode;
+    } else {
+      throw common::ConfigError("--engine must be 'batch' or 'per-node' (got '" + name +
+                                "')");
+    }
+  }
+  runner.set_engine(engine);
   std::cout << "simulating fleet: " << runner.nodes_total() << " nodes (seed "
             << manifest.seed() << ", shard size " << manifest.shard_size() << ", "
+            << (engine == fleet::FleetEngine::kBatch ? "batch" : "per-node") << " engine, "
             << workers << " worker" << (workers == 1 ? "" : "s");
   if (manifest.fault().enabled()) {
     std::cout << ", fault rate " << manifest.fault().rate << " seed "

@@ -32,6 +32,13 @@ Rules (each exits non-zero on violation, with file:line diagnostics):
 
   pragma-once        Every public header carries `#pragma once`.
 
+  hot-path           Code between `magus:hot-path-begin` and
+                     `magus:hot-path-end` marker comments is batch-tick hot
+                     path (the shared SoA kernel): no virtual functions, no
+                     heap allocation (new / make_unique / make_shared /
+                     malloc), no std::function. Everything there must inline
+                     and touch only the caller's arrays.
+
 Usage: tools/magus_lint.py [--root DIR]
 Exit code 0 = clean, 1 = violations found.
 """
@@ -50,6 +57,11 @@ POLICY_KIND_RE = re.compile(r"\bPolicyKind\b")
 NAKED_MSR_RE = re.compile(r"(?<![\w.])0x620\b(?!_)")
 THRESHOLD_RE = re.compile(
     r"\b(inc_threshold|dec_threshold|high_freq_threshold)\s*=\s*[0-9][0-9'.eE+-]*\s*[;,)]"
+)
+HOT_PATH_BEGIN = "magus:hot-path-begin"
+HOT_PATH_END = "magus:hot-path-end"
+HOT_PATH_RE = re.compile(
+    r"\bvirtual\b|\bnew\b|\bmake_unique\b|\bmake_shared\b|\bmalloc\b|\bstd::function\b"
 )
 
 # Directories whose public headers must use strong-typed quantities.
@@ -121,10 +133,26 @@ def iter_violations(root: pathlib.Path):
         rel = path.relative_to(root).as_posix()
         if rel.startswith("build"):
             continue
-        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        text = path.read_text(encoding="utf-8")
+        code = strip_comments_and_strings(text)
         msr_exempt = rel.startswith(("include/magus/hw/", "src/hw/", "tests/hw/"))
         kind_exempt = rel in POLICY_KIND_SHIM_FILES
-        for lineno, line in enumerate(code.splitlines(), 1):
+        in_hot_path = False
+        for lineno, (raw, line) in enumerate(
+                zip(text.splitlines(), code.splitlines()), 1):
+            # Markers live in comments, so track them on the raw line and
+            # apply the rule to the comment-stripped one.
+            if HOT_PATH_BEGIN in raw:
+                in_hot_path = True
+            elif HOT_PATH_END in raw:
+                in_hot_path = False
+            elif in_hot_path:
+                m = HOT_PATH_RE.search(line)
+                if m:
+                    yield (rel, lineno, "hot-path",
+                           f"`{m.group(0)}` inside a magus:hot-path region -- the "
+                           "batch-tick kernel allows no virtual dispatch, heap "
+                           "allocation, or type-erased callables")
             if not msr_exempt and NAKED_MSR_RE.search(line):
                 yield (rel, lineno, "naked-msr-literal",
                        "naked 0x620 outside hw/ -- use hw::msr::kUncoreRatioLimit")
