@@ -8,7 +8,8 @@
 // byte-identical, with and without fault injection -- and exits nonzero on
 // divergence, so CI publishing the numbers also guards the semantics.
 //
-// Output: a human table plus BENCH_fleet.json (schema magus.bench.fleet.v1)
+// Output: a human table plus BENCH_fleet.json (schema magus.bench.fleet.v2,
+// which names each engine and records the max per-node uncore-domain count)
 // in MAGUS_BENCH_OUT (default ./bench_out). Node counts scale with
 // MAGUS_BENCH_FLEET_NODES (batch fleet; default 10000) and
 // MAGUS_BENCH_FLEET_PERNODE (per-node sample; default 256) so CI can trade
@@ -48,7 +49,21 @@ struct Timing {
   double nodes_per_sec = 0.0;
   double ticks_per_sec = 0.0;
   double p99_latency_s = 0.0;
+  int domains_max = 0;  ///< largest per-node uncore-domain count in the fleet
 };
+
+/// The synthetic fleet with every node reshaped to `dies` uncore dies per
+/// socket (dies == 1 leaves the manifest untouched).
+fleet::FleetManifest synth_fleet_dies(int nodes, std::uint64_t seed, int dies) {
+  fleet::FleetManifest manifest = fleet::synth_fleet(nodes, seed);
+  if (dies == 1) return manifest;
+  fleet::FleetManifest reshaped;
+  reshaped.seed(manifest.seed()).shard_size(manifest.shard_size());
+  for (fleet::NodeSpec node : manifest.nodes()) {
+    reshaped.add_node(std::move(node.dies(dies)));
+  }
+  return reshaped;
+}
 
 Timing time_fleet(int nodes, std::uint64_t seed, fleet::FleetEngine engine,
                   telemetry::MetricsRegistry* registry, telemetry::EventLog* events) {
@@ -72,14 +87,16 @@ Timing time_fleet(int nodes, std::uint64_t seed, fleet::FleetEngine engine,
   for (const fleet::NodeResult& node : result.nodes) {
     // Only runtime policies have a control loop; static/default report 0.
     if (node.control_latency_s > 0.0) latencies.push_back(node.control_latency_s);
+    t.domains_max = std::max(t.domains_max, node.domains);
   }
   t.p99_latency_s = common::percentile(latencies, 99.0);
   return t;
 }
 
-/// The oracle gate: batch must reproduce per-node rollups byte-for-byte.
-bool rollups_match(int nodes, std::uint64_t seed, double fault_rate) {
-  fleet::FleetManifest manifest = fleet::synth_fleet(nodes, seed);
+/// The oracle gate: batch must reproduce per-node rollups byte-for-byte,
+/// including the per-domain rollups of a multi-die fleet.
+bool rollups_match(int nodes, std::uint64_t seed, double fault_rate, int dies) {
+  fleet::FleetManifest manifest = synth_fleet_dies(nodes, seed, dies);
   manifest.fault_rate(fault_rate).fault_seed(seed + 1);
 
   fleet::FleetRunner per_node(manifest);
@@ -89,7 +106,8 @@ bool rollups_match(int nodes, std::uint64_t seed, double fault_rate) {
   const std::string b = batch.run().to_jsonl();
   if (a == b) return true;
   std::cerr << "FAIL: batch rollup diverges from per-node (nodes=" << nodes
-            << " seed=" << seed << " fault_rate=" << fault_rate << ")\n";
+            << " seed=" << seed << " fault_rate=" << fault_rate << " dies=" << dies
+            << ")\n";
   return false;
 }
 
@@ -114,10 +132,12 @@ int main(int argc, char** argv) {
 
   // 1. Semantics gate. A fast fleet that disagrees with the oracle is a bug,
   //    not a result; refuse to publish numbers for it.
-  std::cout << "oracle gate: comparing rollups (fault rates 0 and 0.05)...\n";
-  const bool clean_ok = rollups_match(64, seed, 0.0);
-  const bool faulty_ok = rollups_match(64, seed, 0.05);
-  if (!clean_ok || !faulty_ok) return 1;
+  std::cout << "oracle gate: comparing rollups (fault rates 0 and 0.05, dies 1 and 4)...\n";
+  const bool clean_ok = rollups_match(64, seed, 0.0, 1);
+  const bool faulty_ok = rollups_match(64, seed, 0.05, 1);
+  const bool multi_die_ok = rollups_match(64, seed, 0.0, 4);
+  const bool multi_die_faulty_ok = rollups_match(64, seed, 0.05, 4);
+  if (!clean_ok || !faulty_ok || !multi_die_ok || !multi_die_faulty_ok) return 1;
   std::cout << "oracle gate: byte-identical\n\n";
 
   // 2. Throughput. The per-node engine runs a subsample (it is the slow
@@ -161,17 +181,21 @@ int main(int argc, char** argv) {
   const std::string path = bench::out_dir() + "/BENCH_fleet.json";
   std::ofstream os(path);
   os << "{\n"
-     << "  \"schema\": \"magus.bench.fleet.v1\",\n"
+     << "  \"schema\": \"magus.bench.fleet.v2\",\n"
      << "  \"rollup_match\": true,\n"
      << "  \"per_node\": {\n"
+     << "    \"engine\": \"per-node\",\n"
      << "    \"nodes\": " << per_node.nodes << ",\n"
+     << "    \"domains_per_node_max\": " << per_node.domains_max << ",\n"
      << "    \"wall_s\": " << json_num(per_node.wall_s) << ",\n"
      << "    \"nodes_per_sec\": " << json_num(per_node.nodes_per_sec) << ",\n"
      << "    \"ticks_per_sec\": " << json_num(per_node.ticks_per_sec) << ",\n"
      << "    \"p99_control_loop_latency_s\": " << json_num(per_node.p99_latency_s) << "\n"
      << "  },\n"
      << "  \"batch\": {\n"
+     << "    \"engine\": \"batch\",\n"
      << "    \"nodes\": " << batch.nodes << ",\n"
+     << "    \"domains_per_node_max\": " << batch.domains_max << ",\n"
      << "    \"wall_s\": " << json_num(batch.wall_s) << ",\n"
      << "    \"nodes_per_sec\": " << json_num(batch.nodes_per_sec) << ",\n"
      << "    \"ticks_per_sec\": " << json_num(batch.ticks_per_sec) << ",\n"

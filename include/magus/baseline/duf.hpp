@@ -11,9 +11,12 @@
 // high-frequency detection, so it reacts a step at a time and chases
 // oscillation.
 
+#include <vector>
+
 #include "magus/common/quantity.hpp"
 #include "magus/core/policy.hpp"
 #include "magus/hw/counters.hpp"
+#include "magus/hw/uncore_domain.hpp"
 #include "magus/hw/uncore_freq.hpp"
 
 namespace magus::baseline {
@@ -30,8 +33,14 @@ struct DufConfig {
 
 class DufController final : public core::IPolicy {
  public:
+  /// `domains` (optional): a set exposing more than one domain switches DUF
+  /// to per-domain mode -- utilisation computed per domain against its
+  /// per-domain capacity share (capacity_mbps_per_ghz / domains), each
+  /// domain walking the ladder independently. Null or one domain keeps the
+  /// node-level loop bit-identical to the seed.
   DufController(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevice& msr,
-                const hw::UncoreFreqLadder& ladder, DufConfig cfg = {});
+                const hw::UncoreFreqLadder& ladder, DufConfig cfg = {},
+                hw::IUncoreDomainSet* domains = nullptr);
 
   [[nodiscard]] std::string name() const override { return "duf"; }
   [[nodiscard]] double period_s() const override { return cfg_.period.value(); }
@@ -42,7 +51,17 @@ class DufController final : public core::IPolicy {
   [[nodiscard]] common::Ghz current_target() const noexcept { return target_; }
   [[nodiscard]] double last_utilization() const noexcept { return last_util_; }
 
+  /// Domains under independent control (1 in node-level mode).
+  [[nodiscard]] int domain_count() const noexcept {
+    return domains_ ? static_cast<int>(domain_target_.size()) : 1;
+  }
+  [[nodiscard]] common::Ghz domain_target(int domain) const noexcept {
+    return domains_ ? domain_target_[static_cast<std::size_t>(domain)] : target_;
+  }
+
  private:
+  void sample_domains(common::Seconds now);
+
   hw::IMemThroughputCounter& mem_counter_;
   hw::UncoreFreqController uncore_;
   DufConfig cfg_;
@@ -51,6 +70,11 @@ class DufController final : public core::IPolicy {
   double prev_t_ = 0.0;
   common::Ghz target_;
   double last_util_ = 0.0;
+
+  // Per-domain mode (domains_ non-null).
+  hw::IUncoreDomainSet* domains_ = nullptr;
+  std::vector<double> domain_prev_mb_;
+  std::vector<common::Ghz> domain_target_;
 };
 
 /// Self-registration anchor for the "duf" PolicyFactory entry (defined in

@@ -19,6 +19,7 @@
 #include "magus/common/quantity.hpp"
 #include "magus/core/policy.hpp"
 #include "magus/hw/counters.hpp"
+#include "magus/hw/uncore_domain.hpp"
 #include "magus/hw/uncore_freq.hpp"
 
 namespace magus::baseline {
@@ -32,8 +33,15 @@ struct UpsConfig {
 
 class UpsController final : public core::IPolicy {
  public:
+  /// `domains` (optional): a set exposing more than one domain switches UPS
+  /// to per-package mode -- phase boundaries detected on each socket's own
+  /// DRAM power, one scavenging target per socket applied to all of that
+  /// socket's dies (IPC stays a node-level guard: per-core counters carry
+  /// no die affinity, a documented simplification). Null or one domain
+  /// keeps the node-level loop bit-identical to the seed.
   UpsController(hw::IEnergyCounter& energy, hw::ICoreCounters& cores, hw::IMsrDevice& msr,
-                const hw::UncoreFreqLadder& ladder, UpsConfig cfg = {});
+                const hw::UncoreFreqLadder& ladder, UpsConfig cfg = {},
+                hw::IUncoreDomainSet* domains = nullptr);
 
   [[nodiscard]] std::string name() const override { return "ups"; }
   [[nodiscard]] double period_s() const override { return cfg_.period.value(); }
@@ -46,14 +54,28 @@ class UpsController final : public core::IPolicy {
   [[nodiscard]] common::Watts last_dram_power() const noexcept { return last_dram_; }
   [[nodiscard]] unsigned long long phase_changes() const noexcept { return phase_changes_; }
 
+  /// Sockets under independent control (1 in node-level mode).
+  [[nodiscard]] int controlled_sockets() const noexcept {
+    return domains_ ? static_cast<int>(socket_target_.size()) : 1;
+  }
+  [[nodiscard]] common::Ghz socket_target(int socket) const noexcept {
+    return domains_ ? socket_target_[static_cast<std::size_t>(socket)] : target_;
+  }
+
  private:
-  /// Sweep all counters the real UPS reads each cycle.
+  /// Sweep all counters the real UPS reads each cycle. In per-package mode
+  /// the same reads additionally land in `dram_j_by_socket` (same counter
+  /// traffic, finer attribution).
   struct Snapshot {
     double dram_j = 0.0;
     std::uint64_t instructions = 0;
     std::uint64_t cycles = 0;
+    std::vector<double> dram_j_by_socket;  ///< filled in per-package mode only
   };
   Snapshot sweep();
+  void sample_domains(common::Seconds now, const Snapshot& cur, double dt);
+  /// Apply one socket's target to all of its dies.
+  void write_socket(int socket, common::Ghz ghz);
 
   hw::IEnergyCounter& energy_;
   hw::ICoreCounters& cores_;
@@ -68,6 +90,13 @@ class UpsController final : public core::IPolicy {
   double phase_ref_dram_w_ = -1.0;
   double phase_best_ipc_ = 0.0;
   unsigned long long phase_changes_ = 0;
+
+  // Per-package mode (domains_ non-null).
+  hw::IUncoreDomainSet* domains_ = nullptr;
+  int dies_per_socket_ = 1;
+  std::vector<common::Ghz> socket_target_;
+  std::vector<double> socket_phase_ref_w_;
+  std::vector<double> socket_best_ipc_;
 };
 
 /// Self-registration anchor for the "ups" PolicyFactory entry (defined in

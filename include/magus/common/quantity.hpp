@@ -93,12 +93,16 @@ struct JoulesTag {
 struct SecondsTag {
   static constexpr const char* kUnit = "s";
 };
+struct KhzTag {
+  static constexpr const char* kUnit = "kHz";
+};
 
 using Ghz = Quantity<GhzTag>;        ///< frequency (uncore/core/SM clocks)
 using Mbps = Quantity<MbpsTag>;      ///< memory throughput, MB/s
 using Watts = Quantity<WattsTag>;    ///< power
 using Joules = Quantity<JoulesTag>;  ///< energy
 using Seconds = Quantity<SecondsTag>;
+using Khz = Quantity<KhzTag>;        ///< sysfs uncore attribute unit (kHz)
 
 static_assert(sizeof(Ghz) == sizeof(double), "quantities must stay zero-overhead");
 static_assert(std::is_trivially_copyable_v<Ghz>);
@@ -141,6 +145,18 @@ class UncoreRatio {
   return UncoreRatio(ghz_to_ratio(f.value()));
 }
 
+/// kHz <-> GHz bridge for the intel_uncore_frequency sysfs backend, which
+/// reports and accepts integer kilohertz while the model speaks GHz. Each
+/// direction is one rounding step; an integral kHz count survives the round
+/// trip to within ~1e-8 kHz (relative error per step is 2^-52, far below the
+/// 0.5 kHz needed to move an integer), so llround recovers it exactly --
+/// the property the backend's write path relies on. 1e6 (not 1e-6) is the
+/// exactly representable factor, so divide by it rather than multiplying by
+/// its inexact reciprocal.
+inline constexpr double kKhzPerGhz = 1e6;
+[[nodiscard]] constexpr Ghz to_ghz(Khz k) noexcept { return Ghz(k.value() / kKhzPerGhz); }
+[[nodiscard]] constexpr Khz to_khz(Ghz f) noexcept { return Khz(f.value() * kKhzPerGhz); }
+
 /// "<shortest round-trip value> <unit>", e.g. "2.2 GHz". The value prints
 /// with up to max_digits10 significant digits so parse_quantity recovers the
 /// exact double.
@@ -182,6 +198,8 @@ namespace quantity_literals {
 [[nodiscard]] constexpr Joules  operator""_j(unsigned long long v) noexcept    { return Joules(static_cast<double>(v)); }
 [[nodiscard]] constexpr Seconds operator""_s(long double v) noexcept    { return Seconds(static_cast<double>(v)); }
 [[nodiscard]] constexpr Seconds operator""_s(unsigned long long v) noexcept    { return Seconds(static_cast<double>(v)); }
+[[nodiscard]] constexpr Khz     operator""_khz(long double v) noexcept  { return Khz(static_cast<double>(v)); }
+[[nodiscard]] constexpr Khz     operator""_khz(unsigned long long v) noexcept  { return Khz(static_cast<double>(v)); }
 // clang-format on
 
 }  // namespace quantity_literals

@@ -34,6 +34,10 @@ struct DufConfig;
 struct UpsConfig;
 }  // namespace magus::baseline
 
+namespace magus::hw {
+class IUncoreDomainSet;
+}  // namespace magus::hw
+
 namespace magus::telemetry {
 class EventLog;
 class MetricsRegistry;
@@ -51,6 +55,13 @@ struct PolicyContext {
   hw::ICoreCounters* core_counters = nullptr;
   hw::IMsrDevice* msr = nullptr;
   const hw::UncoreFreqLadder* ladder = nullptr;
+
+  /// Per-domain uncore control. The experiment/fleet layers wire this only
+  /// for multi-domain nodes (dies_per_socket > 1 or NUMA-skewed), so
+  /// single-domain runs keep the exact legacy MSR-0x620 access sequence.
+  /// Policies that find more than one domain here sample and decide per
+  /// domain; null (or one domain) keeps the node-level loop.
+  hw::IUncoreDomainSet* domains = nullptr;
 
   const MagusConfig* magus = nullptr;            ///< "magus" maker (null = defaults)
   const baseline::UpsConfig* ups = nullptr;      ///< "ups" maker (null = defaults)

@@ -10,11 +10,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "magus/core/config.hpp"
 #include "magus/core/mdfs.hpp"
 #include "magus/core/policy.hpp"
 #include "magus/hw/counters.hpp"
+#include "magus/hw/uncore_domain.hpp"
 #include "magus/hw/uncore_freq.hpp"
 
 namespace magus::telemetry {
@@ -28,8 +30,14 @@ namespace magus::core {
 
 class MagusRuntime final : public IPolicy {
  public:
+  /// `domains` (optional) enables per-domain control: when it exposes more
+  /// than one uncore domain, the runtime runs one MDFS controller per domain
+  /// fed by per-domain throughput (IMemThroughputCounter::domain_mb) and
+  /// writes each domain's limit through the set. Null or a one-domain set
+  /// keeps the legacy node-level loop bit-identical to the seed.
   MagusRuntime(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevice& msr,
-               const hw::UncoreFreqLadder& ladder, MagusConfig cfg = {});
+               const hw::UncoreFreqLadder& ladder, MagusConfig cfg = {},
+               hw::IUncoreDomainSet* domains = nullptr);
 
   [[nodiscard]] std::string name() const override { return "magus"; }
   [[nodiscard]] double period_s() const override { return cfg_.period.value(); }
@@ -43,8 +51,24 @@ class MagusRuntime final : public IPolicy {
   [[nodiscard]] const MdfsController& controller() const noexcept { return *mdfs_; }
   [[nodiscard]] const MagusConfig& config() const noexcept { return cfg_; }
 
-  /// Last computed throughput, for diagnostics.
+  /// Last computed throughput, for diagnostics. In per-domain mode this is
+  /// the sum over domains.
   [[nodiscard]] common::Mbps last_throughput() const noexcept { return last_throughput_; }
+
+  /// Domains under independent control (1 in node-level mode).
+  [[nodiscard]] int domain_count() const noexcept {
+    return domains_ ? static_cast<int>(domain_mdfs_.size()) : 1;
+  }
+  /// Per-domain controller (valid indices: [0, domain_count()); in
+  /// node-level mode domain 0 aliases controller()).
+  [[nodiscard]] const MdfsController& domain_controller(int domain) const {
+    return domains_ ? *domain_mdfs_[static_cast<std::size_t>(domain)] : *mdfs_;
+  }
+  /// Last per-domain throughput (node total in node-level mode).
+  [[nodiscard]] common::Mbps domain_throughput(int domain) const noexcept {
+    return domains_ ? domain_throughput_[static_cast<std::size_t>(domain)]
+                    : last_throughput_;
+  }
 
   /// True once repeated MSR-write failures exhausted the retry budget
   /// `resilience.max_consecutive_failures` times in a row: the uncore has
@@ -80,9 +104,13 @@ class MagusRuntime final : public IPolicy {
   void note_sample(common::Seconds now, const std::optional<common::Ghz>& target);
   /// Bounded-retry MSR write; exhaustion feeds the degradation counter.
   void write_uncore(common::Ghz ghz, common::Seconds now);
+  /// Bounded-retry per-domain limit write (per-domain mode's write_uncore).
+  void write_domain(int domain, common::Ghz ghz, common::Seconds now);
   /// A sample failed validation: keep cadence on the last good throughput.
   void hold_last_good(common::Seconds now);
   void enter_degraded(common::Seconds now);
+  void start_domains(common::Seconds now);
+  void sample_domains(common::Seconds now);
 
   hw::IMemThroughputCounter& mem_counter_;
   hw::IMsrDevice& msr_;
@@ -93,6 +121,14 @@ class MagusRuntime final : public IPolicy {
   double prev_mb_ = 0.0;
   double prev_t_ = 0.0;
   common::Mbps last_throughput_{0.0};
+
+  // Per-domain mode (domains_ non-null): one controller and one cumulative
+  // counter baseline per domain. A domain whose read fails validation holds
+  // its own last good throughput; siblings proceed normally.
+  hw::IUncoreDomainSet* domains_ = nullptr;
+  std::vector<std::unique_ptr<MdfsController>> domain_mdfs_;
+  std::vector<double> domain_prev_mb_;
+  std::vector<common::Mbps> domain_throughput_;
 
   // Degradation ladder state (DESIGN.md §11).
   bool degraded_ = false;
@@ -118,6 +154,9 @@ class MagusRuntime final : public IPolicy {
   telemetry::Counter* m_msr_failures_ = nullptr;
   telemetry::Counter* m_msr_retries_ = nullptr;
   telemetry::Gauge* m_degraded_ = nullptr;
+  // Per-domain series (magus_uncore_domain<k>_*), sized at attach time.
+  std::vector<telemetry::Gauge*> m_domain_target_;
+  std::vector<telemetry::Gauge*> m_domain_throughput_;
   bool last_hf_ = false;
 };
 

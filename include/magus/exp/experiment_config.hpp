@@ -19,6 +19,8 @@ struct ExperimentConfig {
   std::string policy = "magus";
   int gpus = 1;
   common::Ghz static_ghz{0.0};  ///< pin target when policy == "static"
+  int dies = 1;                 ///< uncore dies per socket (>1 = per-domain control)
+  double numa_skew = 0.0;       ///< traffic share pinned to each socket's first die
 
   /// Adapter into the fleet layer: a NodeSpec that runs this experiment on
   /// `count` nodes. Defined in src/fleet/manifest.cpp -- exp does not link

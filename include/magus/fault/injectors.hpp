@@ -8,6 +8,7 @@
 // can report how much weather a node actually saw.
 
 #include <cstdint>
+#include <vector>
 
 #include "magus/hw/counters.hpp"
 #include "magus/hw/msr.hpp"
@@ -49,6 +50,10 @@ class FaultyMemThroughputCounter final : public hw::IMemThroughputCounter {
       : inner_(inner), plan_(plan), stats_(stats) {}
 
   [[nodiscard]] double total_mb() override;
+  /// Per-domain reads share the node's fault schedule (one op index stream)
+  /// but replay stale values per domain.
+  [[nodiscard]] int domain_count() override { return inner_.domain_count(); }
+  [[nodiscard]] double domain_mb(int domain) override;
 
  private:
   hw::IMemThroughputCounter& inner_;
@@ -57,6 +62,8 @@ class FaultyMemThroughputCounter final : public hw::IMemThroughputCounter {
   std::uint64_t op_index_ = 0;
   double last_good_mb_ = 0.0;
   bool have_last_good_ = false;
+  std::vector<double> domain_last_good_mb_;
+  std::vector<bool> domain_have_last_good_;
 };
 
 /// Decorates IMsrDevice with read/write failures (thrown as

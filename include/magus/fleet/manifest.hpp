@@ -48,6 +48,18 @@ class NodeSpec {
     static_uncore_ = v;
     return *this;
   }
+  /// Uncore dies per socket. 1 (the default) keeps the node on the legacy
+  /// single-domain control path; >1 activates per-domain decisions.
+  NodeSpec& dies(int v) {
+    dies_ = v;
+    return *this;
+  }
+  /// Extra memory-traffic share [0, 1) pinned on the first die of each
+  /// socket; the remainder spreads evenly over all dies.
+  NodeSpec& numa_skew(double v) {
+    numa_skew_ = v;
+    return *this;
+  }
   NodeSpec& count(int v) {
     count_ = v;
     return *this;
@@ -59,6 +71,8 @@ class NodeSpec {
   [[nodiscard]] const std::string& policy() const noexcept { return policy_; }
   [[nodiscard]] int gpus() const noexcept { return gpus_; }
   [[nodiscard]] common::Ghz static_uncore() const noexcept { return static_uncore_; }
+  [[nodiscard]] int dies() const noexcept { return dies_; }
+  [[nodiscard]] double numa_skew() const noexcept { return numa_skew_; }
   [[nodiscard]] int count() const noexcept { return count_; }
 
   /// Every problem with this spec (empty = valid). `prefix` labels the spec
@@ -72,6 +86,8 @@ class NodeSpec {
   std::string policy_ = "magus";
   int gpus_ = 1;
   common::Ghz static_uncore_{0.0};
+  int dies_ = 1;
+  double numa_skew_ = 0.0;
   int count_ = 1;
 };
 

@@ -47,12 +47,30 @@ struct NodeResult {
   std::uint64_t ticks = 0;         ///< simulation steps, policy run + twin
   double control_latency_s = 0.0;  ///< policy run's avg monitoring invocation
 
+  // Per-uncore-domain breakdown (socket-major: domain = socket * dies + die).
+  // Always filled; a legacy single-die node has one domain per socket.
+  int domains = 1;                           ///< sockets * dies_per_socket
+  std::vector<double> domain_joules_saved;   ///< twin uncore J - run uncore J
+  std::vector<double> domain_slowdown_pct;   ///< memory stretch time vs twin
+
   // Fault-weather outcome (all defaults when the fleet runs fault-free).
   bool degraded = false;            ///< policy fell back / node gave up actuating
   bool failed = false;              ///< every attempt threw; numerics are zeroed
   int attempts = 1;                 ///< simulation attempts consumed (1 = clean)
   std::uint64_t faults_injected = 0;  ///< faults the decorators delivered
   std::string error;                ///< last failure message ("" on success)
+};
+
+/// Rollup over one uncore-domain index across every node that has it (a
+/// domain-2 rollup covers only nodes with at least three domains). Failed
+/// nodes are excluded exactly as in the fleet-wide percentiles.
+struct DomainRollup {
+  int domain = 0;  ///< socket-major domain index
+  std::size_t nodes = 0;
+  double joules_saved_total = 0.0;  ///< uncore-side savings vs the twins
+  double slowdown_p50_pct = 0.0;    ///< memory stretch-time percentiles
+  double slowdown_p95_pct = 0.0;
+  double slowdown_p99_pct = 0.0;
 };
 
 /// Rollup over all nodes sharing one policy name.
@@ -78,11 +96,13 @@ struct FleetResult {
   double slowdown_p95_pct = 0.0;
   double slowdown_p99_pct = 0.0;
   std::vector<PolicyRollup> per_policy;  ///< sorted by policy name
+  std::vector<DomainRollup> per_domain;  ///< by domain index, 0 first
   std::vector<NodeResult> nodes;         ///< fleet order
 
   /// Canonical JSONL dump: one `fleet_rollup` line, one `policy_rollup` line
-  /// per policy, one `node_result` line per node, all with deterministically
-  /// formatted numbers -- two runs are bit-identical iff these strings match.
+  /// per policy, one `domain_rollup` line per uncore-domain index, one
+  /// `node_result` line per node, all with deterministically formatted
+  /// numbers -- two runs are bit-identical iff these strings match.
   [[nodiscard]] std::string to_jsonl() const;
 };
 

@@ -18,6 +18,18 @@ class IMemThroughputCounter {
   /// Cumulative MB of DRAM traffic since an arbitrary epoch. Callers compute
   /// throughput as delta/interval, like PCM's before/after counter states.
   [[nodiscard]] virtual double total_mb() = 0;
+
+  /// Uncore domains this counter can resolve traffic to. Counters that only
+  /// see the node aggregate report 1 (the default).
+  [[nodiscard]] virtual int domain_count() { return 1; }
+
+  /// Cumulative MB attributed to one domain. The single-domain default
+  /// delegates to total_mb(), so reading "domain 0" of an aggregate counter
+  /// costs exactly one sweep, same as the legacy path.
+  [[nodiscard]] virtual double domain_mb(int domain) {
+    (void)domain;
+    return total_mb();
+  }
 };
 
 /// RAPL-style cumulative energy counters, per socket, in joules.

@@ -15,6 +15,7 @@
 #include "magus/hw/counters.hpp"
 #include "magus/hw/msr.hpp"
 #include "magus/hw/rapl.hpp"
+#include "magus/hw/sysfs_uncore.hpp"
 
 namespace magus::hw {
 
@@ -67,10 +68,11 @@ class PowercapEnergyCounter final : public IEnergyCounter {
 
 /// Uncore frequency limits via the intel_uncore_frequency sysfs driver.
 /// An alternative to raw MSR writes on kernels that ship the driver.
+/// Package-granular legacy view; SysfsUncoreDomainSet (hw/sysfs_uncore.hpp)
+/// is the per-(package, die) domain interface.
 class SysfsUncoreFreq {
  public:
-  explicit SysfsUncoreFreq(std::string root =
-      "/sys/devices/system/cpu/intel_uncore_frequency");
+  explicit SysfsUncoreFreq(std::string root = uncore_freq_sysfs_root());
 
   [[nodiscard]] int package_count() const;
   [[nodiscard]] double max_ghz(int package) const;

@@ -13,6 +13,7 @@
 #include "magus/hw/counters.hpp"
 #include "magus/hw/msr.hpp"
 #include "magus/hw/rapl.hpp"
+#include "magus/hw/uncore_domain.hpp"
 #include "magus/sim/node.hpp"
 
 namespace magus::sim {
@@ -52,15 +53,41 @@ class SimMsrDevice final : public hw::IMsrDevice {
   std::vector<std::uint64_t> raw_0x620_;
 };
 
-/// PCM-style aggregated memory-traffic counter.
+/// PCM-style aggregated memory-traffic counter with per-domain resolution
+/// (each domain read is its own PCM sweep for overhead accounting).
 class SimMemThroughputCounter final : public hw::IMemThroughputCounter {
  public:
   SimMemThroughputCounter(NodeModel& node, AccessMeter& meter)
       : node_(node), meter_(meter) {}
 
   [[nodiscard]] double total_mb() override;
+  [[nodiscard]] int domain_count() override;
+  [[nodiscard]] double domain_mb(int domain) override;
 
  private:
+  NodeModel& node_;
+  AccessMeter& meter_;
+};
+
+/// Uncore-domain set over the simulated node. Mirrors the MSR 0x620 access
+/// discipline (read, skip if already programmed, else write) so the meter
+/// charges multi-domain policies the same way real-silicon control would.
+class SimUncoreDomainSet final : public hw::IUncoreDomainSet {
+ public:
+  SimUncoreDomainSet(NodeModel& node, AccessMeter& meter)
+      : node_(node), meter_(meter) {}
+
+  [[nodiscard]] int domain_count() const override;
+  [[nodiscard]] hw::DomainId domain_id(int domain) const override;
+  [[nodiscard]] common::Ghz min_ghz(int domain) override;
+  [[nodiscard]] common::Ghz max_ghz(int domain) override;
+  [[nodiscard]] common::Ghz current_ghz(int domain) override;
+  void write_max_ghz(int domain, common::Ghz freq) override;
+  void write_min_ghz(int domain, common::Ghz freq) override;
+
+ private:
+  void check_domain(int domain) const;
+
   NodeModel& node_;
   AccessMeter& meter_;
 };

@@ -69,8 +69,30 @@ class BatchMemThroughputCounter final : public hw::IMemThroughputCounter {
       : engine_(&engine), lane_(lane) {}
 
   [[nodiscard]] double total_mb() override;
+  [[nodiscard]] int domain_count() override;
+  [[nodiscard]] double domain_mb(int domain) override;
 
  private:
+  BatchEngine* engine_;
+  std::size_t lane_;
+};
+
+class BatchUncoreDomainSet final : public hw::IUncoreDomainSet {
+ public:
+  BatchUncoreDomainSet(BatchEngine& engine, std::size_t lane)
+      : engine_(&engine), lane_(lane) {}
+
+  [[nodiscard]] int domain_count() const override;
+  [[nodiscard]] hw::DomainId domain_id(int domain) const override;
+  [[nodiscard]] common::Ghz min_ghz(int domain) override;
+  [[nodiscard]] common::Ghz max_ghz(int domain) override;
+  [[nodiscard]] common::Ghz current_ghz(int domain) override;
+  void write_max_ghz(int domain, common::Ghz freq) override;
+  void write_min_ghz(int domain, common::Ghz freq) override;
+
+ private:
+  void check_domain(int domain) const;
+
   BatchEngine* engine_;
   std::size_t lane_;
 };
@@ -141,6 +163,7 @@ class BatchEngine {
   [[nodiscard]] hw::IEnergyCounter& energy_counter(std::size_t lane);
   [[nodiscard]] hw::IGpuPowerSensor& gpu_sensor(std::size_t lane);
   [[nodiscard]] hw::ICoreCounters& core_counters(std::size_t lane);
+  [[nodiscard]] hw::IUncoreDomainSet& domains(std::size_t lane);
 
   /// Run every lane to completion (or its safety cap). Call at most once.
   /// A lane whose policy callback throws is recorded failed and isolated;
@@ -161,6 +184,7 @@ class BatchEngine {
   friend class BatchEnergyCounter;
   friend class BatchGpuPowerSensor;
   friend class BatchCoreCounters;
+  friend class BatchUncoreDomainSet;
 
   /// Cold per-lane bookkeeping, off the tick path. Lives in a deque so
   /// addresses stay stable while lanes are added (backends and policy
@@ -175,6 +199,7 @@ class BatchEngine {
     kern::NodeParams params;
     std::size_t index = 0;        ///< this lane's position (per-lane arrays)
     std::size_t socket_base = 0;  ///< first index into the per-socket arrays
+    std::size_t domain_base = 0;  ///< first index into the per-domain arrays
     PolicyHook hook;
     AccessMeter meter;
     std::vector<std::uint64_t> raw_0x620;
@@ -185,6 +210,7 @@ class BatchEngine {
     BatchEnergyCounter energy;
     BatchGpuPowerSensor gpu_sensor;
     BatchCoreCounters cores;
+    BatchUncoreDomainSet domain_set;
 
     // Loop state (mirrors the SimEngine::run locals).
     double t = 0.0;
@@ -206,12 +232,18 @@ class BatchEngine {
   void finish_lane(Lane& lane);
 
   // Hot state, struct-of-arrays. Per-socket quantities are flat
-  // [lane.socket_base + socket]; per-lane quantities are indexed by lane.
+  // [lane.socket_base + socket]; per-domain quantities (uncore state and the
+  // domain accumulators) are flat [lane.domain_base + domain], socket-major;
+  // per-lane quantities are indexed by lane. On single-die parts the domain
+  // arrays have one entry per socket.
   std::vector<kern::UncoreState> uncore_;
   std::vector<kern::FirmwareState> firmware_;
   std::vector<double> pkg_energy_j_;
   std::vector<double> dram_energy_j_;
   std::vector<double> last_pkg_w_;
+  std::vector<double> domain_traffic_mb_;
+  std::vector<double> domain_uncore_energy_j_;
+  std::vector<double> domain_stretch_time_s_;
   std::vector<kern::CoreState> core_;
   std::vector<kern::GpuState> gpu_;
   std::vector<double> traffic_mb_;

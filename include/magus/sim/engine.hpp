@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "magus/common/quantity.hpp"
 #include "magus/sim/backends.hpp"
@@ -61,6 +62,14 @@ struct SimResult {
   unsigned long long ticks = 0;  ///< simulation steps executed
   AccessMeter accesses;  ///< cumulative over the whole run
 
+  // Per-uncore-domain breakdown (size = sockets * dies_per_socket; one
+  // entry per socket on single-die parts). Uncore energy feeds per-domain
+  // joules-saved rollups; stretch-time / duration is the domain's average
+  // memory stretch.
+  std::vector<double> domain_uncore_energy_j;
+  std::vector<double> domain_stretch_time_s;
+  std::vector<double> domain_traffic_mb;
+
   /// CPU-side power metric the paper reports (package + DRAM).
   [[nodiscard]] double cpu_energy_j() const noexcept { return pkg_energy_j + dram_energy_j; }
   /// Total energy-to-solution (CPU package + DRAM + GPU boards).
@@ -95,6 +104,7 @@ class SimEngine {
   [[nodiscard]] hw::IEnergyCounter& energy_counter() noexcept { return *energy_counter_; }
   [[nodiscard]] hw::IGpuPowerSensor& gpu_sensor() noexcept { return *gpu_sensor_; }
   [[nodiscard]] hw::ICoreCounters& core_counters() noexcept { return *core_counters_; }
+  [[nodiscard]] hw::IUncoreDomainSet& domains() noexcept { return *domains_; }
 
   [[nodiscard]] NodeModel& node() noexcept { return node_; }
   [[nodiscard]] const trace::TraceRecorder& recorder() const noexcept { return recorder_; }
@@ -110,6 +120,7 @@ class SimEngine {
   std::unique_ptr<SimEnergyCounter> energy_counter_;
   std::unique_ptr<SimGpuPowerSensor> gpu_sensor_;
   std::unique_ptr<SimCoreCounters> core_counters_;
+  std::unique_ptr<SimUncoreDomainSet> domains_;
   trace::TraceRecorder recorder_;
 
   // Telemetry handles; all nullptr until attach_telemetry.

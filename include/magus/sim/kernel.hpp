@@ -65,6 +65,10 @@ inline constexpr double kGpuGovernorTau = 0.08;
 inline constexpr double kTrafficNoiseRel = 0.002;
 /// OS + housekeeping DRAM traffic always present (MB/s).
 inline constexpr double kBackgroundTrafficMbps = 300.0;
+/// Hard cap on sockets * dies_per_socket: the per-domain tick path uses
+/// fixed stack scratch (no heap in the hot path). Enforced at the API
+/// boundaries (NodeModel, BatchEngine, manifest validation), not here.
+inline constexpr int kMaxDomains = 64;
 
 // --- per-subsystem state (POD, SoA-friendly) -------------------------------
 
@@ -127,17 +131,30 @@ struct GpuParams {
 /// Everything node_tick needs, precomputed once per system spec.
 struct NodeParams {
   int sockets = 0;
+  int dies_per_socket = 1;  ///< uncore domains per socket
+  double numa_skew = 0.0;   ///< demand fraction pinned to domain 0
   hw::UncoreFreqLadder ladder{0.8, 2.2};
   FirmwareParams fw;
-  UncoreParams uncore;
+  UncoreParams uncore;  ///< per-socket coefficients (legacy path)
+  UncoreParams die;     ///< per-die coefficients (per-domain path)
   CoreParams core;
   GpuParams gpu;
   double dram_idle_w = 0.0;
   double dram_dyn_w = 0.0;
 
+  [[nodiscard]] int domains() const noexcept { return sockets * dies_per_socket; }
+
+  /// True when the node runs the legacy single-domain-per-socket memory
+  /// path, whose IEEE-754 sequence is pinned by the seed goldens.
+  [[nodiscard]] bool single_domain() const noexcept {
+    return dies_per_socket == 1 && numa_skew == 0.0;
+  }
+
   [[nodiscard]] static NodeParams from_spec(const SystemSpec& spec) {
     NodeParams p;
     p.sockets = spec.cpu.sockets;
+    p.dies_per_socket = spec.cpu.dies_per_socket;
+    p.numa_skew = spec.numa_skew;
     p.ladder = hw::UncoreFreqLadder(spec.cpu.uncore_min_ghz, spec.cpu.uncore_max_ghz);
     p.fw.threshold_w = spec.cpu.tdp_w * spec.tdp_backoff_frac;
     p.fw.floor_ghz = spec.cpu.uncore_min_ghz;
@@ -149,6 +166,15 @@ struct NodeParams {
     p.uncore.bw_floor_frac = spec.cpu.bw_floor_frac;
     p.uncore.peak_mem_bw_mbps = spec.cpu.peak_mem_bw_mbps;
     p.uncore.ladder_max_ghz = p.ladder.max_ghz();
+    // Per-die coefficients: the socket's uncore power and bandwidth split
+    // evenly across its dies (x / 1.0 == x, so dies_per_socket == 1 keeps
+    // the per-socket values bit-exactly).
+    p.die = p.uncore;
+    const double dies = static_cast<double>(p.dies_per_socket);
+    p.die.leak_w /= dies;
+    p.die.k1_w_per_ghz /= dies;
+    p.die.k2_w_per_ghz2 /= dies;
+    p.die.peak_mem_bw_mbps /= dies;
     p.core = {spec.cpu.core_min_ghz, spec.cpu.core_max_ghz, spec.cpu.core_idle_w,
               spec.cpu.core_dyn_w};
     p.gpu = {spec.gpu.base_clock_ghz, spec.gpu.max_clock_ghz, spec.gpu.idle_w,
@@ -277,58 +303,167 @@ inline void gpu_tick(GpuState& st, const GpuParams& p, double dt, double util_ef
 // --- the whole-node tick ---------------------------------------------------
 
 /// Advance one node by `dt` under `slice`. `Lane` adapts the storage layout:
-///   lane.uncore(s)   -> UncoreState&        lane.pkg_energy(s)  -> double&
+///   lane.uncore(d)   -> UncoreState&        lane.pkg_energy(s)  -> double&
 ///   lane.firmware(s) -> FirmwareState&      lane.dram_energy(s) -> double&
 ///   lane.core()      -> CoreState&          lane.last_pkg_w(s)  -> double&
 ///   lane.gpu()       -> GpuState&           lane.traffic_mb()   -> double&
 ///   lane.rng()       -> common::Rng&
-/// The statement order below mirrors the original NodeModel::tick exactly.
+///   lane.domain_traffic_mb(d)    -> double&   (cumulative MB, per domain)
+///   lane.domain_uncore_energy(d) -> double&   (cumulative J, per domain)
+///   lane.domain_stretch_time(d)  -> double&   (integral of stretch, per domain)
+/// `s` indexes sockets, `d` indexes uncore domains (socket-major:
+/// d = s * dies_per_socket + die). With one die per socket they coincide.
+///
+/// Two bodies share the entry point. p.single_domain() selects the legacy
+/// path, whose statement order mirrors the original NodeModel::tick exactly
+/// -- the seed goldens pin its bit patterns; the per-domain accumulators
+/// added to it only read values the legacy sequence already computed.
+/// Multi-die or NUMA-skewed nodes take the per-domain path: demand splits
+/// across domains (numa_skew pinned to domain 0, remainder uniform), each
+/// domain services its share against its own die capacity, and node stretch
+/// is the worst domain's.
 template <class Lane>
 TickOutput node_tick(Lane&& lane, const NodeParams& p, double dt, const WorkSlice& slice,
                      double monitor_extra_w) {
-  // 1. Firmware governor per socket (stock TDP-coupled uncore behaviour),
-  //    using the previous tick's power (sensor delay is ~1 tick anyway).
+  if (p.single_domain()) {
+    // 1. Firmware governor per socket (stock TDP-coupled uncore behaviour),
+    //    using the previous tick's power (sensor delay is ~1 tick anyway).
+    for (int s = 0; s < p.sockets; ++s) {
+      const double cap = firmware_update(lane.firmware(s), p.fw, dt, lane.last_pkg_w(s));
+      uncore_set_firmware_cap(lane.uncore(s), p.ladder, cap);
+      uncore_tick(lane.uncore(s), dt);
+    }
+
+    // 2. Memory service against the combined capacity.
+    const double demand = slice.demand_mbps + kBackgroundTrafficMbps;
+    double capacity = 0.0;
+    for (int s = 0; s < p.sockets; ++s) {
+      capacity += uncore_capacity_at(p.uncore, lane.uncore(s).freq_ghz);
+    }
+    const MemoryService mem =
+        service_memory(common::Mbps(demand), common::Mbps(capacity), slice.mem_bound_frac);
+
+    // 3. Core + GPU domains. Memory stalls depress effective IPC and the
+    //    device's achieved utilisation alike.
+    const double ipc_eff = kBaseIpc / mem.stretch;
+    core_tick(lane.core(), p.core, dt, slice.cpu_util, ipc_eff);
+    gpu_tick(lane.gpu(), p.gpu, dt, slice.gpu_util / mem.stretch);
+
+    // 4. Power + energy. The workload splits evenly across sockets; a running
+    //    monitor executes on socket 0.
+    const double delivered_noisy =
+        std::max(0.0, mem.delivered.value() * lane.rng().jitter(kTrafficNoiseRel));
+    lane.traffic_mb() += delivered_noisy * dt;
+
+    double pkg_total = 0.0;
+    double dram_total = 0.0;
+    const double bw_frac_per_socket =
+        p.uncore.peak_mem_bw_mbps > 0.0
+            ? std::clamp(mem.delivered.value() / static_cast<double>(p.sockets) /
+                             p.uncore.peak_mem_bw_mbps,
+                         0.0, 1.0)
+            : 0.0;
+    const double domain_mb = delivered_noisy * dt / static_cast<double>(p.sockets);
+    for (int s = 0; s < p.sockets; ++s) {
+      const double core_w = core_power_w(lane.core(), p.core, slice.cpu_util);
+      const double uncore_w = uncore_power(lane.uncore(s), p.uncore, mem.utilization);
+      const double monitor_w = (s == 0) ? monitor_extra_w : 0.0;
+      const double pkg_w = core_w + uncore_w + monitor_w;
+      const double dram_w = p.dram_idle_w + p.dram_dyn_w * bw_frac_per_socket;
+      lane.pkg_energy(s) += pkg_w * dt;
+      lane.dram_energy(s) += dram_w * dt;
+      lane.last_pkg_w(s) = pkg_w;
+      pkg_total += pkg_w;
+      dram_total += dram_w;
+      // Per-domain accumulators (domain == socket here). These feed the
+      // per-domain rollups only; nothing below reads them back.
+      lane.domain_uncore_energy(s) += uncore_w * dt;
+      lane.domain_traffic_mb(s) += domain_mb;
+      lane.domain_stretch_time(s) += mem.stretch * dt;
+    }
+
+    TickOutput out;
+    out.progress_rate = 1.0 / mem.stretch;
+    out.delivered_mbps = delivered_noisy;
+    out.pkg_power_w = pkg_total;
+    out.dram_power_w = dram_total;
+    out.gpu_power_w = lane.gpu().power_w;
+    out.uncore_freq_ghz = lane.uncore(0).freq_ghz;
+    out.stretch = mem.stretch;
+    return out;
+  }
+
+  // --- per-domain path (dies_per_socket > 1 or numa_skew != 0) -------------
+  const int dies = p.dies_per_socket;
+  const int domains = p.sockets * dies;
+
+  // 1. Firmware per socket; its cap applies to every die in the package.
   for (int s = 0; s < p.sockets; ++s) {
     const double cap = firmware_update(lane.firmware(s), p.fw, dt, lane.last_pkg_w(s));
-    uncore_set_firmware_cap(lane.uncore(s), p.ladder, cap);
-    uncore_tick(lane.uncore(s), dt);
+    for (int k = 0; k < dies; ++k) {
+      const int d = s * dies + k;
+      uncore_set_firmware_cap(lane.uncore(d), p.ladder, cap);
+      uncore_tick(lane.uncore(d), dt);
+    }
   }
 
-  // 2. Memory service against the combined capacity.
+  // 2. Per-domain memory service: numa_skew of the demand pins to domain 0,
+  //    the rest spreads evenly; each domain runs against its die capacity.
   const double demand = slice.demand_mbps + kBackgroundTrafficMbps;
-  double capacity = 0.0;
-  for (int s = 0; s < p.sockets; ++s) {
-    capacity += uncore_capacity_at(p.uncore, lane.uncore(s).freq_ghz);
+  const double spread = (1.0 - p.numa_skew) / static_cast<double>(domains);
+  double delivered_d[kMaxDomains];
+  double util_d[kMaxDomains];
+  double stretch_d[kMaxDomains];
+  double stretch = 1.0;
+  for (int d = 0; d < domains; ++d) {
+    const double share = spread + ((d == 0) ? p.numa_skew : 0.0);
+    const double cap_d = uncore_capacity_at(p.die, lane.uncore(d).freq_ghz);
+    const MemoryService m = service_memory(common::Mbps(demand * share),
+                                           common::Mbps(cap_d), slice.mem_bound_frac);
+    delivered_d[d] = m.delivered.value();
+    util_d[d] = m.utilization;
+    stretch_d[d] = m.stretch;
+    stretch = std::max(stretch, m.stretch);
   }
-  const MemoryService mem =
-      service_memory(common::Mbps(demand), common::Mbps(capacity), slice.mem_bound_frac);
 
-  // 3. Core + GPU domains. Memory stalls depress effective IPC and the
-  //    device's achieved utilisation alike.
-  const double ipc_eff = kBaseIpc / mem.stretch;
+  // 3. Core + GPU see the worst domain's stretch (the critical path).
+  const double ipc_eff = kBaseIpc / stretch;
   core_tick(lane.core(), p.core, dt, slice.cpu_util, ipc_eff);
-  gpu_tick(lane.gpu(), p.gpu, dt, slice.gpu_util / mem.stretch);
+  gpu_tick(lane.gpu(), p.gpu, dt, slice.gpu_util / stretch);
 
-  // 4. Power + energy. The workload splits evenly across sockets; a running
-  //    monitor executes on socket 0.
-  const double delivered_noisy =
-      std::max(0.0, mem.delivered.value() * lane.rng().jitter(kTrafficNoiseRel));
+  // 4. One jitter draw per tick (same stream cadence as the legacy path),
+  //    applied to every domain's delivered traffic.
+  const double jitter = lane.rng().jitter(kTrafficNoiseRel);
+  double delivered_noisy = 0.0;
+  for (int d = 0; d < domains; ++d) {
+    const double noisy_d = std::max(0.0, delivered_d[d] * jitter);
+    lane.domain_traffic_mb(d) += noisy_d * dt;
+    lane.domain_stretch_time(d) += stretch_d[d] * dt;
+    delivered_noisy += noisy_d;
+  }
   lane.traffic_mb() += delivered_noisy * dt;
 
+  // 5. Power + energy: socket uncore power is the sum of its dies.
   double pkg_total = 0.0;
   double dram_total = 0.0;
-  const double bw_frac_per_socket =
-      p.uncore.peak_mem_bw_mbps > 0.0
-          ? std::clamp(mem.delivered.value() / static_cast<double>(p.sockets) /
-                           p.uncore.peak_mem_bw_mbps,
-                       0.0, 1.0)
-          : 0.0;
   for (int s = 0; s < p.sockets; ++s) {
     const double core_w = core_power_w(lane.core(), p.core, slice.cpu_util);
-    const double uncore_w = uncore_power(lane.uncore(s), p.uncore, mem.utilization);
+    double uncore_w = 0.0;
+    double socket_delivered = 0.0;
+    for (int k = 0; k < dies; ++k) {
+      const int d = s * dies + k;
+      const double die_w = uncore_power(lane.uncore(d), p.die, util_d[d]);
+      lane.domain_uncore_energy(d) += die_w * dt;
+      uncore_w += die_w;
+      socket_delivered += delivered_d[d];
+    }
+    const double bw_frac =
+        p.uncore.peak_mem_bw_mbps > 0.0
+            ? std::clamp(socket_delivered / p.uncore.peak_mem_bw_mbps, 0.0, 1.0)
+            : 0.0;
     const double monitor_w = (s == 0) ? monitor_extra_w : 0.0;
     const double pkg_w = core_w + uncore_w + monitor_w;
-    const double dram_w = p.dram_idle_w + p.dram_dyn_w * bw_frac_per_socket;
+    const double dram_w = p.dram_idle_w + p.dram_dyn_w * bw_frac;
     lane.pkg_energy(s) += pkg_w * dt;
     lane.dram_energy(s) += dram_w * dt;
     lane.last_pkg_w(s) = pkg_w;
@@ -337,13 +472,13 @@ TickOutput node_tick(Lane&& lane, const NodeParams& p, double dt, const WorkSlic
   }
 
   TickOutput out;
-  out.progress_rate = 1.0 / mem.stretch;
+  out.progress_rate = 1.0 / stretch;
   out.delivered_mbps = delivered_noisy;
   out.pkg_power_w = pkg_total;
   out.dram_power_w = dram_total;
   out.gpu_power_w = lane.gpu().power_w;
   out.uncore_freq_ghz = lane.uncore(0).freq_ghz;
-  out.stretch = mem.stretch;
+  out.stretch = stretch;
   return out;
 }
 // magus:hot-path-end

@@ -35,11 +35,18 @@ class NodeModel {
 
   // --- state the hw backends expose ---------------------------------------
   [[nodiscard]] int socket_count() const noexcept { return spec_.cpu.sockets; }
-  [[nodiscard]] UncoreModel& uncore(int socket) {
-    return uncores_[static_cast<std::size_t>(socket)];
+  [[nodiscard]] int dies_per_socket() const noexcept { return spec_.cpu.dies_per_socket; }
+  /// Uncore domain count (sockets * dies_per_socket).
+  [[nodiscard]] int domain_count() const noexcept {
+    return static_cast<int>(uncores_.size());
   }
-  [[nodiscard]] const UncoreModel& uncore(int socket) const {
-    return uncores_[static_cast<std::size_t>(socket)];
+  /// Index is a *domain* (socket-major: socket * dies_per_socket + die);
+  /// with one die per socket it coincides with the socket index.
+  [[nodiscard]] UncoreModel& uncore(int domain) {
+    return uncores_[static_cast<std::size_t>(domain)];
+  }
+  [[nodiscard]] const UncoreModel& uncore(int domain) const {
+    return uncores_[static_cast<std::size_t>(domain)];
   }
   [[nodiscard]] CoreModel& cores() noexcept { return cores_; }
   [[nodiscard]] const CoreModel& cores() const noexcept { return cores_; }
@@ -48,6 +55,18 @@ class NodeModel {
 
   /// Cumulative DRAM traffic (MB) -- what the PCM-style counter reports.
   [[nodiscard]] double total_traffic_mb() const noexcept { return traffic_mb_; }
+  /// Per-domain cumulative DRAM traffic (MB).
+  [[nodiscard]] double domain_traffic_mb(int domain) const {
+    return domain_traffic_mb_[static_cast<std::size_t>(domain)];
+  }
+  /// Per-domain cumulative uncore energy (J) -- per-domain joules-saved.
+  [[nodiscard]] double domain_uncore_energy_j(int domain) const {
+    return domain_uncore_energy_j_[static_cast<std::size_t>(domain)];
+  }
+  /// Per-domain integral of the memory stretch factor over sim time (s).
+  [[nodiscard]] double domain_stretch_time_s(int domain) const {
+    return domain_stretch_time_s_[static_cast<std::size_t>(domain)];
+  }
 
   [[nodiscard]] double pkg_energy_j(int socket) const {
     return pkg_energy_j_[static_cast<std::size_t>(socket)];
@@ -77,6 +96,9 @@ class NodeModel {
   std::vector<double> pkg_energy_j_;
   std::vector<double> dram_energy_j_;
   std::vector<double> last_socket_pkg_w_;
+  std::vector<double> domain_traffic_mb_;
+  std::vector<double> domain_uncore_energy_j_;
+  std::vector<double> domain_stretch_time_s_;
   TickOutput last_;
 };
 

@@ -15,6 +15,10 @@ namespace magus::sim {
 struct CpuSpec {
   std::string model;
   int sockets = 2;
+  /// Uncore frequency domains per socket (package_XX_die_YY granularity).
+  /// 1 on the paper's Ice Lake SP testbeds; >1 models multi-die parts whose
+  /// per-socket uncore power and bandwidth split evenly across dies.
+  int dies_per_socket = 1;
   int cores_per_socket = 40;
   double tdp_w = 270.0;  ///< per socket
 
@@ -69,6 +73,11 @@ struct SystemSpec {
   GpuSpec gpu;
   /// Stock firmware starts throttling the uncore at this fraction of TDP.
   double tdp_backoff_frac = 0.93;
+  /// NUMA skew in [0,1): this fraction of memory demand pins to domain 0,
+  /// the remainder spreads evenly across all uncore domains. 0 = uniform.
+  /// Any non-zero value (or dies_per_socket > 1) switches the node kernel
+  /// to the per-domain memory path.
+  double numa_skew = 0.0;
 };
 
 /// Chameleon node: 2x Xeon Platinum 8380 + 1x A100-40GB (uncore 0.8-2.2 GHz).

@@ -13,7 +13,9 @@ namespace magus::sim {
 
 class UncoreModel {
  public:
-  explicit UncoreModel(const CpuSpec& spec);
+  /// `share` > 1 models one die of a multi-die socket: power coefficients
+  /// and peak bandwidth divide evenly across the dies (exact no-op at 1).
+  explicit UncoreModel(const CpuSpec& spec, int share = 1);
 
   /// Policy-programmed max ratio limit (what MSR 0x620 writes set).
   void set_policy_limit(common::Ghz freq);

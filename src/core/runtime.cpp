@@ -1,6 +1,8 @@
 #include "magus/core/runtime.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <string>
 
 #include "magus/common/error.hpp"
 #include "magus/core/policy_factory.hpp"
@@ -10,11 +12,23 @@
 namespace magus::core {
 
 MagusRuntime::MagusRuntime(hw::IMemThroughputCounter& mem_counter, hw::IMsrDevice& msr,
-                           const hw::UncoreFreqLadder& ladder, MagusConfig cfg)
+                           const hw::UncoreFreqLadder& ladder, MagusConfig cfg,
+                           hw::IUncoreDomainSet* domains)
     : mem_counter_(mem_counter), msr_(msr), uncore_(msr, ladder), cfg_(cfg) {
   cfg_.validate();
   mdfs_ = std::make_unique<MdfsController>(cfg_, common::Ghz(ladder.min_ghz()),
                                            common::Ghz(ladder.max_ghz()));
+  if (domains != nullptr && domains->domain_count() > 1) {
+    domains_ = domains;
+    const auto n = static_cast<std::size_t>(domains->domain_count());
+    domain_mdfs_.reserve(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      domain_mdfs_.push_back(std::make_unique<MdfsController>(
+          cfg_, common::Ghz(ladder.min_ghz()), common::Ghz(ladder.max_ghz())));
+    }
+    domain_prev_mb_.assign(n, 0.0);
+    domain_throughput_.assign(n, common::Mbps(0.0));
+  }
 }
 
 void MagusRuntime::attach_telemetry(telemetry::MetricsRegistry& reg,
@@ -51,10 +65,28 @@ void MagusRuntime::attach_telemetry(telemetry::MetricsRegistry& reg,
   m_degraded_ = reg.gauge("magus_runtime_degraded",
                           "1 once the runtime released the uncore after repeated "
                           "failures, else 0");
+  if (domains_) {
+    const auto n = domain_mdfs_.size();
+    m_domain_target_.resize(n, nullptr);
+    m_domain_throughput_.resize(n, nullptr);
+    for (std::size_t d = 0; d < n; ++d) {
+      const std::string k = std::to_string(d);
+      m_domain_target_[d] =
+          reg.gauge("magus_uncore_domain" + k + "_target_ghz",
+                    "Executed uncore max-frequency target for domain " + k);
+      m_domain_throughput_[d] =
+          reg.gauge("magus_uncore_domain" + k + "_throughput_mbps",
+                    "Last observed memory throughput attributed to domain " + k);
+    }
+  }
   uncore_.attach_telemetry(reg);
 }
 
 void MagusRuntime::on_start(common::Seconds now) {
+  if (domains_) {
+    start_domains(now);
+    return;
+  }
   if (cfg_.scaling_enabled && !degraded_) {
     write_uncore(common::Ghz(uncore_.ladder().max_ghz()), now);
   }
@@ -79,6 +111,10 @@ void MagusRuntime::on_start(common::Seconds now) {
 }
 
 void MagusRuntime::on_sample(common::Seconds now) {
+  if (domains_) {
+    sample_domains(now);
+    return;
+  }
   double mb = 0.0;
   try {
     mb = mem_counter_.total_mb();
@@ -113,6 +149,164 @@ void MagusRuntime::on_sample(common::Seconds now) {
     write_uncore(common::Ghz(target->value()), now);
   }
   note_sample(now, target);
+}
+
+void MagusRuntime::start_domains(common::Seconds now) {
+  const auto n = domain_mdfs_.size();
+  if (cfg_.scaling_enabled && !degraded_) {
+    for (std::size_t d = 0; d < n; ++d) {
+      write_domain(static_cast<int>(d), common::Ghz(uncore_.ladder().max_ghz()), now);
+    }
+  }
+  telemetry::set(m_target_ghz_, uncore_.ladder().max_ghz());
+  // Prime every domain's cumulative baseline in one sweep; a single bad
+  // read leaves the runtime unprimed so the first valid on_sample primes.
+  bool ok = true;
+  for (std::size_t d = 0; d < n && ok; ++d) {
+    double mb = 0.0;
+    try {
+      mb = mem_counter_.domain_mb(static_cast<int>(d));
+    } catch (const common::DeviceError&) {
+      ok = false;
+      break;
+    }
+    if (!std::isfinite(mb) || mb < 0.0) {
+      ok = false;
+      break;
+    }
+    domain_prev_mb_[d] = mb;
+  }
+  if (ok) {
+    prev_t_ = now.value();
+    primed_ = true;
+  } else {
+    ++bad_samples_;
+    telemetry::inc(m_sample_errors_);
+    primed_ = false;
+  }
+}
+
+void MagusRuntime::sample_domains(common::Seconds now) {
+  const auto n = domain_mdfs_.size();
+  if (!primed_) {
+    // Re-prime: identical to the start sweep, no decisions this round.
+    bool ok = true;
+    for (std::size_t d = 0; d < n && ok; ++d) {
+      double mb = 0.0;
+      try {
+        mb = mem_counter_.domain_mb(static_cast<int>(d));
+      } catch (const common::DeviceError&) {
+        ok = false;
+        break;
+      }
+      if (!std::isfinite(mb) || mb < 0.0) {
+        ok = false;
+        break;
+      }
+      domain_prev_mb_[d] = mb;
+    }
+    if (ok) {
+      prev_t_ = now.value();
+      primed_ = true;
+    } else {
+      ++bad_samples_;
+      telemetry::inc(m_sample_errors_);
+    }
+    return;
+  }
+  const double dt = now.value() - prev_t_;
+  if (dt <= 0.0) return;
+  prev_t_ = now.value();
+
+  double total_mbps = 0.0;
+  unsigned retargets = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    double mb = 0.0;
+    bool good = true;
+    try {
+      mb = mem_counter_.domain_mb(static_cast<int>(d));
+    } catch (const common::DeviceError&) {
+      good = false;
+    }
+    if (good && (!std::isfinite(mb) || mb < 0.0)) good = false;
+    if (good) {
+      const double mbps = (mb - domain_prev_mb_[d]) / dt;
+      if (mbps < 0.0) {
+        // A cumulative counter never decreases; this reading is corrupt.
+        good = false;
+      } else {
+        domain_throughput_[d] = common::Mbps(mbps);
+        domain_prev_mb_[d] = mb;
+      }
+    }
+    if (!good) {
+      // This domain holds its last good throughput (its baseline stays put,
+      // so the next good reading averages across the gap); siblings are
+      // unaffected.
+      ++bad_samples_;
+      telemetry::inc(m_sample_errors_);
+      if (events_) {
+        events_->emit(telemetry::Event(now.value(), "sample_rejected")
+                          .num("domain", static_cast<double>(d))
+                          .num("held_throughput_mbps", domain_throughput_[d].value()));
+      }
+    }
+    total_mbps += domain_throughput_[d].value();
+
+    const std::optional<common::Ghz> target =
+        domain_mdfs_[d]->on_throughput(now, domain_throughput_[d]);
+    if (target) {
+      ++retargets;
+      if (cfg_.scaling_enabled && !degraded_) {
+        write_domain(static_cast<int>(d), common::Ghz(target->value()), now);
+      }
+      if (events_) {
+        events_->emit(telemetry::Event(now.value(), "uncore_retarget")
+                          .num("domain", static_cast<double>(d))
+                          .num("target_ghz", target->value())
+                          .num("throughput_mbps", domain_throughput_[d].value())
+                          .flag("high_freq", domain_mdfs_[d]->high_freq_status()));
+      }
+    }
+    if (d < m_domain_target_.size()) {
+      telemetry::set(m_domain_target_[d], domain_mdfs_[d]->current_target().value());
+      telemetry::set(m_domain_throughput_[d], domain_throughput_[d].value());
+    }
+  }
+  last_throughput_ = common::Mbps(total_mbps);
+  telemetry::inc(m_samples_);
+  telemetry::set(m_throughput_, total_mbps);
+  telemetry::inc(m_tuning_events_, retargets);
+}
+
+void MagusRuntime::write_domain(int domain, common::Ghz ghz, common::Seconds now) {
+  const ResilienceConfig& res = cfg_.resilience;
+  common::Seconds backoff = res.backoff_base;
+  for (int attempt = 0; attempt <= res.write_retries; ++attempt) {
+    if (attempt > 0) {
+      telemetry::inc(m_msr_retries_);
+      if (backoff_sleeper_) backoff_sleeper_(backoff);
+      backoff = common::Seconds(backoff.value() * res.backoff_mult);
+    }
+    try {
+      domains_->write_max_ghz(domain, ghz);
+      consecutive_write_failures_ = 0;
+      return;
+    } catch (const common::DeviceError&) {
+      telemetry::inc(m_msr_failures_);
+    }
+  }
+  ++write_failures_;
+  ++consecutive_write_failures_;
+  if (events_) {
+    events_->emit(telemetry::Event(now.value(), "uncore_write_failed")
+                      .num("domain", static_cast<double>(domain))
+                      .num("target_ghz", ghz.value())
+                      .num("consecutive", consecutive_write_failures_));
+  }
+  if (consecutive_write_failures_ >= res.max_consecutive_failures) {
+    enter_degraded(now);
+  }
 }
 
 void MagusRuntime::hold_last_good(common::Seconds now) {
@@ -164,13 +358,24 @@ void MagusRuntime::write_uncore(common::Ghz ghz, common::Seconds now) {
 void MagusRuntime::enter_degraded(common::Seconds now) {
   if (degraded_) return;
   degraded_ = true;
-  // Safe fallback: best-effort release of every socket to the ladder
-  // maximum (the firmware default), one try per socket -- a socket whose
-  // device is still failing is left to the firmware watchdog.
-  for (int socket = 0; socket < msr_.socket_count(); ++socket) {
-    try {
-      uncore_.set_max_ghz(socket, uncore_.ladder().max_ghz());
-    } catch (const common::DeviceError&) {
+  // Safe fallback: best-effort release of every socket (or, in per-domain
+  // mode, every domain) to the ladder maximum (the firmware default), one
+  // try each -- a device that is still failing is left to the firmware
+  // watchdog.
+  if (domains_) {
+    for (std::size_t d = 0; d < domain_mdfs_.size(); ++d) {
+      try {
+        domains_->write_max_ghz(static_cast<int>(d),
+                                common::Ghz(uncore_.ladder().max_ghz()));
+      } catch (const common::DeviceError&) {
+      }
+    }
+  } else {
+    for (int socket = 0; socket < msr_.socket_count(); ++socket) {
+      try {
+        uncore_.set_max_ghz(socket, uncore_.ladder().max_ghz());
+      } catch (const common::DeviceError&) {
+      }
     }
   }
   telemetry::set(m_degraded_, 1.0);
@@ -232,7 +437,8 @@ int register_magus_policy() {
           require_backend(ctx.msr, "magus", "an MSR device");
           require_backend(ctx.ladder, "magus", "an uncore frequency ladder");
           auto magus = std::make_unique<MagusRuntime>(
-              *ctx.mem_counter, *ctx.msr, *ctx.ladder, ctx.magus ? *ctx.magus : MagusConfig{});
+              *ctx.mem_counter, *ctx.msr, *ctx.ladder,
+              ctx.magus ? *ctx.magus : MagusConfig{}, ctx.domains);
           if (ctx.metrics) magus->attach_telemetry(*ctx.metrics, ctx.events);
           return magus;
         },

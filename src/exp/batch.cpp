@@ -43,6 +43,10 @@ std::size_t BatchRun::add(const sim::SystemSpec& system, const wl::PhaseProgram&
   ctx.static_ghz = opts.static_ghz;
   ctx.metrics = opts.metrics;
   ctx.events = opts.events;
+  // Per-domain control only on multi-domain nodes (same gate as run_policy).
+  if (system.cpu.dies_per_socket > 1 || system.numa_skew != 0.0) {
+    ctx.domains = &engine_.domains(lane);
+  }
 
   const core::PolicyFactory& factory = core::PolicyFactory::instance();
   job.policy = factory.make_policy(policy, ctx);

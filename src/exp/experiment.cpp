@@ -43,6 +43,11 @@ RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& work
   ctx.static_ghz = opts.static_ghz;
   ctx.metrics = opts.metrics;
   ctx.events = opts.events;
+  // Per-domain control only on multi-domain nodes: single-domain runs keep
+  // the legacy node-level loop (and its exact counter-access sequence).
+  if (system.cpu.dies_per_socket > 1 || system.numa_skew != 0.0) {
+    ctx.domains = &engine.domains();
+  }
 
   const core::PolicyFactory& factory = core::PolicyFactory::instance();
   std::unique_ptr<core::IPolicy> bound = factory.make_policy(policy, ctx);

@@ -1,5 +1,6 @@
 #include "magus/fault/injectors.hpp"
 
+#include <cstddef>
 #include <limits>
 #include <string>
 
@@ -53,6 +54,34 @@ double FaultyMemThroughputCounter::total_mb() {
   const double mb = inner_.total_mb();
   last_good_mb_ = mb;
   have_last_good_ = true;
+  return mb;
+}
+
+double FaultyMemThroughputCounter::domain_mb(int domain) {
+  ++stats_.mem_reads;
+  const auto slot = static_cast<std::size_t>(domain < 0 ? 0 : domain);
+  if (slot >= domain_last_good_mb_.size()) {
+    domain_last_good_mb_.resize(slot + 1, 0.0);
+    domain_have_last_good_.resize(slot + 1, false);
+  }
+  const FaultKind kind = plan_.decide(FaultOp::kMemRead, op_index_++);
+  switch (kind) {
+    case FaultKind::kStale:
+      ++stats_.stale_samples;
+      if (domain_have_last_good_[slot]) return domain_last_good_mb_[slot];
+      break;  // nothing to replay yet; read for real below
+    case FaultKind::kNan:
+      ++stats_.nan_samples;
+      return std::numeric_limits<double>::quiet_NaN();
+    case FaultKind::kNegative:
+      ++stats_.negative_samples;
+      return -1.0;
+    default:
+      break;
+  }
+  const double mb = inner_.domain_mb(domain);
+  domain_last_good_mb_[slot] = mb;
+  domain_have_last_good_[slot] = true;
   return mb;
 }
 

@@ -8,6 +8,7 @@
 #include "magus/common/error.hpp"
 #include "magus/core/policy_factory.hpp"
 #include "magus/exp/experiment_config.hpp"
+#include "magus/sim/kernel.hpp"
 #include "magus/sim/system_preset.hpp"
 #include "magus/telemetry/event_log.hpp"
 #include "magus/wl/catalog.hpp"
@@ -35,7 +36,11 @@ std::vector<std::string> NodeSpec::validate(const std::string& prefix) const {
 
   if (name_.empty()) add("node name must not be empty");
   try {
-    (void)sim::system_by_name(system_);
+    const sim::SystemSpec system = sim::system_by_name(system_);
+    if (dies_ >= 1 && system.cpu.sockets * dies_ > sim::kern::kMaxDomains) {
+      add("sockets * dies exceeds " + std::to_string(sim::kern::kMaxDomains) + " (got " +
+          std::to_string(system.cpu.sockets * dies_) + ")");
+    }
   } catch (const common::Error&) {
     add("unknown system '" + system_ + "'");
   }
@@ -50,6 +55,10 @@ std::vector<std::string> NodeSpec::validate(const std::string& prefix) const {
         ")");
   }
   if (gpus_ < 1) add("gpus must be >= 1 (got " + std::to_string(gpus_) + ")");
+  if (dies_ < 1) add("dies must be >= 1 (got " + std::to_string(dies_) + ")");
+  if (numa_skew_ < 0.0 || numa_skew_ >= 1.0) {
+    add("numa_skew must be in [0, 1) (got " + std::to_string(numa_skew_) + ")");
+  }
   if (count_ < 1) add("count must be >= 1 (got " + std::to_string(count_) + ")");
   if (policy_ == "static" && static_uncore_ <= common::Ghz(0.0)) {
     add("policy 'static' needs a positive static_uncore frequency");
@@ -132,6 +141,8 @@ std::string FleetManifest::to_jsonl() const {
                .str("policy", n.policy())
                .num("gpus", n.gpus())
                .num("static_uncore_ghz", n.static_uncore().value())
+               .num("dies", n.dies())
+               .num("numa_skew", n.numa_skew())
                .num("count", n.count())
                .to_json() +
            "\n";
@@ -187,6 +198,10 @@ FleetManifest FleetManifest::from_jsonl(const std::string& text) {
           .policy(field("policy"))
           .gpus(static_cast<int>(std::stod(field("gpus"))))
           .static_uncore(common::Ghz(std::stod(field("static_uncore_ghz"))))
+          // Domain fields postdate the v1 node lines: an old manifest is a
+          // fleet of single-domain, skew-free nodes.
+          .dies(static_cast<int>(std::stod(field_or("dies", "1"))))
+          .numa_skew(std::stod(field_or("numa_skew", "0")))
           .count(static_cast<int>(std::stod(field("count"))));
       manifest.add_node(std::move(node));
     } else {
@@ -264,6 +279,8 @@ fleet::NodeSpec ExperimentConfig::to_node_spec(int count) const {
       .policy(policy)
       .gpus(gpus)
       .static_uncore(static_ghz)
+      .dies(dies)
+      .numa_skew(numa_skew)
       .count(count);
   return node;
 }

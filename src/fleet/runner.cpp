@@ -20,6 +20,48 @@
 
 namespace magus::fleet {
 
+namespace {
+
+/// Shared by both tick paths: per-domain uncore-energy savings and memory
+/// stretch-time slowdown vs the default twin. A default-policy node is its
+/// own twin, so its deltas are exactly zero. Slowdown uses the time each
+/// domain spent stretched by memory pressure -- the per-domain analogue of
+/// the runtime ratio (per-domain wall clock does not exist; domains of one
+/// node finish together).
+void fill_domain_metrics(NodeResult& out, const sim::SimResult& run,
+                         const sim::SimResult& baseline) {
+  const std::size_t n = run.domain_uncore_energy_j.size();
+  out.domains = n == 0 ? 1 : static_cast<int>(n);
+  out.domain_joules_saved.assign(n, 0.0);
+  out.domain_slowdown_pct.assign(n, 0.0);
+  for (std::size_t d = 0; d < n; ++d) {
+    const double base_j = d < baseline.domain_uncore_energy_j.size()
+                              ? baseline.domain_uncore_energy_j[d]
+                              : run.domain_uncore_energy_j[d];
+    out.domain_joules_saved[d] = base_j - run.domain_uncore_energy_j[d];
+    const double base_stretch = d < baseline.domain_stretch_time_s.size()
+                                    ? baseline.domain_stretch_time_s[d]
+                                    : 0.0;
+    out.domain_slowdown_pct[d] =
+        base_stretch > 0.0
+            ? 100.0 * (run.domain_stretch_time_s[d] / base_stretch - 1.0)
+            : 0.0;
+  }
+}
+
+/// Comma-joined doubles in the registry's canonical format, so node lines
+/// stay one flat JSON object per line (the parser has no array support).
+std::string join_doubles(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ",";
+    out += telemetry::format_double(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
 FleetRunner::FleetRunner(FleetManifest manifest) : manifest_(std::move(manifest)) {
   manifest_.validate_or_throw();
   expanded_ = manifest_.expand();
@@ -60,6 +102,10 @@ FleetRunner::NodeInputs FleetRunner::node_inputs(std::size_t index) const {
 
   NodeInputs in{sim::system_by_name(spec.system()),
                 wl::apply_jitter(program, node_rng, manifest_.jitter()), {}};
+  // Domain knobs override the preset. The defaults (1 die, zero skew) match
+  // every preset, so legacy specs reproduce the pre-domain inputs exactly.
+  in.system.cpu.dies_per_socket = spec.dies();
+  in.system.numa_skew = spec.numa_skew();
   in.opts.engine.seed = manifest_.seed() * 1000003ull + index;
   in.opts.engine.record_traces = false;
   in.opts.static_ghz = spec.static_uncore();
@@ -117,6 +163,7 @@ NodeResult FleetRunner::run_node(std::size_t index) const {
       out.faults_injected = run.faults.injected() + twin.faults.injected();
       out.ticks = run.result.ticks + twin.result.ticks;
       out.control_latency_s = run.result.avg_invocation_s();
+      fill_domain_metrics(out, run.result, baseline);
       out.error.clear();
       return out;
     } catch (const std::exception& e) {
@@ -224,6 +271,7 @@ void FleetRunner::run_shard_batch(std::size_t begin, std::size_t end,
       out.ticks = run.result.ticks +
                   (map.has_twin ? batch.output(map.twin_lane).result.ticks : 0u);
       out.control_latency_s = run.result.avg_invocation_s();
+      fill_domain_metrics(out, run.result, baseline);
       out.error.clear();
     }
     // Keep node-index order so error strings and retry rounds are stable.
@@ -297,6 +345,12 @@ FleetResult FleetRunner::run() {
     std::size_t failed = 0;
   };
   std::map<std::string, PolicyAcc> by_policy;
+  struct DomainAcc {
+    std::vector<double> slowdowns;  ///< failed nodes excluded
+    double joules = 0.0;
+    std::size_t nodes = 0;
+  };
+  std::vector<DomainAcc> by_domain;
   for (const NodeResult& r : results) {
     // A failed node contributes its (zeroed) joules but is excluded from the
     // slowdown percentiles: its numerics are placeholders, not measurements.
@@ -311,6 +365,15 @@ FleetResult FleetRunner::run() {
     acc.joules += r.joules_saved;
     acc.degraded += r.degraded ? 1u : 0u;
     acc.failed += r.failed ? 1u : 0u;
+    // Per-domain rollup; a failed node's vectors are empty, so it simply
+    // contributes to no domain (matching its zeroed node-level numerics).
+    for (std::size_t d = 0; d < r.domain_joules_saved.size(); ++d) {
+      if (by_domain.size() <= d) by_domain.resize(d + 1);
+      DomainAcc& dacc = by_domain[d];
+      ++dacc.nodes;
+      dacc.joules += r.domain_joules_saved[d];
+      if (!r.failed) dacc.slowdowns.push_back(r.domain_slowdown_pct[d]);
+    }
   }
   fleet.slowdown_p50_pct = common::percentile(slowdowns, 50.0);
   fleet.slowdown_p95_pct = common::percentile(slowdowns, 95.0);
@@ -326,6 +389,16 @@ FleetResult FleetRunner::run() {
     roll.slowdown_p95_pct = common::percentile(acc.slowdowns, 95.0);
     roll.slowdown_p99_pct = common::percentile(acc.slowdowns, 99.0);
     fleet.per_policy.push_back(std::move(roll));
+  }
+  for (std::size_t d = 0; d < by_domain.size(); ++d) {
+    DomainRollup roll;
+    roll.domain = static_cast<int>(d);
+    roll.nodes = by_domain[d].nodes;
+    roll.joules_saved_total = by_domain[d].joules;
+    roll.slowdown_p50_pct = common::percentile(by_domain[d].slowdowns, 50.0);
+    roll.slowdown_p95_pct = common::percentile(by_domain[d].slowdowns, 95.0);
+    roll.slowdown_p99_pct = common::percentile(by_domain[d].slowdowns, 99.0);
+    fleet.per_domain.push_back(std::move(roll));
   }
   fleet.nodes = std::move(results);
 
@@ -369,6 +442,17 @@ std::string FleetResult::to_jsonl() const {
                .to_json() +
            "\n";
   }
+  for (const DomainRollup& roll : per_domain) {
+    out += telemetry::Event(0.0, "domain_rollup")
+               .num("domain", static_cast<double>(roll.domain))
+               .num("nodes", static_cast<double>(roll.nodes))
+               .num("joules_saved_total", roll.joules_saved_total)
+               .num("slowdown_p50_pct", roll.slowdown_p50_pct)
+               .num("slowdown_p95_pct", roll.slowdown_p95_pct)
+               .num("slowdown_p99_pct", roll.slowdown_p99_pct)
+               .to_json() +
+           "\n";
+  }
   for (const NodeResult& r : nodes) {
     out += telemetry::Event(0.0, "node_result")
                .str("node", r.name)
@@ -388,6 +472,9 @@ std::string FleetResult::to_jsonl() const {
                .num("baseline_energy_j", r.baseline_energy_j)
                .num("joules_saved", r.joules_saved)
                .num("slowdown_pct", r.slowdown_pct)
+               .num("domains", static_cast<double>(r.domains))
+               .str("domain_joules_saved", join_doubles(r.domain_joules_saved))
+               .str("domain_slowdown_pct", join_doubles(r.domain_slowdown_pct))
                .str("error", r.error)
                .to_json() +
            "\n";

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -45,7 +46,7 @@ HostCapabilities probe_host() {
   HostCapabilities caps;
   caps.msr_dev = ::access("/dev/cpu/0/msr", R_OK) == 0;
   caps.rapl_powercap = fs::exists("/sys/class/powercap/intel-rapl");
-  caps.uncore_freq_sysfs = fs::exists("/sys/devices/system/cpu/intel_uncore_frequency");
+  caps.uncore_freq_sysfs = fs::exists(uncore_freq_sysfs_root());
   caps.online_cpus = static_cast<int>(std::thread::hardware_concurrency());
   return caps;
 }
@@ -171,14 +172,14 @@ double SysfsUncoreFreq::max_ghz(int package) const {
   }
   const std::string& dir = package_dirs_[static_cast<std::size_t>(package)];
   const long long khz = read_ll_file(dir + "/max_freq_khz");
-  return static_cast<double>(khz) * 1e-6;
+  return common::to_ghz(common::Khz(static_cast<double>(khz))).value();
 }
 
 void SysfsUncoreFreq::set_max_ghz(int package, double ghz) {
   if (package < 0 || package >= package_count()) {
     throw common::ConfigError("SysfsUncoreFreq: package out of range");
   }
-  const long long khz = static_cast<long long>(ghz * 1e6);
+  const long long khz = std::llround(common::to_khz(common::Ghz(ghz)).value());
   const std::string& dir = package_dirs_[static_cast<std::size_t>(package)];
   write_text_file(dir + "/max_freq_khz", std::to_string(khz));
 }

@@ -46,7 +46,9 @@ std::uint64_t SimMsrDevice::read(int socket, std::uint32_t reg) {
     case hw::msr::kUncoreRatioLimit:
       return raw_0x620_[static_cast<std::size_t>(socket)];
     case hw::msr::kUncorePerfStatus:
-      return common::to_ratio(node_.uncore(socket).freq()).value();
+      // First die of the socket (the socket's representative domain).
+      return common::to_ratio(node_.uncore(socket * node_.dies_per_socket()).freq())
+          .value();
     case hw::msr::kRaplPowerUnit:
       return sim_rapl_units().encode();
     case hw::msr::kPkgEnergyStatus:
@@ -70,12 +72,75 @@ void SimMsrDevice::write(int socket, std::uint32_t reg, std::uint64_t value) {
   }
   raw_0x620_[static_cast<std::size_t>(socket)] = value;
   const auto limit = hw::UncoreRatioLimit::decode(value);
-  node_.uncore(socket).set_policy_limit(common::Ghz(limit.max_ghz()));
+  // A socket-granular MSR write lands on every die in the package.
+  for (int die = 0; die < node_.dies_per_socket(); ++die) {
+    node_.uncore(socket * node_.dies_per_socket() + die)
+        .set_policy_limit(common::Ghz(limit.max_ghz()));
+  }
 }
 
 double SimMemThroughputCounter::total_mb() {
   ++meter_.pcm_reads;
   return node_.total_traffic_mb();
+}
+
+int SimMemThroughputCounter::domain_count() { return node_.domain_count(); }
+
+double SimMemThroughputCounter::domain_mb(int domain) {
+  if (domain < 0 || domain >= node_.domain_count()) {
+    throw common::ConfigError("SimMemThroughputCounter: domain out of range");
+  }
+  ++meter_.pcm_reads;
+  return node_.domain_traffic_mb(domain);
+}
+
+int SimUncoreDomainSet::domain_count() const { return node_.domain_count(); }
+
+void SimUncoreDomainSet::check_domain(int domain) const {
+  if (domain < 0 || domain >= node_.domain_count()) {
+    throw common::ConfigError("SimUncoreDomainSet: domain out of range");
+  }
+}
+
+hw::DomainId SimUncoreDomainSet::domain_id(int domain) const {
+  check_domain(domain);
+  return hw::DomainId{domain / node_.dies_per_socket(), domain % node_.dies_per_socket()};
+}
+
+common::Ghz SimUncoreDomainSet::min_ghz(int domain) {
+  check_domain(domain);
+  ++meter_.msr_reads;
+  return common::Ghz(node_.uncore(domain).ladder().min_ghz());
+}
+
+common::Ghz SimUncoreDomainSet::max_ghz(int domain) {
+  check_domain(domain);
+  ++meter_.msr_reads;
+  return node_.uncore(domain).policy_limit();
+}
+
+common::Ghz SimUncoreDomainSet::current_ghz(int domain) {
+  check_domain(domain);
+  ++meter_.msr_reads;
+  return node_.uncore(domain).freq();
+}
+
+void SimUncoreDomainSet::write_max_ghz(int domain, common::Ghz freq) {
+  check_domain(domain);
+  // Same access discipline as UncoreFreqController: read back the
+  // programmed limit, skip the write when it is already in place.
+  ++meter_.msr_reads;
+  const double target = node_.uncore(domain).ladder().clamp_ghz(freq.value());
+  if (node_.uncore(domain).policy_limit().value() == target) return;
+  node_.uncore(domain).set_policy_limit(common::Ghz(target));
+  ++meter_.msr_writes;
+}
+
+void SimUncoreDomainSet::write_min_ghz(int domain, common::Ghz freq) {
+  check_domain(domain);
+  (void)freq;
+  // The sim kernel models no min clamp; the ladder floor is the min.
+  throw common::CapabilityError("SimUncoreDomainSet: min clamp not modelled");
 }
 
 int SimEnergyCounter::socket_count() const { return node_.socket_count(); }

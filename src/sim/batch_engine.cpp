@@ -27,7 +27,14 @@ std::uint64_t BatchMsrDevice::read(int socket, std::uint32_t reg) {
     case hw::msr::kUncoreRatioLimit:
       return lane.raw_0x620[static_cast<std::size_t>(socket)];
     case hw::msr::kUncorePerfStatus:
-      return common::to_ratio(common::Ghz(engine_->uncore_[slot].freq_ghz)).value();
+      // First die of the socket (the socket's representative domain).
+      return common::to_ratio(
+                 common::Ghz(engine_
+                                 ->uncore_[lane.domain_base +
+                                           static_cast<std::size_t>(
+                                               socket * lane.params.dies_per_socket)]
+                                 .freq_ghz))
+          .value();
     case hw::msr::kRaplPowerUnit:
       return sim_rapl_units().encode();
     case hw::msr::kPkgEnergyStatus:
@@ -52,15 +59,94 @@ void BatchMsrDevice::write(int socket, std::uint32_t reg, std::uint64_t value) {
   }
   lane.raw_0x620[static_cast<std::size_t>(socket)] = value;
   const auto limit = hw::UncoreRatioLimit::decode(value);
-  const std::size_t slot = lane.socket_base + static_cast<std::size_t>(socket);
-  kern::uncore_set_policy_limit(engine_->uncore_[slot], lane.params.ladder,
-                                limit.max_ghz());
+  // A socket-granular MSR write lands on every die in the package.
+  const int dies = lane.params.dies_per_socket;
+  for (int die = 0; die < dies; ++die) {
+    const std::size_t slot =
+        lane.domain_base + static_cast<std::size_t>(socket * dies + die);
+    kern::uncore_set_policy_limit(engine_->uncore_[slot], lane.params.ladder,
+                                  limit.max_ghz());
+  }
 }
 
 double BatchMemThroughputCounter::total_mb() {
   BatchEngine::Lane& lane = engine_->lanes_[lane_];
   ++lane.meter.pcm_reads;
   return engine_->traffic_mb_[lane_];
+}
+
+int BatchMemThroughputCounter::domain_count() {
+  return engine_->lanes_[lane_].params.domains();
+}
+
+double BatchMemThroughputCounter::domain_mb(int domain) {
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  if (domain < 0 || domain >= lane.params.domains()) {
+    throw common::ConfigError("SimMemThroughputCounter: domain out of range");
+  }
+  ++lane.meter.pcm_reads;
+  return engine_->domain_traffic_mb_[lane.domain_base + static_cast<std::size_t>(domain)];
+}
+
+int BatchUncoreDomainSet::domain_count() const {
+  return engine_->lanes_[lane_].params.domains();
+}
+
+void BatchUncoreDomainSet::check_domain(int domain) const {
+  if (domain < 0 || domain >= engine_->lanes_[lane_].params.domains()) {
+    throw common::ConfigError("SimUncoreDomainSet: domain out of range");
+  }
+}
+
+hw::DomainId BatchUncoreDomainSet::domain_id(int domain) const {
+  check_domain(domain);
+  const int dies = engine_->lanes_[lane_].params.dies_per_socket;
+  return hw::DomainId{domain / dies, domain % dies};
+}
+
+common::Ghz BatchUncoreDomainSet::min_ghz(int domain) {
+  check_domain(domain);
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  ++lane.meter.msr_reads;
+  return common::Ghz(lane.params.ladder.min_ghz());
+}
+
+common::Ghz BatchUncoreDomainSet::max_ghz(int domain) {
+  check_domain(domain);
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  ++lane.meter.msr_reads;
+  return common::Ghz(
+      engine_->uncore_[lane.domain_base + static_cast<std::size_t>(domain)]
+          .policy_limit_ghz);
+}
+
+common::Ghz BatchUncoreDomainSet::current_ghz(int domain) {
+  check_domain(domain);
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  ++lane.meter.msr_reads;
+  return common::Ghz(
+      engine_->uncore_[lane.domain_base + static_cast<std::size_t>(domain)].freq_ghz);
+}
+
+void BatchUncoreDomainSet::write_max_ghz(int domain, common::Ghz freq) {
+  check_domain(domain);
+  BatchEngine::Lane& lane = engine_->lanes_[lane_];
+  // Same access discipline as UncoreFreqController: read back the
+  // programmed limit, skip the write when it is already in place.
+  ++lane.meter.msr_reads;
+  kern::UncoreState& st =
+      engine_->uncore_[lane.domain_base + static_cast<std::size_t>(domain)];
+  const double target = lane.params.ladder.clamp_ghz(freq.value());
+  if (st.policy_limit_ghz == target) return;
+  kern::uncore_set_policy_limit(st, lane.params.ladder, target);
+  ++lane.meter.msr_writes;
+}
+
+void BatchUncoreDomainSet::write_min_ghz(int domain, common::Ghz freq) {
+  check_domain(domain);
+  (void)freq;
+  // The sim kernel models no min clamp; the ladder floor is the min.
+  throw common::CapabilityError("SimUncoreDomainSet: min clamp not modelled");
 }
 
 int BatchEnergyCounter::socket_count() const {
@@ -141,7 +227,8 @@ BatchEngine::Lane::Lane(BatchEngine& engine, std::size_t lane_index, SystemSpec 
       mem(engine, lane_index),
       energy(engine, lane_index),
       gpu_sensor(engine, lane_index),
-      cores(engine, lane_index) {}
+      cores(engine, lane_index),
+      domain_set(engine, lane_index) {}
 
 std::size_t BatchEngine::add_lane(const SystemSpec& system, wl::PhaseProgram program,
                                   const EngineConfig& cfg) {
@@ -155,16 +242,29 @@ std::size_t BatchEngine::add_lane(const SystemSpec& system, wl::PhaseProgram pro
         "BatchEngine: trace recording is a per-node concern (use SimEngine)");
   }
 
+  // Same spec validation NodeModel performs for SimEngine (same strings).
+  if (system.cpu.dies_per_socket < 1) {
+    throw common::ConfigError("NodeModel: dies_per_socket must be >= 1");
+  }
+  if (system.numa_skew < 0.0 || system.numa_skew >= 1.0) {
+    throw common::ConfigError("NodeModel: numa_skew must be in [0, 1)");
+  }
+  if (system.cpu.sockets * system.cpu.dies_per_socket > kern::kMaxDomains) {
+    throw common::ConfigError("NodeModel: sockets * dies_per_socket exceeds " +
+                              std::to_string(kern::kMaxDomains));
+  }
+
   const std::size_t index = lanes_.size();
   lanes_.emplace_back(*this, index, system, std::move(program), cfg);
   Lane& lane = lanes_.back();
   lane.executor.emplace(lane.program);  // deque: the program address is stable
 
-  lane.socket_base = uncore_.size();
+  lane.socket_base = firmware_.size();
+  lane.domain_base = uncore_.size();
   const auto sockets = static_cast<std::size_t>(lane.params.sockets);
+  const auto domains = static_cast<std::size_t>(lane.params.domains());
   lane.raw_0x620.resize(sockets);
   for (std::size_t s = 0; s < sockets; ++s) {
-    uncore_.push_back(kern::init_uncore(lane.params.ladder));
     firmware_.push_back(kern::init_firmware(lane.params.fw));
     pkg_energy_j_.push_back(0.0);
     dram_energy_j_.push_back(0.0);
@@ -173,6 +273,12 @@ std::size_t BatchEngine::add_lane(const SystemSpec& system, wl::PhaseProgram pro
     limit.max_ratio = lane.params.ladder.max_ratio();
     limit.min_ratio = lane.params.ladder.min_ratio();
     lane.raw_0x620[s] = limit.encode();
+  }
+  for (std::size_t d = 0; d < domains; ++d) {
+    uncore_.push_back(kern::init_uncore(lane.params.ladder));
+    domain_traffic_mb_.push_back(0.0);
+    domain_uncore_energy_j_.push_back(0.0);
+    domain_stretch_time_s_.push_back(0.0);
   }
   core_.push_back(kern::init_core(lane.params.core));
   gpu_.push_back(kern::init_gpu(lane.params.gpu));
@@ -198,6 +304,9 @@ hw::IGpuPowerSensor& BatchEngine::gpu_sensor(std::size_t lane) {
 hw::ICoreCounters& BatchEngine::core_counters(std::size_t lane) {
   return lanes_[lane].cores;
 }
+hw::IUncoreDomainSet& BatchEngine::domains(std::size_t lane) {
+  return lanes_[lane].domain_set;
+}
 
 bool BatchEngine::lane_failed(std::size_t lane) const { return lanes_[lane].failed; }
 
@@ -210,14 +319,16 @@ const SimResult& BatchEngine::result(std::size_t lane) const {
 }
 
 /// SoA lane view for kern::node_tick. Per-socket state resolves through the
-/// lane's socket base; per-lane state through the lane index.
+/// lane's socket base, per-domain state through its domain base, per-lane
+/// state through the lane index.
 struct BatchEngine::SoaLane {
   BatchEngine& e;
   std::size_t lane;
   std::size_t base;
+  std::size_t dbase;
 
-  [[nodiscard]] kern::UncoreState& uncore(int s) const {
-    return e.uncore_[base + static_cast<std::size_t>(s)];
+  [[nodiscard]] kern::UncoreState& uncore(int d) const {
+    return e.uncore_[dbase + static_cast<std::size_t>(d)];
   }
   [[nodiscard]] kern::FirmwareState& firmware(int s) const {
     return e.firmware_[base + static_cast<std::size_t>(s)];
@@ -235,6 +346,15 @@ struct BatchEngine::SoaLane {
   }
   [[nodiscard]] double& traffic_mb() const { return e.traffic_mb_[lane]; }
   [[nodiscard]] common::Rng& rng() const { return e.rng_[lane]; }
+  [[nodiscard]] double& domain_traffic_mb(int d) const {
+    return e.domain_traffic_mb_[dbase + static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] double& domain_uncore_energy(int d) const {
+    return e.domain_uncore_energy_j_[dbase + static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] double& domain_stretch_time(int d) const {
+    return e.domain_stretch_time_s_[dbase + static_cast<std::size_t>(d)];
+  }
 };
 
 void BatchEngine::start_lane(Lane& lane) {
@@ -262,7 +382,7 @@ bool BatchEngine::step_lane(std::size_t index) {
   // charge fields only change at boundaries, so hoisting them is exact.
   ProgramExecutor& exec = *lane.executor;
   const double dt = lane.cfg.tick_s;
-  const SoaLane view{*this, index, lane.socket_base};
+  const SoaLane view{*this, index, lane.socket_base, lane.domain_base};
   const double max_sim = lane.max_sim;
   const double next_sample_t = lane.next_sample_t;
   const double monitor_busy_until = lane.monitor_busy_until;
@@ -340,6 +460,15 @@ void BatchEngine::finish_lane(Lane& lane) {
     lane.result.avg_gpu_power_w = lane.result.gpu_energy_j / lane.t;
   }
   lane.result.accesses = lane.meter;
+  const auto domains = static_cast<std::size_t>(lane.params.domains());
+  lane.result.domain_uncore_energy_j.resize(domains);
+  lane.result.domain_stretch_time_s.resize(domains);
+  lane.result.domain_traffic_mb.resize(domains);
+  for (std::size_t d = 0; d < domains; ++d) {
+    lane.result.domain_uncore_energy_j[d] = domain_uncore_energy_j_[lane.domain_base + d];
+    lane.result.domain_stretch_time_s[d] = domain_stretch_time_s_[lane.domain_base + d];
+    lane.result.domain_traffic_mb[d] = domain_traffic_mb_[lane.domain_base + d];
+  }
   total_ticks_ += lane.ticks;
 }
 

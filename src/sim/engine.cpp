@@ -23,6 +23,7 @@ SimEngine::SimEngine(SystemSpec spec, wl::PhaseProgram program, EngineConfig cfg
   energy_counter_ = std::make_unique<SimEnergyCounter>(node_, meter_);
   gpu_sensor_ = std::make_unique<SimGpuPowerSensor>(node_);
   core_counters_ = std::make_unique<SimCoreCounters>(node_, meter_);
+  domains_ = std::make_unique<SimUncoreDomainSet>(node_, meter_);
 }
 
 void SimEngine::attach_telemetry(telemetry::MetricsRegistry& reg) {
@@ -118,6 +119,17 @@ SimResult SimEngine::run(const PolicyHook& policy) {
     result.avg_gpu_power_w = result.gpu_energy_j / t;
   }
   result.accesses = meter_;
+  const int domains = node_.domain_count();
+  result.domain_uncore_energy_j.resize(static_cast<std::size_t>(domains));
+  result.domain_stretch_time_s.resize(static_cast<std::size_t>(domains));
+  result.domain_traffic_mb.resize(static_cast<std::size_t>(domains));
+  for (int d = 0; d < domains; ++d) {
+    result.domain_uncore_energy_j[static_cast<std::size_t>(d)] =
+        node_.domain_uncore_energy_j(d);
+    result.domain_stretch_time_s[static_cast<std::size_t>(d)] =
+        node_.domain_stretch_time_s(d);
+    result.domain_traffic_mb[static_cast<std::size_t>(d)] = node_.domain_traffic_mb(d);
+  }
 
   telemetry::inc(m_steps_, ticks);
   telemetry::inc(m_invocations_, result.invocations);

@@ -1,5 +1,7 @@
 #include "magus/sim/node.hpp"
 
+#include "magus/common/error.hpp"
+
 namespace magus::sim {
 
 /// Lane view over the member model objects: kern::node_tick reads and writes
@@ -27,6 +29,15 @@ struct NodeModel::LaneView {
   }
   [[nodiscard]] double& traffic_mb() const { return n.traffic_mb_; }
   [[nodiscard]] common::Rng& rng() const { return n.noise_; }
+  [[nodiscard]] double& domain_traffic_mb(int d) const {
+    return n.domain_traffic_mb_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] double& domain_uncore_energy(int d) const {
+    return n.domain_uncore_energy_j_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] double& domain_stretch_time(int d) const {
+    return n.domain_stretch_time_s_[static_cast<std::size_t>(d)];
+  }
 };
 
 NodeModel::NodeModel(SystemSpec spec, std::uint64_t noise_seed)
@@ -35,16 +46,32 @@ NodeModel::NodeModel(SystemSpec spec, std::uint64_t noise_seed)
       cores_(spec_.cpu),
       gpu_(spec_.gpu),
       noise_(noise_seed) {
+  if (spec_.cpu.dies_per_socket < 1) {
+    throw common::ConfigError("NodeModel: dies_per_socket must be >= 1");
+  }
+  if (spec_.numa_skew < 0.0 || spec_.numa_skew >= 1.0) {
+    throw common::ConfigError("NodeModel: numa_skew must be in [0, 1)");
+  }
+  if (params_.domains() > kern::kMaxDomains) {
+    throw common::ConfigError("NodeModel: sockets * dies_per_socket exceeds " +
+                              std::to_string(kern::kMaxDomains));
+  }
   const auto sockets = static_cast<std::size_t>(spec_.cpu.sockets);
-  uncores_.reserve(sockets);
+  const auto domains = static_cast<std::size_t>(params_.domains());
+  uncores_.reserve(domains);
   firmware_.reserve(sockets);
+  for (std::size_t d = 0; d < domains; ++d) {
+    uncores_.emplace_back(spec_.cpu, spec_.cpu.dies_per_socket);
+  }
   for (std::size_t s = 0; s < sockets; ++s) {
-    uncores_.emplace_back(spec_.cpu);
     firmware_.emplace_back(spec_.cpu, spec_.tdp_backoff_frac);
   }
   pkg_energy_j_.assign(sockets, 0.0);
   dram_energy_j_.assign(sockets, 0.0);
   last_socket_pkg_w_.assign(sockets, 0.0);
+  domain_traffic_mb_.assign(domains, 0.0);
+  domain_uncore_energy_j_.assign(domains, 0.0);
+  domain_stretch_time_s_.assign(domains, 0.0);
 }
 
 double NodeModel::capacity_mbps() const noexcept {

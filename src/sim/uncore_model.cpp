@@ -5,22 +5,25 @@
 namespace magus::sim {
 
 namespace {
-kern::UncoreParams params_from(const CpuSpec& spec, const hw::UncoreFreqLadder& ladder) {
+kern::UncoreParams params_from(const CpuSpec& spec, const hw::UncoreFreqLadder& ladder,
+                               int share) {
+  MAGUS_EXPECT(share >= 1);
+  const double dies = static_cast<double>(share);
   kern::UncoreParams p;
-  p.leak_w = spec.uncore_leak_w;
-  p.k1_w_per_ghz = spec.uncore_k1_w_per_ghz;
-  p.k2_w_per_ghz2 = spec.uncore_k2_w_per_ghz2;
+  p.leak_w = spec.uncore_leak_w / dies;
+  p.k1_w_per_ghz = spec.uncore_k1_w_per_ghz / dies;
+  p.k2_w_per_ghz2 = spec.uncore_k2_w_per_ghz2 / dies;
   p.util_floor = spec.uncore_util_floor;
   p.bw_floor_frac = spec.bw_floor_frac;
-  p.peak_mem_bw_mbps = spec.peak_mem_bw_mbps;
+  p.peak_mem_bw_mbps = spec.peak_mem_bw_mbps / dies;
   p.ladder_max_ghz = ladder.max_ghz();
   return p;
 }
 }  // namespace
 
-UncoreModel::UncoreModel(const CpuSpec& spec)
+UncoreModel::UncoreModel(const CpuSpec& spec, int share)
     : ladder_(spec.uncore_min_ghz, spec.uncore_max_ghz),
-      params_(params_from(spec, ladder_)),
+      params_(params_from(spec, ladder_, share)),
       st_(kern::init_uncore(ladder_)) {}
 
 void UncoreModel::set_policy_limit(common::Ghz freq) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -37,6 +38,36 @@ TEST(PropQuantityRoundTrip, Ghz) { quantity_round_trip<mc::Ghz>(0xA11CE5EEDull);
 TEST(PropQuantityRoundTrip, Mbps) { quantity_round_trip<mc::Mbps>(0xB0B5EEDull); }
 TEST(PropQuantityRoundTrip, Seconds) { quantity_round_trip<mc::Seconds>(0xCAFE5EEDull); }
 TEST(PropQuantityRoundTrip, Joules) { quantity_round_trip<mc::Joules>(0xD06F00Dull); }
+TEST(PropQuantityRoundTrip, Khz) { quantity_round_trip<mc::Khz>(0x5E5F5EEDull); }
+
+// Property: an integral kHz count -- the only thing the intel_uncore_frequency
+// sysfs attribute files ever carry -- survives kHz -> GHz -> kHz to within far
+// less than half a kHz, so rounding to the nearest integer recovers it
+// exactly. This is the contract the sysfs backend's read/clamp/write path
+// leans on: write_khz_attr emits llround(to_khz(...)), and a limit read back
+// from the tree must equal the limit that was written. (The raw doubles are
+// NOT bit-identical: dividing by 1e6 is inexact in binary.)
+TEST(PropKhzConversion, IntegralKhzSurvivesRoundingBack) {
+  mt::Gen gen(0x5E5FCA5E5ull);
+  for (int i = 0; i < 10'000; ++i) {
+    // Up to 100 GHz in whole kHz: generous over any real uncore clock.
+    const long long khz = gen.int_in(0, 100'000'000);
+    const mc::Khz back = mc::to_khz(mc::to_ghz(mc::Khz(static_cast<double>(khz))));
+    EXPECT_EQ(std::llround(back.value()), khz) << "case " << i << ": " << khz << " kHz";
+    if (std::llround(back.value()) != khz) break;
+  }
+}
+
+// Property: model-side frequencies survive GHz -> kHz -> GHz to within
+// standard double rounding (the two multiplies cancel to <= 1 ULP each).
+TEST(PropKhzConversion, ModelGhzRoundTripsWithinRounding) {
+  mt::Gen gen(0x6E2C0DECull);
+  for (int i = 0; i < 10'000; ++i) {
+    const double ghz = gen.uniform() * 10.0;  // realistic clock range
+    const mc::Ghz back = mc::to_ghz(mc::to_khz(mc::Ghz(ghz)));
+    EXPECT_DOUBLE_EQ(back.value(), ghz) << "case " << i << ": " << ghz << " GHz";
+  }
+}
 
 TEST(PropQuantityRoundTrip, RejectsWrongOrMissingUnit) {
   mt::Gen gen(7);

@@ -148,8 +148,12 @@ TEST(FleetResult, JsonlShape) {
   EXPECT_EQ(jsonl.rfind("{\"t\":0,\"type\":\"fleet_rollup\"", 0), 0u) << jsonl;
   std::size_t lines = 0;
   for (char c : jsonl) lines += c == '\n' ? 1u : 0u;
-  EXPECT_EQ(lines, 1u + 3u + 12u);  // rollup + per-policy + per-node
+  // rollup + per-policy + per-domain (2 sockets x 1 die) + per-node
+  EXPECT_EQ(lines, 1u + 3u + 2u + 12u);
   EXPECT_NE(jsonl.find("\"type\":\"policy_rollup\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"domain_rollup\""), std::string::npos);
   EXPECT_NE(jsonl.find("\"type\":\"node_result\""), std::string::npos);
   EXPECT_NE(jsonl.find("\"node\":\"train/0\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"domains\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"domain_joules_saved\":\""), std::string::npos);
 }

@@ -12,11 +12,14 @@ namespace mf = magus::fleet;
 TEST(NodeSpec, FluentBuilderChains) {
   mf::NodeSpec node;
   node.name("web").system("amd_mi250").app("srad").policy("ups").gpus(4).count(3);
+  node.dies(4).numa_skew(0.25);
   EXPECT_EQ(node.name(), "web");
   EXPECT_EQ(node.system(), "amd_mi250");
   EXPECT_EQ(node.app(), "srad");
   EXPECT_EQ(node.policy(), "ups");
   EXPECT_EQ(node.gpus(), 4);
+  EXPECT_EQ(node.dies(), 4);
+  EXPECT_DOUBLE_EQ(node.numa_skew(), 0.25);
   EXPECT_EQ(node.count(), 3);
   EXPECT_TRUE(node.validate().empty());
 }
@@ -30,6 +33,22 @@ TEST(NodeSpec, ValidateReportsEveryProblemAtOnce) {
   for (const std::string& e : errors) {
     EXPECT_EQ(e.rfind("node[0] '':", 0), 0u) << e;
   }
+}
+
+TEST(NodeSpec, ValidatesDomainKnobs) {
+  mf::NodeSpec node;
+  node.dies(0).numa_skew(1.0);
+  const auto errors = node.validate();
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find("dies"), std::string::npos);
+  EXPECT_NE(errors[1].find("numa_skew"), std::string::npos);
+  node.dies(2).numa_skew(0.5);
+  EXPECT_TRUE(node.validate().empty());
+  // 2 sockets x 33 dies overflows the 64-domain kernel cap.
+  node.dies(33);
+  const auto overflow = node.validate();
+  ASSERT_EQ(overflow.size(), 1u);
+  EXPECT_NE(overflow[0].find("exceeds"), std::string::npos);
 }
 
 TEST(NodeSpec, StaticPolicyNeedsPinFrequency) {
@@ -85,6 +104,8 @@ TEST(FleetManifest, JsonlRoundTripPreservesEverything) {
                         .policy("static")
                         .static_uncore(magus::common::Ghz(1.6))
                         .gpus(4)
+                        .dies(4)
+                        .numa_skew(0.3)
                         .count(2));
 
   const mf::FleetManifest back = mf::FleetManifest::from_jsonl(manifest.to_jsonl());
@@ -101,9 +122,35 @@ TEST(FleetManifest, JsonlRoundTripPreservesEverything) {
   EXPECT_EQ(node.policy(), "static");
   EXPECT_DOUBLE_EQ(node.static_uncore().value(), 1.6);
   EXPECT_EQ(node.gpus(), 4);
+  EXPECT_EQ(node.dies(), 4);
+  EXPECT_DOUBLE_EQ(node.numa_skew(), 0.3);
   EXPECT_EQ(node.count(), 2);
   // Canonical form is a fixed point.
   EXPECT_EQ(back.to_jsonl(), manifest.to_jsonl());
+}
+
+TEST(FleetManifest, DomainlessManifestParsesAsSingleDomainNodes) {
+  // Backward compat: a v1 manifest saved before the multi-die fields existed
+  // carries no "dies"/"numa_skew" keys. It must load as a fleet of
+  // single-domain, skew-free nodes -- the exact pre-domain semantics.
+  const std::string v1 =
+      "{\"t\":0,\"type\":\"fleet_manifest\",\"seed\":\"2025\",\"shard_size\":16,"
+      "\"jitter_duration_rel\":0,\"jitter_demand_rel\":0,\"fault_rate\":0,"
+      "\"fault_seed\":\"0\"}\n"
+      "{\"t\":0,\"type\":\"fleet_node\",\"name\":\"old\",\"system\":\"intel_a100\","
+      "\"app\":\"unet\",\"policy\":\"magus\",\"gpus\":1,\"static_uncore_ghz\":0,"
+      "\"count\":2}\n";
+  const mf::FleetManifest manifest = mf::FleetManifest::from_jsonl(v1);
+  ASSERT_EQ(manifest.nodes().size(), 1u);
+  EXPECT_EQ(manifest.nodes()[0].dies(), 1);
+  EXPECT_DOUBLE_EQ(manifest.nodes()[0].numa_skew(), 0.0);
+  EXPECT_TRUE(manifest.validate().empty());
+  // Re-serialising writes the v2 wire format with the defaults explicit,
+  // and that form round-trips as a fixed point.
+  const std::string v2 = manifest.to_jsonl();
+  EXPECT_NE(v2.find("\"dies\":1"), std::string::npos);
+  EXPECT_NE(v2.find("\"numa_skew\":0"), std::string::npos);
+  EXPECT_EQ(mf::FleetManifest::from_jsonl(v2).to_jsonl(), v2);
 }
 
 TEST(FleetManifest, FromJsonlRejectsGarbage) {

@@ -41,6 +41,8 @@ mf::FleetManifest random_manifest(mt::Gen& gen) {
         .policy(gen.ident())
         .gpus(gen.int_in(1, 8))
         .static_uncore(magus::common::Ghz(gen.uniform() * 3.0))
+        .dies(gen.int_in(1, 8))
+        .numa_skew(gen.uniform() * 0.9)
         .count(gen.int_in(1, 16));
     manifest.add_node(std::move(node));
   }
@@ -76,6 +78,8 @@ TEST(PropManifestRoundTrip, FieldsSurviveParse) {
     for (std::size_t k = 0; k < manifest.nodes().size(); ++k) {
       EXPECT_EQ(back.nodes()[k].name(), manifest.nodes()[k].name()) << "case " << i;
       EXPECT_EQ(back.nodes()[k].count(), manifest.nodes()[k].count());
+      EXPECT_EQ(back.nodes()[k].dies(), manifest.nodes()[k].dies());
+      EXPECT_EQ(back.nodes()[k].numa_skew(), manifest.nodes()[k].numa_skew());
     }
   }
 }

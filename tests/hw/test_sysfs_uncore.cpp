@@ -1,0 +1,237 @@
+// SysfsUncoreDomainSet against a generated fake intel_uncore_frequency tree
+// (no hardware): discovery and ordering, kHz attribute parsing, min/max clamp
+// write round-trips, and the missing/corrupt attribute error paths. Plus the
+// MsrDomainSet adapter that presents the legacy MSR 0x620 whole-node path as
+// a degenerate one-domain set.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "magus/common/error.hpp"
+#include "magus/hw/sysfs_uncore.hpp"
+#include "magus/hw/uncore_domain.hpp"
+
+namespace fs = std::filesystem;
+namespace mh = magus::hw;
+namespace mc = magus::common;
+
+namespace {
+
+/// A fake driver tree rooted in the gtest temp dir; removed on destruction
+/// so parallel test shards never see each other's domains.
+class FakeTree {
+ public:
+  explicit FakeTree(const std::string& name)
+      : root_(fs::path(::testing::TempDir()) / name) {
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~FakeTree() { fs::remove_all(root_); }
+
+  [[nodiscard]] std::string root() const { return root_.string(); }
+
+  /// One package_XX_die_YY directory with the full attribute set.
+  void add_domain(int package, int die, long long min_khz, long long max_khz,
+                  long long current_khz) {
+    const fs::path dir = root_ / mh::to_string(mh::DomainId{package, die});
+    fs::create_directories(dir);
+    write(dir / "min_freq_khz", std::to_string(min_khz));
+    write(dir / "max_freq_khz", std::to_string(max_khz));
+    write(dir / "current_freq_khz", std::to_string(current_khz));
+    write(dir / "initial_min_freq_khz", std::to_string(min_khz));
+    write(dir / "initial_max_freq_khz", std::to_string(max_khz));
+  }
+
+  void write_attr(int package, int die, const char* attr, const std::string& text) {
+    write(root_ / mh::to_string(mh::DomainId{package, die}) / attr, text);
+  }
+
+  void remove_attr(int package, int die, const char* attr) {
+    fs::remove(root_ / mh::to_string(mh::DomainId{package, die}) / attr);
+  }
+
+ private:
+  static void write(const fs::path& path, const std::string& text) {
+    std::ofstream os(path);
+    os << text << "\n";
+  }
+
+  fs::path root_;
+};
+
+}  // namespace
+
+TEST(SysfsUncoreDomainSet, MissingRootIsCapabilityError) {
+  EXPECT_THROW(mh::SysfsUncoreDomainSet(::testing::TempDir() + "/no_such_driver"),
+               mc::CapabilityError);
+}
+
+TEST(SysfsUncoreDomainSet, EmptyRootIsCapabilityError) {
+  FakeTree tree("uncore_empty");
+  EXPECT_THROW(mh::SysfsUncoreDomainSet(tree.root()), mc::CapabilityError);
+}
+
+TEST(SysfsUncoreDomainSet, DiscoversDomainsInPackageDieOrder) {
+  FakeTree tree("uncore_discovery");
+  // Added out of order on purpose; discovery must sort by (package, die).
+  tree.add_domain(1, 1, 800'000, 2'400'000, 1'500'000);
+  tree.add_domain(0, 0, 800'000, 2'200'000, 1'200'000);
+  tree.add_domain(1, 0, 800'000, 2'400'000, 1'400'000);
+  tree.add_domain(0, 1, 800'000, 2'200'000, 1'300'000);
+  // Non-domain clutter the driver root carries on some kernels: ignored.
+  fs::create_directories(fs::path(tree.root()) / "not_a_domain");
+  std::ofstream(fs::path(tree.root()) / "uncore_attr") << "1\n";
+
+  mh::SysfsUncoreDomainSet set(tree.root());
+  ASSERT_EQ(set.domain_count(), 4);
+  EXPECT_EQ(set.domain_id(0), (mh::DomainId{0, 0}));
+  EXPECT_EQ(set.domain_id(1), (mh::DomainId{0, 1}));
+  EXPECT_EQ(set.domain_id(2), (mh::DomainId{1, 0}));
+  EXPECT_EQ(set.domain_id(3), (mh::DomainId{1, 1}));
+  EXPECT_EQ(mh::to_string(set.domain_id(3)), "package_01_die_01");
+}
+
+TEST(SysfsUncoreDomainSet, ParsesKhzAttributesAsGhz) {
+  FakeTree tree("uncore_parse");
+  tree.add_domain(0, 0, 800'000, 2'200'000, 1'234'567);
+
+  mh::SysfsUncoreDomainSet set(tree.root());
+  EXPECT_DOUBLE_EQ(set.min_ghz(0).value(), 0.8);
+  EXPECT_DOUBLE_EQ(set.max_ghz(0).value(), 2.2);
+  EXPECT_DOUBLE_EQ(set.current_ghz(0).value(), 1.234567);
+  EXPECT_DOUBLE_EQ(set.initial_min_ghz(0).value(), 0.8);
+  EXPECT_DOUBLE_EQ(set.initial_max_ghz(0).value(), 2.2);
+}
+
+TEST(SysfsUncoreDomainSet, WriteClampsRoundTripThroughTheTree) {
+  FakeTree tree("uncore_write");
+  tree.add_domain(0, 0, 800'000, 2'200'000, 1'200'000);
+  tree.add_domain(0, 1, 800'000, 2'200'000, 1'200'000);
+
+  mh::SysfsUncoreDomainSet set(tree.root());
+  set.write_max_ghz(1, mc::Ghz(1.5));
+  set.write_min_ghz(1, mc::Ghz(1.0));
+
+  // Reads go back through the files, so this checks the on-disk integers.
+  EXPECT_DOUBLE_EQ(set.max_ghz(1).value(), 1.5);
+  EXPECT_DOUBLE_EQ(set.min_ghz(1).value(), 1.0);
+  // Sibling domain untouched.
+  EXPECT_DOUBLE_EQ(set.max_ghz(0).value(), 2.2);
+  EXPECT_DOUBLE_EQ(set.min_ghz(0).value(), 0.8);
+
+  // The attribute file itself holds a bare integer kHz count.
+  std::ifstream is(set.domain_dir(1) + "/max_freq_khz");
+  std::string text;
+  std::getline(is, text);
+  EXPECT_EQ(text, "1500000");
+}
+
+TEST(SysfsUncoreDomainSet, MissingAttributeIsDeviceError) {
+  FakeTree tree("uncore_missing_attr");
+  tree.add_domain(0, 0, 800'000, 2'200'000, 1'200'000);
+  tree.remove_attr(0, 0, "current_freq_khz");
+
+  mh::SysfsUncoreDomainSet set(tree.root());
+  EXPECT_THROW((void)set.current_ghz(0), mc::DeviceError);
+  EXPECT_DOUBLE_EQ(set.max_ghz(0).value(), 2.2);  // siblings attrs still fine
+}
+
+TEST(SysfsUncoreDomainSet, CorruptAttributeIsDeviceError) {
+  FakeTree tree("uncore_corrupt");
+  tree.add_domain(0, 0, 800'000, 2'200'000, 1'200'000);
+
+  mh::SysfsUncoreDomainSet set(tree.root());
+  for (const char* bad : {"garbage", "12x34", "", "-800000", "1.5e6"}) {
+    tree.write_attr(0, 0, "min_freq_khz", bad);
+    EXPECT_THROW((void)set.min_ghz(0), mc::DeviceError) << "content '" << bad << "'";
+  }
+  // Trailing whitespace after the integer is how real sysfs files look: ok.
+  tree.write_attr(0, 0, "min_freq_khz", "800000 ");
+  EXPECT_DOUBLE_EQ(set.min_ghz(0).value(), 0.8);
+}
+
+TEST(SysfsUncoreDomainSet, DomainIndexOutOfRangeIsConfigError) {
+  FakeTree tree("uncore_range");
+  tree.add_domain(0, 0, 800'000, 2'200'000, 1'200'000);
+
+  mh::SysfsUncoreDomainSet set(tree.root());
+  EXPECT_THROW((void)set.domain_id(-1), mc::ConfigError);
+  EXPECT_THROW((void)set.max_ghz(1), mc::ConfigError);
+  EXPECT_THROW(set.write_max_ghz(1, mc::Ghz(1.0)), mc::ConfigError);
+}
+
+namespace {
+
+class FakeMsr final : public mh::IMsrDevice {
+ public:
+  explicit FakeMsr(int sockets) : sockets_(sockets) {}
+
+  int socket_count() const override { return sockets_; }
+
+  std::uint64_t read(int socket, std::uint32_t reg) override {
+    ++reads;
+    return regs_[key(socket, reg)];
+  }
+
+  void write(int socket, std::uint32_t reg, std::uint64_t value) override {
+    ++writes;
+    regs_[key(socket, reg)] = value;
+  }
+
+  void preload(int socket, std::uint32_t reg, std::uint64_t value) {
+    regs_[key(socket, reg)] = value;
+  }
+
+  int reads = 0;
+  int writes = 0;
+
+ private:
+  static std::uint64_t key(int socket, std::uint32_t reg) {
+    return (static_cast<std::uint64_t>(socket) << 32) | reg;
+  }
+  int sockets_;
+  std::map<std::uint64_t, std::uint64_t> regs_;
+};
+
+}  // namespace
+
+TEST(MsrDomainSet, IsADegenerateOneDomainSet) {
+  FakeMsr msr(2);
+  mh::MsrDomainSet set(msr, mh::UncoreFreqLadder(0.8, 2.2));
+  EXPECT_EQ(set.domain_count(), 1);
+  EXPECT_EQ(set.domain_id(0), (mh::DomainId{0, 0}));
+  EXPECT_THROW((void)set.domain_id(1), mc::ConfigError);
+  EXPECT_THROW(set.write_max_ghz(1, mc::Ghz(1.0)), mc::ConfigError);
+}
+
+TEST(MsrDomainSet, ReadsAndWritesThroughMsr0x620) {
+  FakeMsr msr(2);
+  // MAX_RATIO bits 6:0, MIN_RATIO bits 14:8 (0x16 = 2.2 GHz, 0x08 = 0.8 GHz).
+  for (int s = 0; s < 2; ++s) msr.preload(s, 0x620, (0x08ull << 8) | 0x16ull);
+  msr.preload(0, 0x621, 0x0Eull);  // current ratio 14 -> 1.4 GHz
+
+  mh::MsrDomainSet set(msr, mh::UncoreFreqLadder(0.8, 2.2));
+  EXPECT_DOUBLE_EQ(set.max_ghz(0).value(), 2.2);
+  EXPECT_DOUBLE_EQ(set.min_ghz(0).value(), 0.8);
+  EXPECT_DOUBLE_EQ(set.current_ghz(0).value(), 1.4);
+
+  // One logical domain spans every socket, exactly like the legacy path.
+  set.write_max_ghz(0, mc::Ghz(1.5));
+  EXPECT_EQ(msr.writes, 2);
+  EXPECT_DOUBLE_EQ(set.max_ghz(0).value(), 1.5);
+
+  set.write_min_ghz(0, mc::Ghz(1.0));
+  EXPECT_EQ(msr.writes, 4);
+  EXPECT_DOUBLE_EQ(set.min_ghz(0).value(), 1.0);
+  EXPECT_EQ(set.write_count(), 4ull);
+
+  // Re-programming the already-programmed limits skips the MSR writes (the
+  // same read/decode/skip discipline as UncoreFreqController).
+  set.write_max_ghz(0, mc::Ghz(1.5));
+  set.write_min_ghz(0, mc::Ghz(1.0));
+  EXPECT_EQ(msr.writes, 4);
+}

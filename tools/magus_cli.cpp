@@ -14,6 +14,7 @@
 //                   [--engine batch|per-node] [--manifest in.jsonl]
 //                   [--save-manifest out.jsonl] [--out rollup.jsonl]
 //                   [--fault-rate P] [--fault-seed S]
+//                   [--dies N] [--numa-skew X]
 //       Simulate a whole fleet of independently-configured nodes and print
 //       per-policy rollups (Joules saved vs an all-default fleet, slowdown
 //       percentiles). Without --manifest a deterministic synthetic fleet of
@@ -61,6 +62,8 @@ int usage() {
                "[--out rollup.jsonl]\n"
             << "                  [--fault-rate P] [--fault-seed S]   (deterministic "
                "backend fault injection)\n"
+            << "                  [--dies N] [--numa-skew X]   (multi-die uncore "
+               "domains on every node)\n"
             << "\n"
             << "  --jobs N (or the MAGUS_JOBS env var) sets the worker-thread "
                "count for the\n"
@@ -215,6 +218,22 @@ int cmd_fleet(const std::map<std::string, std::string>& flags) {
   // be replayed under different fault weather.
   if (flags.count("fault-rate")) manifest.fault_rate(std::stod(flags.at("fault-rate")));
   if (flags.count("fault-seed")) manifest.fault_seed(std::stoull(flags.at("fault-seed")));
+  // Domain knobs rewrite every node, same override semantics as the fault
+  // flags: a saved manifest can be replayed with more dies per socket or a
+  // NUMA-skewed traffic split without editing it.
+  if (flags.count("dies") || flags.count("numa-skew")) {
+    fleet::FleetManifest reshaped;
+    reshaped.seed(manifest.seed())
+        .shard_size(manifest.shard_size())
+        .jitter(manifest.jitter())
+        .fault(manifest.fault());
+    for (fleet::NodeSpec node : manifest.nodes()) {
+      if (flags.count("dies")) node.dies(std::stoi(flags.at("dies")));
+      if (flags.count("numa-skew")) node.numa_skew(std::stod(flags.at("numa-skew")));
+      reshaped.add_node(std::move(node));
+    }
+    manifest = std::move(reshaped);
+  }
   if (flags.count("save-manifest")) manifest.save(flags.at("save-manifest"));
 
   fleet::FleetRunner runner(manifest);
@@ -257,6 +276,22 @@ int cmd_fleet(const std::map<std::string, std::string>& flags) {
                    common::TextTable::num(roll.slowdown_p99_pct)});
   }
   table.print(std::cout);
+
+  // Per-uncore-domain breakdown (socket-major; legacy nodes have one domain
+  // per socket, multi-die nodes sockets * dies).
+  if (result.per_domain.size() > 1) {
+    std::cout << "\n";
+    common::TextTable domain_table({"domain", "nodes", "uncore J saved",
+                                    "mem slowdown p50 (%)", "p95 (%)", "p99 (%)"});
+    for (const fleet::DomainRollup& roll : result.per_domain) {
+      domain_table.add_row({std::to_string(roll.domain), std::to_string(roll.nodes),
+                            common::TextTable::num(roll.joules_saved_total, 1),
+                            common::TextTable::num(roll.slowdown_p50_pct),
+                            common::TextTable::num(roll.slowdown_p95_pct),
+                            common::TextTable::num(roll.slowdown_p99_pct)});
+    }
+    domain_table.print(std::cout);
+  }
   std::cout << "\nfleet total: " << common::TextTable::num(result.joules_saved_total, 1)
             << " J saved vs all-default fleet; slowdown p50 "
             << common::TextTable::num(result.slowdown_p50_pct) << " %, p95 "

@@ -25,6 +25,13 @@ Rules (each exits non-zero on violation, with file:line diagnostics):
                      spelled hw::msr::kUncoreRatioLimit. Comments, strings,
                      and identifiers (raw_0x620_) are fine.
 
+  naked-sysfs-path   The intel_uncore_frequency sysfs root appears as a
+                     string literal only inside the designated path builder
+                     (hw/sysfs_uncore); everywhere else it must be obtained
+                     from hw::uncore_freq_sysfs_root(). Comments are fine;
+                     unlike naked-msr-literal this rule scans string
+                     literals, because that is where paths live.
+
   threshold-source   MDFS threshold knobs (inc_threshold, dec_threshold,
                      high_freq_threshold) are sourced from config.hpp /
                      sweep structs; implementation files must not assign
@@ -55,6 +62,7 @@ UNIT_PARAM_RE = re.compile(
 )
 POLICY_KIND_RE = re.compile(r"\bPolicyKind\b")
 NAKED_MSR_RE = re.compile(r"(?<![\w.])0x620\b(?!_)")
+SYSFS_PATH_RE = re.compile(r"/sys/devices/system/cpu/intel_uncore_frequency")
 THRESHOLD_RE = re.compile(
     r"\b(inc_threshold|dec_threshold|high_freq_threshold)\s*=\s*[0-9][0-9'.eE+-]*\s*[;,)]"
 )
@@ -81,6 +89,13 @@ POLICY_KIND_SHIM_FILES = {
 THRESHOLD_SOURCE_FILES = {
     "include/magus/core/config.hpp",
     "include/magus/exp/evaluation.hpp",  # sweep-grid struct defaults
+}
+
+# The designated sysfs path builder: hw::uncore_freq_sysfs_root() and its
+# implementation are the only places the driver root may be spelled.
+SYSFS_PATH_BUILDER_FILES = {
+    "include/magus/hw/sysfs_uncore.hpp",
+    "src/hw/sysfs_uncore.cpp",
 }
 
 
@@ -111,6 +126,38 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
+def strip_comments_keep_strings(text: str) -> str:
+    """Blank out comments only, preserving string/char literal contents.
+
+    Needed by rules that look *inside* string literals (naked-sysfs-path):
+    strip_comments_and_strings would blank the very text they inspect.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:end]))
+            i = end
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            end = min(j, n - 1) + 1
+            out.append(text[i:end])
+            i = end
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
 def iter_violations(root: pathlib.Path):
     for path in sorted(root.glob("include/magus/**/*.hpp")):
         rel = path.relative_to(root).as_posix()
@@ -135,11 +182,14 @@ def iter_violations(root: pathlib.Path):
             continue
         text = path.read_text(encoding="utf-8")
         code = strip_comments_and_strings(text)
+        code_with_strings = strip_comments_keep_strings(text)
         msr_exempt = rel.startswith(("include/magus/hw/", "src/hw/", "tests/hw/"))
         kind_exempt = rel in POLICY_KIND_SHIM_FILES
+        sysfs_exempt = rel in SYSFS_PATH_BUILDER_FILES
         in_hot_path = False
-        for lineno, (raw, line) in enumerate(
-                zip(text.splitlines(), code.splitlines()), 1):
+        for lineno, (raw, line, strline) in enumerate(
+                zip(text.splitlines(), code.splitlines(),
+                    code_with_strings.splitlines()), 1):
             # Markers live in comments, so track them on the raw line and
             # apply the rule to the comment-stripped one.
             if HOT_PATH_BEGIN in raw:
@@ -160,6 +210,10 @@ def iter_violations(root: pathlib.Path):
                 yield (rel, lineno, "naked-policy-kind",
                        "PolicyKind outside the deprecated shim -- pass a factory "
                        "name (core::PolicyFactory) instead")
+            if not sysfs_exempt and SYSFS_PATH_RE.search(strline):
+                yield (rel, lineno, "naked-sysfs-path",
+                       "naked intel_uncore_frequency sysfs path outside the "
+                       "designated builder -- use hw::uncore_freq_sysfs_root()")
 
     for path in sorted(root.glob("src/**/*.cpp")) + sorted(root.glob("include/magus/**/*.hpp")):
         rel = path.relative_to(root).as_posix()
