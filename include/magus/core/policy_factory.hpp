@@ -18,11 +18,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "magus/common/quantity.hpp"
+#include "magus/common/thread_annotations.hpp"
 #include "magus/core/config.hpp"
 #include "magus/core/policy.hpp"
 #include "magus/hw/counters.hpp"
@@ -91,22 +91,24 @@ class PolicyFactory {
   /// no-op policies are not runtimes). Throws common::ConfigError on an
   /// empty name, a null maker, or a duplicate registration.
   void register_policy(const std::string& name, Maker maker, const std::string& summary,
-                       bool is_runtime);
+                       bool is_runtime) MAGUS_EXCLUDES(mutex_);
 
   /// Construct the policy registered under `name`. Unknown names throw
-  /// common::ConfigError listing all registered policies.
+  /// common::ConfigError listing all registered policies. The maker runs
+  /// with mutex_ released, so makers may re-enter the factory.
   [[nodiscard]] std::unique_ptr<IPolicy> make_policy(const std::string& name,
-                                                     const PolicyContext& ctx) const;
+                                                     const PolicyContext& ctx) const
+      MAGUS_EXCLUDES(mutex_);
 
-  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const MAGUS_EXCLUDES(mutex_);
   /// Whether the named policy was registered as a runtime; unknown names
   /// throw the same error as make_policy.
-  [[nodiscard]] bool is_runtime(const std::string& name) const;
-  [[nodiscard]] std::string summary(const std::string& name) const;
+  [[nodiscard]] bool is_runtime(const std::string& name) const MAGUS_EXCLUDES(mutex_);
+  [[nodiscard]] std::string summary(const std::string& name) const MAGUS_EXCLUDES(mutex_);
 
   /// All registered names, sorted.
-  [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> names() const MAGUS_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const MAGUS_EXCLUDES(mutex_);
 
   /// The process-wide factory holding the self-registered built-ins.
   [[nodiscard]] static PolicyFactory& instance();
@@ -118,10 +120,11 @@ class PolicyFactory {
     bool is_runtime = false;
   };
 
-  [[nodiscard]] const Entry& entry_or_throw(const std::string& name) const;
+  [[nodiscard]] const Entry& entry_or_throw(const std::string& name) const
+      MAGUS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable common::AnnotatedMutex mutex_;
+  std::map<std::string, Entry> entries_ MAGUS_GUARDED_BY(mutex_);
 };
 
 /// Maker helper: throw common::ConfigError("policy 'name' requires <what>")

@@ -46,6 +46,13 @@ class MagusRuntime final : public IPolicy {
   /// throughput counter.
   void on_start(common::Seconds now) override;
 
+  /// One monitoring cycle. The node-level sample→decide core runs inside a
+  /// lock-free HotPathSection (compiler-checked under -Wthread-safety:
+  /// acquiring any AnnotatedMutex there is a compile error); event emission,
+  /// retrying MSR writes, and backoff sleeps happen outside the section.
+  /// Per-domain mode (sample_domains) interleaves event emission with its
+  /// domain sweep and is not yet section-wrapped — moving its emissions to
+  /// an SPSC ring is the ROADMAP bounded-latency follow-up.
   void on_sample(common::Seconds now) override;
 
   [[nodiscard]] const MdfsController& controller() const noexcept { return *mdfs_; }

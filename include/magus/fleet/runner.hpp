@@ -156,6 +156,14 @@ class FleetRunner {
   void run_shard_batch(std::size_t begin, std::size_t end,
                        std::vector<NodeResult>& results) const;
 
+  // Concurrency model (audited under -Wthread-safety, DESIGN.md §14): the
+  // runner holds NO mutex of its own. `completed_` is the only field workers
+  // write concurrently — a relaxed atomic progress counter (monotonic count,
+  // no ordering to protect). Everything else is init-then-read:
+  // manifest_/expanded_ are fixed by the constructor, engine_ and the
+  // telemetry handles must be set before run() starts (set_engine /
+  // attach_telemetry contracts), after which workers only read them.
+  // Events emitted through events_ are serialized by EventLog's own lock.
   FleetManifest manifest_;
   std::vector<NodeSpec> expanded_;
   FleetEngine engine_ = FleetEngine::kPerNode;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "magus/common/rng.hpp"
+#include "magus/common/thread_annotations.hpp"
 #include "magus/hw/counters.hpp"
 #include "magus/hw/msr.hpp"
 #include "magus/sim/backends.hpp"
@@ -228,7 +229,12 @@ class BatchEngine {
 
   void start_lane(Lane& lane);
   /// One tick (+ sample boundary) for lane `index`; true when it finished.
-  [[nodiscard]] bool step_lane(std::size_t index);
+  /// MAGUS_LOCK_FREE: runs only inside run_all's HotPathSection, so taking
+  /// any AnnotatedMutex in its body is a compile error under Clang — the
+  /// compiler-checked half of the marker-comment hot-path lint contract.
+  /// (Policy callbacks invoked at sample boundaries are std::function and
+  /// opaque to the analysis; they manage their own hot sections.)
+  [[nodiscard]] bool step_lane(std::size_t index) MAGUS_LOCK_FREE;
   void finish_lane(Lane& lane);
 
   // Hot state, struct-of-arrays. Per-socket quantities are flat

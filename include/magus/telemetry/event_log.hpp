@@ -7,9 +7,10 @@
 
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "magus/common/thread_annotations.hpp"
 
 namespace magus::telemetry {
 
@@ -33,30 +34,35 @@ class Event {
 /// Thread-safe in-memory JSONL buffer with explicit flushing.
 class EventLog {
  public:
-  void emit(const Event& e);
+  /// Buffers one event line. Takes the buffer mutex, so it is excluded from
+  /// lock-free hot-path sections — the runtime emits events before entering
+  /// or after leaving its sample→decide→write core (an SPSC ring for
+  /// in-section emission is a ROADMAP item).
+  void emit(const Event& e) MAGUS_EXCLUDES(mutex_, common::hot_path_role);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const MAGUS_EXCLUDES(mutex_);
 
   /// Move out all buffered lines, oldest first.
-  [[nodiscard]] std::vector<std::string> drain();
+  [[nodiscard]] std::vector<std::string> drain() MAGUS_EXCLUDES(mutex_);
 
   /// Append all buffered lines to `path` and clear the buffer. On I/O
   /// failure the buffer is kept and common::Error is thrown.
-  void flush_to_file(const std::string& path);
+  void flush_to_file(const std::string& path) MAGUS_EXCLUDES(mutex_);
 
   /// Write all buffered lines to `os` as one block and clear the buffer.
   /// Fail-fast: a stream already in a failed state receives nothing, and on
   /// any failure the buffer is kept and common::Error is thrown (`context`
   /// names the sink in the message). The block write means the stream API
   /// never sees a line split across calls.
-  void flush_to_stream(std::ostream& os, const std::string& context = "stream");
+  void flush_to_stream(std::ostream& os, const std::string& context = "stream")
+      MAGUS_EXCLUDES(mutex_);
 
  private:
-  /// Shared flush body; caller holds mutex_.
-  void flush_locked(std::ostream& os, const std::string& context);
+  /// Shared flush body; caller holds mutex_ (compiler-enforced).
+  void flush_locked(std::ostream& os, const std::string& context) MAGUS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::string> lines_;
+  mutable common::AnnotatedMutex mutex_;
+  std::vector<std::string> lines_ MAGUS_GUARDED_BY(mutex_);
 };
 
 /// JSON string escaping used by Event (exposed for tests/tools).

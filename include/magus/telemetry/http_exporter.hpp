@@ -9,11 +9,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "magus/common/thread_annotations.hpp"
 #include "magus/telemetry/registry.hpp"
 
 namespace magus::telemetry {
@@ -53,19 +53,35 @@ class HttpExporter {
   /// produces a 500 with the exception text. Replaces any previous handler
   /// for the same route; safe to call while serving.
   void add_route(const std::string& method, const std::string& path,
-                 RouteHandler handler);
+                 RouteHandler handler) MAGUS_EXCLUDES(routes_mutex_);
 
   /// Stop serving and join the background thread (idempotent; also run by
   /// the destructor). In-flight requests finish, new ones are refused.
+  ///
+  /// Shutdown ordering (race-free by construction):
+  ///   1. stop_ is set — the serving thread observes it within one 200 ms
+  ///      poll round and never enters accept() again;
+  ///   2. the thread is joined — after this no other thread can touch
+  ///      listen_fd_;
+  ///   3. only then is listen_fd_ closed. Closing an fd another thread is
+  ///      polling/accepting would race (the fd number could be reused by a
+  ///      concurrent open between close() and the poll), so the close always
+  ///      happens strictly after the join.
   void stop();
 
  private:
   void serve_loop();
-  void handle_client(int client_fd);
+  void handle_client(int client_fd) MAGUS_EXCLUDES(routes_mutex_);
 
   const MetricsRegistry& registry_;
-  std::mutex routes_mutex_;
-  std::map<std::pair<std::string, std::string>, RouteHandler> routes_;
+  /// Leaf lock: held only for map lookup/insert; handlers run with it
+  /// released, so a handler may re-enter add_route without deadlock.
+  common::AnnotatedMutex routes_mutex_;
+  std::map<std::pair<std::string, std::string>, RouteHandler> routes_
+      MAGUS_GUARDED_BY(routes_mutex_);
+  /// Listener state: written by the constructor before the serving thread
+  /// starts and by stop() after it is joined — never while it runs, so no
+  /// mutex is needed (the thread start/join are the synchronization points).
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};

@@ -17,9 +17,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "magus/common/thread_annotations.hpp"
 
 namespace magus::telemetry {
 
@@ -90,17 +91,32 @@ class MetricsRegistry {
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   /// Register-or-fetch; nullptr when the registry is disabled.
-  Counter* counter(const std::string& name, const std::string& help = "");
-  Gauge* gauge(const std::string& name, const std::string& help = "");
+  /// Registration locks (updates through the returned handles never do) —
+  /// hence excluded from lock-free hot paths: register before the loop.
+  Counter* counter(const std::string& name, const std::string& help = "")
+      MAGUS_EXCLUDES(mutex_, common::hot_path_role);
+  Gauge* gauge(const std::string& name, const std::string& help = "")
+      MAGUS_EXCLUDES(mutex_, common::hot_path_role);
   Histogram* histogram(const std::string& name, const std::string& help,
-                       const std::vector<double>& upper_bounds);
+                       const std::vector<double>& upper_bounds)
+      MAGUS_EXCLUDES(mutex_, common::hot_path_role);
 
   /// Prometheus text format 0.0.4: HELP/TYPE comments + one sample line per
   /// series, families sorted by name. Empty string when disabled.
-  [[nodiscard]] std::string render_prometheus() const;
+  [[nodiscard]] std::string render_prometheus() const
+      MAGUS_EXCLUDES(mutex_, common::hot_path_role);
 
   /// Number of registered families.
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const MAGUS_EXCLUDES(mutex_, common::hot_path_role);
+
+  /// The registration capability, exposed so other subsystems can document
+  /// lock-ordering edges against it (e.g. the daemon job-service mutex is
+  /// MAGUS_ACQUIRED_BEFORE this — see tools/magus_daemon.cpp and DESIGN.md
+  /// §14). Never lock it directly.
+  [[nodiscard]] common::AnnotatedMutex& registration_mutex() const noexcept
+      MAGUS_RETURN_CAPABILITY(mutex_) {
+    return mutex_;
+  }
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -112,11 +128,12 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& fetch_or_create(const std::string& name, const std::string& help, Kind kind);
+  Entry& fetch_or_create(const std::string& name, const std::string& help, Kind kind)
+      MAGUS_REQUIRES(mutex_);
 
   bool enabled_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable common::AnnotatedMutex mutex_;
+  std::map<std::string, Entry> entries_ MAGUS_GUARDED_BY(mutex_);
 };
 
 /// Process-wide disabled registry — the NullRegistry. Injectable default for

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "magus/common/thread_annotations.hpp"
 
 namespace magus::common {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+// Serializes whole lines onto stderr; guards no data member, only the
+// interleaving of the fprintf below.
+AnnotatedMutex g_stderr_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -30,7 +33,7 @@ LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); 
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const LockGuard lock(g_stderr_mutex);
   std::fprintf(stderr, "[magus:%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -3,38 +3,37 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "magus/common/thread_annotations.hpp"
 #include "magus/telemetry/registry.hpp"
 
 namespace magus::common {
 
 struct ThreadPool::Impl {
-  std::vector<std::thread> workers;
-  std::deque<std::function<void()>> queue;
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool stop = false;
+  std::vector<std::thread> workers;  // written in ctor only, then immutable
+  AnnotatedMutex mutex;
+  CondVar cv;
+  std::deque<std::function<void()>> queue MAGUS_GUARDED_BY(mutex);
+  bool stop MAGUS_GUARDED_BY(mutex) = false;
   // Telemetry handles: written AND dereferenced only under `mutex`, so
   // attach_telemetry (including detaching via a disabled registry) is a
   // synchronization point — once it returns, no worker can touch the old
   // handles, and the old registry may be destroyed.
-  telemetry::Gauge* queue_depth = nullptr;
-  telemetry::Counter* tasks_total = nullptr;
-  telemetry::Histogram* task_latency = nullptr;
+  telemetry::Gauge* queue_depth MAGUS_GUARDED_BY(mutex) = nullptr;
+  telemetry::Counter* tasks_total MAGUS_GUARDED_BY(mutex) = nullptr;
+  telemetry::Histogram* task_latency MAGUS_GUARDED_BY(mutex) = nullptr;
 
   void worker_loop() {
     for (;;) {
       std::function<void()> task;
       bool timed = false;
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        cv.wait(lock, [this] { return stop || !queue.empty(); });
+        UniqueLock lock(mutex);
+        while (!stop && queue.empty()) cv.wait(lock);
         if (queue.empty()) return;  // stop requested and nothing pending
         task = std::move(queue.front());
         queue.pop_front();
@@ -42,15 +41,18 @@ struct ThreadPool::Impl {
         timed = task_latency != nullptr;
       }
       if (timed) {
+        // Wall-clock latency is observability, not simulation state; this is
+        // the one sanctioned wall-clock site (see magus_lint
+        // nondeterministic-source allowlist).
         const auto t0 = std::chrono::steady_clock::now();
         task();
         const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-        std::lock_guard<std::mutex> lock(mutex);
+        LockGuard lock(mutex);
         telemetry::observe(task_latency, dt.count());
         telemetry::inc(tasks_total);
       } else {
         task();
-        std::lock_guard<std::mutex> lock(mutex);
+        LockGuard lock(mutex);
         telemetry::inc(tasks_total);
       }
     }
@@ -67,7 +69,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    LockGuard lock(impl_->mutex);
     impl_->stop = true;
   }
   impl_->cv.notify_all();
@@ -78,7 +80,7 @@ std::size_t ThreadPool::size() const noexcept { return impl_->workers.size(); }
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    LockGuard lock(impl_->mutex);
     impl_->queue.push_back(std::move(task));
     telemetry::set(impl_->queue_depth, static_cast<double>(impl_->queue.size()));
   }
@@ -95,7 +97,7 @@ void ThreadPool::attach_telemetry(telemetry::MetricsRegistry& reg) {
   telemetry::Histogram* latency = reg.histogram(
       "magus_pool_task_latency_seconds", "Wall-clock task execution latency",
       {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0});
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   impl_->queue_depth = depth;
   impl_->tasks_total = tasks;
   impl_->task_latency = latency;
@@ -106,13 +108,13 @@ namespace {
 
 /// Shared between the caller and the helper tasks of one parallel_for_each.
 struct ForEachState {
-  std::size_t count = 0;
+  std::size_t count = 0;  // set once before fan-out, then read-only
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<bool> cancelled{false};
-  std::exception_ptr error;  // first exception; guarded by mutex
-  std::mutex mutex;
-  std::condition_variable cv;
+  AnnotatedMutex mutex;
+  CondVar cv;
+  std::exception_ptr error MAGUS_GUARDED_BY(mutex);  // first exception wins
 };
 
 /// Pull indices off the shared counter until exhausted. Every claimed index
@@ -127,13 +129,13 @@ void drain_indices(const std::shared_ptr<ForEachState>& st,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(st->mutex);
+        LockGuard lock(st->mutex);
         if (!st->error) st->error = std::current_exception();
         st->cancelled.store(true, std::memory_order_relaxed);
       }
     }
     if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->count) {
-      std::lock_guard<std::mutex> lock(st->mutex);
+      LockGuard lock(st->mutex);
       st->cv.notify_all();
     }
   }
@@ -162,9 +164,8 @@ void ThreadPool::parallel_for_each(std::size_t count,
 
   drain_indices(st, fn);
 
-  std::unique_lock<std::mutex> lock(st->mutex);
-  st->cv.wait(lock,
-              [&] { return st->done.load(std::memory_order_acquire) == st->count; });
+  UniqueLock lock(st->mutex);
+  while (st->done.load(std::memory_order_acquire) != st->count) st->cv.wait(lock);
   if (st->error) std::rethrow_exception(st->error);
 }
 
@@ -176,7 +177,9 @@ std::size_t hardware_jobs() noexcept {
 }
 
 std::size_t env_jobs() noexcept {
-  const char* env = std::getenv("MAGUS_JOBS");
+  // Read once at pool creation, never on a worker thread; the CLI owns the
+  // environment at that point.
+  const char* env = std::getenv("MAGUS_JOBS");  // NOLINT(concurrency-mt-unsafe)
   if (!env || *env == '\0') return 0;
   char* end = nullptr;
   const unsigned long v = std::strtoul(env, &end, 10);
@@ -184,11 +187,11 @@ std::size_t env_jobs() noexcept {
   return static_cast<std::size_t>(v);
 }
 
-std::mutex g_default_mutex;
-std::unique_ptr<ThreadPool> g_default_pool;
-std::size_t g_default_jobs = 0;  // 0 = auto (env, then hardware)
+AnnotatedMutex g_default_mutex;
+std::unique_ptr<ThreadPool> g_default_pool MAGUS_GUARDED_BY(g_default_mutex);
+std::size_t g_default_jobs MAGUS_GUARDED_BY(g_default_mutex) = 0;  // 0 = auto
 
-std::size_t resolve_default_jobs() noexcept {
+std::size_t resolve_default_jobs() noexcept MAGUS_REQUIRES(g_default_mutex) {
   if (g_default_jobs > 0) return g_default_jobs;
   const std::size_t env = env_jobs();
   if (env > 0) return env;
@@ -198,12 +201,12 @@ std::size_t resolve_default_jobs() noexcept {
 }  // namespace
 
 std::size_t default_job_count() noexcept {
-  std::lock_guard<std::mutex> lock(g_default_mutex);
+  LockGuard lock(g_default_mutex);
   return resolve_default_jobs();
 }
 
 ThreadPool& default_pool() {
-  std::lock_guard<std::mutex> lock(g_default_mutex);
+  LockGuard lock(g_default_mutex);
   if (!g_default_pool) {
     g_default_pool = std::make_unique<ThreadPool>(resolve_default_jobs());
   }
@@ -211,7 +214,7 @@ ThreadPool& default_pool() {
 }
 
 void set_default_jobs(std::size_t jobs) {
-  std::lock_guard<std::mutex> lock(g_default_mutex);
+  LockGuard lock(g_default_mutex);
   g_default_jobs = jobs;
   const std::size_t want = resolve_default_jobs();
   if (g_default_pool && g_default_pool->size() != want) {

@@ -14,7 +14,7 @@ void PolicyFactory::register_policy(const std::string& name, Maker maker,
   if (!maker) {
     throw common::ConfigError("PolicyFactory: maker for '" + name + "' must be callable");
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::LockGuard lock(mutex_);
   const auto [it, inserted] =
       entries_.emplace(name, Entry{std::move(maker), summary, is_runtime});
   if (!inserted) {
@@ -23,7 +23,7 @@ void PolicyFactory::register_policy(const std::string& name, Maker maker,
 }
 
 const PolicyFactory::Entry& PolicyFactory::entry_or_throw(const std::string& name) const {
-  // Callers hold mutex_.
+  // MAGUS_REQUIRES(mutex_): callers hold the registry lock.
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     std::string known;
@@ -41,29 +41,29 @@ std::unique_ptr<IPolicy> PolicyFactory::make_policy(const std::string& name,
                                                     const PolicyContext& ctx) const {
   Maker maker;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::LockGuard lock(mutex_);
     maker = entry_or_throw(name).maker;  // copy so makers may re-enter the factory
   }
   return maker(ctx);
 }
 
 bool PolicyFactory::has(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::LockGuard lock(mutex_);
   return entries_.count(name) > 0;
 }
 
 bool PolicyFactory::is_runtime(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::LockGuard lock(mutex_);
   return entry_or_throw(name).is_runtime;
 }
 
 std::string PolicyFactory::summary(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::LockGuard lock(mutex_);
   return entry_or_throw(name).summary;
 }
 
 std::vector<std::string> PolicyFactory::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [n, e] : entries_) out.push_back(n);  // map order: sorted
@@ -71,7 +71,7 @@ std::vector<std::string> PolicyFactory::names() const {
 }
 
 std::size_t PolicyFactory::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::LockGuard lock(mutex_);
   return entries_.size();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "magus/common/error.hpp"
+#include "magus/common/thread_annotations.hpp"
 #include "magus/core/policy_factory.hpp"
 #include "magus/telemetry/event_log.hpp"
 #include "magus/telemetry/registry.hpp"
@@ -115,36 +116,51 @@ void MagusRuntime::on_sample(common::Seconds now) {
     sample_domains(now);
     return;
   }
-  double mb = 0.0;
-  try {
-    mb = mem_counter_.total_mb();
-  } catch (const common::DeviceError&) {
+  // The sample→decide core runs inside a compiler-checked lock-free section
+  // (taking any AnnotatedMutex here is a -Wthread-safety error; see
+  // DESIGN.md §14). The consequences that may lock, emit events, or sleep —
+  // hold_last_good, write_uncore's bounded-retry backoff, note_sample — run
+  // after the section ends, steered by the outcome recorded in it.
+  enum class Outcome { kSkip, kHold, kDecide };
+  Outcome outcome = Outcome::kSkip;
+  std::optional<common::Ghz> target;
+  {
+    const common::HotPathSection hot_section;
+    double mb = 0.0;
+    bool readable = true;
+    try {
+      mb = mem_counter_.total_mb();
+    } catch (const common::DeviceError&) {
+      readable = false;
+    }
+    if (!readable || !std::isfinite(mb) || mb < 0.0) {
+      outcome = Outcome::kHold;
+    } else if (!primed_) {
+      prev_mb_ = mb;
+      prev_t_ = now.value();
+      primed_ = true;
+    } else {
+      const double dt = now.value() - prev_t_;
+      if (dt > 0.0) {
+        const double mbps = (mb - prev_mb_) / dt;
+        if (mbps < 0.0) {
+          // A cumulative counter never decreases; this reading is corrupt.
+          outcome = Outcome::kHold;
+        } else {
+          last_throughput_ = common::Mbps(mbps);
+          prev_mb_ = mb;
+          prev_t_ = now.value();
+          target = mdfs_->on_throughput(now, last_throughput_);
+          outcome = Outcome::kDecide;
+        }
+      }
+    }
+  }
+  if (outcome == Outcome::kHold) {
     hold_last_good(now);
     return;
   }
-  if (!std::isfinite(mb) || mb < 0.0) {
-    hold_last_good(now);
-    return;
-  }
-  if (!primed_) {
-    prev_mb_ = mb;
-    prev_t_ = now.value();
-    primed_ = true;
-    return;
-  }
-  const double dt = now.value() - prev_t_;
-  if (dt <= 0.0) return;
-  const double mbps = (mb - prev_mb_) / dt;
-  if (mbps < 0.0) {
-    // A cumulative counter never decreases; this reading is corrupt.
-    hold_last_good(now);
-    return;
-  }
-  last_throughput_ = common::Mbps(mbps);
-  prev_mb_ = mb;
-  prev_t_ = now.value();
-
-  const std::optional<common::Ghz> target = mdfs_->on_throughput(now, last_throughput_);
+  if (outcome != Outcome::kDecide) return;
   if (target && cfg_.scaling_enabled && !degraded_) {
     write_uncore(common::Ghz(target->value()), now);
   }

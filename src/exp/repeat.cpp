@@ -39,6 +39,8 @@ AggregateResult run_repeated(const sim::SystemSpec& system, const wl::PhaseProgr
     telemetry::inc(reps_done);
   });
 
+  // magus:rollup-begin -- serial aggregation in repetition order; ordered
+  // containers only (see the unordered-rollup lint rule).
   std::vector<double> runtime, pkg_j, dram_j, gpu_j, cpu_w, gpu_w, invoc;
   for (const sim::SimResult& r : results) {
     runtime.push_back(r.duration_s);
@@ -61,6 +63,7 @@ AggregateResult run_repeated(const sim::SystemSpec& system, const wl::PhaseProgr
   agg.reps_total = spec.repetitions;
   agg.reps_used = static_cast<int>(common::iqr_filter(runtime).size());
   return agg;
+  // magus:rollup-end
 }
 
 }  // namespace magus::exp

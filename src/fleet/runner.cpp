@@ -332,6 +332,8 @@ FleetResult FleetRunner::run() {
 
   // Serial aggregation in node-index order: the accumulation order of every
   // double below is fixed, keeping rollups bit-identical across job counts.
+  // magus:rollup-begin -- ordered containers only (unordered iteration would
+  // break the byte-identical contract; enforced by the unordered-rollup rule)
   FleetResult fleet;
   fleet.seed = manifest_.seed();
   fleet.nodes_total = total;
@@ -401,6 +403,7 @@ FleetResult FleetRunner::run() {
     fleet.per_domain.push_back(std::move(roll));
   }
   fleet.nodes = std::move(results);
+  // magus:rollup-end
 
   telemetry::set(m_joules_saved_, fleet.joules_saved_total);
   telemetry::set(m_degraded_nodes_, static_cast<double>(fleet.degraded_nodes));
@@ -417,6 +420,8 @@ FleetResult FleetRunner::run() {
 }
 
 std::string FleetResult::to_jsonl() const {
+  // magus:rollup-begin -- serialization region: iteration order here IS the
+  // byte-identity contract, so only ordered containers may be walked.
   std::string out = telemetry::Event(0.0, "fleet_rollup")
                         .str("seed", std::to_string(seed))
                         .num("nodes", static_cast<double>(nodes_total))
@@ -480,6 +485,7 @@ std::string FleetResult::to_jsonl() const {
            "\n";
   }
   return out;
+  // magus:rollup-end
 }
 
 }  // namespace magus::fleet

@@ -64,7 +64,8 @@ LinuxMsrDevice::LinuxMsrDevice(std::vector<int> socket_cpus) {
         throw common::CapabilityError("msr device missing: " + path +
                                       " (is the msr kernel module loaded?)");
       }
-      throw common::DeviceError("cannot open " + path + ": " + std::strerror(err));
+      throw common::DeviceError("cannot open " + path + ": " +
+                                std::strerror(err));  // NOLINT(concurrency-mt-unsafe)
     }
     fds_.push_back(fd);
   }

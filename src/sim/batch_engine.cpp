@@ -486,6 +486,9 @@ void BatchEngine::run_all() {
   constexpr std::size_t kLaneBlock = 32;
   std::vector<std::size_t> active;
   active.reserve(kLaneBlock);
+  // The whole blocked tick sweep is a lock-free hot section: step_lane is
+  // MAGUS_LOCK_FREE, and this scope is what grants it the hot-path role.
+  const common::HotPathSection hot_section;
   for (std::size_t block = 0; block < lanes_.size(); block += kLaneBlock) {
     const std::size_t end = std::min(lanes_.size(), block + kLaneBlock);
     active.clear();

@@ -56,24 +56,24 @@ Event& Event::flag(const std::string& key, bool v) {
 std::string Event::to_json() const { return body_ + "}"; }
 
 void EventLog::emit(const Event& e) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   lines_.push_back(e.to_json());
 }
 
 std::size_t EventLog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   return lines_.size();
 }
 
 std::vector<std::string> EventLog::drain() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.swap(lines_);
   return out;
 }
 
 void EventLog::flush_to_file(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   if (lines_.empty()) return;
   std::ofstream os(path, std::ios::app);
   if (!os) throw common::Error("EventLog: cannot open " + path);
@@ -81,7 +81,7 @@ void EventLog::flush_to_file(const std::string& path) {
 }
 
 void EventLog::flush_to_stream(std::ostream& os, const std::string& context) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   flush_locked(os, context);
 }
 

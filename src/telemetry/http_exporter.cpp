@@ -45,11 +45,21 @@ const char* reason_phrase(int status) {
 
 HttpExporter::HttpExporter(const MetricsRegistry& registry, std::uint16_t port)
     : registry_(registry) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // SOCK_NONBLOCK: poll() readiness is only a hint — a pending connection
+  // can be torn down (client RST) between poll() and accept(), and a
+  // blocking accept() would then hang until the *next* connection arrives,
+  // stalling shutdown for an unbounded time. With a non-blocking listener
+  // that race degrades to an EAGAIN and another poll round. Accepted client
+  // fds do not inherit the flag on Linux, so per-request I/O stays blocking
+  // (bounded by SO_RCVTIMEO below).
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
     throw common::DeviceError(std::string("HttpExporter: socket() failed: ") +
-                              std::strerror(errno));
+                              std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   }
+  // SO_REUSEADDR: daemon restarts (and test suites that cycle exporters on a
+  // fixed port) must not flake on EADDRINUSE while the previous socket sits
+  // in TIME_WAIT.
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -59,7 +69,7 @@ HttpExporter::HttpExporter(const MetricsRegistry& registry, std::uint16_t port)
   addr.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
       ::listen(listen_fd_, 8) < 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw common::DeviceError("HttpExporter: cannot listen on port " +
@@ -81,11 +91,12 @@ HttpExporter::~HttpExporter() { stop(); }
 
 void HttpExporter::add_route(const std::string& method, const std::string& path,
                              RouteHandler handler) {
-  const std::lock_guard<std::mutex> lock(routes_mutex_);
+  const common::LockGuard lock(routes_mutex_);
   routes_[{method, path}] = std::move(handler);
 }
 
 void HttpExporter::stop() {
+  // See the header for the ordering contract: signal, join, then close.
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
@@ -101,6 +112,8 @@ void HttpExporter::serve_loop() {
     pfd.events = POLLIN;
     const int rc = ::poll(&pfd, 1, 200);  // bounded wait so stop() is prompt
     if (rc <= 0) continue;
+    // Non-blocking listener (see constructor): a connection reset between
+    // poll() and accept() yields EAGAIN here instead of blocking the loop.
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
     handle_client(client);
@@ -191,9 +204,11 @@ void HttpExporter::handle_client(int client_fd) {
     }
   }
 
+  // Copy the handler out under the leaf lock, invoke with it released — a
+  // handler can therefore register routes itself without deadlocking.
   RouteHandler handler;
   {
-    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    const common::LockGuard lock(routes_mutex_);
     const auto it = routes_.find({req.method, req.path});
     if (it != routes_.end()) handler = it->second;
   }

@@ -81,7 +81,7 @@ void Histogram::observe(double v) noexcept {
 MetricsRegistry::Entry& MetricsRegistry::fetch_or_create(const std::string& name,
                                                          const std::string& help,
                                                          Kind kind) {
-  // Caller holds mutex_.
+  // MAGUS_REQUIRES(mutex_): every caller below holds the registration lock.
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     if (it->second.kind != kind) {
@@ -100,7 +100,7 @@ MetricsRegistry::Entry& MetricsRegistry::fetch_or_create(const std::string& name
 
 Counter* MetricsRegistry::counter(const std::string& name, const std::string& help) {
   if (!enabled_) return nullptr;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   Entry& e = fetch_or_create(name, help, Kind::kCounter);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return e.counter.get();
@@ -108,7 +108,7 @@ Counter* MetricsRegistry::counter(const std::string& name, const std::string& he
 
 Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help) {
   if (!enabled_) return nullptr;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   Entry& e = fetch_or_create(name, help, Kind::kGauge);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return e.gauge.get();
@@ -117,14 +117,14 @@ Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help) 
 Histogram* MetricsRegistry::histogram(const std::string& name, const std::string& help,
                                       const std::vector<double>& upper_bounds) {
   if (!enabled_) return nullptr;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   Entry& e = fetch_or_create(name, help, Kind::kHistogram);
   if (!e.histogram) e.histogram = std::make_unique<Histogram>(upper_bounds);
   return e.histogram.get();
 }
 
 std::string MetricsRegistry::render_prometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   std::string out;
   for (const auto& [name, e] : entries_) {
     if (!e.help.empty()) out += "# HELP " + name + " " + e.help + "\n";
@@ -156,7 +156,7 @@ std::string MetricsRegistry::render_prometheus() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   return entries_.size();
 }
 

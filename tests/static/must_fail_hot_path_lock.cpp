@@ -1,0 +1,19 @@
+// Negative-compile test (Clang -Wthread-safety -Werror): taking an
+// AnnotatedMutex inside a HotPathSection must not compile. LockGuard's
+// constructor declares MAGUS_EXCLUDES(hot_path_role), so the lock-free
+// batch-tick / sample→decide regions are compiler-enforced, not just
+// lint-marker-enforced.
+#include "magus/common/thread_annotations.hpp"
+
+namespace {
+magus::common::AnnotatedMutex g_mu;
+int g_shared MAGUS_GUARDED_BY(g_mu) = 0;
+}  // namespace
+
+int tick() {
+  const magus::common::HotPathSection hot;
+  const magus::common::LockGuard lock(g_mu);  // lock on hot path: rejected
+  return ++g_shared;
+}
+
+int main() { return tick(); }

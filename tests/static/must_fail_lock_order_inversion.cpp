@@ -1,0 +1,29 @@
+// Negative-compile test (Clang -Wthread-safety -Wthread-safety-beta
+// -Werror): acquiring two mutexes against their declared
+// MAGUS_ACQUIRED_BEFORE hierarchy must not compile. This is the same edge
+// shape as the production hierarchy (FleetService job mutex before the
+// telemetry registration mutex); acquired_before is checked under the
+// -beta flag, which the thread-safety CI leg enables.
+#include "magus/common/thread_annotations.hpp"
+
+namespace {
+
+struct TwoLocks {
+  magus::common::AnnotatedMutex second;
+  magus::common::AnnotatedMutex first MAGUS_ACQUIRED_BEFORE(second);
+  int a MAGUS_GUARDED_BY(first) = 0;
+  int b MAGUS_GUARDED_BY(second) = 0;
+};
+
+}  // namespace
+
+int inverted(TwoLocks& t) {
+  const magus::common::LockGuard inner(t.second);
+  const magus::common::LockGuard outer(t.first);  // wrong order: rejected
+  return t.a + t.b;
+}
+
+int main() {
+  TwoLocks t;
+  return inverted(t);
+}

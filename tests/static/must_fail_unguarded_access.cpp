@@ -1,0 +1,21 @@
+// Negative-compile test (Clang -Wthread-safety -Werror): reading a
+// MAGUS_GUARDED_BY field without holding its mutex must not compile.
+#include "magus/common/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  magus::common::AnnotatedMutex mu;
+  long value MAGUS_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+long race(Counter& c) {
+  return c.value;  // no lock held: -Wthread-safety rejects this read
+}
+
+int main() {
+  Counter c;
+  return race(c) == 0 ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Positive control for the thread-safety negative-compile tests: the same
+// primitives used legally must compile clean under Clang -Wthread-safety
+// -Wthread-safety-beta -Werror. If *this* fails, the must_fail_* tests are
+// passing for the wrong reason (bad flag, broken include, -beta noise).
+#include "magus/common/thread_annotations.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) MAGUS_EXCLUDES(mu_) {
+    {
+      const magus::common::LockGuard lock(mu_);
+      tail_ = v;
+      ++size_;
+    }
+    cv_.notify_one();
+  }
+
+  int pop() MAGUS_EXCLUDES(mu_) {
+    magus::common::UniqueLock lock(mu_);
+    while (size_ == 0) cv_.wait(lock);  // condition read under the lock
+    --size_;
+    return tail_;
+  }
+
+  int drain_locked() MAGUS_REQUIRES(mu_) {
+    const int n = size_;
+    size_ = 0;
+    return n;
+  }
+
+  int drain() MAGUS_EXCLUDES(mu_) {
+    const magus::common::LockGuard lock(mu_);
+    return drain_locked();
+  }
+
+ private:
+  magus::common::AnnotatedMutex mu_;
+  magus::common::CondVar cv_;
+  int tail_ MAGUS_GUARDED_BY(mu_) = 0;
+  int size_ MAGUS_GUARDED_BY(mu_) = 0;
+};
+
+struct Ordered {
+  magus::common::AnnotatedMutex second;
+  magus::common::AnnotatedMutex first MAGUS_ACQUIRED_BEFORE(second);
+  int a MAGUS_GUARDED_BY(first) = 0;
+  int b MAGUS_GUARDED_BY(second) = 0;
+};
+
+int respect_order(Ordered& o) {
+  const magus::common::LockGuard outer(o.first);
+  const magus::common::LockGuard inner(o.second);
+  return o.a + o.b;
+}
+
+int lock_free_step(int x) MAGUS_LOCK_FREE { return x + 1; }
+
+int run_hot() {
+  const magus::common::HotPathSection hot;
+  return lock_free_step(41);  // role held: callable
+}
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push(1);
+  Ordered o;
+  return q.pop() + q.drain() + respect_order(o) + run_hot() > 0 ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+// Lint fixture: lock tokens inside a hot-path region (the textual twin of
+// the MAGUS_LOCK_FREE capability annotation). The self-test scans this from
+// a fake tree; a repo-wide lint run skips fixtures entirely.
+#include "magus/common/thread_annotations.hpp"
+
+namespace {
+magus::common::AnnotatedMutex g_mu;
+int g_counter MAGUS_GUARDED_BY(g_mu) = 0;
+}  // namespace
+
+int tick_all(int lanes) {
+  int alive = 0;
+  // magus:hot-path-begin
+  for (int lane = 0; lane < lanes; ++lane) {
+    const magus::common::LockGuard lock(g_mu);  // VIOLATION: hot-path
+    alive += ++g_counter;
+  }
+  g_mu.lock();  // VIOLATION: hot-path
+  g_mu.unlock();
+  // magus:hot-path-end
+  const magus::common::LockGuard lock(g_mu);  // outside the region: fine
+  return alive + g_counter;
+}

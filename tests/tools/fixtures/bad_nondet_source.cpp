@@ -1,0 +1,36 @@
+// Lint fixture: wall-clock and entropy reads in determinism-scoped code.
+// The self-test copies this under src/ of a fake tree (the rule only applies
+// to include/magus/ and src/); a repo-wide lint run skips fixtures entirely.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+struct Phase {
+  // Declaring a member literally named `time(` also fires: the rule is
+  // textual and deliberately discourages shadowing the libc name.
+  double time(int i) const { return static_cast<double>(i); }  // VIOLATION
+};
+
+double sample_everything(Phase& phase, Phase* pphase) {
+  double acc = 0.0;
+  acc += static_cast<double>(rand());                          // VIOLATION
+  srand(42);                                                   // VIOLATION
+  acc += static_cast<double>(time(nullptr));                   // VIOLATION
+  acc += static_cast<double>(std::time(nullptr));              // VIOLATION
+  std::random_device rd;                                       // VIOLATION
+  acc += static_cast<double>(rd());
+  auto t0 = std::chrono::steady_clock::now();                  // VIOLATION
+  auto t1 = std::chrono::system_clock::now();                  // VIOLATION
+  (void)t0;
+  (void)t1;
+  // Negatives: member calls and lookalike identifiers must not trip.
+  acc += phase.time(1);
+  acc += pphase->time(2);
+  std::tm when{};
+  acc += static_cast<double>(mktime(&when));
+  // A comment saying rand() or time(nullptr) is fine.
+  const char* s = "strings mentioning time( and rand( are fine";
+  (void)s;
+  return acc;
+}

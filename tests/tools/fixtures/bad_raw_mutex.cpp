@@ -1,0 +1,15 @@
+// Lint fixture: bare standard-library locks that bypass the annotated
+// wrappers. The self-test copies this under src/ of a fake tree; a repo-wide
+// lint run skips fixtures entirely.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_bare;                 // VIOLATION: raw-mutex
+std::condition_variable g_cv;      // VIOLATION: raw-mutex
+std::mutex g_sanctioned;           // magus:raw-mutex-ok -- allowlisted for the test
+
+int locked_get(int& value) {
+  const std::lock_guard<std::mutex> lock(g_bare);  // VIOLATION: raw-mutex
+  // Mentioning std::mutex in a comment is fine; so is "std::unique_lock".
+  return value;
+}

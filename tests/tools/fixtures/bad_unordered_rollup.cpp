@@ -1,0 +1,27 @@
+// Lint fixture: unordered containers inside a serialization/rollup region.
+// Exercised by tests/tools/test_magus_lint.py, which copies this file into a
+// fake tree; a repo-wide lint run skips tests/tools/fixtures/ entirely.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+// Outside any rollup region: unordered containers are fine here.
+std::unordered_set<int> scratch_index;
+
+int aggregate() {
+  int total = 0;
+  // magus:rollup-begin
+  std::map<std::string, double> ordered_ok;     // deterministic iteration: fine
+  std::unordered_map<std::string, double> acc;  // VIOLATION: unordered-rollup
+  std::unordered_set<int> seen;                 // VIOLATION: unordered-rollup
+  // A comment mentioning unordered_map must NOT trip the rule.
+  const char* label = "unordered_map in a string is fine too";
+  (void)label;
+  total = static_cast<int>(ordered_ok.size() + acc.size() + seen.size());
+  // magus:rollup-end
+  std::unordered_map<int, int> after_region;  // back outside: fine
+  (void)after_region;
+  return total;
+}

@@ -1,0 +1,22 @@
+// Lint fixture: the negative control. Annotated locks, ordered rollup
+// containers, seed-driven values only -- every rule must stay silent on this
+// file wherever the self-test places it in the fake tree.
+#include <map>
+#include <string>
+
+#include "magus/common/thread_annotations.hpp"
+
+namespace {
+magus::common::AnnotatedMutex g_mu;
+double g_last MAGUS_GUARDED_BY(g_mu) = 0.0;
+}  // namespace
+
+double rollup(const std::map<std::string, double>& per_node, double seed_derived) {
+  double total = 0.0;
+  // magus:rollup-begin
+  for (const auto& [name, value] : per_node) total += value;
+  // magus:rollup-end
+  const magus::common::LockGuard lock(g_mu);
+  g_last = total + seed_derived;
+  return g_last;
+}

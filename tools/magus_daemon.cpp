@@ -35,10 +35,8 @@
 
 #include <unistd.h>
 
-#include <condition_variable>
 #include <csignal>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <cstring>
 #include <fstream>
@@ -50,6 +48,7 @@
 
 #include "magus/common/error.hpp"
 #include "magus/common/parse.hpp"
+#include "magus/common/thread_annotations.hpp"
 #include "magus/common/thread_pool.hpp"
 #include "magus/core/runtime.hpp"
 #include "magus/hw/file_counter.hpp"
@@ -207,9 +206,9 @@ class FleetService {
     });
   }
 
-  void stop() {
+  void stop() MAGUS_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const common::LockGuard lock(mutex_);
       if (stopping_) return;
       stopping_ = true;
     }
@@ -218,8 +217,8 @@ class FleetService {
   }
 
   /// True while a job is queued or running (lets the daemon drain on exit).
-  [[nodiscard]] bool busy() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool busy() MAGUS_EXCLUDES(mutex_) {
+    const common::LockGuard lock(mutex_);
     return !queue_.empty() || state_ == "running";
   }
 
@@ -247,7 +246,7 @@ class FleetService {
     return "";
   }
 
-  telemetry::HttpResponse submit(const telemetry::HttpRequest& req) {
+  telemetry::HttpResponse submit(const telemetry::HttpRequest& req) MAGUS_EXCLUDES(mutex_) {
     telemetry::HttpResponse res;
     fleet::FleetManifest manifest;
     try {
@@ -290,7 +289,7 @@ class FleetService {
 
     std::uint64_t id = 0;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const common::LockGuard lock(mutex_);
       id = next_job_id_++;
       queue_.push_back(Job{id, std::move(manifest), engine});
     }
@@ -308,16 +307,16 @@ class FleetService {
   }
 
   /// Total node count of the queued/running job `id` (0 if already gone).
-  std::size_t res_nodes(std::uint64_t id) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t res_nodes(std::uint64_t id) MAGUS_EXCLUDES(mutex_) {
+    const common::LockGuard lock(mutex_);
     for (const Job& job : queue_) {
       if (job.id == id) return job.manifest.total_nodes();
     }
     return job_id_ == id ? nodes_total_ : 0;
   }
 
-  telemetry::HttpResponse status() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  telemetry::HttpResponse status() MAGUS_EXCLUDES(mutex_) {
+    const common::LockGuard lock(mutex_);
     std::size_t completed = nodes_completed_;
     if (active_) completed = active_->nodes_completed();
     telemetry::Event ev(0.0, "fleet_status");
@@ -334,12 +333,12 @@ class FleetService {
     return res;
   }
 
-  void work_loop() {
+  void work_loop() MAGUS_EXCLUDES(mutex_) {
     for (;;) {
       Job job;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        common::UniqueLock lock(mutex_);
+        while (!stopping_ && queue_.empty()) cv_.wait(lock);
         if (stopping_) return;
         job = std::move(queue_.front());
         queue_.pop_front();
@@ -352,20 +351,24 @@ class FleetService {
       try {
         fleet::FleetRunner runner(std::move(job.manifest));
         runner.set_engine(job.engine);
+        // Registers magus_fleet_* families — takes the registry's
+        // registration mutex. Deliberately outside the job lock: the
+        // hierarchy says mutex_ -> registry mutex is the only legal nesting,
+        // and here neither is held while the other is taken.
         runner.attach_telemetry(registry_, events_);
         {
-          const std::lock_guard<std::mutex> lock(mutex_);
+          const common::LockGuard lock(mutex_);
           active_ = &runner;
         }
         const fleet::FleetResult result = runner.run();
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const common::LockGuard lock(mutex_);
         active_ = nullptr;
         state_ = "done";
         nodes_completed_ = result.nodes_total;
         last_rollup_ = result.to_jsonl().substr(0, result.to_jsonl().find('\n') + 1);
         telemetry::inc(m_jobs_completed_);
       } catch (const std::exception& e) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const common::LockGuard lock(mutex_);
         active_ = nullptr;
         state_ = "failed";
         last_error_ = e.what();
@@ -380,22 +383,30 @@ class FleetService {
   telemetry::Counter* m_jobs_completed_ = nullptr;
   telemetry::Counter* m_jobs_failed_ = nullptr;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
-  std::uint64_t next_job_id_ = 1;
+  /// Job-service lock. Lock hierarchy (DESIGN.md §14): when nested with the
+  /// telemetry registration mutex, this one is taken FIRST — equivalently,
+  /// never call a registry registration method with mutex_ held (updates
+  /// through Counter*/Gauge* handles are atomic and lock-free, so they are
+  /// fine under the lock). Today the nesting never actually happens
+  /// (registration sites all run unlocked); the attribute pins the order so
+  /// a future regression is a -Wthread-safety-beta diagnostic, not a
+  /// deadlock hunt.
+  common::AnnotatedMutex mutex_ MAGUS_ACQUIRED_BEFORE(registry_.registration_mutex());
+  common::CondVar cv_;
+  std::deque<Job> queue_ MAGUS_GUARDED_BY(mutex_);
+  bool stopping_ MAGUS_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_job_id_ MAGUS_GUARDED_BY(mutex_) = 1;
 
   // Status snapshot (all guarded by mutex_). `active_` points at the
   // worker-stack runner only while run() executes; its atomic progress
   // counter is safe to read under the lock.
-  std::string state_ = "idle";
-  std::uint64_t job_id_ = 0;
-  std::size_t nodes_total_ = 0;
-  std::size_t nodes_completed_ = 0;
-  std::string last_rollup_;
-  std::string last_error_;
-  fleet::FleetRunner* active_ = nullptr;
+  std::string state_ MAGUS_GUARDED_BY(mutex_) = "idle";
+  std::uint64_t job_id_ MAGUS_GUARDED_BY(mutex_) = 0;
+  std::size_t nodes_total_ MAGUS_GUARDED_BY(mutex_) = 0;
+  std::size_t nodes_completed_ MAGUS_GUARDED_BY(mutex_) = 0;
+  std::string last_rollup_ MAGUS_GUARDED_BY(mutex_);
+  std::string last_error_ MAGUS_GUARDED_BY(mutex_);
+  fleet::FleetRunner* active_ MAGUS_GUARDED_BY(mutex_) = nullptr;
 
   std::thread worker_;
 };

@@ -43,8 +43,37 @@ Rules (each exits non-zero on violation, with file:line diagnostics):
                      `magus:hot-path-end` marker comments is batch-tick hot
                      path (the shared SoA kernel): no virtual functions, no
                      heap allocation (new / make_unique / make_shared /
-                     malloc), no std::function. Everything there must inline
-                     and touch only the caller's arrays.
+                     malloc), no std::function, and no lock or mutex tokens
+                     (the textual twin of the MAGUS_LOCK_FREE capability
+                     annotations -- Clang checks direct acquisitions, this
+                     rule also catches spelled-out lock types the analysis
+                     cannot see through). Everything there must inline and
+                     touch only the caller's arrays.
+
+  unordered-rollup   Code between `magus:rollup-begin` and `magus:rollup-end`
+                     marker comments serializes or aggregates fleet/exp
+                     results, where iteration order IS the byte-identical
+                     rollup contract: std::unordered_map / std::unordered_set
+                     (whose iteration order is implementation-defined) are
+                     banned inside these regions.
+
+  nondeterministic-source
+                     Wall-clock and entropy calls (time(, rand(/srand(,
+                     std::random_device, steady_clock/system_clock/
+                     high_resolution_clock ::now) are banned in include/ and
+                     src/ outside an explicit allowlist: simulation results
+                     must depend only on (seed, manifest), and hidden clock
+                     reads are how "bit-identical" claims die. Seeded
+                     common::Rng is the sanctioned randomness source.
+
+  raw-mutex          Every lock in include/, src/, and tools/ must be a
+                     common::AnnotatedMutex / LockGuard / UniqueLock /
+                     CondVar (thread_annotations.hpp) so Clang's
+                     -Wthread-safety capability analysis sees it. Bare
+                     std::mutex / std::condition_variable / std::lock_guard /
+                     std::unique_lock / std::scoped_lock are banned except in
+                     the wrapper header itself or on lines carrying a
+                     `magus:raw-mutex-ok` comment stating why.
 
 Usage: tools/magus_lint.py [--root DIR]
 Exit code 0 = clean, 1 = violations found.
@@ -70,7 +99,26 @@ HOT_PATH_BEGIN = "magus:hot-path-begin"
 HOT_PATH_END = "magus:hot-path-end"
 HOT_PATH_RE = re.compile(
     r"\bvirtual\b|\bnew\b|\bmake_unique\b|\bmake_shared\b|\bmalloc\b|\bstd::function\b"
+    r"|\bmutex\b|\block_guard\b|\bunique_lock\b|\bscoped_lock\b"
+    r"|\bLockGuard\b|\bUniqueLock\b|\bCondVar\b|\.lock\s*\(|->lock\s*\("
 )
+ROLLUP_BEGIN = "magus:rollup-begin"
+ROLLUP_END = "magus:rollup-end"
+UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+NONDET_RE = re.compile(
+    # The bare-`time(` arm excludes member calls (`.time(`, `->time(`) and
+    # qualified names -- std::time / ::time get their own arm so a `:`
+    # prefix cannot smuggle the libc call past the rule.
+    r"\bs?rand\s*\(|\bstd::random_device\b"
+    r"|\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b"
+    r"|(?<![\w.>:])time\s*\(|\b(?:std)?::time\s*\("
+)
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+RAW_MUTEX_OK = "magus:raw-mutex-ok"
 
 # Directories whose public headers must use strong-typed quantities.
 QUANTITY_HEADER_DIRS = ("common", "core", "sim", "baseline", "exp", "fleet", "trace",
@@ -98,6 +146,26 @@ SYSFS_PATH_BUILDER_FILES = {
     "src/hw/sysfs_uncore.cpp",
 }
 
+# Sanctioned wall-clock reads. The pool's task-latency histogram measures
+# real elapsed time by design, and observability never feeds back into
+# simulation state.
+NONDET_ALLOWED_FILES = {
+    "src/common/thread_pool.cpp",
+}
+# nondeterministic-source applies where determinism is the product contract.
+NONDET_SCOPES = ("include/magus/", "src/")
+
+# The capability-wrapper header is where the raw primitives live, by design.
+RAW_MUTEX_EXEMPT_FILES = {
+    "include/magus/common/thread_annotations.hpp",
+}
+# raw-mutex applies to everything that links into the product or its tools.
+RAW_MUTEX_SCOPES = ("include/magus/", "src/", "tools/", "examples/")
+
+# Deliberately-violating fixtures for tools/test_magus_lint.py: scanned by
+# the self-tests against their own root, never by a repo-wide run.
+LINT_FIXTURE_PREFIX = "tests/tools/fixtures/"
+
 
 def strip_comments_and_strings(text: str) -> str:
     """Blank out comments and string/char literals, preserving line structure."""
@@ -118,8 +186,9 @@ def strip_comments_and_strings(text: str) -> str:
             j = i + 1
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
-            out.append(" " * (min(j, n - 1) - i + 1))
-            i = min(j, n - 1) + 1
+            end = min(j, n - 1) + 1
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:end]))
+            i = end
         else:
             out.append(c)
             i += 1
@@ -178,7 +247,7 @@ def iter_violations(root: pathlib.Path):
 
     for path in sorted(root.glob("**/*.[ch]pp")):
         rel = path.relative_to(root).as_posix()
-        if rel.startswith("build"):
+        if rel.startswith("build") or rel.startswith(LINT_FIXTURE_PREFIX):
             continue
         text = path.read_text(encoding="utf-8")
         code = strip_comments_and_strings(text)
@@ -186,7 +255,12 @@ def iter_violations(root: pathlib.Path):
         msr_exempt = rel.startswith(("include/magus/hw/", "src/hw/", "tests/hw/"))
         kind_exempt = rel in POLICY_KIND_SHIM_FILES
         sysfs_exempt = rel in SYSFS_PATH_BUILDER_FILES
+        nondet_active = (rel.startswith(NONDET_SCOPES)
+                        and rel not in NONDET_ALLOWED_FILES)
+        raw_mutex_active = (rel.startswith(RAW_MUTEX_SCOPES)
+                            and rel not in RAW_MUTEX_EXEMPT_FILES)
         in_hot_path = False
+        in_rollup = False
         for lineno, (raw, line, strline) in enumerate(
                 zip(text.splitlines(), code.splitlines(),
                     code_with_strings.splitlines()), 1):
@@ -202,7 +276,34 @@ def iter_violations(root: pathlib.Path):
                     yield (rel, lineno, "hot-path",
                            f"`{m.group(0)}` inside a magus:hot-path region -- the "
                            "batch-tick kernel allows no virtual dispatch, heap "
-                           "allocation, or type-erased callables")
+                           "allocation, type-erased callables, or locks")
+            if ROLLUP_BEGIN in raw:
+                in_rollup = True
+            elif ROLLUP_END in raw:
+                in_rollup = False
+            elif in_rollup:
+                m = UNORDERED_RE.search(line)
+                if m:
+                    yield (rel, lineno, "unordered-rollup",
+                           f"`{m.group(0)}` inside a magus:rollup region -- "
+                           "iteration order is the byte-identity contract; use "
+                           "std::map / std::set or a sorted vector")
+            if nondet_active:
+                m = NONDET_RE.search(line)
+                if m:
+                    yield (rel, lineno, "nondeterministic-source",
+                           f"`{m.group(0).strip()}` reads wall-clock/entropy -- "
+                           "results must depend only on (seed, manifest); use "
+                           "seeded common::Rng / virtual time, or allowlist in "
+                           "tools/magus_lint.py with justification")
+            if raw_mutex_active and RAW_MUTEX_OK not in raw:
+                m = RAW_MUTEX_RE.search(line)
+                if m:
+                    yield (rel, lineno, "raw-mutex",
+                           f"`{m.group(0)}` bypasses thread-safety analysis -- "
+                           "use common::AnnotatedMutex / LockGuard / UniqueLock "
+                           "/ CondVar (thread_annotations.hpp), or mark the "
+                           "line `magus:raw-mutex-ok` with a reason")
             if not msr_exempt and NAKED_MSR_RE.search(line):
                 yield (rel, lineno, "naked-msr-literal",
                        "naked 0x620 outside hw/ -- use hw::msr::kUncoreRatioLimit")
