@@ -1,0 +1,110 @@
+#pragma once
+// Component-level power partitioning under a node cap ("comppow").
+//
+// Where EcoShift treats the node cap as one bucket and reacts to measured
+// power, comppow *splits* the cap between components up front: the uncore is
+// granted a share of the node budget that grows with memory-bandwidth
+// utilisation (an idle uncore earns the minimum share, a saturated one the
+// maximum), and the controller then solves its internal quadratic uncore
+// power model -- P(f) = leak + k1*f + k2*f^2 per domain -- for the highest
+// ladder frequency that fits inside the granted share. Everything left of
+// the cap implicitly belongs to cores/DRAM/GPU, which this policy does not
+// actuate. Without a cap the budget is unbounded and the controller is inert
+// at ladder max.
+
+#include <vector>
+
+#include "magus/common/quantity.hpp"
+#include "magus/core/policy.hpp"
+#include "magus/core/power_cap.hpp"
+#include "magus/hw/counters.hpp"
+#include "magus/hw/uncore_domain.hpp"
+#include "magus/hw/uncore_freq.hpp"
+
+namespace magus::baseline {
+
+struct CompPowConfig {
+  common::Seconds period{0.2};
+  /// Uncore share of the node cap: share_min at zero memory utilisation,
+  /// sliding linearly to share_max at full utilisation.
+  double uncore_share_min = 0.10;
+  double uncore_share_max = 0.35;
+  /// Capacity model for the utilisation signal (MB/s per GHz, as DUF).
+  double capacity_mbps_per_ghz = 72'000.0;
+  /// Internal uncore power model, per frequency domain:
+  /// P(f) = leak_w + k1_w_per_ghz * f + k2_w_per_ghz2 * f^2. Defaults mirror
+  /// the Intel presets' per-socket coefficients.
+  double leak_w = 5.0;
+  double k1_w_per_ghz = 2.0;
+  double k2_w_per_ghz2 = 13.0;
+  bool scaling_enabled = true;
+};
+
+class CompPowController final : public core::IPolicy {
+ public:
+  /// `cap` (optional) is copied; null or inactive means uncapped (inert).
+  /// `domains` (optional): more than one domain splits the uncore budget
+  /// across domains in proportion to their traffic shares (every domain
+  /// keeps at least an even split's minimum-frequency cost). Null or one
+  /// domain budgets the node's domains as one pool.
+  CompPowController(hw::IMemThroughputCounter& mem_counter,
+                    hw::IEnergyCounter& energy_counter, hw::IMsrDevice& msr,
+                    const hw::UncoreFreqLadder& ladder, CompPowConfig cfg = {},
+                    const core::PowerCapSchedule* cap = nullptr,
+                    hw::IUncoreDomainSet* domains = nullptr);
+
+  [[nodiscard]] std::string name() const override { return "comppow"; }
+  [[nodiscard]] double period_s() const override { return cfg_.period.value(); }
+
+  void on_start(common::Seconds now) override;
+  void on_sample(common::Seconds now) override;
+
+  [[nodiscard]] common::Ghz current_target() const noexcept { return target_; }
+  [[nodiscard]] double last_utilization() const noexcept { return last_util_; }
+  [[nodiscard]] double last_uncore_budget_w() const noexcept {
+    return last_uncore_budget_w_;
+  }
+
+  /// Highest ladder frequency with model power <= budget_w (per domain);
+  /// ladder min when even that does not fit.
+  [[nodiscard]] double fit_ghz(double budget_w) const;
+
+  /// Domains under independent control (1 in node-level mode).
+  [[nodiscard]] int domain_count() const noexcept {
+    return domains_ ? static_cast<int>(domain_target_.size()) : 1;
+  }
+  [[nodiscard]] common::Ghz domain_target(int domain) const noexcept {
+    return domains_ ? domain_target_[static_cast<std::size_t>(domain)] : target_;
+  }
+
+ private:
+  void sample_node(common::Seconds now);
+  void sample_domains(common::Seconds now);
+
+  hw::IMemThroughputCounter& mem_counter_;
+  hw::IEnergyCounter& energy_counter_;
+  hw::UncoreFreqController uncore_;
+  CompPowConfig cfg_;
+  core::PowerCapSchedule cap_;
+
+  bool primed_ = false;
+  double prev_t_ = 0.0;
+  double prev_mb_ = 0.0;
+  common::Ghz target_;
+  double last_util_ = 0.0;
+  double last_uncore_budget_w_ = 0.0;
+
+  // Per-domain mode (domains_ non-null).
+  hw::IUncoreDomainSet* domains_ = nullptr;
+  std::vector<double> domain_prev_mb_;
+  std::vector<common::Ghz> domain_target_;
+};
+
+/// Self-registration anchor for the "comppow" PolicyFactory entry (defined
+/// in comppow.cpp); see core/policy_factory.hpp for why headers carry these.
+int register_comppow_policy();
+namespace {
+[[maybe_unused]] const int kCompPowPolicyAnchor = register_comppow_policy();
+}
+
+}  // namespace magus::baseline

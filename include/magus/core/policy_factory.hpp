@@ -25,12 +25,16 @@
 #include "magus/common/thread_annotations.hpp"
 #include "magus/core/config.hpp"
 #include "magus/core/policy.hpp"
+#include "magus/core/power_cap.hpp"
 #include "magus/hw/counters.hpp"
 #include "magus/hw/msr.hpp"
 #include "magus/hw/uncore_freq.hpp"
 
 namespace magus::baseline {
+struct CompPowConfig;
+struct DeadlineConfig;
 struct DufConfig;
+struct EcoShiftConfig;
 struct UpsConfig;
 }  // namespace magus::baseline
 
@@ -66,7 +70,16 @@ struct PolicyContext {
   const MagusConfig* magus = nullptr;            ///< "magus" maker (null = defaults)
   const baseline::UpsConfig* ups = nullptr;      ///< "ups" maker (null = defaults)
   const baseline::DufConfig* duf = nullptr;      ///< "duf" maker (null = defaults)
+  const baseline::EcoShiftConfig* ecoshift = nullptr;  ///< "ecoshift" (null = defaults)
+  const baseline::DeadlineConfig* deadline = nullptr;  ///< "deadline" (null = defaults)
+  const baseline::CompPowConfig* comppow = nullptr;    ///< "comppow" (null = defaults)
   common::Ghz static_ghz{0.0};                   ///< "static" maker pin target
+
+  /// Per-node power-cap schedule for the cap-aware policies (ecoshift,
+  /// comppow). Null or inactive means "uncapped": the makers copy the
+  /// schedule, so like the config pointers it is borrowed only for the
+  /// make_policy call.
+  const PowerCapSchedule* power_cap = nullptr;
 
   /// When set, makers of instrumented policies attach their telemetry here.
   /// Telemetry never feeds back into a policy's decisions.

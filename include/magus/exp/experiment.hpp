@@ -7,11 +7,15 @@
 
 #include <string>
 
+#include "magus/baseline/comppow.hpp"
+#include "magus/baseline/deadline.hpp"
 #include "magus/baseline/duf.hpp"
+#include "magus/baseline/ecoshift.hpp"
 #include "magus/baseline/static_policy.hpp"
 #include "magus/baseline/ups.hpp"
 #include "magus/common/quantity.hpp"
 #include "magus/core/config.hpp"
+#include "magus/core/power_cap.hpp"
 #include "magus/core/runtime.hpp"
 #include "magus/fault/config.hpp"
 #include "magus/fault/injectors.hpp"
@@ -32,7 +36,14 @@ struct RunOptions {
   core::MagusConfig magus;
   baseline::UpsConfig ups;
   baseline::DufConfig duf;
+  baseline::EcoShiftConfig ecoshift;
+  baseline::DeadlineConfig deadline;
+  baseline::CompPowConfig comppow;
   common::Ghz static_ghz{0.0};  ///< pin target for the "static" policy
+  /// Per-node power-cap schedule the cap-aware policies (ecoshift, comppow)
+  /// read; inactive (the default) means uncapped and those policies are
+  /// inert at ladder max.
+  core::PowerCapSchedule power_cap;
   /// When set, the engine, the MAGUS runtime, and the repetition protocol
   /// report into this registry. Telemetry never feeds back into the
   /// simulation: results are bit-identical with any registry (including

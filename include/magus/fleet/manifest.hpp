@@ -60,6 +60,13 @@ class NodeSpec {
     numa_skew_ = v;
     return *this;
   }
+  /// Static per-node power cap in Watts (0 = uncapped). Feeds the cap-aware
+  /// policies directly; under a fleet power budget it also tightens the
+  /// allocator's ceiling for this node.
+  NodeSpec& power_cap_w(double v) {
+    power_cap_w_ = v;
+    return *this;
+  }
   NodeSpec& count(int v) {
     count_ = v;
     return *this;
@@ -73,6 +80,7 @@ class NodeSpec {
   [[nodiscard]] common::Ghz static_uncore() const noexcept { return static_uncore_; }
   [[nodiscard]] int dies() const noexcept { return dies_; }
   [[nodiscard]] double numa_skew() const noexcept { return numa_skew_; }
+  [[nodiscard]] double power_cap_w() const noexcept { return power_cap_w_; }
   [[nodiscard]] int count() const noexcept { return count_; }
 
   /// Every problem with this spec (empty = valid). `prefix` labels the spec
@@ -88,6 +96,7 @@ class NodeSpec {
   common::Ghz static_uncore_{0.0};
   int dies_ = 1;
   double numa_skew_ = 0.0;
+  double power_cap_w_ = 0.0;
   int count_ = 1;
 };
 
@@ -119,8 +128,28 @@ class FleetManifest {
     fault_.seed = v;
     return *this;
   }
+  /// Global fleet power budget in Watts (0 = budgeting off). When active,
+  /// the FleetRunner water-fills this across nodes per `budget_epoch_s` of
+  /// simulated time (fleet/allocator.hpp) and each node's cap-aware policy
+  /// receives its slice as a PowerCapSchedule.
+  FleetManifest& power_budget_w(double v) {
+    power_budget_w_ = v;
+    return *this;
+  }
+  FleetManifest& budget_epoch_s(double v) {
+    budget_epoch_s_ = v;
+    return *this;
+  }
   FleetManifest& add_node(NodeSpec spec) {
     nodes_.push_back(std::move(spec));
+    return *this;
+  }
+  /// Apply `fn` to every node template in place (the CLI/daemon override
+  /// loops: replay a saved fleet under a different policy, cap, or die
+  /// count without editing the file).
+  template <typename Fn>
+  FleetManifest& mutate_nodes(Fn&& fn) {
+    for (NodeSpec& node : nodes_) fn(node);
     return *this;
   }
 
@@ -128,6 +157,8 @@ class FleetManifest {
   [[nodiscard]] int shard_size() const noexcept { return shard_size_; }
   [[nodiscard]] const wl::JitterConfig& jitter() const noexcept { return jitter_; }
   [[nodiscard]] const fault::FaultConfig& fault() const noexcept { return fault_; }
+  [[nodiscard]] double power_budget_w() const noexcept { return power_budget_w_; }
+  [[nodiscard]] double budget_epoch_s() const noexcept { return budget_epoch_s_; }
   [[nodiscard]] const std::vector<NodeSpec>& nodes() const noexcept { return nodes_; }
 
   /// All validation problems at once (empty = valid): unknown systems, apps,
@@ -155,6 +186,8 @@ class FleetManifest {
   int shard_size_ = 16;
   wl::JitterConfig jitter_;
   fault::FaultConfig fault_;
+  double power_budget_w_ = 0.0;
+  double budget_epoch_s_ = 1.0;
   std::vector<NodeSpec> nodes_;
 };
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "magus/core/power_cap.hpp"
 #include "magus/fleet/manifest.hpp"
 
 namespace magus::telemetry {
@@ -59,6 +60,19 @@ struct NodeResult {
   int attempts = 1;                 ///< simulation attempts consumed (1 = clean)
   std::uint64_t faults_injected = 0;  ///< faults the decorators delivered
   std::string error;                ///< last failure message ("" on success)
+
+  /// Mean power cap the node ran under (0 = uncapped; fleet budgeting off
+  /// and no manifest cap). Filled during the serial rollup.
+  double power_cap_w = 0.0;
+};
+
+/// Budget accounting for one allocation epoch (only present when the
+/// manifest sets a fleet power budget).
+struct BudgetEpochRollup {
+  std::size_t epoch = 0;
+  double allocated_w = 0.0;  ///< sum of per-node allocations this epoch
+  double consumed_w = 0.0;   ///< estimated fleet draw (node avg power x overlap)
+  double clipped_w = 0.0;    ///< demand the allocator could not fund
 };
 
 /// Rollup over one uncore-domain index across every node that has it (a
@@ -99,8 +113,16 @@ struct FleetResult {
   std::vector<DomainRollup> per_domain;  ///< by domain index, 0 first
   std::vector<NodeResult> nodes;         ///< fleet order
 
+  // Fleet power budgeting (all zero / empty when the manifest has none --
+  // the JSONL dump then carries no budget fields at all, so unbudgeted
+  // rollups stay byte-identical to the pre-budget format).
+  double power_budget_w = 0.0;
+  double budget_epoch_s = 0.0;
+  std::vector<BudgetEpochRollup> budget_epochs;  ///< by epoch, 0 first
+
   /// Canonical JSONL dump: one `fleet_rollup` line, one `policy_rollup` line
   /// per policy, one `domain_rollup` line per uncore-domain index, one
+  /// `budget_rollup` line per allocation epoch (budgeted fleets only), one
   /// `node_result` line per node, all with deterministically formatted
   /// numbers -- two runs are bit-identical iff these strings match.
   [[nodiscard]] std::string to_jsonl() const;
@@ -150,6 +172,14 @@ class FleetRunner {
   struct NodeInputs;
   [[nodiscard]] NodeInputs node_inputs(std::size_t index) const;
 
+  /// Budget pre-pass (constructor only, serial): estimate per-epoch demand
+  /// for every node from its jittered phase program, water-fill the global
+  /// budget epoch by epoch, and fix each node's PowerCapSchedule plus the
+  /// allocated/clipped halves of the epoch accounting. Manifest-only inputs
+  /// walked in node-index order, so the schedules are identical at any
+  /// --jobs count and shard size.
+  void compute_power_caps();
+
   [[nodiscard]] NodeResult run_node(std::size_t index) const;
   /// Batched equivalent of run_node over [begin, end): one BatchRun per
   /// retry round, writing the same NodeResult fields into `results`.
@@ -169,12 +199,20 @@ class FleetRunner {
   FleetEngine engine_ = FleetEngine::kPerNode;
   std::atomic<std::size_t> completed_{0};
 
+  // Budget state: computed once by the constructor (init-then-read, like
+  // expanded_), empty when the manifest sets no budget and no node caps.
+  std::vector<core::PowerCapSchedule> caps_;      ///< per node, fleet order
+  std::vector<BudgetEpochRollup> budget_epochs_;  ///< allocated/clipped halves
+
   telemetry::EventLog* events_ = nullptr;
   telemetry::Gauge* m_nodes_total_ = nullptr;
   telemetry::Counter* m_nodes_done_ = nullptr;
   telemetry::Gauge* m_joules_saved_ = nullptr;
   telemetry::Gauge* m_degraded_nodes_ = nullptr;
   telemetry::Gauge* m_failed_nodes_ = nullptr;
+  telemetry::Gauge* m_power_budget_ = nullptr;
+  telemetry::Gauge* m_power_allocated_ = nullptr;
+  telemetry::Gauge* m_power_clipped_ = nullptr;
 };
 
 }  // namespace magus::fleet

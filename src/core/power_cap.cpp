@@ -1,0 +1,19 @@
+#include "magus/core/power_cap.hpp"
+
+#include <cstddef>
+#include <limits>
+
+namespace magus::core {
+
+double PowerCapSchedule::cap_at(common::Seconds now) const noexcept {
+  if (!epoch_cap_w.empty() && epoch_s > 0.0) {
+    const double t = now.value() < 0.0 ? 0.0 : now.value();
+    std::size_t epoch = static_cast<std::size_t>(t / epoch_s);
+    if (epoch >= epoch_cap_w.size()) epoch = epoch_cap_w.size() - 1;
+    return epoch_cap_w[epoch];
+  }
+  if (fixed_cap_w > 0.0) return fixed_cap_w;
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace magus::core

@@ -40,7 +40,11 @@ std::size_t BatchRun::add(const sim::SystemSpec& system, const wl::PhaseProgram&
   ctx.magus = &opts.magus;
   ctx.ups = &opts.ups;
   ctx.duf = &opts.duf;
+  ctx.ecoshift = &opts.ecoshift;
+  ctx.deadline = &opts.deadline;
+  ctx.comppow = &opts.comppow;
   ctx.static_ghz = opts.static_ghz;
+  ctx.power_cap = &opts.power_cap;
   ctx.metrics = opts.metrics;
   ctx.events = opts.events;
   // Per-domain control only on multi-domain nodes (same gate as run_policy).

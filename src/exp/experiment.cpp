@@ -40,7 +40,11 @@ RunOutput run_policy(const sim::SystemSpec& system, const wl::PhaseProgram& work
   ctx.magus = &opts.magus;
   ctx.ups = &opts.ups;
   ctx.duf = &opts.duf;
+  ctx.ecoshift = &opts.ecoshift;
+  ctx.deadline = &opts.deadline;
+  ctx.comppow = &opts.comppow;
   ctx.static_ghz = opts.static_ghz;
+  ctx.power_cap = &opts.power_cap;
   ctx.metrics = opts.metrics;
   ctx.events = opts.events;
   // Per-domain control only on multi-domain nodes: single-domain runs keep

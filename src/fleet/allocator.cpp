@@ -1,0 +1,152 @@
+#include "magus/fleet/allocator.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace magus::fleet {
+
+namespace {
+
+/// Average power of one phase under the preset's models, with the uncore at
+/// `uncore_ghz`. This is the *demand* estimate -- what the node would draw
+/// if nothing throttled it -- so utilisations feed the models directly.
+double phase_power_w(const sim::SystemSpec& system, const wl::Phase& phase,
+                     double uncore_ghz) {
+  const sim::CpuSpec& cpu = system.cpu;
+  const double sockets = static_cast<double>(cpu.sockets);
+  const double mem_util = std::min(
+      1.0, phase.mem_demand_mbps / std::max(1.0, cpu.peak_mem_bw_mbps * sockets));
+
+  const double core_w = cpu.core_idle_w + cpu.core_dyn_w * phase.cpu_util;
+  const double uncore_w =
+      cpu.uncore_leak_w +
+      (cpu.uncore_k1_w_per_ghz * uncore_ghz +
+       cpu.uncore_k2_w_per_ghz2 * uncore_ghz * uncore_ghz) *
+          (cpu.uncore_util_floor + (1.0 - cpu.uncore_util_floor) * mem_util);
+  const double dram_w = cpu.dram_idle_w + cpu.dram_dyn_w * mem_util;
+  const double gpu_w =
+      static_cast<double>(system.gpu.count) *
+      (system.gpu.idle_w + (system.gpu.peak_w - system.gpu.idle_w) * phase.gpu_util);
+  return sockets * (core_w + uncore_w + dram_w) + gpu_w;
+}
+
+}  // namespace
+
+double node_floor_w(const sim::SystemSpec& system) {
+  wl::Phase idle;  // all utilisations zero, no traffic
+  idle.duration_s = 1.0;
+  return phase_power_w(system, idle, system.cpu.uncore_min_ghz);
+}
+
+double node_ceiling_w(const sim::SystemSpec& system) {
+  wl::Phase peak;
+  peak.duration_s = 1.0;
+  peak.cpu_util = 1.0;
+  peak.gpu_util = 1.0;
+  peak.mem_demand_mbps = system.cpu.peak_mem_bw_mbps * system.cpu.sockets;
+  return phase_power_w(system, peak, system.cpu.uncore_max_ghz);
+}
+
+std::vector<double> estimate_epoch_demand_w(const sim::SystemSpec& system,
+                                            const wl::PhaseProgram& workload,
+                                            double epoch_s, std::size_t epochs) {
+  std::vector<double> out(epochs, node_floor_w(system));
+  if (epoch_s <= 0.0 || epochs == 0) return out;
+
+  // Walk the program once, attributing each phase's power to the epochs its
+  // nominal time span overlaps (time-weighted within boundary epochs).
+  std::vector<double> energy_j(epochs, 0.0);
+  std::vector<double> busy_s(epochs, 0.0);
+  double t = 0.0;
+  for (const wl::Phase& phase : workload.phases()) {
+    const double power = phase_power_w(system, phase, system.cpu.uncore_max_ghz);
+    double remaining = phase.duration_s;
+    while (remaining > 0.0) {
+      const std::size_t e = static_cast<std::size_t>(t / epoch_s);
+      if (e >= epochs) break;
+      const double epoch_end = (static_cast<double>(e) + 1.0) * epoch_s;
+      const double slice = std::min(remaining, epoch_end - t);
+      if (slice <= 0.0) break;
+      energy_j[e] += power * slice;
+      busy_s[e] += slice;
+      t += slice;
+      remaining -= slice;
+    }
+    if (t >= static_cast<double>(epochs) * epoch_s) break;
+  }
+  const double floor = node_floor_w(system);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    // Partially covered epochs (the program ends mid-epoch) idle the rest.
+    const double idle_s = epoch_s - busy_s[e];
+    out[e] = (energy_j[e] + floor * idle_s) / epoch_s;
+  }
+  return out;
+}
+
+std::vector<double> PowerBudgetAllocator::allocate(const std::vector<NodeDemand>& nodes,
+                                                   double budget_w) {
+  const std::size_t n = nodes.size();
+  std::vector<double> alloc(n, 0.0);
+  if (n == 0 || budget_w <= 0.0) return alloc;
+
+  // Sanitise: ceilings never negative, floors inside [0, ceiling], wants
+  // (the water-fill targets) inside [floor, ceiling].
+  std::vector<double> floor(n, 0.0);
+  std::vector<double> want(n, 0.0);
+  std::vector<double> ceiling(n, 0.0);
+  double floor_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ceiling[i] = std::max(0.0, nodes[i].ceiling_w);
+    floor[i] = std::clamp(nodes[i].floor_w, 0.0, ceiling[i]);
+    want[i] = std::clamp(nodes[i].demand_w, floor[i], ceiling[i]);
+    floor_sum += floor[i];
+  }
+
+  // Infeasible floors: everyone gets the same fraction of their floor. This
+  // keeps conservation exact and every allocation monotone in the budget.
+  if (floor_sum >= budget_w) {
+    const double frac = floor_sum > 0.0 ? budget_w / floor_sum : 0.0;
+    for (std::size_t i = 0; i < n; ++i) alloc[i] = floor[i] * frac;
+    return alloc;
+  }
+
+  // Water-fill pass: raise one common level above the floors, each node
+  // capped at `room[i]`, spending at most `amount`. Adds in place.
+  const auto water_fill = [n](std::vector<double>& base,
+                              const std::vector<double>& room, double amount) {
+    std::vector<double> sorted(room);
+    std::sort(sorted.begin(), sorted.end());
+    double level = 0.0;
+    std::size_t settled = 0;  // nodes whose room is already below the level
+    for (; settled < n && amount > 0.0; ++settled) {
+      const std::size_t active = n - settled;
+      const double step = sorted[settled] - level;
+      const double cost = step * static_cast<double>(active);
+      if (cost >= amount) {
+        level += amount / static_cast<double>(active);
+        amount = 0.0;
+        break;
+      }
+      amount -= cost;
+      level = sorted[settled];
+    }
+    for (std::size_t i = 0; i < n; ++i) base[i] += std::min(room[i], level);
+  };
+
+  // Stage 1: floors, then water toward each node's demand.
+  alloc = floor;
+  std::vector<double> room(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) room[i] = want[i] - floor[i];
+  water_fill(alloc, room, budget_w - floor_sum);
+
+  // Stage 2: leftover headroom waters toward the ceilings.
+  double spent = 0.0;
+  for (const double a : alloc) spent += a;
+  if (budget_w > spent) {
+    for (std::size_t i = 0; i < n; ++i) room[i] = ceiling[i] - alloc[i];
+    water_fill(alloc, room, budget_w - spent);
+  }
+  return alloc;
+}
+
+}  // namespace magus::fleet

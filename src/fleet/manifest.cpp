@@ -59,6 +59,9 @@ std::vector<std::string> NodeSpec::validate(const std::string& prefix) const {
   if (numa_skew_ < 0.0 || numa_skew_ >= 1.0) {
     add("numa_skew must be in [0, 1) (got " + std::to_string(numa_skew_) + ")");
   }
+  if (power_cap_w_ < 0.0) {
+    add("power_cap_w must be >= 0 (got " + std::to_string(power_cap_w_) + ")");
+  }
   if (count_ < 1) add("count must be >= 1 (got " + std::to_string(count_) + ")");
   if (policy_ == "static" && static_uncore_ <= common::Ghz(0.0)) {
     add("policy 'static' needs a positive static_uncore frequency");
@@ -72,6 +75,14 @@ std::vector<std::string> FleetManifest::validate() const {
     errors.push_back("shard_size must be >= 1 (got " + std::to_string(shard_size_) + ")");
   }
   if (nodes_.empty()) errors.push_back("fleet has no nodes");
+  if (power_budget_w_ < 0.0) {
+    errors.push_back("power_budget_w must be >= 0 (got " +
+                     std::to_string(power_budget_w_) + ")");
+  }
+  if (budget_epoch_s_ <= 0.0) {
+    errors.push_back("budget_epoch_s must be > 0 (got " +
+                     std::to_string(budget_epoch_s_) + ")");
+  }
   try {
     fault_.validate();
   } catch (const common::Error& e) {
@@ -124,28 +135,33 @@ std::size_t FleetManifest::total_nodes() const {
 std::string FleetManifest::to_jsonl() const {
   // Seeds ride as strings: JSON numbers go through double in our parser and
   // would silently round 64-bit seeds.
-  std::string out = telemetry::Event(0.0, "fleet_manifest")
-                        .str("seed", std::to_string(seed_))
-                        .num("shard_size", shard_size_)
-                        .num("jitter_duration_rel", jitter_.duration_rel)
-                        .num("jitter_demand_rel", jitter_.demand_rel)
-                        .num("fault_rate", fault_.rate)
-                        .str("fault_seed", std::to_string(fault_.seed))
-                        .to_json() +
-                    "\n";
+  telemetry::Event header(0.0, "fleet_manifest");
+  header.str("seed", std::to_string(seed_))
+      .num("shard_size", shard_size_)
+      .num("jitter_duration_rel", jitter_.duration_rel)
+      .num("jitter_demand_rel", jitter_.demand_rel)
+      .num("fault_rate", fault_.rate)
+      .str("fault_seed", std::to_string(fault_.seed));
+  // Budget fields postdate the v1 wire format and are emitted only when
+  // budgeting is on, so cap-less manifests round-trip byte-identically.
+  if (power_budget_w_ > 0.0) {
+    header.num("power_budget_w", power_budget_w_).num("budget_epoch_s", budget_epoch_s_);
+  }
+  std::string out = header.to_json() + "\n";
   for (const NodeSpec& n : nodes_) {
-    out += telemetry::Event(0.0, "fleet_node")
-               .str("name", n.name())
-               .str("system", n.system())
-               .str("app", n.app())
-               .str("policy", n.policy())
-               .num("gpus", n.gpus())
-               .num("static_uncore_ghz", n.static_uncore().value())
-               .num("dies", n.dies())
-               .num("numa_skew", n.numa_skew())
-               .num("count", n.count())
-               .to_json() +
-           "\n";
+    telemetry::Event line(0.0, "fleet_node");
+    line.str("name", n.name())
+        .str("system", n.system())
+        .str("app", n.app())
+        .str("policy", n.policy())
+        .num("gpus", n.gpus())
+        .num("static_uncore_ghz", n.static_uncore().value())
+        .num("dies", n.dies())
+        .num("numa_skew", n.numa_skew());
+    // Same conditional contract as the header's budget fields.
+    if (n.power_cap_w() > 0.0) line.num("power_cap_w", n.power_cap_w());
+    line.num("count", n.count());
+    out += line.to_json() + "\n";
   }
   return out;
 }
@@ -190,6 +206,9 @@ FleetManifest FleetManifest::from_jsonl(const std::string& text) {
       manifest.jitter(jitter);
       manifest.fault_rate(std::stod(field_or("fault_rate", "0")));
       manifest.fault_seed(std::stoull(field_or("fault_seed", "0")));
+      // Budget fields postdate v1: an old manifest is an unbudgeted fleet.
+      manifest.power_budget_w(std::stod(field_or("power_budget_w", "0")));
+      manifest.budget_epoch_s(std::stod(field_or("budget_epoch_s", "1")));
     } else if (type == "fleet_node") {
       NodeSpec node;
       node.name(field("name"))
@@ -202,6 +221,8 @@ FleetManifest FleetManifest::from_jsonl(const std::string& text) {
           // fleet of single-domain, skew-free nodes.
           .dies(static_cast<int>(std::stod(field_or("dies", "1"))))
           .numa_skew(std::stod(field_or("numa_skew", "0")))
+          // A v1 node line is an uncapped node.
+          .power_cap_w(std::stod(field_or("power_cap_w", "0")))
           .count(static_cast<int>(std::stod(field("count"))));
       manifest.add_node(std::move(node));
     } else {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "magus/common/thread_pool.hpp"
 #include "magus/exp/batch.hpp"
 #include "magus/exp/experiment.hpp"
+#include "magus/fleet/allocator.hpp"
 #include "magus/telemetry/event_log.hpp"
 #include "magus/telemetry/registry.hpp"
 #include "magus/wl/catalog.hpp"
@@ -65,6 +67,73 @@ std::string join_doubles(const std::vector<double>& values) {
 FleetRunner::FleetRunner(FleetManifest manifest) : manifest_(std::move(manifest)) {
   manifest_.validate_or_throw();
   expanded_ = manifest_.expand();
+  bool any_node_cap = false;
+  for (const NodeSpec& spec : expanded_) any_node_cap |= spec.power_cap_w() > 0.0;
+  if (manifest_.power_budget_w() > 0.0 || any_node_cap) compute_power_caps();
+}
+
+void FleetRunner::compute_power_caps() {
+  const std::size_t total = expanded_.size();
+  caps_.assign(total, core::PowerCapSchedule{});
+  for (std::size_t i = 0; i < total; ++i) {
+    caps_[i].fixed_cap_w = expanded_[i].power_cap_w();
+  }
+  const double budget_w = manifest_.power_budget_w();
+  if (budget_w <= 0.0) return;  // static per-node caps only, no allocation
+
+  // Per-node demand profiles from the same jittered programs node_inputs
+  // will later hand the engines (re-derived here, identically: the fork is
+  // order-independent, so walking nodes twice changes nothing).
+  const double epoch_s = manifest_.budget_epoch_s();
+  std::vector<sim::SystemSpec> systems;
+  std::vector<wl::PhaseProgram> programs;
+  systems.reserve(total);
+  programs.reserve(total);
+  double span_s = 0.0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const NodeSpec& spec = expanded_[i];
+    common::Rng node_rng = common::Rng(manifest_.seed()).fork(i);
+    wl::PhaseProgram program = wl::make_workload(spec.app());
+    if (spec.gpus() > 1) program = wl::scale_for_gpus(program, spec.gpus());
+    programs.push_back(wl::apply_jitter(program, node_rng, manifest_.jitter()));
+    systems.push_back(sim::system_by_name(spec.system()));
+    span_s = std::max(span_s, programs.back().nominal_duration_s());
+  }
+  const std::size_t epochs =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(span_s / epoch_s)));
+
+  std::vector<std::vector<double>> demand(total);
+  std::vector<NodeDemand> bounds(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    demand[i] = estimate_epoch_demand_w(systems[i], programs[i], epoch_s, epochs);
+    bounds[i].floor_w = node_floor_w(systems[i]);
+    bounds[i].ceiling_w = node_ceiling_w(systems[i]);
+    // A manifest-set node cap tightens the allocator's ceiling.
+    if (expanded_[i].power_cap_w() > 0.0) {
+      bounds[i].ceiling_w = std::min(bounds[i].ceiling_w, expanded_[i].power_cap_w());
+      bounds[i].floor_w = std::min(bounds[i].floor_w, bounds[i].ceiling_w);
+    }
+    caps_[i].epoch_s = epoch_s;
+    caps_[i].epoch_cap_w.reserve(epochs);
+  }
+
+  budget_epochs_.resize(epochs);
+  std::vector<NodeDemand> epoch_nodes(total);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    for (std::size_t i = 0; i < total; ++i) {
+      epoch_nodes[i] = bounds[i];
+      epoch_nodes[i].demand_w = demand[i][e];
+    }
+    const std::vector<double> alloc =
+        PowerBudgetAllocator::allocate(epoch_nodes, budget_w);
+    BudgetEpochRollup& roll = budget_epochs_[e];
+    roll.epoch = e;
+    for (std::size_t i = 0; i < total; ++i) {
+      caps_[i].epoch_cap_w.push_back(alloc[i]);
+      roll.allocated_w += alloc[i];
+      roll.clipped_w += std::max(0.0, demand[i][e] - alloc[i]);
+    }
+  }
 }
 
 void FleetRunner::attach_telemetry(telemetry::MetricsRegistry& reg,
@@ -79,6 +148,14 @@ void FleetRunner::attach_telemetry(telemetry::MetricsRegistry& reg,
                                 "Nodes that finished in policy-fallback mode or failed");
   m_failed_nodes_ = reg.gauge("magus_fleet_failed_nodes",
                               "Nodes whose every simulation attempt threw");
+  m_power_budget_ = reg.gauge("magus_fleet_power_budget_w",
+                              "Global fleet power budget (W; 0 = budgeting off)");
+  m_power_allocated_ = reg.gauge(
+      "magus_fleet_power_allocated_w",
+      "Mean per-epoch Watts the budget allocator handed out across the fleet");
+  m_power_clipped_ = reg.gauge(
+      "magus_fleet_power_clipped_w",
+      "Mean per-epoch Watts of estimated demand the budget could not fund");
 }
 
 /// The per-node inputs (system preset, jittered workload, run options) both
@@ -111,6 +188,10 @@ FleetRunner::NodeInputs FleetRunner::node_inputs(std::size_t index) const {
   in.opts.static_ghz = spec.static_uncore();
   in.opts.fault = manifest_.fault();
   in.opts.fault_node = index;
+  // Cap schedules are fixed by the constructor (manifest-only inputs), so
+  // handing them out here keeps both tick paths and any shard layout on the
+  // exact same caps.
+  if (!caps_.empty()) in.opts.power_cap = caps_[index];
   return in;
 }
 
@@ -337,6 +418,37 @@ FleetResult FleetRunner::run() {
   FleetResult fleet;
   fleet.seed = manifest_.seed();
   fleet.nodes_total = total;
+  // Budget accounting: the allocated/clipped halves were fixed by the
+  // constructor; the consumed half integrates each node's average draw over
+  // the epochs its runtime overlaps. Serial, node-index order.
+  if (manifest_.power_budget_w() > 0.0) {
+    fleet.power_budget_w = manifest_.power_budget_w();
+    fleet.budget_epoch_s = manifest_.budget_epoch_s();
+    fleet.budget_epochs = budget_epochs_;
+    const double epoch_s = manifest_.budget_epoch_s();
+    for (const NodeResult& r : results) {
+      if (r.failed || r.runtime_s <= 0.0) continue;
+      const double avg_w = r.energy_j / r.runtime_s;
+      for (BudgetEpochRollup& roll : fleet.budget_epochs) {
+        const double begin_s = static_cast<double>(roll.epoch) * epoch_s;
+        const double overlap =
+            std::clamp(r.runtime_s - begin_s, 0.0, epoch_s) / epoch_s;
+        roll.consumed_w += avg_w * overlap;
+      }
+    }
+  }
+  if (!caps_.empty()) {
+    for (std::size_t i = 0; i < total; ++i) {
+      const core::PowerCapSchedule& cap = caps_[i];
+      if (!cap.epoch_cap_w.empty()) {
+        double sum = 0.0;
+        for (const double w : cap.epoch_cap_w) sum += w;
+        results[i].power_cap_w = sum / static_cast<double>(cap.epoch_cap_w.size());
+      } else {
+        results[i].power_cap_w = cap.fixed_cap_w;
+      }
+    }
+  }
   std::vector<double> slowdowns;
   slowdowns.reserve(total);
   struct PolicyAcc {
@@ -408,6 +520,18 @@ FleetResult FleetRunner::run() {
   telemetry::set(m_joules_saved_, fleet.joules_saved_total);
   telemetry::set(m_degraded_nodes_, static_cast<double>(fleet.degraded_nodes));
   telemetry::set(m_failed_nodes_, static_cast<double>(fleet.failed_nodes));
+  telemetry::set(m_power_budget_, fleet.power_budget_w);
+  if (!fleet.budget_epochs.empty()) {
+    double allocated = 0.0;
+    double clipped = 0.0;
+    for (const BudgetEpochRollup& roll : fleet.budget_epochs) {
+      allocated += roll.allocated_w;
+      clipped += roll.clipped_w;
+    }
+    const auto epochs = static_cast<double>(fleet.budget_epochs.size());
+    telemetry::set(m_power_allocated_, allocated / epochs);
+    telemetry::set(m_power_clipped_, clipped / epochs);
+  }
   if (events_) {
     events_->emit(telemetry::Event(0.0, "fleet_done")
                       .num("nodes", static_cast<double>(total))
@@ -422,18 +546,23 @@ FleetResult FleetRunner::run() {
 std::string FleetResult::to_jsonl() const {
   // magus:rollup-begin -- serialization region: iteration order here IS the
   // byte-identity contract, so only ordered containers may be walked.
-  std::string out = telemetry::Event(0.0, "fleet_rollup")
-                        .str("seed", std::to_string(seed))
-                        .num("nodes", static_cast<double>(nodes_total))
-                        .num("ticks_total", static_cast<double>(ticks_total))
-                        .num("degraded_nodes", static_cast<double>(degraded_nodes))
-                        .num("failed_nodes", static_cast<double>(failed_nodes))
-                        .num("joules_saved_total", joules_saved_total)
-                        .num("slowdown_p50_pct", slowdown_p50_pct)
-                        .num("slowdown_p95_pct", slowdown_p95_pct)
-                        .num("slowdown_p99_pct", slowdown_p99_pct)
-                        .to_json() +
-                    "\n";
+  const bool budgeted = power_budget_w > 0.0;
+  telemetry::Event head(0.0, "fleet_rollup");
+  head.str("seed", std::to_string(seed))
+      .num("nodes", static_cast<double>(nodes_total))
+      .num("ticks_total", static_cast<double>(ticks_total))
+      .num("degraded_nodes", static_cast<double>(degraded_nodes))
+      .num("failed_nodes", static_cast<double>(failed_nodes))
+      .num("joules_saved_total", joules_saved_total)
+      .num("slowdown_p50_pct", slowdown_p50_pct)
+      .num("slowdown_p95_pct", slowdown_p95_pct)
+      .num("slowdown_p99_pct", slowdown_p99_pct);
+  // Budget fields and budget_rollup lines appear only on budgeted fleets, so
+  // an unbudgeted run's dump is byte-identical to the pre-budget format.
+  if (budgeted) {
+    head.num("power_budget_w", power_budget_w).num("budget_epoch_s", budget_epoch_s);
+  }
+  std::string out = head.to_json() + "\n";
   for (const PolicyRollup& roll : per_policy) {
     out += telemetry::Event(0.0, "policy_rollup")
                .str("policy", roll.policy)
@@ -458,31 +587,41 @@ std::string FleetResult::to_jsonl() const {
                .to_json() +
            "\n";
   }
-  for (const NodeResult& r : nodes) {
-    out += telemetry::Event(0.0, "node_result")
-               .str("node", r.name)
-               .str("system", r.system)
-               .str("app", r.app)
-               .str("policy", r.policy)
-               .flag("completed", r.completed)
-               .flag("degraded", r.degraded)
-               .flag("failed", r.failed)
-               .num("attempts", r.attempts)
-               .num("faults_injected", static_cast<double>(r.faults_injected))
-               .num("ticks", static_cast<double>(r.ticks))
-               .num("control_latency_s", r.control_latency_s)
-               .num("runtime_s", r.runtime_s)
-               .num("baseline_runtime_s", r.baseline_runtime_s)
-               .num("energy_j", r.energy_j)
-               .num("baseline_energy_j", r.baseline_energy_j)
-               .num("joules_saved", r.joules_saved)
-               .num("slowdown_pct", r.slowdown_pct)
-               .num("domains", static_cast<double>(r.domains))
-               .str("domain_joules_saved", join_doubles(r.domain_joules_saved))
-               .str("domain_slowdown_pct", join_doubles(r.domain_slowdown_pct))
-               .str("error", r.error)
+  for (const BudgetEpochRollup& roll : budget_epochs) {
+    out += telemetry::Event(0.0, "budget_rollup")
+               .num("epoch", static_cast<double>(roll.epoch))
+               .num("allocated_w", roll.allocated_w)
+               .num("consumed_w", roll.consumed_w)
+               .num("clipped_w", roll.clipped_w)
                .to_json() +
            "\n";
+  }
+  for (const NodeResult& r : nodes) {
+    telemetry::Event line(0.0, "node_result");
+    line.str("node", r.name)
+        .str("system", r.system)
+        .str("app", r.app)
+        .str("policy", r.policy)
+        .flag("completed", r.completed)
+        .flag("degraded", r.degraded)
+        .flag("failed", r.failed)
+        .num("attempts", r.attempts)
+        .num("faults_injected", static_cast<double>(r.faults_injected))
+        .num("ticks", static_cast<double>(r.ticks))
+        .num("control_latency_s", r.control_latency_s)
+        .num("runtime_s", r.runtime_s)
+        .num("baseline_runtime_s", r.baseline_runtime_s)
+        .num("energy_j", r.energy_j)
+        .num("baseline_energy_j", r.baseline_energy_j)
+        .num("joules_saved", r.joules_saved)
+        .num("slowdown_pct", r.slowdown_pct);
+    // Caps postdate the v1 node lines; capped nodes only.
+    if (r.power_cap_w > 0.0) line.num("power_cap_w", r.power_cap_w);
+    line.num("domains", static_cast<double>(r.domains))
+        .str("domain_joules_saved", join_doubles(r.domain_joules_saved))
+        .str("domain_slowdown_pct", join_doubles(r.domain_slowdown_pct))
+        .str("error", r.error);
+    out += line.to_json() + "\n";
   }
   return out;
   // magus:rollup-end

@@ -1,0 +1,136 @@
+// CompPow comparator: component-level split of a node power cap, solving a
+// quadratic uncore power model for the granted share.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "magus/baseline/comppow.hpp"
+#include "magus/core/power_cap.hpp"
+#include "magus/sim/engine.hpp"
+#include "magus/wl/patterns.hpp"
+
+namespace mb = magus::baseline;
+namespace mc = magus::core;
+namespace ms = magus::sim;
+namespace mw = magus::wl;
+
+namespace {
+
+constexpr double kBusyMbps = 140'000.0;
+constexpr double kQuietMbps = 8'000.0;
+
+struct Rig {
+  explicit Rig(mw::PhaseProgram program, mc::PowerCapSchedule cap = {},
+               mb::CompPowConfig cfg = {}, bool per_domain = false)
+      : engine(
+            [&] {
+              ms::SystemSpec spec = ms::intel_a100();
+              if (per_domain) {
+                spec.cpu.dies_per_socket = 2;
+                spec.numa_skew = 0.6;
+              }
+              return spec;
+            }(),
+            std::move(program),
+            [] {
+              ms::EngineConfig c;
+              c.record_traces = false;
+              return c;
+            }()),
+        ladder(0.8, 2.2),
+        ctl(engine.mem_counter(), engine.energy_counter(), engine.msr(), ladder, cfg,
+            &cap, per_domain ? &engine.domains() : nullptr) {}
+
+  ms::SimResult run() {
+    ms::PolicyHook hook;
+    hook.name = ctl.name();
+    hook.period_s = ctl.period_s();
+    hook.on_start = [this](magus::common::Seconds t) { ctl.on_start(t); };
+    hook.on_sample = [this](magus::common::Seconds t) { ctl.on_sample(t); };
+    return engine.run(hook);
+  }
+
+  ms::SimEngine engine;
+  magus::hw::UncoreFreqLadder ladder;
+  mb::CompPowController ctl;
+};
+
+mc::PowerCapSchedule fixed_cap(double watts) {
+  mc::PowerCapSchedule cap;
+  cap.fixed_cap_w = watts;
+  return cap;
+}
+
+}  // namespace
+
+TEST(CompPow, FitSolvesTheQuadraticModel) {
+  Rig rig(mw::PhaseProgram(
+      "quiet", {mw::patterns::steady("q", 1.0, kQuietMbps, 0.15, 0.1, 0.6)}));
+  // Defaults: P(f) = 5 + 2f + 13f^2. Unlimited budget -> ladder max; a
+  // budget below P(min) -> ladder min; the fit is monotone in between.
+  EXPECT_DOUBLE_EQ(rig.ctl.fit_ghz(1e9), 2.2);
+  EXPECT_DOUBLE_EQ(rig.ctl.fit_ghz(0.0), 0.8);
+  EXPECT_DOUBLE_EQ(rig.ctl.fit_ghz(10.0), 0.8);  // P(0.8) = 14.9 W does not fit
+  const double mid = rig.ctl.fit_ghz(50.0);
+  EXPECT_GT(mid, 0.8);
+  EXPECT_LT(mid, 2.2);
+  EXPECT_LE(5.0 + 2.0 * mid + 13.0 * mid * mid, 50.0);
+  EXPECT_GE(rig.ctl.fit_ghz(80.0), mid);
+}
+
+TEST(CompPow, InertWithoutCap) {
+  Rig rig(mw::PhaseProgram("busy",
+                           {mw::patterns::steady("b", 4.0, kBusyMbps, 0.9, 0.6, 0.8)}));
+  const auto r = rig.run();
+  EXPECT_DOUBLE_EQ(rig.ctl.current_target().value(), 2.2);
+  EXPECT_EQ(r.accesses.msr_writes, 0ull);
+}
+
+TEST(CompPow, TightCapPinsTheUncoreToTheFloor) {
+  // 100 W node cap, idle traffic: the uncore earns the minimum share
+  // (10 W -> 5 W per socket), below even P(min).
+  Rig rig(mw::PhaseProgram(
+              "quiet", {mw::patterns::steady("q", 4.0, kQuietMbps, 0.15, 0.1, 0.6)}),
+          fixed_cap(100.0));
+  rig.run();
+  EXPECT_DOUBLE_EQ(rig.ctl.current_target().value(), 0.8);
+}
+
+TEST(CompPow, BusyTrafficEarnsALargerShare) {
+  mw::PhaseProgram busy_p("busy",
+                          {mw::patterns::steady("b", 4.0, kBusyMbps, 0.9, 0.6, 0.8)});
+  mw::PhaseProgram quiet_p(
+      "quiet", {mw::patterns::steady("q", 4.0, kQuietMbps, 0.15, 0.1, 0.6)});
+  Rig busy(std::move(busy_p), fixed_cap(1'000.0));
+  Rig quiet(std::move(quiet_p), fixed_cap(1'000.0));
+  busy.run();
+  quiet.run();
+  // Utilisation slides the uncore's share of the cap between share_min and
+  // share_max, and the larger budget buys a higher fitted frequency.
+  EXPECT_GT(busy.ctl.last_uncore_budget_w(), quiet.ctl.last_uncore_budget_w());
+  EXPECT_GT(busy.ctl.current_target().value(), quiet.ctl.current_target().value());
+}
+
+TEST(CompPow, DryRunNeverWrites) {
+  mb::CompPowConfig cfg;
+  cfg.scaling_enabled = false;
+  Rig rig(mw::PhaseProgram(
+              "quiet", {mw::patterns::steady("q", 4.0, kQuietMbps, 0.15, 0.1, 0.6)}),
+          fixed_cap(100.0), cfg);
+  const auto r = rig.run();
+  EXPECT_EQ(r.accesses.msr_writes, 0ull);
+  EXPECT_LT(rig.ctl.current_target().value(), 2.2);
+}
+
+TEST(CompPow, PerDomainBudgetsFollowTheTrafficSplit) {
+  // NUMA skew concentrates traffic on each socket's first die; its budget
+  // share (and so its fitted frequency) must be >= the quiet sibling's.
+  Rig rig(mw::PhaseProgram("busy",
+                           {mw::patterns::steady("b", 6.0, kBusyMbps, 0.9, 0.6, 0.8)}),
+          fixed_cap(500.0), {}, /*per_domain=*/true);
+  rig.run();
+  ASSERT_EQ(rig.ctl.domain_count(), 4);
+  EXPECT_GE(rig.ctl.domain_target(0).value(), rig.ctl.domain_target(1).value());
+  EXPECT_GT(rig.ctl.last_uncore_budget_w(), 0.0);
+}

@@ -1,0 +1,128 @@
+// Deadline baseline: data-driven frequency selection against a slowdown
+// bound (Ilager-style), contrasted with DUF's one-step ladder walk.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "magus/baseline/deadline.hpp"
+#include "magus/sim/engine.hpp"
+#include "magus/wl/patterns.hpp"
+
+namespace mb = magus::baseline;
+namespace ms = magus::sim;
+namespace mw = magus::wl;
+
+namespace {
+
+constexpr double kBusyMbps = 140'000.0;
+constexpr double kQuietMbps = 8'000.0;
+
+struct Rig {
+  explicit Rig(mw::PhaseProgram program, mb::DeadlineConfig cfg = {},
+               bool per_domain = false)
+      : engine(
+            [&] {
+              ms::SystemSpec spec = ms::intel_a100();
+              if (per_domain) {
+                spec.cpu.dies_per_socket = 2;
+                spec.numa_skew = 0.6;
+              }
+              return spec;
+            }(),
+            std::move(program),
+            [] {
+              ms::EngineConfig c;
+              c.record_traces = false;
+              return c;
+            }()),
+        ladder(0.8, 2.2),
+        ctl(engine.mem_counter(), engine.msr(), ladder, cfg,
+            per_domain ? &engine.domains() : nullptr) {}
+
+  ms::SimResult run() {
+    ms::PolicyHook hook;
+    hook.name = ctl.name();
+    hook.period_s = ctl.period_s();
+    hook.on_start = [this](magus::common::Seconds t) { ctl.on_start(t); };
+    hook.on_sample = [this](magus::common::Seconds t) { ctl.on_sample(t); };
+    return engine.run(hook);
+  }
+
+  ms::SimEngine engine;
+  magus::hw::UncoreFreqLadder ladder;
+  mb::DeadlineController ctl;
+};
+
+}  // namespace
+
+TEST(Deadline, SelectsTheFloorForAQuietWorkload) {
+  Rig rig(mw::PhaseProgram(
+      "quiet", {mw::patterns::steady("q", 6.0, kQuietMbps, 0.15, 0.1, 0.6)}));
+  rig.run();
+  // ~8 GB/s of demand needs ~0.11 GHz of modelled capacity: the lowest rung
+  // already covers it with a huge margin.
+  EXPECT_LT(rig.ctl.current_target().value(), 1.0);
+  EXPECT_GT(rig.ctl.predicted_demand_mbps(), 0.0);
+}
+
+TEST(Deadline, ProvisionsHighForBandwidthHungryWork) {
+  Rig rig(mw::PhaseProgram("busy",
+                           {mw::patterns::steady("b", 6.0, kBusyMbps, 0.9, 0.6, 0.8)}));
+  rig.run();
+  // 140 GB/s inside a 5% bound needs ~1.85 GHz of the 72 GB/s-per-GHz model.
+  EXPECT_GT(rig.ctl.current_target().value(), 1.6);
+}
+
+TEST(Deadline, LooserBoundBuysALowerFrequency) {
+  mw::PhaseProgram tight_p(
+      "busy", {mw::patterns::steady("b", 6.0, kBusyMbps, 0.9, 0.6, 0.8)});
+  mw::PhaseProgram loose_p = tight_p;
+  mb::DeadlineConfig tight;
+  tight.slowdown_bound_pct = 0.0;
+  mb::DeadlineConfig loose;
+  loose.slowdown_bound_pct = 100.0;
+  Rig a(std::move(tight_p), tight);
+  Rig b(std::move(loose_p), loose);
+  a.run();
+  b.run();
+  // Doubling the tolerated stretch halves the provisioned capacity.
+  EXPECT_LT(b.ctl.current_target().value(), a.ctl.current_target().value());
+}
+
+TEST(Deadline, RelearnsCapacityNearSaturation) {
+  mb::DeadlineConfig cfg;
+  cfg.capacity_mbps_per_ghz = 30'000.0;  // deliberately miscalibrated low
+  Rig rig(mw::PhaseProgram("busy",
+                           {mw::patterns::steady("b", 6.0, kBusyMbps, 0.9, 0.6, 0.8)}),
+          cfg);
+  rig.run();
+  // Delivered throughput blows through the predicted ceiling, so every
+  // sample is a saturation observation and the coefficient corrects upward.
+  EXPECT_GT(rig.ctl.learned_capacity_mbps_per_ghz(), 40'000.0);
+}
+
+TEST(Deadline, DryRunNeverWrites) {
+  mb::DeadlineConfig cfg;
+  cfg.scaling_enabled = false;
+  Rig rig(mw::PhaseProgram(
+              "quiet", {mw::patterns::steady("q", 4.0, kQuietMbps, 0.15, 0.1, 0.6)}),
+          cfg);
+  const auto r = rig.run();
+  EXPECT_EQ(r.accesses.msr_writes, 0ull);
+  // Selection still happens against the shadow target.
+  EXPECT_LT(rig.ctl.current_target().value(), 2.2);
+}
+
+TEST(Deadline, PerDomainSelectionFollowsTheTrafficSplit) {
+  // NUMA skew pins extra demand on each socket's first die: that domain
+  // must be provisioned at least as high as its quiet sibling.
+  Rig rig(mw::PhaseProgram("busy",
+                           {mw::patterns::steady("b", 6.0, kBusyMbps, 0.9, 0.6, 0.8)}),
+          {}, /*per_domain=*/true);
+  rig.run();
+  ASSERT_EQ(rig.ctl.domain_count(), 4);
+  EXPECT_GE(rig.ctl.domain_target(0).value(), rig.ctl.domain_target(1).value());
+  // The skewed split must actually produce differentiated targets.
+  EXPECT_GT(rig.ctl.domain_target(0).value(), 0.8);
+}

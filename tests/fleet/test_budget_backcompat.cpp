@@ -1,0 +1,94 @@
+// Backward compatibility of the budget surface: manifests written before the
+// power-budget fields existed must parse, and an unbudgeted fleet's rollup
+// JSONL must be byte-identical whether it runs on a build with or without the
+// budget machinery -- i.e. carry no budget fields at all.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "magus/fleet/manifest.hpp"
+#include "magus/fleet/runner.hpp"
+
+namespace mf = magus::fleet;
+
+namespace {
+
+/// A v1 manifest literal, exactly as the pre-budget serializer wrote it
+/// (no power_budget_w / budget_epoch_s / power_cap_w fields anywhere).
+const char* kV1Manifest =
+    "{\"t\":0.000000,\"type\":\"fleet_manifest\",\"seed\":\"7\",\"shard_size\":2.000000,"
+    "\"jitter_duration_rel\":0.050000,\"jitter_demand_rel\":0.100000,"
+    "\"fault_rate\":0.000000,\"fault_seed\":\"0\"}\n"
+    "{\"t\":0.000000,\"type\":\"fleet_node\",\"name\":\"web\",\"system\":\"intel_a100\","
+    "\"app\":\"unet\",\"policy\":\"magus\",\"gpus\":1.000000,"
+    "\"static_uncore_ghz\":0.000000,\"dies\":1.000000,\"numa_skew\":0.000000,"
+    "\"count\":2.000000}\n";
+
+}  // namespace
+
+TEST(BudgetBackCompat, V1ManifestParsesAsUnbudgeted) {
+  const mf::FleetManifest manifest = mf::FleetManifest::from_jsonl(kV1Manifest);
+  EXPECT_DOUBLE_EQ(manifest.power_budget_w(), 0.0);
+  EXPECT_DOUBLE_EQ(manifest.budget_epoch_s(), 1.0);  // default epoch
+  ASSERT_EQ(manifest.nodes().size(), 1u);
+  EXPECT_DOUBLE_EQ(manifest.nodes()[0].power_cap_w(), 0.0);
+  EXPECT_TRUE(manifest.validate().empty());
+}
+
+TEST(BudgetBackCompat, UnbudgetedManifestRoundTripsWithoutBudgetFields) {
+  const mf::FleetManifest manifest = mf::FleetManifest::from_jsonl(kV1Manifest);
+  const std::string out = manifest.to_jsonl();
+  EXPECT_EQ(out.find("power_budget_w"), std::string::npos);
+  EXPECT_EQ(out.find("budget_epoch_s"), std::string::npos);
+  EXPECT_EQ(out.find("power_cap_w"), std::string::npos);
+  // And the round-trip is exact.
+  EXPECT_EQ(mf::FleetManifest::from_jsonl(out).to_jsonl(), out);
+}
+
+TEST(BudgetBackCompat, UnbudgetedRollupCarriesNoBudgetFields) {
+  mf::FleetRunner runner(mf::FleetManifest::from_jsonl(kV1Manifest));
+  const mf::FleetResult result = runner.run();
+  EXPECT_DOUBLE_EQ(result.power_budget_w, 0.0);
+  EXPECT_TRUE(result.budget_epochs.empty());
+  const std::string jsonl = result.to_jsonl();
+  EXPECT_EQ(jsonl.find("power_budget_w"), std::string::npos);
+  EXPECT_EQ(jsonl.find("budget_rollup"), std::string::npos);
+  EXPECT_EQ(jsonl.find("power_cap_w"), std::string::npos);
+  for (const mf::NodeResult& node : result.nodes) {
+    EXPECT_DOUBLE_EQ(node.power_cap_w, 0.0);
+  }
+}
+
+TEST(BudgetBackCompat, NodeCapAloneActivatesCapsButNotBudgetRollups) {
+  // A manifest cap without a fleet budget: the node's policy gets a fixed
+  // cap, node_result lines carry power_cap_w, but there is no allocator run
+  // and so no budget_rollup lines or header budget fields.
+  mf::FleetManifest manifest = mf::FleetManifest::from_jsonl(kV1Manifest);
+  manifest.mutate_nodes([](mf::NodeSpec& node) {
+    node.policy("ecoshift").power_cap_w(400.0);
+  });
+  mf::FleetRunner runner(std::move(manifest));
+  const mf::FleetResult result = runner.run();
+  EXPECT_TRUE(result.budget_epochs.empty());
+  const std::string jsonl = result.to_jsonl();
+  EXPECT_EQ(jsonl.find("budget_rollup"), std::string::npos);
+  EXPECT_EQ(jsonl.find("power_budget_w"), std::string::npos);
+  EXPECT_NE(jsonl.find("power_cap_w"), std::string::npos);
+  for (const mf::NodeResult& node : result.nodes) {
+    EXPECT_DOUBLE_EQ(node.power_cap_w, 400.0);
+  }
+}
+
+TEST(BudgetBackCompat, BudgetFieldsSurviveTheirOwnRoundTrip) {
+  mf::FleetManifest manifest = mf::FleetManifest::from_jsonl(kV1Manifest);
+  manifest.power_budget_w(3'000.0).budget_epoch_s(0.5);
+  manifest.mutate_nodes([](mf::NodeSpec& node) { node.power_cap_w(750.0); });
+  const std::string out = manifest.to_jsonl();
+  const mf::FleetManifest back = mf::FleetManifest::from_jsonl(out);
+  EXPECT_DOUBLE_EQ(back.power_budget_w(), 3'000.0);
+  EXPECT_DOUBLE_EQ(back.budget_epoch_s(), 0.5);
+  EXPECT_DOUBLE_EQ(back.nodes()[0].power_cap_w(), 750.0);
+  EXPECT_EQ(back.to_jsonl(), out);
+}

@@ -12,16 +12,21 @@
 //       Table 2 protocol on one system.
 //   magus-cli fleet [--nodes 256] [--seed 2025] [--jobs N] [--shard-size 16]
 //                   [--engine batch|per-node] [--manifest in.jsonl]
-//                   [--save-manifest out.jsonl] [--out rollup.jsonl]
+//                   [--save-manifest out.jsonl] [--out rollup.jsonl|-]
 //                   [--fault-rate P] [--fault-seed S]
-//                   [--dies N] [--numa-skew X]
+//                   [--dies N] [--numa-skew X] [--policy NAME] [--power-cap W]
+//                   [--power-budget W] [--budget-epoch S]
 //       Simulate a whole fleet of independently-configured nodes and print
 //       per-policy rollups (Joules saved vs an all-default fleet, slowdown
 //       percentiles). Without --manifest a deterministic synthetic fleet of
 //       --nodes nodes is generated. Rollups are bit-identical for any
 //       --jobs count and either engine (batch, the default, advances each
 //       shard through the SoA kernel; per-node is the one-engine-per-run
-//       oracle); --out writes the canonical JSONL dump.
+//       oracle); --out writes the canonical JSONL dump ("-" streams it to
+//       stdout with all human output on stderr). --power-budget water-fills
+//       a global Watts budget across nodes per --budget-epoch of simulated
+//       time; --policy/--power-cap rewrite every node, so a saved fleet can
+//       be replayed under a cap-aware comparator.
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime error.
 
@@ -59,11 +64,15 @@ int usage() {
             << "                  [--engine batch|per-node]   (same results, batch is "
                "faster)\n"
             << "                  [--manifest in.jsonl] [--save-manifest out.jsonl] "
-               "[--out rollup.jsonl]\n"
+               "[--out rollup.jsonl|-]\n"
             << "                  [--fault-rate P] [--fault-seed S]   (deterministic "
                "backend fault injection)\n"
             << "                  [--dies N] [--numa-skew X]   (multi-die uncore "
                "domains on every node)\n"
+            << "                  [--policy NAME] [--power-cap W]   (rewrite every "
+               "node's policy / static cap)\n"
+            << "                  [--power-budget W] [--budget-epoch S]   (global "
+               "budget, water-filled per epoch)\n"
             << "\n"
             << "  --jobs N (or the MAGUS_JOBS env var) sets the worker-thread "
                "count for the\n"
@@ -203,6 +212,11 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
 
 int cmd_fleet(const std::map<std::string, std::string>& flags) {
   const std::size_t workers = configure_jobs(flags);
+  // `--out -` streams the canonical rollup JSONL to stdout; every human
+  // line (banner, tables, summary, warnings) then goes to stderr so the
+  // stream stays machine-parseable end to end.
+  const bool stream = flags.count("out") && flags.at("out") == "-";
+  std::ostream& info = stream ? std::cerr : std::cout;
 
   fleet::FleetManifest manifest;
   if (flags.count("manifest")) {
@@ -218,21 +232,26 @@ int cmd_fleet(const std::map<std::string, std::string>& flags) {
   // be replayed under different fault weather.
   if (flags.count("fault-rate")) manifest.fault_rate(std::stod(flags.at("fault-rate")));
   if (flags.count("fault-seed")) manifest.fault_seed(std::stoull(flags.at("fault-seed")));
-  // Domain knobs rewrite every node, same override semantics as the fault
-  // flags: a saved manifest can be replayed with more dies per socket or a
-  // NUMA-skewed traffic split without editing it.
-  if (flags.count("dies") || flags.count("numa-skew")) {
-    fleet::FleetManifest reshaped;
-    reshaped.seed(manifest.seed())
-        .shard_size(manifest.shard_size())
-        .jitter(manifest.jitter())
-        .fault(manifest.fault());
-    for (fleet::NodeSpec node : manifest.nodes()) {
+  // Fleet power budgeting: a global Watts budget water-filled across nodes
+  // per epoch of simulated time (fleet/allocator.hpp).
+  if (flags.count("power-budget")) {
+    manifest.power_budget_w(std::stod(flags.at("power-budget")));
+  }
+  if (flags.count("budget-epoch")) {
+    manifest.budget_epoch_s(std::stod(flags.at("budget-epoch")));
+  }
+  // Node knobs rewrite every node, same override semantics as the fault
+  // flags: a saved manifest can be replayed under a different policy, a
+  // per-node cap, more dies per socket, or a NUMA-skewed traffic split
+  // without editing the file.
+  if (flags.count("policy") || flags.count("power-cap") || flags.count("dies") ||
+      flags.count("numa-skew")) {
+    manifest.mutate_nodes([&flags](fleet::NodeSpec& node) {
+      if (flags.count("policy")) node.policy(flags.at("policy"));
+      if (flags.count("power-cap")) node.power_cap_w(std::stod(flags.at("power-cap")));
       if (flags.count("dies")) node.dies(std::stoi(flags.at("dies")));
       if (flags.count("numa-skew")) node.numa_skew(std::stod(flags.at("numa-skew")));
-      reshaped.add_node(std::move(node));
-    }
-    manifest = std::move(reshaped);
+    });
   }
   if (flags.count("save-manifest")) manifest.save(flags.at("save-manifest"));
 
@@ -254,15 +273,19 @@ int cmd_fleet(const std::map<std::string, std::string>& flags) {
     }
   }
   runner.set_engine(engine);
-  std::cout << "simulating fleet: " << runner.nodes_total() << " nodes (seed "
-            << manifest.seed() << ", shard size " << manifest.shard_size() << ", "
-            << (engine == fleet::FleetEngine::kBatch ? "batch" : "per-node") << " engine, "
-            << workers << " worker" << (workers == 1 ? "" : "s");
+  info << "simulating fleet: " << runner.nodes_total() << " nodes (seed "
+       << manifest.seed() << ", shard size " << manifest.shard_size() << ", "
+       << (engine == fleet::FleetEngine::kBatch ? "batch" : "per-node") << " engine, "
+       << workers << " worker" << (workers == 1 ? "" : "s");
   if (manifest.fault().enabled()) {
-    std::cout << ", fault rate " << manifest.fault().rate << " seed "
-              << manifest.fault().seed;
+    info << ", fault rate " << manifest.fault().rate << " seed "
+         << manifest.fault().seed;
   }
-  std::cout << ")\n\n";
+  if (manifest.power_budget_w() > 0.0) {
+    info << ", power budget " << manifest.power_budget_w() << " W / "
+         << manifest.budget_epoch_s() << " s epochs";
+  }
+  info << ")\n\n";
   const fleet::FleetResult result = runner.run();
 
   common::TextTable table({"policy", "nodes", "degraded", "failed", "Joules saved",
@@ -275,12 +298,12 @@ int cmd_fleet(const std::map<std::string, std::string>& flags) {
                    common::TextTable::num(roll.slowdown_p95_pct),
                    common::TextTable::num(roll.slowdown_p99_pct)});
   }
-  table.print(std::cout);
+  table.print(info);
 
   // Per-uncore-domain breakdown (socket-major; legacy nodes have one domain
   // per socket, multi-die nodes sockets * dies).
   if (result.per_domain.size() > 1) {
-    std::cout << "\n";
+    info << "\n";
     common::TextTable domain_table({"domain", "nodes", "uncore J saved",
                                     "mem slowdown p50 (%)", "p95 (%)", "p99 (%)"});
     for (const fleet::DomainRollup& roll : result.per_domain) {
@@ -290,27 +313,54 @@ int cmd_fleet(const std::map<std::string, std::string>& flags) {
                             common::TextTable::num(roll.slowdown_p95_pct),
                             common::TextTable::num(roll.slowdown_p99_pct)});
     }
-    domain_table.print(std::cout);
+    domain_table.print(info);
   }
-  std::cout << "\nfleet total: " << common::TextTable::num(result.joules_saved_total, 1)
-            << " J saved vs all-default fleet; slowdown p50 "
-            << common::TextTable::num(result.slowdown_p50_pct) << " %, p95 "
-            << common::TextTable::num(result.slowdown_p95_pct) << " %, p99 "
-            << common::TextTable::num(result.slowdown_p99_pct) << " %\n";
+
+  // Power-budget accounting (only when the allocator actually ran).
+  if (!result.budget_epochs.empty()) {
+    double allocated = 0.0;
+    double consumed = 0.0;
+    double clipped = 0.0;
+    for (const fleet::BudgetEpochRollup& epoch : result.budget_epochs) {
+      allocated += epoch.allocated_w;
+      consumed += epoch.consumed_w;
+      clipped += epoch.clipped_w;
+    }
+    const double n = static_cast<double>(result.budget_epochs.size());
+    info << "\npower budget: " << common::TextTable::num(result.power_budget_w, 1)
+         << " W global; mean per epoch: allocated "
+         << common::TextTable::num(allocated / n, 1) << " W, consumed "
+         << common::TextTable::num(consumed / n, 1) << " W, clipped demand "
+         << common::TextTable::num(clipped / n, 1) << " W ("
+         << result.budget_epochs.size() << " epochs of "
+         << common::TextTable::num(result.budget_epoch_s) << " s)\n";
+  }
+
+  info << "\nfleet total: " << common::TextTable::num(result.joules_saved_total, 1)
+       << " J saved vs all-default fleet; slowdown p50 "
+       << common::TextTable::num(result.slowdown_p50_pct) << " %, p95 "
+       << common::TextTable::num(result.slowdown_p95_pct) << " %, p99 "
+       << common::TextTable::num(result.slowdown_p99_pct) << " %\n";
   if (result.degraded_nodes > 0 || result.failed_nodes > 0) {
-    std::cout << "fault weather: " << result.degraded_nodes << " degraded node"
-              << (result.degraded_nodes == 1 ? "" : "s") << " (" << result.failed_nodes
-              << " failed outright)\n";
+    info << "fault weather: " << result.degraded_nodes << " degraded node"
+         << (result.degraded_nodes == 1 ? "" : "s") << " (" << result.failed_nodes
+         << " failed outright)\n";
   }
 
   if (flags.count("out")) {
     const std::string& path = flags.at("out");
-    std::ofstream os(path);
-    if (!os) throw common::ConfigError("cannot open --out file " + path);
-    os << result.to_jsonl();
-    os.flush();
-    if (os.fail()) throw common::ConfigError("write failed for --out " + path);
-    std::cout << "rollup written to " << path << "\n";
+    if (stream) {
+      std::cout << result.to_jsonl();
+      std::cout.flush();
+      if (std::cout.fail()) throw common::ConfigError("write failed for --out -");
+    } else {
+      std::ofstream os(path);
+      if (!os) throw common::ConfigError("cannot open --out file " + path);
+      os << result.to_jsonl();
+      os.flush();
+      if (os.fail()) throw common::ConfigError("write failed for --out " + path);
+      info << "rollup written to " << path << "\n";
+    }
   }
   return 0;
 }

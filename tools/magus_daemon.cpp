@@ -28,6 +28,9 @@
 //                             with ?nodes=64&seed=7 submits a synthetic
 //                             fleet. ?fault_rate=P&fault_seed=S turns on
 //                             deterministic backend fault injection.
+//                             ?power_budget=W&budget_epoch=S water-fills a
+//                             global power budget across the nodes;
+//                             ?policy=NAME&power_cap=W rewrite every node.
 //                             Replies 202 with the queued job id.
 //         GET  /fleet/status  live progress (job id, state, nodes done) and
 //                             the last finished job's rollup line.
@@ -269,6 +272,22 @@ class FleetService {
       if (!fault_rate.empty()) manifest.fault_rate(std::stod(fault_rate));
       const std::string fault_seed = query_param(req.query, "fault_seed");
       if (!fault_seed.empty()) manifest.fault_seed(std::stoull(fault_seed));
+      // Power budgeting, same override contract: ?power_budget=W water-fills
+      // a global budget per ?budget_epoch=S of simulated time; ?policy=NAME
+      // and ?power_cap=W rewrite every node, so a stored fleet can be
+      // replayed under a cap-aware comparator.
+      const std::string power_budget = query_param(req.query, "power_budget");
+      if (!power_budget.empty()) manifest.power_budget_w(std::stod(power_budget));
+      const std::string budget_epoch = query_param(req.query, "budget_epoch");
+      if (!budget_epoch.empty()) manifest.budget_epoch_s(std::stod(budget_epoch));
+      const std::string policy = query_param(req.query, "policy");
+      const std::string power_cap = query_param(req.query, "power_cap");
+      if (!policy.empty() || !power_cap.empty()) {
+        manifest.mutate_nodes([&](fleet::NodeSpec& node) {
+          if (!policy.empty()) node.policy(policy);
+          if (!power_cap.empty()) node.power_cap_w(std::stod(power_cap));
+        });
+      }
       manifest.validate_or_throw();
     } catch (const common::Error& e) {
       res.status = 400;
